@@ -1,0 +1,79 @@
+"""The paper's temporal arc: 2015 ("the tragic story of RPKI") vs 2024
+("the happier story").
+
+Builds a second knowledge graph from the 2015-era world preset and
+regenerates Table 2 and Table 3 for both eras, checking the crossovers
+the paper reports: RPKI coverage multiplying ~9x, CDN adoption going
+from below 1% to the top of the field, and the nameserver-count mix
+flipping from meet-dominated to exceed-dominated.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_comparison
+from repro.pipeline import build_iyp
+from repro.simnet import WorldConfig, build_world
+from repro.studies import run_dns_robustness_study, run_ripki_study
+
+
+@pytest.fixture(scope="module")
+def iyp_2015():
+    world = build_world(WorldConfig.year2015())
+    iyp, report = build_iyp(world)
+    assert report.ok
+    return iyp
+
+
+def test_rpki_evolution(benchmark, bench_iyp, iyp_2015):
+    results_2015 = benchmark.pedantic(
+        run_ripki_study, args=(iyp_2015,), rounds=1, iterations=1
+    )
+    results_2024 = run_ripki_study(bench_iyp)
+    record_comparison(
+        "Evolution 2015 -> 2024 - Table 2 regenerated for both eras (%)",
+        ["metric", "paper 2015", "repro 2015", "paper 2024", "repro 2024"],
+        [
+            ["RPKI covered", "6.0", f"{results_2015.covered_pct:.1f}",
+             "52.2", f"{results_2024.covered_pct:.1f}"],
+            ["CDN covered", "0.9", f"{results_2015.cdn_pct:.1f}",
+             "68.4", f"{results_2024.cdn_pct:.1f}"],
+            ["RPKI Invalid", "0.09", f"{results_2015.invalid_pct:.2f}",
+             "0.12", f"{results_2024.invalid_pct:.2f}"],
+        ],
+    )
+    # The "tragic story": 2015 coverage marginal, CDNs near zero.
+    assert results_2015.covered_pct < 15.0
+    assert results_2015.cdn_pct < 10.0
+    # The "happier story": roughly an order of magnitude more coverage.
+    assert results_2024.covered_pct > 5 * results_2015.covered_pct
+    # CDNs moved from the bottom to the top of the field.
+    assert results_2024.cdn_pct > results_2024.covered_pct
+    # Invalids stayed tiny in both eras.
+    assert results_2015.invalid_pct < 2.0 and results_2024.invalid_pct < 2.0
+
+
+def test_dns_practices_evolution(benchmark, bench_iyp, iyp_2015):
+    results_2015 = benchmark.pedantic(
+        run_dns_robustness_study, args=(iyp_2015,), rounds=1, iterations=1
+    )
+    results_2024 = run_dns_robustness_study(bench_iyp)
+    record_comparison(
+        "Evolution 2015 -> 2024 - Table 3 regenerated for both eras (%)",
+        ["metric", "paper ~2018", "repro 2015-era", "paper 2024", "repro 2024"],
+        [
+            ["Meet NS requirements", "39", f"{results_2015.meet_pct:.1f}",
+             "18", f"{results_2024.meet_pct:.1f}"],
+            ["Exceed NS requirements", "20", f"{results_2015.exceed_pct:.1f}",
+             "67", f"{results_2024.exceed_pct:.1f}"],
+            ["Not meet", "28", f"{results_2015.not_meet_pct:.1f}",
+             "4", f"{results_2024.not_meet_pct:.1f}"],
+            ["Discarded", "13.5", f"{results_2015.discarded_pct:.1f}",
+             "10", f"{results_2024.discarded_pct:.1f}"],
+        ],
+    )
+    # 2015-era regime: meet dominates, a large not-meet share.
+    assert results_2015.meet_pct > results_2015.exceed_pct
+    assert results_2015.not_meet_pct > results_2024.not_meet_pct * 3
+    # 2024 regime: exceed dominates (the consistent increasing trend).
+    assert results_2024.exceed_pct > results_2015.exceed_pct
+    assert results_2024.exceed_pct > results_2024.meet_pct

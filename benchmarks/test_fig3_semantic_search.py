@@ -1,0 +1,44 @@
+"""Figure 3 / Listings 1-3 — semantic-search query latency.
+
+These are the paper's flagship "three-line queries"; the benchmark
+shows they answer in interactive time on a laptop-scale graph.
+"""
+
+from benchmarks.conftest import record_comparison
+from repro.studies import queries
+
+
+def test_listing1_originating_ases(benchmark, bench_iyp, bench_world):
+    result = benchmark(bench_iyp.run, queries.LISTING_1)
+    assert len(result) == len(bench_world.ases)
+
+
+def test_listing2_moas(benchmark, bench_iyp, bench_world):
+    result = benchmark(bench_iyp.run, queries.LISTING_2)
+    moas_in_world = sum(
+        1 for p in bench_world.prefixes.values() if len(p.origins) > 1
+    )
+    assert len(result) >= moas_in_world
+    record_comparison(
+        "Figure 3 / Listings 1-2 - semantic search",
+        ["query", "result rows"],
+        [
+            ["originating ASes (Listing 1)", len(bench_world.ases)],
+            ["MOAS prefixes (Listing 2)", len(result)],
+        ],
+    )
+
+
+def test_listing3_org_hostnames(benchmark, bench_iyp, bench_world):
+    # Use the busiest hosting org in the world as the anchor.
+    from collections import Counter
+
+    hosting = Counter(
+        bench_world.ases[d.hosting_asn].org_name
+        for d in bench_world.domains.values()
+    )
+    org_name = hosting.most_common(1)[0][0]
+    result = benchmark(
+        bench_iyp.run, queries.LISTING_3, {"org_name": org_name}
+    )
+    assert len(result) > 0

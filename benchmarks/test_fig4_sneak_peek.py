@@ -1,0 +1,24 @@
+"""Figure 4 — the sneak peek: one popular domain's neighbourhood spans
+many underlying datasets (13 in the paper's example)."""
+
+from benchmarks.conftest import record_comparison
+from repro.studies import sneak_peek
+
+
+def test_fig4_sneak_peek(benchmark, bench_iyp, bench_world):
+    domain = bench_world.tranco[0]
+    peek = benchmark.pedantic(
+        sneak_peek, args=(bench_iyp, domain), rounds=3, iterations=1
+    )
+    record_comparison(
+        f"Figure 4 - sneak peek of {domain!r}",
+        ["metric", "paper", "this repro"],
+        [
+            ["datasets fused in one neighbourhood", "13", peek.dataset_count],
+            ["direct relationships", "-", len(peek.relationships)],
+            ["resolution-chain rows", "-", len(peek.resolution)],
+            ["nameserver branch rows", "-", len(peek.nameservers)],
+        ],
+    )
+    assert peek.dataset_count >= 6
+    assert peek.resolution and peek.nameservers

@@ -1,0 +1,40 @@
+"""Figure 5 — country-based SPoF in the DNS chain of ranked domains.
+
+Regenerates the stacked-bar series: per country, how many domains have
+a direct / third-party / hierarchical dependency on an AS registered
+there.  Shape checks: the US dominates third-party dependency, and the
+ccTLD countries the paper names (Russia, China, UK) are hierarchical-
+dominant.
+"""
+
+from benchmarks.conftest import record_comparison
+from repro.studies import run_spof_study
+
+
+def test_fig5_country_spof(benchmark, bench_iyp):
+    results = benchmark.pedantic(
+        run_spof_study, args=(bench_iyp,), rounds=1, iterations=1
+    )
+    rows = [
+        [country, counts["direct"], counts["third_party"], counts["hierarchical"]]
+        for country, counts in results.top_countries(10)
+    ]
+    record_comparison(
+        "Figure 5 - country-based SPoF (domains depending, by type); "
+        "paper shape: US leads all types incl. third-party; RU/CN/GB "
+        "hierarchical-heavy",
+        ["country", "direct", "third-party", "hierarchical"],
+        rows,
+    )
+    third = {c: v["third_party"] for c, v in results.by_country.items()}
+    assert max(third, key=third.get) == "US"
+    seen = 0
+    for country in ("RU", "CN", "GB"):
+        counts = results.by_country.get(country)
+        if counts:
+            seen += 1
+            assert counts["hierarchical"] > counts["direct"]
+    assert seen >= 2
+    # "Direct dependencies dominate the DNS ecosystem": more domains
+    # have a direct dependency than a third-party one.
+    assert results.domains_with["direct"] > results.domains_with["third_party"]

@@ -1,0 +1,45 @@
+"""Figure 6 — AS-based SPoF in the DNS chain.
+
+Shape checks from the paper: an Akamai-shaped AS exists (mostly a
+third-party dependency: it hosts DNS for DNS-hosting companies), and a
+GoDaddy-shaped AS exists (mostly direct: DNS for end customers).
+"""
+
+from benchmarks.conftest import record_comparison
+from repro.studies import run_spof_study
+
+
+def test_fig6_as_spof(benchmark, bench_iyp):
+    results = benchmark.pedantic(
+        run_spof_study, args=(bench_iyp,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            results.as_names.get(asn, str(asn)),
+            counts["direct"],
+            counts["third_party"],
+            counts["hierarchical"],
+        ]
+        for asn, counts in results.top_ases(10)
+    ]
+    record_comparison(
+        "Figure 6 - AS-based SPoF (domains depending, by type); paper "
+        "shape: one AS mostly third-party (Akamai-like), one mostly "
+        "direct (GoDaddy-like)",
+        ["AS", "direct", "third-party", "hierarchical"],
+        rows,
+    )
+    akamai_like = [
+        counts
+        for counts in results.by_as.values()
+        if counts["third_party"] > 3 * max(counts["direct"], 1)
+        and counts["third_party"] > 50
+    ]
+    godaddy_like = [
+        counts
+        for counts in results.by_as.values()
+        if counts["direct"] > 3 * max(counts["third_party"], 1)
+        and counts["direct"] > 50
+    ]
+    assert akamai_like, "no third-party-dominant AS found"
+    assert godaddy_like, "no direct-dominant AS found"

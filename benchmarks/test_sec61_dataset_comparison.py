@@ -1,0 +1,26 @@
+"""Section 6.1 — dataset comparison: the injected BGPKIT IPv6 origin
+error must surface as IPv6-dominated disagreements against IHR ROV."""
+
+from benchmarks.conftest import record_comparison
+from repro.studies import compare_origin_datasets
+
+
+def test_sec61_dataset_comparison(benchmark, bench_iyp):
+    result = benchmark.pedantic(
+        compare_origin_datasets, args=(bench_iyp,), rounds=1, iterations=1
+    )
+    record_comparison(
+        "Section 6.1 - dataset comparison (pfx2asn vs ROV origins); paper: "
+        "an error affecting IPv6 prefixes in the BGPKIT dataset was found",
+        ["metric", "value"],
+        [
+            ["prefixes compared", result.prefixes_compared],
+            ["disagreements", result.total],
+            ["IPv4 disagreements", result.ipv4_count],
+            ["IPv6 disagreements", result.ipv6_count],
+            ["bug signature (IPv6-dominated)", result.ipv6_dominated],
+        ],
+    )
+    assert result.total > 0
+    assert result.ipv6_dominated
+    assert result.ipv4_count == 0

@@ -1,0 +1,34 @@
+"""Table 4 — shared DNS infrastructure: grouping .com/.net/.org domains
+by exact nameserver set vs by nameserver /24.
+
+The absolute group sizes scale with the list size (the paper uses 1M
+domains); the *shape* is what must hold: /24 groups are orders of
+magnitude larger than exact-NS groups.
+"""
+
+from benchmarks.conftest import record_comparison
+from repro.studies import run_dns_robustness_study
+
+
+def test_table4_shared_infrastructure(benchmark, bench_iyp, bench_world):
+    results = benchmark.pedantic(
+        run_dns_robustness_study, args=(bench_iyp,), rounds=1, iterations=1
+    )
+    scale = len(bench_world.tranco) / 1_000_000
+    record_comparison(
+        "Table 4 - shared infrastructure groups, .com/.net/.org "
+        f"(paper numbers at 1M domains; this world has {len(bench_world.tranco)})",
+        ["row", "by NS med", "by NS max", "by /24 med", "by /24 max"],
+        [
+            ["DNS Robustness (2018, paper)", "163", "9k", "3k", "71k"],
+            ["IYP (2024, paper)", "9", "6k", "3.9k", "114k"],
+            ["paper 2024 scaled to this world",
+             f"{max(1, 9 * scale):.0f}", f"{6000 * scale:.0f}",
+             f"{3900 * scale:.0f}", f"{114000 * scale:.0f}"],
+            ["this repro", results.cno_by_ns.median, results.cno_by_ns.maximum,
+             results.cno_by_slash24.median, results.cno_by_slash24.maximum],
+        ],
+    )
+    assert results.cno_by_slash24.median > results.cno_by_ns.median * 5
+    assert results.cno_by_slash24.maximum > results.cno_by_ns.maximum
+    assert results.cno_by_ns.median <= 20  # 2024: small exact-set groups

@@ -1,0 +1,48 @@
+"""Tables 1 & 8 — the dataset inventory: 46 datasets, ~23 organizations,
+and per-crawler import throughput."""
+
+import time
+
+from benchmarks.conftest import record_comparison
+from repro.core import IYP
+from repro.datasets import DATASETS
+from repro.datasets.registry import make_fetcher, organizations
+from repro.pipeline import build_iyp
+
+
+def test_table8_inventory(benchmark, bench_world):
+    def import_one_dataset():
+        iyp = IYP()
+        fetcher = make_fetcher(bench_world)
+        spec = next(s for s in DATASETS if s.name == "bgpkit.pfx2as")
+        spec.crawler_factory(iyp, fetcher).run()
+        return iyp
+
+    iyp = benchmark.pedantic(import_one_dataset, rounds=2, iterations=1)
+    record_comparison(
+        "Table 8 - dataset inventory",
+        ["metric", "paper", "this repro"],
+        [
+            ["datasets", "46", len(DATASETS)],
+            ["organizations", "23", len(organizations())],
+            ["pfx2as ORIGINATE links imported", "-",
+             iyp.store.relationship_count],
+        ],
+    )
+    assert len(DATASETS) == 46
+    assert iyp.store.relationship_count > 1000
+
+
+def test_per_crawler_timings(benchmark, bench_world):
+    def build_all():
+        iyp, report = build_iyp(bench_world, postprocess=False)
+        return report
+
+    report = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    slowest = sorted(report.crawler_seconds.items(), key=lambda kv: -kv[1])[:5]
+    record_comparison(
+        "Per-crawler import times (5 slowest)",
+        ["dataset", "seconds"],
+        [[name, f"{seconds:.2f}"] for name, seconds in slowest],
+    )
+    assert report.ok

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Dataset comparison (Section 6.1): find a data bug by diffing datasets.
+
+BGPKIT pfx2asn and IHR ROV both map prefixes to origin ASes.  The
+synthetic world injects a wrong-origin error into a fraction of the
+BGPKIT IPv6 entries; this script finds it exactly the way the paper
+describes: by querying the differences between the two datasets inside
+the knowledge graph.
+
+Run:  python examples/dataset_comparison.py
+"""
+
+from repro.pipeline import build_iyp
+from repro.simnet import WorldConfig, build_world
+from repro.studies import compare_origin_datasets
+
+
+def main() -> None:
+    print("Building world and importing the two origin datasets...")
+    world = build_world(WorldConfig.small())
+    iyp, _report = build_iyp(
+        world, dataset_names=["bgpkit.pfx2as", "ihr.rov"], postprocess=True
+    )
+
+    print("Comparing origin sets between bgpkit.pfx2as and ihr.rov...")
+    result = compare_origin_datasets(iyp)
+    print(f"  prefixes compared:    {result.prefixes_compared:,}")
+    print(f"  disagreements found:  {result.total}")
+    print(f"  IPv4 / IPv6 split:    {result.ipv4_count} / {result.ipv6_count}")
+
+    if result.ipv6_dominated:
+        print(
+            "\nThe disagreement is concentrated in IPv6 prefixes - the same "
+            "signature\nthe paper reports for the real BGPKIT bug.  "
+            "Disagreeing prefixes:"
+        )
+        for entry in result.disagreements[:10]:
+            print(
+                f"  {entry['prefix']:<28} bgpkit={entry['bgpkit_origins']} "
+                f"ihr={entry['ihr_origins']}"
+            )
+        print(
+            "\nFollowing the paper's recommendation, this would now be "
+            "reported to the\ndata provider so the originating dataset gets "
+            "fixed (Section 2.3)."
+        )
+    else:
+        print("No systematic bias found between the datasets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Single points of failure in the DNS chain (Section 5.2, Figures 5-6).
+
+Walks direct, third-party, and hierarchical dependencies of every
+ranked domain and renders the two figures as ASCII stacked bars.
+
+Run:  python examples/spof_analysis.py [--scale small|medium]
+"""
+
+import argparse
+
+from repro.pipeline import build_iyp
+from repro.simnet import WorldConfig, build_world
+from repro.studies import run_spof_study
+
+_BAR_WIDTH = 44
+
+
+def _bar(counts: dict, total_max: int) -> str:
+    segments = [
+        ("#", counts["direct"]),
+        ("+", counts["third_party"]),
+        (".", counts["hierarchical"]),
+    ]
+    total = sum(value for _, value in segments) or 1
+    width = max(1, int(_BAR_WIDTH * total / max(total_max, 1)))
+    out = []
+    for char, value in segments:
+        out.append(char * max(0, int(round(width * value / total))))
+    return "".join(out)[:_BAR_WIDTH]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["small", "medium"], default="small")
+    args = parser.parse_args()
+    config = WorldConfig.small() if args.scale == "small" else WorldConfig.medium()
+
+    print(f"Building world ({args.scale}) and knowledge graph...")
+    world = build_world(config)
+    iyp, _report = build_iyp(world)
+
+    print("Walking DNS dependency chains...")
+    results = run_spof_study(iyp)
+    print(
+        f"  {results.domains_analyzed:,} domains analyzed; "
+        f"direct/{results.domains_with['direct']:,} "
+        f"third-party/{results.domains_with['third_party']:,} "
+        f"hierarchical/{results.domains_with['hierarchical']:,}"
+    )
+
+    legend = "# direct   + third-party   . hierarchical"
+    print(f"\nFigure 5 - country-based SPoF   [{legend}]")
+    top_countries = results.top_countries(12)
+    biggest = max(sum(c.values()) for _, c in top_countries)
+    for country, counts in top_countries:
+        total = sum(counts.values())
+        print(f"  {country:<3} {total:>7,} |{_bar(counts, biggest)}")
+
+    print(f"\nFigure 6 - AS-based SPoF        [{legend}]")
+    top_ases = results.top_ases(12)
+    biggest = max(sum(c.values()) for _, c in top_ases)
+    for asn, counts in top_ases:
+        name = results.as_names.get(asn, f"AS{asn}")
+        total = sum(counts.values())
+        print(f"  {name:<22.22} {total:>7,} |{_bar(counts, biggest)}")
+
+    print(
+        "\nReading the figures: an AS whose bar is mostly '+' plays the "
+        "Akamai role\n(hosting DNS for DNS-hosting companies); a bar that "
+        "is mostly '#' plays the\nGoDaddy role (DNS for end customers) - "
+        "exactly the paper's Figure 6 contrast."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
+This shim lets ``pip install -e . --no-build-isolation`` (and the legacy
+``--no-use-pep517`` path) work offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Internet Yellow Pages — a full reproduction of the IMC 2024 paper.
+
+Top-level convenience re-exports; see README.md for the architecture.
+
+>>> from repro import IYP, WorldConfig, build_iyp, build_world
+>>> iyp, report = build_iyp(build_world(WorldConfig.small()))  # doctest: +SKIP
+"""
+
+from repro.core import IYP, Reference
+from repro.pipeline import build_iyp
+from repro.simnet import WorldConfig, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IYP",
+    "Reference",
+    "WorldConfig",
+    "__version__",
+    "build_iyp",
+    "build_world",
+]

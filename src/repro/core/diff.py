@@ -1,0 +1,110 @@
+"""Diffing two knowledge-graph snapshots.
+
+The paper's Limitations section describes longitudinal analysis as
+running multiple IYP instances and merging by hand.  A structural diff
+is the first tool that workflow needs: it compares two stores by
+*identity* (the ontology's key properties), not by internal node ids,
+so two independently built snapshots are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphdb.model import Node
+from repro.graphdb.store import GraphStore
+from repro.ontology import ENTITIES
+
+NodeKey = tuple[str, Any]  # (label, identifying value)
+RelKey = tuple[NodeKey, str, NodeKey, str]  # start, type, end, dataset
+
+
+@dataclass
+class GraphDiff:
+    """Structural differences between two snapshots."""
+
+    nodes_added: list[NodeKey] = field(default_factory=list)
+    nodes_removed: list[NodeKey] = field(default_factory=list)
+    relationships_added: list[RelKey] = field(default_factory=list)
+    relationships_removed: list[RelKey] = field(default_factory=list)
+
+    @property
+    def unchanged(self) -> bool:
+        return not (
+            self.nodes_added
+            or self.nodes_removed
+            or self.relationships_added
+            or self.relationships_removed
+        )
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Counts per label / relationship type."""
+
+        def count_by(keys, index):
+            counts: dict[str, int] = {}
+            for key in keys:
+                token = key[index] if index is not None else key
+                counts[token] = counts.get(token, 0) + 1
+            return dict(sorted(counts.items()))
+
+        return {
+            "nodes_added": count_by(self.nodes_added, 0),
+            "nodes_removed": count_by(self.nodes_removed, 0),
+            "relationships_added": count_by(
+                [key[1] for key in self.relationships_added], None
+            ),
+            "relationships_removed": count_by(
+                [key[1] for key in self.relationships_removed], None
+            ),
+        }
+
+
+def node_identity(node: Node) -> NodeKey | None:
+    """The (label, value) identity of a node, or None if unidentifiable."""
+    for label in sorted(node.labels):
+        definition = ENTITIES.get(label)
+        if definition is None:
+            continue
+        value = node.properties.get(definition.key_properties[0])
+        if value is not None:
+            return (label, value)
+    return None
+
+
+def _node_keys(store: GraphStore) -> dict[int, NodeKey]:
+    keys: dict[int, NodeKey] = {}
+    for node in store.iter_nodes():
+        identity = node_identity(node)
+        if identity is not None:
+            keys[node.id] = identity
+    return keys
+
+
+def _rel_keys(store: GraphStore, node_keys: dict[int, NodeKey]) -> set[RelKey]:
+    keys: set[RelKey] = set()
+    for rel in store.iter_relationships():
+        start = node_keys.get(rel.start_id)
+        end = node_keys.get(rel.end_id)
+        if start is None or end is None:
+            continue
+        dataset = rel.properties.get("reference_name", "")
+        keys.add((start, rel.type, end, dataset))
+    return keys
+
+
+def snapshot_diff(old: GraphStore, new: GraphStore) -> GraphDiff:
+    """Compare two snapshots by entity identity."""
+    old_nodes = _node_keys(old)
+    new_nodes = _node_keys(new)
+    old_set = set(old_nodes.values())
+    new_set = set(new_nodes.values())
+    diff = GraphDiff(
+        nodes_added=sorted(new_set - old_set, key=repr),
+        nodes_removed=sorted(old_set - new_set, key=repr),
+    )
+    old_rels = _rel_keys(old, old_nodes)
+    new_rels = _rel_keys(new, new_nodes)
+    diff.relationships_added = sorted(new_rels - old_rels, key=repr)
+    diff.relationships_removed = sorted(old_rels - new_rels, key=repr)
+    return diff

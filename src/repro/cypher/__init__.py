@@ -1,0 +1,37 @@
+"""A query engine for a practical subset of the Cypher language.
+
+This is the reproduction's substitute for Neo4j's query layer.  The
+subset covers every query published in the IYP paper (Listings 1-6) and
+the day-to-day vocabulary of the studies:
+
+- ``MATCH`` / ``OPTIONAL MATCH`` with multi-hop paths, undirected or
+  directed relationships, alternative relationship types, inline property
+  maps, and variable-length patterns (``*1..3``);
+- ``WHERE`` with boolean logic, comparisons, ``STARTS WITH`` /
+  ``ENDS WITH`` / ``CONTAINS`` / ``IN`` / ``IS [NOT] NULL`` / ``=~``;
+- ``RETURN`` / ``WITH`` including ``DISTINCT``, implicit grouping with
+  aggregates (``count``, ``collect``, ``sum``, ``avg``, ``min``, ``max``,
+  ``percentileCont``...), ``ORDER BY``, ``SKIP``, ``LIMIT``;
+- ``UNWIND``, ``CREATE``, ``MERGE`` (with ``ON CREATE/MATCH SET``),
+  ``SET``, ``REMOVE``, ``DELETE`` / ``DETACH DELETE``;
+- ``CASE`` expressions and query parameters (``$name``).
+
+Typical use::
+
+    from repro.cypher import CypherEngine
+    engine = CypherEngine(store)
+    result = engine.run("MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn")
+    asns = result.column("x.asn")
+"""
+
+from repro.cypher.engine import CypherEngine
+from repro.cypher.errors import CypherError, CypherRuntimeError, CypherSyntaxError
+from repro.cypher.result import QueryResult
+
+__all__ = [
+    "CypherEngine",
+    "CypherError",
+    "CypherRuntimeError",
+    "CypherSyntaxError",
+    "QueryResult",
+]

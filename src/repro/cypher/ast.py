@@ -1,0 +1,293 @@
+"""Abstract syntax tree for the Cypher subset.
+
+The tree is produced by :mod:`repro.cypher.parser` and consumed by
+:mod:`repro.cypher.engine`.  All nodes are plain frozen dataclasses; the
+executor never mutates them, so parsed queries are safely cacheable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    name: str
+
+
+@dataclass(frozen=True)
+class Variable(Expression):
+    name: str
+
+
+@dataclass(frozen=True)
+class PropertyAccess(Expression):
+    subject: Expression
+    key: str
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    name: str  # lower-cased
+    args: tuple[Expression, ...]
+    distinct: bool = False
+    star: bool = False  # count(*)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # 'not' | '-' | '+'
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str  # and, or, xor, =, <>, <, <=, >, >=, +, -, *, /, %, ^,
+    # in, starts_with, ends_with, contains, regex
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool
+
+
+@dataclass(frozen=True)
+class ListLiteral(Expression):
+    items: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class MapLiteral(Expression):
+    items: tuple[tuple[str, Expression], ...]
+
+
+@dataclass(frozen=True)
+class IndexAccess(Expression):
+    """``expr[idx]`` or slice ``expr[a..b]`` on lists/maps."""
+
+    subject: Expression
+    index: Expression | None
+    end: Expression | None = None
+    is_slice: bool = False
+
+
+@dataclass(frozen=True)
+class CaseExpression(Expression):
+    """Both simple (``CASE x WHEN v ...``) and searched CASE."""
+
+    operand: Expression | None
+    whens: tuple[tuple[Expression, Expression], ...]
+    default: Expression | None
+
+
+@dataclass(frozen=True)
+class ListComprehension(Expression):
+    """``[x IN list WHERE pred | expr]``"""
+
+    variable: str
+    source: Expression
+    predicate: Expression | None
+    projection: Expression | None
+
+
+@dataclass(frozen=True)
+class ListPredicate(Expression):
+    """``all/any/none/single(x IN list WHERE predicate)``"""
+
+    kind: str  # 'all' | 'any' | 'none' | 'single'
+    variable: str
+    source: Expression
+    predicate: Expression
+
+
+@dataclass(frozen=True)
+class Reduce(Expression):
+    """``reduce(acc = init, x IN list | expr)``"""
+
+    accumulator: str
+    init: Expression
+    variable: str
+    source: Expression
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class PatternPredicate(Expression):
+    """A bare pattern used as a predicate, e.g. ``WHERE (a)-[:X]-(b)``,
+    or wrapped in ``EXISTS { ... }`` / ``exists((a)-[:X]-(b))``."""
+
+    pattern: "PathPattern"
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    variable: str | None
+    labels: tuple[str, ...]
+    properties: tuple[tuple[str, Expression], ...] = ()
+
+
+@dataclass(frozen=True)
+class RelPattern:
+    variable: str | None
+    types: tuple[str, ...]
+    properties: tuple[tuple[str, Expression], ...] = ()
+    direction: str = "both"  # 'out', 'in', 'both'
+    min_hops: int = 1
+    max_hops: int = 1  # -1 means unbounded
+
+    @property
+    def is_variable_length(self) -> bool:
+        return self.min_hops != 1 or self.max_hops != 1
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """Alternating node / relationship elements: n, r, n, r, ..., n."""
+
+    nodes: tuple[NodePattern, ...]
+    relationships: tuple[RelPattern, ...]
+    path_variable: str | None = None
+    shortest: bool = False  # wrapped in shortestPath(...)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.relationships) + 1:
+            raise ValueError("path must alternate nodes and relationships")
+
+
+# ---------------------------------------------------------------------------
+# Clauses
+# ---------------------------------------------------------------------------
+
+
+class Clause:
+    """Marker base class for clause nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class MatchClause(Clause):
+    patterns: tuple[PathPattern, ...]
+    optional: bool = False
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class UnwindClause(Clause):
+    expression: Expression
+    alias: str
+
+
+@dataclass(frozen=True)
+class ProjectionItem:
+    expression: Expression
+    alias: str
+
+
+@dataclass(frozen=True)
+class SortItem:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class WithClause(Clause):
+    items: tuple[ProjectionItem, ...]
+    distinct: bool = False
+    star: bool = False  # WITH *
+    where: Expression | None = None
+    order_by: tuple[SortItem, ...] = ()
+    skip: Expression | None = None
+    limit: Expression | None = None
+
+
+@dataclass(frozen=True)
+class ReturnClause(Clause):
+    items: tuple[ProjectionItem, ...]
+    distinct: bool = False
+    star: bool = False  # RETURN *
+    order_by: tuple[SortItem, ...] = ()
+    skip: Expression | None = None
+    limit: Expression | None = None
+
+
+@dataclass(frozen=True)
+class CreateClause(Clause):
+    patterns: tuple[PathPattern, ...]
+
+
+@dataclass(frozen=True)
+class MergeClause(Clause):
+    pattern: PathPattern
+    on_create: tuple["SetItem", ...] = ()
+    on_match: tuple["SetItem", ...] = ()
+
+
+@dataclass(frozen=True)
+class SetItem:
+    """One assignment in SET / ON CREATE SET / ON MATCH SET.
+
+    kind: 'property'  -> subject.key = value
+          'merge_map' -> subject += map
+          'replace_map' -> subject = map
+          'label'     -> subject :Label
+    """
+
+    kind: str
+    subject: Expression
+    key: str | None = None
+    value: Expression | None = None
+    labels: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SetClause(Clause):
+    items: tuple[SetItem, ...]
+
+
+@dataclass(frozen=True)
+class RemoveClause(Clause):
+    items: tuple[SetItem, ...]  # kind 'property' (no value) or 'label'
+
+
+@dataclass(frozen=True)
+class DeleteClause(Clause):
+    expressions: tuple[Expression, ...]
+    detach: bool = False
+
+
+@dataclass(frozen=True)
+class Query:
+    clauses: tuple[Clause, ...]
+    # UNION support: each part is a full clause list; rows are concatenated.
+    union_parts: tuple["Query", ...] = ()
+    union_all: bool = False
+
+
+@dataclass(frozen=True)
+class EmptyReturn(Clause):
+    """Internal sentinel for write-only queries (no RETURN clause)."""

@@ -1,0 +1,940 @@
+"""Query execution: the clause pipeline.
+
+A query is executed as a pipeline of row transformations.  A *row* is a
+dict mapping variable names to values (nodes, relationships, scalars,
+lists).  Each clause consumes the rows from the previous clause:
+
+    MATCH      -> expands each row into pattern matches (a join)
+    UNWIND     -> one output row per list element
+    WITH/RETURN-> projection, implicit grouping with aggregates,
+                  DISTINCT, ORDER BY, SKIP, LIMIT
+    CREATE/MERGE/SET/REMOVE/DELETE -> mutations, rows pass through
+
+Parsed queries are cached per engine, so re-running the paper's study
+queries on fresh snapshots costs no re-parsing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.cypher import ast
+from repro.cypher.errors import CypherRuntimeError
+from repro.cypher.functions import (
+    AGGREGATE_NAMES,
+    SCALAR_FUNCTIONS,
+    agg_avg,
+    agg_collect,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_percentile_cont,
+    agg_percentile_disc,
+    agg_stdev,
+    agg_sum,
+)
+from repro.cypher.matcher import PatternMatcher
+from repro.cypher.parser import parse
+from repro.cypher.result import QueryResult, WriteStats
+from repro.cypher.values import (
+    compare,
+    equals,
+    hash_key,
+    is_truthy,
+    list_membership,
+    logical_and,
+    logical_not,
+    logical_or,
+    logical_xor,
+    sort_key,
+)
+from repro.graphdb.model import Node, Relationship
+from repro.graphdb.store import GraphStore
+
+Row = dict[str, Any]
+
+
+class CypherEngine:
+    """Executes Cypher-subset queries against a :class:`GraphStore`."""
+
+    def __init__(self, store: GraphStore):
+        self.store = store
+        self._matcher = PatternMatcher(store, self._evaluate)
+        self._parse_cache: dict[str, ast.Query] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, query: str, parameters: dict[str, Any] | None = None) -> QueryResult:
+        """Parse (with caching) and execute a query."""
+        tree = self._parse_cache.get(query)
+        if tree is None:
+            tree = parse(query)
+            self._parse_cache[query] = tree
+        return self._execute(tree, parameters or {})
+
+    def explain(self, query: str) -> list[str]:
+        """Describe how each MATCH would be executed (plan introspection).
+
+        For every path pattern, reports the anchor element the planner
+        picks and the access path (index seek, label scan, or full
+        scan), with its estimated cardinality — the information behind
+        the ablation benchmarks.
+        """
+        tree = self._parse_cache.get(query)
+        if tree is None:
+            tree = parse(query)
+            self._parse_cache[query] = tree
+        plan: list[str] = []
+        for clause in tree.clauses:
+            if not isinstance(clause, ast.MatchClause):
+                plan.append(type(clause).__name__.replace("Clause", "").upper())
+                continue
+            kind = "OPTIONAL MATCH" if clause.optional else "MATCH"
+            for pattern in clause.patterns:
+                anchor = self._matcher._choose_anchor(pattern, {})
+                node = pattern.nodes[anchor]
+                cost = self._matcher._node_cost(node, {})
+                label = f":{node.labels[0]}" if node.labels else "(any)"
+                indexed = any(
+                    node.labels
+                    and self.store.has_index(lbl, key)
+                    for lbl in node.labels
+                    for key, _ in node.properties
+                )
+                access = (
+                    "index seek"
+                    if indexed
+                    else ("label scan" if node.labels else "all-nodes scan")
+                )
+                plan.append(
+                    f"{kind} anchor={label} pos={anchor} access={access} "
+                    f"est={cost}"
+                )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution pipeline
+    # ------------------------------------------------------------------
+
+    def _execute(self, query: ast.Query, parameters: dict[str, Any]) -> QueryResult:
+        self._parameters = parameters
+        result = self._execute_part(query.clauses, parameters)
+        for part in query.union_parts:
+            other = self._execute_part(part.clauses, parameters)
+            if other.columns != result.columns:
+                raise CypherRuntimeError(
+                    f"UNION column mismatch: {result.columns} vs {other.columns}"
+                )
+            result.records.extend(other.records)
+            _merge_stats(result.stats, other.stats)
+        if query.union_parts and not query.union_all:
+            seen: set[Any] = set()
+            unique: list[Row] = []
+            for record in result.records:
+                key = tuple(hash_key(record[col]) for col in result.columns)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(record)
+            result.records = unique
+        return result
+
+    def _execute_part(
+        self, clauses: tuple[ast.Clause, ...], parameters: dict[str, Any]
+    ) -> QueryResult:
+        context = _Context(parameters)
+        rows: list[Row] = [{}]
+        columns: list[str] = []
+        returned = False
+        for clause in clauses:
+            if returned:
+                raise CypherRuntimeError("RETURN must be the final clause")
+            if isinstance(clause, ast.MatchClause):
+                rows = self._apply_match(clause, rows, context)
+            elif isinstance(clause, ast.UnwindClause):
+                rows = self._apply_unwind(clause, rows, context)
+            elif isinstance(clause, ast.WithClause):
+                rows = self._apply_with(clause, rows, context)
+            elif isinstance(clause, ast.ReturnClause):
+                rows, columns = self._apply_return(clause, rows, context)
+                returned = True
+            elif isinstance(clause, ast.CreateClause):
+                rows = self._apply_create(clause, rows, context)
+            elif isinstance(clause, ast.MergeClause):
+                rows = self._apply_merge(clause, rows, context)
+            elif isinstance(clause, ast.SetClause):
+                rows = self._apply_set(clause.items, rows, context)
+            elif isinstance(clause, ast.RemoveClause):
+                rows = self._apply_remove(clause, rows, context)
+            elif isinstance(clause, ast.DeleteClause):
+                rows = self._apply_delete(clause, rows, context)
+            else:
+                raise CypherRuntimeError(f"unsupported clause {clause!r}")
+        if not returned:
+            return QueryResult([], [], context.stats)
+        return QueryResult(columns, rows, context.stats)
+
+    # -- reading clauses -------------------------------------------------
+
+    def _apply_match(
+        self, clause: ast.MatchClause, rows: list[Row], context: "_Context"
+    ) -> list[Row]:
+        output: list[Row] = []
+        new_variables = _pattern_variables(clause.patterns)
+        for row in rows:
+            context.row = row
+            matched = False
+            for binding in self._matcher.match_patterns(clause.patterns, row):
+                if clause.where is not None:
+                    context.row = binding
+                    if not is_truthy(self._evaluate(clause.where, binding)):
+                        continue
+                matched = True
+                output.append(binding)
+            if not matched and clause.optional:
+                padded = dict(row)
+                for name in new_variables:
+                    padded.setdefault(name, None)
+                output.append(padded)
+        return output
+
+    def _apply_unwind(
+        self, clause: ast.UnwindClause, rows: list[Row], context: "_Context"
+    ) -> list[Row]:
+        output: list[Row] = []
+        for row in rows:
+            context.row = row
+            value = self._evaluate(clause.expression, row)
+            if value is None:
+                continue
+            if not isinstance(value, (list, tuple)):
+                value = [value]
+            for item in value:
+                extended = dict(row)
+                extended[clause.alias] = item
+                output.append(extended)
+        return output
+
+    def _apply_with(
+        self, clause: ast.WithClause, rows: list[Row], context: "_Context"
+    ) -> list[Row]:
+        projected = self._project(
+            rows,
+            clause.items,
+            clause.distinct,
+            clause.star,
+            clause.order_by,
+            clause.skip,
+            clause.limit,
+            context,
+        )
+        if clause.where is None:
+            return projected
+        return [
+            row
+            for row in projected
+            if is_truthy(self._evaluate(clause.where, row))
+        ]
+
+    def _apply_return(
+        self, clause: ast.ReturnClause, rows: list[Row], context: "_Context"
+    ) -> tuple[list[Row], list[str]]:
+        if clause.star:
+            names = sorted({name for row in rows for name in row if not name.startswith("__")})
+            items = tuple(
+                ast.ProjectionItem(ast.Variable(name), name) for name in names
+            )
+        else:
+            items = clause.items
+        projected = self._project(
+            rows,
+            items,
+            clause.distinct,
+            False,
+            clause.order_by,
+            clause.skip,
+            clause.limit,
+            context,
+        )
+        return projected, [item.alias for item in items]
+
+    def _project(
+        self,
+        rows: list[Row],
+        items: tuple[ast.ProjectionItem, ...],
+        distinct: bool,
+        star: bool,
+        order_by: tuple[ast.SortItem, ...],
+        skip: ast.Expression | None,
+        limit: ast.Expression | None,
+        context: "_Context",
+    ) -> list[Row]:
+        if star:
+            projected = [dict(row) for row in rows]
+        elif any(_has_aggregate(item.expression) for item in items):
+            projected = self._project_grouped(rows, items)
+        else:
+            projected = []
+            for row in rows:
+                out: Row = {}
+                for item in items:
+                    out[item.alias] = self._evaluate(item.expression, row)
+                # Keep source bindings available for ORDER BY on
+                # non-projected expressions, under a side channel.
+                out["__source__"] = row
+                projected.append(out)
+        if distinct:
+            seen: set[Any] = set()
+            unique: list[Row] = []
+            for row in projected:
+                key = tuple(
+                    hash_key(row[item.alias]) for item in items
+                ) if not star else tuple(
+                    (name, hash_key(value)) for name, value in sorted(
+                        row.items()
+                    ) if name != "__source__"
+                )
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            projected = unique
+        if order_by:
+            def key_of(row: Row) -> tuple:
+                keys = []
+                for sort_item in order_by:
+                    value = self._evaluate_sort(sort_item.expression, row)
+                    key = sort_key(value)
+                    keys.append(key)
+                return tuple(keys)
+
+            # Stable multi-key sort honouring per-key direction.
+            for sort_item in reversed(order_by):
+                projected.sort(
+                    key=lambda row, si=sort_item: sort_key(
+                        self._evaluate_sort(si.expression, row)
+                    ),
+                    reverse=sort_item.descending,
+                )
+        start = int(self._evaluate(skip, {})) if skip is not None else 0
+        if start:
+            projected = projected[start:]
+        if limit is not None:
+            projected = projected[: int(self._evaluate(limit, {}))]
+        for row in projected:
+            row.pop("__source__", None)
+        return projected
+
+    def _evaluate_sort(self, expression: ast.Expression, row: Row) -> Any:
+        """Evaluate a sort key against the projected row, falling back to
+        the pre-projection bindings for non-projected expressions."""
+        scope = dict(row.get("__source__", {}))
+        scope.update({k: v for k, v in row.items() if k != "__source__"})
+        return self._evaluate(expression, scope)
+
+    def _project_grouped(
+        self, rows: list[Row], items: tuple[ast.ProjectionItem, ...]
+    ) -> list[Row]:
+        group_items = [
+            item for item in items if not _has_aggregate(item.expression)
+        ]
+        groups: dict[tuple, tuple[Row, list[Row]]] = {}
+        order: list[tuple] = []
+        for row in rows:
+            key = tuple(
+                hash_key(self._evaluate(item.expression, row)) for item in group_items
+            )
+            if key not in groups:
+                groups[key] = (row, [])
+                order.append(key)
+            groups[key][1].append(row)
+        # With no grouping keys and no rows, aggregates still yield one row
+        # (count(*) over nothing is 0).
+        if not group_items and not groups:
+            groups[()] = ({}, [])
+            order.append(())
+        output: list[Row] = []
+        for key in order:
+            representative, members = groups[key]
+            out: Row = {}
+            for item in items:
+                out[item.alias] = self._evaluate(
+                    item.expression, representative, group_rows=members
+                )
+            out["__source__"] = representative
+            output.append(out)
+        return output
+
+    # -- writing clauses -------------------------------------------------
+
+    def _apply_create(
+        self, clause: ast.CreateClause, rows: list[Row], context: "_Context"
+    ) -> list[Row]:
+        output: list[Row] = []
+        for row in rows:
+            extended = dict(row)
+            for pattern in clause.patterns:
+                self._create_path(pattern, extended, context)
+            output.append(extended)
+        return output
+
+    def _create_path(
+        self, pattern: ast.PathPattern, binding: Row, context: "_Context"
+    ) -> list[Node]:
+        nodes: list[Node] = []
+        for node_pattern in pattern.nodes:
+            nodes.append(self._create_or_reuse_node(node_pattern, binding, context))
+        for index, rel_pattern in enumerate(pattern.relationships):
+            if rel_pattern.direction == "both":
+                raise CypherRuntimeError("CREATE requires a directed relationship")
+            if rel_pattern.is_variable_length or len(rel_pattern.types) != 1:
+                raise CypherRuntimeError(
+                    "CREATE requires exactly one relationship type per hop"
+                )
+            start, end = nodes[index], nodes[index + 1]
+            if rel_pattern.direction == "in":
+                start, end = end, start
+            props = {
+                key: self._evaluate(expr, binding)
+                for key, expr in rel_pattern.properties
+            }
+            rel = self.store.create_relationship(
+                start.id, rel_pattern.types[0], end.id, props
+            )
+            context.stats.relationships_created += 1
+            context.stats.properties_set += len(props)
+            if rel_pattern.variable:
+                binding[rel_pattern.variable] = rel
+        return nodes
+
+    def _create_or_reuse_node(
+        self, node_pattern: ast.NodePattern, binding: Row, context: "_Context"
+    ) -> Node:
+        if node_pattern.variable and node_pattern.variable in binding:
+            existing = binding[node_pattern.variable]
+            if not isinstance(existing, Node):
+                raise CypherRuntimeError(
+                    f"variable {node_pattern.variable!r} is not a node"
+                )
+            if node_pattern.labels or node_pattern.properties:
+                raise CypherRuntimeError(
+                    f"cannot redeclare bound variable {node_pattern.variable!r}"
+                )
+            return existing
+        props = {
+            key: self._evaluate(expr, binding) for key, expr in node_pattern.properties
+        }
+        node = self.store.create_node(node_pattern.labels, props)
+        context.stats.nodes_created += 1
+        context.stats.labels_added += len(node_pattern.labels)
+        context.stats.properties_set += len(props)
+        if node_pattern.variable:
+            binding[node_pattern.variable] = node
+        return node
+
+    def _apply_merge(
+        self, clause: ast.MergeClause, rows: list[Row], context: "_Context"
+    ) -> list[Row]:
+        output: list[Row] = []
+        for row in rows:
+            matches = list(self._matcher.match_single(clause.pattern, row))
+            if matches:
+                for binding in matches:
+                    if clause.on_match:
+                        self._apply_set(clause.on_match, [binding], context)
+                    output.append(binding)
+                continue
+            extended = dict(row)
+            self._create_path(clause.pattern, extended, context)
+            if clause.on_create:
+                self._apply_set(clause.on_create, [extended], context)
+            output.append(extended)
+        return output
+
+    def _apply_set(
+        self, items: Iterable[ast.SetItem], rows: list[Row], context: "_Context"
+    ) -> list[Row]:
+        for row in rows:
+            for item in items:
+                subject = self._evaluate(item.subject, row)
+                if subject is None:
+                    continue
+                if item.kind == "label":
+                    if not isinstance(subject, Node):
+                        raise CypherRuntimeError("SET :Label requires a node")
+                    for label in item.labels:
+                        self.store.add_label(subject.id, label)
+                        context.stats.labels_added += 1
+                    continue
+                if item.kind == "property":
+                    value = self._evaluate(item.value, row)
+                    self._set_properties(subject, {item.key: value}, context)
+                    continue
+                mapping = self._evaluate(item.value, row)
+                if isinstance(mapping, (Node, Relationship)):
+                    mapping = dict(mapping.properties)
+                if not isinstance(mapping, dict):
+                    raise CypherRuntimeError("SET with map requires a map value")
+                if item.kind == "replace_map":
+                    existing = list(subject.properties)
+                    cleared = {key: None for key in existing if key not in mapping}
+                    self._set_properties(subject, {**cleared, **mapping}, context)
+                else:  # merge_map
+                    self._set_properties(subject, mapping, context)
+        return rows
+
+    def _set_properties(
+        self, subject: Any, properties: dict[str, Any], context: "_Context"
+    ) -> None:
+        if isinstance(subject, Node):
+            self.store.update_node(subject.id, properties)
+        elif isinstance(subject, Relationship):
+            self.store.update_relationship(subject.id, properties)
+        else:
+            raise CypherRuntimeError("SET requires a node or relationship")
+        context.stats.properties_set += len(properties)
+
+    def _apply_remove(
+        self, clause: ast.RemoveClause, rows: list[Row], context: "_Context"
+    ) -> list[Row]:
+        for row in rows:
+            for item in clause.items:
+                subject = self._evaluate(item.subject, row)
+                if subject is None:
+                    continue
+                if item.kind == "label":
+                    raise CypherRuntimeError("REMOVE :Label is not supported")
+                self._set_properties(subject, {item.key: None}, context)
+        return rows
+
+    def _apply_delete(
+        self, clause: ast.DeleteClause, rows: list[Row], context: "_Context"
+    ) -> list[Row]:
+        deleted_nodes: set[int] = set()
+        deleted_rels: set[int] = set()
+        for row in rows:
+            for expression in clause.expressions:
+                value = self._evaluate(expression, row)
+                if value is None:
+                    continue
+                if isinstance(value, Relationship):
+                    if value.id not in deleted_rels:
+                        self.store.delete_relationship(value.id)
+                        deleted_rels.add(value.id)
+                        context.stats.relationships_deleted += 1
+                elif isinstance(value, Node):
+                    if value.id not in deleted_nodes:
+                        before = self.store.relationship_count
+                        self.store.delete_node(value.id, detach=clause.detach)
+                        deleted_nodes.add(value.id)
+                        context.stats.nodes_deleted += 1
+                        context.stats.relationships_deleted += (
+                            before - self.store.relationship_count
+                        )
+                else:
+                    raise CypherRuntimeError("DELETE requires nodes or relationships")
+        return rows
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate(
+        self,
+        expression: ast.Expression | None,
+        row: Row,
+        group_rows: list[Row] | None = None,
+    ) -> Any:
+        if expression is None:
+            return None
+        if isinstance(expression, ast.Literal):
+            return expression.value
+        if isinstance(expression, ast.Parameter):
+            try:
+                return self._parameters[expression.name]
+            except KeyError:
+                raise CypherRuntimeError(f"missing parameter ${expression.name}")
+        if isinstance(expression, ast.Variable):
+            if expression.name in row:
+                return row[expression.name]
+            raise CypherRuntimeError(f"undefined variable {expression.name!r}")
+        if isinstance(expression, ast.PropertyAccess):
+            subject = self._evaluate(expression.subject, row, group_rows)
+            if subject is None:
+                return None
+            if isinstance(subject, (Node, Relationship)):
+                return subject.properties.get(expression.key)
+            if isinstance(subject, dict):
+                return subject.get(expression.key)
+            raise CypherRuntimeError(
+                f"cannot access property {expression.key!r} of {type(subject).__name__}"
+            )
+        if isinstance(expression, ast.FunctionCall):
+            return self._evaluate_call(expression, row, group_rows)
+        if isinstance(expression, ast.UnaryOp):
+            return self._evaluate_unary(expression, row, group_rows)
+        if isinstance(expression, ast.BinaryOp):
+            return self._evaluate_binary(expression, row, group_rows)
+        if isinstance(expression, ast.IsNull):
+            value = self._evaluate(expression.operand, row, group_rows)
+            return (value is not None) if expression.negated else (value is None)
+        if isinstance(expression, ast.ListLiteral):
+            return [self._evaluate(item, row, group_rows) for item in expression.items]
+        if isinstance(expression, ast.MapLiteral):
+            return {
+                key: self._evaluate(value, row, group_rows)
+                for key, value in expression.items
+            }
+        if isinstance(expression, ast.IndexAccess):
+            return self._evaluate_index(expression, row, group_rows)
+        if isinstance(expression, ast.CaseExpression):
+            return self._evaluate_case(expression, row, group_rows)
+        if isinstance(expression, ast.ListComprehension):
+            return self._evaluate_comprehension(expression, row, group_rows)
+        if isinstance(expression, ast.ListPredicate):
+            return self._evaluate_list_predicate(expression, row, group_rows)
+        if isinstance(expression, ast.Reduce):
+            return self._evaluate_reduce(expression, row, group_rows)
+        if isinstance(expression, ast.PatternPredicate):
+            return self._matcher.pattern_exists(expression.pattern, row)
+        raise CypherRuntimeError(f"cannot evaluate {expression!r}")
+
+    def _evaluate_list_predicate(
+        self, expression: ast.ListPredicate, row: Row, group_rows: list[Row] | None
+    ) -> Any:
+        source = self._evaluate(expression.source, row, group_rows)
+        if source is None:
+            return None
+        verdicts = []
+        for item in source:
+            scope = dict(row)
+            scope[expression.variable] = item
+            verdicts.append(self._evaluate(expression.predicate, scope, group_rows))
+        trues = sum(1 for v in verdicts if v is True)
+        has_null = any(v is None for v in verdicts)
+        if expression.kind == "all":
+            if any(v is False for v in verdicts):
+                return False
+            return None if has_null else True
+        if expression.kind == "any":
+            if trues:
+                return True
+            return None if has_null else False
+        if expression.kind == "none":
+            if trues:
+                return False
+            return None if has_null else True
+        # single
+        if trues > 1:
+            return False
+        if has_null:
+            return None
+        return trues == 1
+
+    def _evaluate_reduce(
+        self, expression: ast.Reduce, row: Row, group_rows: list[Row] | None
+    ) -> Any:
+        source = self._evaluate(expression.source, row, group_rows)
+        if source is None:
+            return None
+        accumulator = self._evaluate(expression.init, row, group_rows)
+        for item in source:
+            scope = dict(row)
+            scope[expression.accumulator] = accumulator
+            scope[expression.variable] = item
+            accumulator = self._evaluate(expression.expression, scope, group_rows)
+        return accumulator
+
+    # Set per run() call; the engine is single-threaded by design.
+    _parameters: dict[str, Any] = {}
+
+    def _evaluate_call(
+        self, call: ast.FunctionCall, row: Row, group_rows: list[Row] | None
+    ) -> Any:
+        if call.name in AGGREGATE_NAMES:
+            if group_rows is None:
+                raise CypherRuntimeError(
+                    f"aggregate {call.name}() used outside RETURN/WITH"
+                )
+            return self._evaluate_aggregate(call, group_rows)
+        args = [self._evaluate(arg, row, group_rows) for arg in call.args]
+        func = SCALAR_FUNCTIONS.get(call.name)
+        if func is None:
+            if call.name == "startnode":
+                rel = args[0]
+                return None if rel is None else self.store.get_node(rel.start_id)
+            if call.name == "endnode":
+                rel = args[0]
+                return None if rel is None else self.store.get_node(rel.end_id)
+            raise CypherRuntimeError(f"unknown function {call.name}()")
+        return func(*args)
+
+    def _evaluate_aggregate(self, call: ast.FunctionCall, rows: list[Row]) -> Any:
+        if call.name == "count" and call.star:
+            return len(rows)
+        if not call.args:
+            raise CypherRuntimeError(f"{call.name}() requires an argument")
+        values = []
+        for member in rows:
+            value = self._evaluate(call.args[0], member)
+            if value is not None:
+                values.append(value)
+        if call.distinct:
+            seen: set[Any] = set()
+            unique = []
+            for value in values:
+                key = hash_key(value)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(value)
+            values = unique
+        if call.name == "count":
+            return agg_count(values)
+        if call.name == "collect":
+            return agg_collect(values)
+        if call.name == "sum":
+            return agg_sum(values)
+        if call.name == "avg":
+            return agg_avg(values)
+        if call.name == "min":
+            return agg_min(values)
+        if call.name == "max":
+            return agg_max(values)
+        if call.name == "stdev":
+            return agg_stdev(values)
+        if call.name in ("percentilecont", "percentiledisc"):
+            percentile = self._evaluate(call.args[1], rows[0] if rows else {})
+            if call.name == "percentilecont":
+                return agg_percentile_cont(values, percentile)
+            return agg_percentile_disc(values, percentile)
+        raise CypherRuntimeError(f"unknown aggregate {call.name}()")
+
+    def _evaluate_unary(
+        self, expression: ast.UnaryOp, row: Row, group_rows: list[Row] | None
+    ) -> Any:
+        value = self._evaluate(expression.operand, row, group_rows)
+        if expression.op == "not":
+            return logical_not(value)
+        if value is None:
+            return None
+        return -value
+
+    def _evaluate_binary(
+        self, expression: ast.BinaryOp, row: Row, group_rows: list[Row] | None
+    ) -> Any:
+        op = expression.op
+        if op in ("and", "or", "xor"):
+            left = self._evaluate(expression.left, row, group_rows)
+            # Short-circuit where three-valued logic allows.
+            if op == "and" and left is False:
+                return False
+            if op == "or" and left is True:
+                return True
+            right = self._evaluate(expression.right, row, group_rows)
+            if op == "and":
+                return logical_and(left, right)
+            if op == "or":
+                return logical_or(left, right)
+            return logical_xor(left, right)
+        left = self._evaluate(expression.left, row, group_rows)
+        right = self._evaluate(expression.right, row, group_rows)
+        if op == "eq":
+            return equals(left, right)
+        if op == "neq":
+            verdict = equals(left, right)
+            return None if verdict is None else not verdict
+        if op in ("lt", "le", "gt", "ge"):
+            return compare(left, right, op)
+        if op == "in":
+            return list_membership(left, right)
+        if op == "starts_with":
+            if left is None or right is None:
+                return None
+            return left.startswith(right)
+        if op == "ends_with":
+            if left is None or right is None:
+                return None
+            return left.endswith(right)
+        if op == "contains":
+            if left is None or right is None:
+                return None
+            return right in left
+        if op == "regex":
+            if left is None or right is None:
+                return None
+            return re.fullmatch(right, left) is not None
+        if left is None or right is None:
+            return None
+        if op == "+":
+            if isinstance(left, list) or isinstance(right, list):
+                left_list = left if isinstance(left, list) else [left]
+                right_list = right if isinstance(right, list) else [right]
+                return left_list + right_list
+            if isinstance(left, str) != isinstance(right, str):
+                raise CypherRuntimeError(f"cannot add {left!r} and {right!r}")
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                if right == 0:
+                    raise CypherRuntimeError("integer division by zero")
+                quotient = left // right
+                # Cypher truncates toward zero for integer division.
+                if quotient < 0 and quotient * right != left:
+                    quotient += 1
+                return quotient
+            return left / right
+        if op == "%":
+            return left % right
+        if op == "^":
+            return float(left**right)
+        raise CypherRuntimeError(f"unknown operator {op}")
+
+    def _evaluate_index(
+        self, expression: ast.IndexAccess, row: Row, group_rows: list[Row] | None
+    ) -> Any:
+        subject = self._evaluate(expression.subject, row, group_rows)
+        if subject is None:
+            return None
+        if expression.is_slice:
+            start = (
+                self._evaluate(expression.index, row, group_rows)
+                if expression.index is not None
+                else None
+            )
+            end = (
+                self._evaluate(expression.end, row, group_rows)
+                if expression.end is not None
+                else None
+            )
+            return subject[start:end]
+        index = self._evaluate(expression.index, row, group_rows)
+        if isinstance(subject, dict):
+            return subject.get(index)
+        if isinstance(subject, (Node, Relationship)):
+            return subject.properties.get(index)
+        if isinstance(subject, (list, tuple, str)):
+            if index is None or not -len(subject) <= index < len(subject):
+                return None
+            return subject[index]
+        raise CypherRuntimeError(f"cannot index {type(subject).__name__}")
+
+    def _evaluate_case(
+        self, expression: ast.CaseExpression, row: Row, group_rows: list[Row] | None
+    ) -> Any:
+        if expression.operand is not None:
+            operand = self._evaluate(expression.operand, row, group_rows)
+            for condition, value in expression.whens:
+                if equals(operand, self._evaluate(condition, row, group_rows)) is True:
+                    return self._evaluate(value, row, group_rows)
+        else:
+            for condition, value in expression.whens:
+                if is_truthy(self._evaluate(condition, row, group_rows)):
+                    return self._evaluate(value, row, group_rows)
+        return self._evaluate(expression.default, row, group_rows)
+
+    def _evaluate_comprehension(
+        self, expression: ast.ListComprehension, row: Row, group_rows: list[Row] | None
+    ) -> Any:
+        source = self._evaluate(expression.source, row, group_rows)
+        if source is None:
+            return None
+        result = []
+        for item in source:
+            scope = dict(row)
+            scope[expression.variable] = item
+            if expression.predicate is not None and not is_truthy(
+                self._evaluate(expression.predicate, scope, group_rows)
+            ):
+                continue
+            if expression.projection is not None:
+                result.append(self._evaluate(expression.projection, scope, group_rows))
+            else:
+                result.append(item)
+        return result
+
+
+class _Context:
+    """Per-execution mutable state: parameters, stats, current row."""
+
+    def __init__(self, parameters: dict[str, Any]):
+        self.parameters = parameters
+        self.stats = WriteStats()
+        self.row: Row = {}
+
+
+def _merge_stats(target: WriteStats, other: WriteStats) -> None:
+    target.nodes_created += other.nodes_created
+    target.nodes_deleted += other.nodes_deleted
+    target.relationships_created += other.relationships_created
+    target.relationships_deleted += other.relationships_deleted
+    target.properties_set += other.properties_set
+    target.labels_added += other.labels_added
+
+
+def _has_aggregate(expression: ast.Expression) -> bool:
+    """Walk an expression tree looking for aggregate function calls."""
+    if isinstance(expression, ast.FunctionCall):
+        if expression.name in AGGREGATE_NAMES:
+            return True
+        return any(_has_aggregate(arg) for arg in expression.args)
+    if isinstance(expression, ast.UnaryOp):
+        return _has_aggregate(expression.operand)
+    if isinstance(expression, ast.BinaryOp):
+        return _has_aggregate(expression.left) or _has_aggregate(expression.right)
+    if isinstance(expression, ast.IsNull):
+        return _has_aggregate(expression.operand)
+    if isinstance(expression, ast.PropertyAccess):
+        return _has_aggregate(expression.subject)
+    if isinstance(expression, ast.ListLiteral):
+        return any(_has_aggregate(item) for item in expression.items)
+    if isinstance(expression, ast.MapLiteral):
+        return any(_has_aggregate(value) for _, value in expression.items)
+    if isinstance(expression, ast.IndexAccess):
+        targets = [expression.subject, expression.index, expression.end]
+        return any(_has_aggregate(t) for t in targets if t is not None)
+    if isinstance(expression, ast.CaseExpression):
+        parts: list[ast.Expression] = []
+        if expression.operand is not None:
+            parts.append(expression.operand)
+        for condition, value in expression.whens:
+            parts.extend((condition, value))
+        if expression.default is not None:
+            parts.append(expression.default)
+        return any(_has_aggregate(part) for part in parts)
+    if isinstance(expression, ast.ListComprehension):
+        parts = [expression.source]
+        if expression.predicate is not None:
+            parts.append(expression.predicate)
+        if expression.projection is not None:
+            parts.append(expression.projection)
+        return any(_has_aggregate(part) for part in parts)
+    if isinstance(expression, ast.ListPredicate):
+        return _has_aggregate(expression.source) or _has_aggregate(
+            expression.predicate
+        )
+    if isinstance(expression, ast.Reduce):
+        return any(
+            _has_aggregate(part)
+            for part in (expression.init, expression.source, expression.expression)
+        )
+    return False
+
+
+def _pattern_variables(patterns: tuple[ast.PathPattern, ...]) -> list[str]:
+    """All variable names introduced by a set of patterns."""
+    names: list[str] = []
+    for pattern in patterns:
+        if pattern.path_variable:
+            names.append(pattern.path_variable)
+        for node in pattern.nodes:
+            if node.variable:
+                names.append(node.variable)
+        for rel in pattern.relationships:
+            if rel.variable:
+                names.append(rel.variable)
+    return names

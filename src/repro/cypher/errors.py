@@ -1,0 +1,21 @@
+"""Errors raised by the Cypher engine."""
+
+from __future__ import annotations
+
+
+class CypherError(Exception):
+    """Base class for query-engine errors."""
+
+
+class CypherSyntaxError(CypherError):
+    """Raised when a query cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class CypherRuntimeError(CypherError):
+    """Raised when a well-formed query fails during execution."""

@@ -1,0 +1,178 @@
+"""Tokenizer for the Cypher subset.
+
+Keywords are case-insensitive (``MATCH`` == ``match``); identifiers,
+labels and relationship types are case-sensitive, following Neo4j.
+``//`` starts a comment that runs to end of line.  Backtick-quoted
+identifiers are supported for names containing spaces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cypher.errors import CypherSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    PARAMETER = "parameter"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "MATCH", "OPTIONAL", "WHERE", "RETURN", "WITH", "AS", "DISTINCT",
+        "ORDER", "BY", "ASC", "ASCENDING", "DESC", "DESCENDING", "LIMIT",
+        "SKIP", "AND", "OR", "XOR", "NOT", "IN", "STARTS", "ENDS",
+        "CONTAINS", "IS", "NULL", "TRUE", "FALSE", "CREATE", "MERGE",
+        "SET", "REMOVE", "DELETE", "DETACH", "UNWIND", "ON", "CASE",
+        "WHEN", "THEN", "ELSE", "END", "EXISTS", "UNION", "ALL",
+    }
+)
+
+# Multi-character punctuation, longest first so '<=' wins over '<'.
+_MULTI_PUNCT = ("<>", "<=", ">=", "=~", "..", "+=")
+_SINGLE_PUNCT = set("()[]{}:,.-<>=+*/%|^")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages).
+
+    ``raw`` preserves the original spelling; keywords are upper-cased in
+    ``value`` but may be used as labels or property keys (e.g. the IYP
+    label ``:AS``), where the original case matters.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+    raw: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.raw:
+            object.__setattr__(self, "raw", self.value)
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def is_punct(self, *values: str) -> bool:
+        return self.type is TokenType.PUNCT and self.value in values
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a query string; raises CypherSyntaxError on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char in " \t\r\n":
+            i += 1
+            continue
+        if char == "/" and text[i : i + 2] == "//":
+            newline = text.find("\n", i)
+            i = length if newline == -1 else newline + 1
+            continue
+        if char in "'\"":
+            value, i = _read_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if char == "`":
+            end = text.find("`", i + 1)
+            if end == -1:
+                raise CypherSyntaxError("unterminated backtick identifier", i)
+            tokens.append(Token(TokenType.IDENT, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if char == "$":
+            start = i + 1
+            j = start
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == start:
+                raise CypherSyntaxError("empty parameter name", i)
+            tokens.append(Token(TokenType.PARAMETER, text[start:j], i))
+            i = j
+            continue
+        if char.isdigit() or (char == "." and i + 1 < length and text[i + 1].isdigit()):
+            token, i = _read_number(text, i)
+            tokens.append(token)
+            continue
+        if char.isalpha() or char == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i, word))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        pair = text[i : i + 2]
+        if pair in _MULTI_PUNCT:
+            tokens.append(Token(TokenType.PUNCT, pair, i))
+            i += 2
+            continue
+        if char in _SINGLE_PUNCT:
+            tokens.append(Token(TokenType.PUNCT, char, i))
+            i += 1
+            continue
+        raise CypherSyntaxError(f"unexpected character {char!r}", i)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    quote = text[start]
+    parts: list[str] = []
+    i = start + 1
+    escapes = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", "'": "'", '"': '"'}
+    while i < len(text):
+        char = text[i]
+        if char == "\\":
+            if i + 1 >= len(text):
+                raise CypherSyntaxError("dangling escape in string", i)
+            parts.append(escapes.get(text[i + 1], text[i + 1]))
+            i += 2
+            continue
+        if char == quote:
+            return "".join(parts), i + 1
+        parts.append(char)
+        i += 1
+    raise CypherSyntaxError("unterminated string literal", start)
+
+
+def _read_number(text: str, start: int) -> tuple[Token, int]:
+    i = start
+    length = len(text)
+    while i < length and text[i].isdigit():
+        i += 1
+    is_float = False
+    # A '..' after digits is a range operator, not a decimal point.
+    if i < length and text[i] == "." and text[i : i + 2] != ".." and (
+        i + 1 < length and text[i + 1].isdigit()
+    ):
+        is_float = True
+        i += 1
+        while i < length and text[i].isdigit():
+            i += 1
+    if i < length and text[i] in "eE":
+        j = i + 1
+        if j < length and text[j] in "+-":
+            j += 1
+        if j < length and text[j].isdigit():
+            is_float = True
+            i = j
+            while i < length and text[i].isdigit():
+                i += 1
+    kind = TokenType.FLOAT if is_float else TokenType.INTEGER
+    return Token(kind, text[start:i], start), i

@@ -1,0 +1,431 @@
+"""Graph pattern matching for MATCH / MERGE / pattern predicates.
+
+For each path pattern the matcher picks the cheapest anchor element
+(a bound variable, an indexed label+property seek, or the smallest label
+scan), then expands rightward and leftward with backtracking.  Cypher's
+relationship isomorphism is enforced: within one MATCH clause a
+relationship is traversed at most once, which is what makes the paper's
+MOAS query (Listing 2) return genuinely distinct origin links.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.cypher import ast
+from repro.cypher.errors import CypherRuntimeError
+from repro.cypher.values import equals
+from repro.graphdb.model import Direction, Node, Relationship
+from repro.graphdb.store import GraphStore
+
+Binding = dict[str, Any]
+Evaluator = Callable[[ast.Expression, Binding], Any]
+
+_DIRECTIONS = {"out": Direction.OUT, "in": Direction.IN, "both": Direction.BOTH}
+
+
+class PatternMatcher:
+    """Matches path patterns against a :class:`GraphStore`."""
+
+    def __init__(self, store: GraphStore, evaluate: Evaluator):
+        self._store = store
+        self._evaluate = evaluate
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def match_patterns(
+        self, patterns: tuple[ast.PathPattern, ...], binding: Binding
+    ) -> Iterator[Binding]:
+        """Yield bindings satisfying *all* patterns (one MATCH clause)."""
+        yield from self._match_rest(list(patterns), binding, frozenset())
+
+    def match_single(
+        self, pattern: ast.PathPattern, binding: Binding
+    ) -> Iterator[Binding]:
+        """Yield bindings for one pattern (used by MERGE)."""
+        for extended, _rels in self._match_path(pattern, binding, frozenset()):
+            yield extended
+
+    def pattern_exists(self, pattern: ast.PathPattern, binding: Binding) -> bool:
+        """Return True when the pattern has at least one match."""
+        for _ in self._match_path(pattern, binding, frozenset()):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Multi-pattern join
+    # ------------------------------------------------------------------
+
+    def _match_rest(
+        self,
+        patterns: list[ast.PathPattern],
+        binding: Binding,
+        used_rels: frozenset[int],
+    ) -> Iterator[Binding]:
+        if not patterns:
+            yield binding
+            return
+        head, tail = patterns[0], patterns[1:]
+        for extended, rels in self._match_path(head, binding, used_rels):
+            yield from self._match_rest(tail, extended, used_rels | rels)
+
+    # ------------------------------------------------------------------
+    # Single path
+    # ------------------------------------------------------------------
+
+    def _match_path(
+        self,
+        pattern: ast.PathPattern,
+        binding: Binding,
+        used_rels: frozenset[int],
+    ) -> Iterator[tuple[Binding, frozenset[int]]]:
+        if pattern.shortest:
+            yield from self._match_shortest(pattern, binding, used_rels)
+            return
+        anchor = self._choose_anchor(pattern, binding)
+        for candidate in self._anchor_candidates(pattern.nodes[anchor], binding):
+            start = dict(binding)
+            if not self._bind_node(pattern.nodes[anchor], candidate, start):
+                continue
+            assigned = {anchor: candidate}
+            yield from self._walk_right(
+                pattern, anchor, anchor, start, assigned, used_rels, frozenset()
+            )
+
+    def _walk_right(
+        self,
+        pattern: ast.PathPattern,
+        anchor: int,
+        position: int,
+        binding: Binding,
+        assigned: dict[int, Node],
+        used_rels: frozenset[int],
+        local_rels: frozenset[int],
+    ) -> Iterator[tuple[Binding, frozenset[int]]]:
+        if position == len(pattern.nodes) - 1:
+            yield from self._walk_left(
+                pattern, anchor, binding, assigned, used_rels, local_rels
+            )
+            return
+        rel_pattern = pattern.relationships[position]
+        next_pattern = pattern.nodes[position + 1]
+        for rels, neighbor in self._step(
+            assigned[position], rel_pattern, used_rels | local_rels, binding, reverse=False
+        ):
+            extended = dict(binding)
+            if not self._bind_step(rel_pattern, rels, next_pattern, neighbor, extended):
+                continue
+            yield from self._walk_right(
+                pattern,
+                anchor,
+                position + 1,
+                extended,
+                {**assigned, position + 1: neighbor},
+                used_rels,
+                local_rels | {rel.id for rel in rels},
+            )
+
+    def _walk_left(
+        self,
+        pattern: ast.PathPattern,
+        position: int,
+        binding: Binding,
+        assigned: dict[int, Node],
+        used_rels: frozenset[int],
+        local_rels: frozenset[int],
+    ) -> Iterator[tuple[Binding, frozenset[int]]]:
+        if position == 0:
+            if pattern.path_variable:
+                binding = dict(binding)
+                binding[pattern.path_variable] = self._materialize_path(
+                    pattern, assigned, binding
+                )
+            yield binding, local_rels
+            return
+        rel_pattern = pattern.relationships[position - 1]
+        prev_pattern = pattern.nodes[position - 1]
+        for rels, neighbor in self._step(
+            assigned[position], rel_pattern, used_rels | local_rels, binding, reverse=True
+        ):
+            extended = dict(binding)
+            if not self._bind_step(rel_pattern, rels, prev_pattern, neighbor, extended):
+                continue
+            yield from self._walk_left(
+                pattern,
+                position - 1,
+                extended,
+                {**assigned, position - 1: neighbor},
+                used_rels,
+                local_rels | {rel.id for rel in rels},
+            )
+
+    def _materialize_path(
+        self, pattern: ast.PathPattern, assigned: dict[int, Node], binding: Binding
+    ) -> list[Any]:
+        """A path value is the alternating node/relationship list."""
+        elements: list[Any] = []
+        for index, _node_pattern in enumerate(pattern.nodes):
+            elements.append(assigned[index])
+            if index < len(pattern.relationships):
+                rel_pattern = pattern.relationships[index]
+                if rel_pattern.variable and rel_pattern.variable in binding:
+                    elements.append(binding[rel_pattern.variable])
+        return elements
+
+    # ------------------------------------------------------------------
+    # shortestPath()
+    # ------------------------------------------------------------------
+
+    def _match_shortest(
+        self,
+        pattern: ast.PathPattern,
+        binding: Binding,
+        used_rels: frozenset[int],
+    ) -> Iterator[tuple[Binding, frozenset[int]]]:
+        """BFS from each start candidate; one shortest path per end node."""
+        if len(pattern.relationships) != 1:
+            raise CypherRuntimeError(
+                "shortestPath() supports a single relationship pattern"
+            )
+        rel_pattern = pattern.relationships[0]
+        start_pattern, end_pattern = pattern.nodes
+        flipped = False
+        # Anchor the BFS at the cheaper end (BFS explores the same ball
+        # either way; starting from the selective end avoids one scan
+        # per anchor candidate).
+        if self._node_cost(end_pattern, binding) < self._node_cost(
+            start_pattern, binding
+        ):
+            start_pattern, end_pattern = end_pattern, start_pattern
+            if rel_pattern.direction != "both":
+                rel_pattern = ast.RelPattern(
+                    rel_pattern.variable,
+                    rel_pattern.types,
+                    rel_pattern.properties,
+                    "in" if rel_pattern.direction == "out" else "out",
+                    rel_pattern.min_hops,
+                    rel_pattern.max_hops,
+                )
+            flipped = True
+        limit = 10**9 if rel_pattern.max_hops == -1 else max(rel_pattern.max_hops, 1)
+        for start_node in self._anchor_candidates(start_pattern, binding):
+            base = dict(binding)
+            if not self._bind_node(start_pattern, start_node, base):
+                continue
+            visited: set[int] = {start_node.id}
+            frontier: list[tuple[Node, list[Relationship]]] = [(start_node, [])]
+            depth = 0
+            while frontier and depth < limit:
+                depth += 1
+                next_frontier: list[tuple[Node, list[Relationship]]] = []
+                for node, path in frontier:
+                    for rel in self._incident(
+                        node, rel_pattern.direction, rel_pattern.types
+                    ):
+                        if rel.id in used_rels:
+                            continue
+                        other = self._store.get_node(rel.other_end(node.id))
+                        if other.id in visited:
+                            continue
+                        if not self._rel_properties_match(rel, rel_pattern, base):
+                            continue
+                        visited.add(other.id)
+                        new_path = path + [rel]
+                        next_frontier.append((other, new_path))
+                        if depth < rel_pattern.min_hops:
+                            continue
+                        extended = dict(base)
+                        if not self._bind_node(end_pattern, other, extended):
+                            continue
+                        if rel_pattern.variable:
+                            extended[rel_pattern.variable] = list(new_path)
+                        if pattern.path_variable:
+                            elements: list = [start_node]
+                            for hop in new_path:
+                                previous = elements[-1]
+                                elements.append(hop)
+                                elements.append(
+                                    self._store.get_node(hop.other_end(previous.id))
+                                )
+                            if flipped:
+                                elements.reverse()
+                            extended[pattern.path_variable] = elements
+                        yield extended, frozenset(r.id for r in new_path)
+                frontier = next_frontier
+
+    # ------------------------------------------------------------------
+    # Anchor selection
+    # ------------------------------------------------------------------
+
+    def _choose_anchor(self, pattern: ast.PathPattern, binding: Binding) -> int:
+        best_index, best_cost = 0, None
+        for index, node in enumerate(pattern.nodes):
+            cost = self._node_cost(node, binding)
+            if best_cost is None or cost < best_cost:
+                best_index, best_cost = index, cost
+        return best_index
+
+    def _node_cost(self, node: ast.NodePattern, binding: Binding) -> int:
+        if node.variable and node.variable in binding:
+            return 0
+        if node.labels:
+            best = None
+            for label in node.labels:
+                count = len(self._store.nodes_with_label(label))
+                for key, _ in node.properties:
+                    if self._store.has_index(label, key):
+                        count = min(count, 2)  # index seek: near-constant
+                        break
+                if best is None or count < best:
+                    best = count
+            return best + 1
+        return self._store.node_count + 2
+
+    def _anchor_candidates(
+        self, node: ast.NodePattern, binding: Binding
+    ) -> Iterator[Node]:
+        if node.variable and node.variable in binding:
+            value = binding[node.variable]
+            if value is None:
+                return
+            if not isinstance(value, Node):
+                raise CypherRuntimeError(f"variable {node.variable!r} is not a node")
+            yield value
+            return
+        if node.labels:
+            label = min(
+                node.labels, key=lambda lbl: len(self._store.nodes_with_label(lbl))
+            )
+            for key, value_expr in node.properties:
+                if self._store.has_index(label, key):
+                    value = self._evaluate(value_expr, binding)
+                    yield from self._store.find_nodes(label, key, value)
+                    return
+            yield from self._store.nodes_with_label(label)
+            return
+        yield from list(self._store.iter_nodes())
+
+    # ------------------------------------------------------------------
+    # Single step (fixed- and variable-length relationships)
+    # ------------------------------------------------------------------
+
+    def _step(
+        self,
+        current: Node,
+        rel_pattern: ast.RelPattern,
+        blocked: frozenset[int],
+        binding: Binding,
+        reverse: bool,
+    ) -> Iterator[tuple[list[Relationship], Node]]:
+        direction = rel_pattern.direction
+        if reverse and direction != "both":
+            direction = "in" if direction == "out" else "out"
+        if (
+            rel_pattern.variable
+            and rel_pattern.variable in binding
+            and not rel_pattern.is_variable_length
+        ):
+            bound = binding[rel_pattern.variable]
+            if not isinstance(bound, Relationship):
+                return
+            if bound.id in blocked:
+                return
+            if not self._rel_touches(bound, current, direction):
+                return
+            yield [bound], self._store.get_node(bound.other_end(current.id))
+            return
+        if not rel_pattern.is_variable_length:
+            for rel in self._incident(current, direction, rel_pattern.types):
+                if rel.id in blocked:
+                    continue
+                if not self._rel_properties_match(rel, rel_pattern, binding):
+                    continue
+                yield [rel], self._store.get_node(rel.other_end(current.id))
+            return
+        # Variable-length: DFS with per-path relationship uniqueness.
+        limit = 10**9 if rel_pattern.max_hops == -1 else rel_pattern.max_hops
+        stack: list[tuple[Node, list[Relationship]]] = [(current, [])]
+        while stack:
+            node, path = stack.pop()
+            if len(path) >= rel_pattern.min_hops:
+                yield list(path), node
+            if len(path) >= limit:
+                continue
+            path_ids = {rel.id for rel in path}
+            for rel in self._incident(node, direction, rel_pattern.types):
+                if rel.id in blocked or rel.id in path_ids:
+                    continue
+                if not self._rel_properties_match(rel, rel_pattern, binding):
+                    continue
+                stack.append(
+                    (self._store.get_node(rel.other_end(node.id)), path + [rel])
+                )
+
+    def _incident(
+        self, node: Node, direction: str, types: tuple[str, ...]
+    ) -> Iterator[Relationship]:
+        if types:
+            for rel_type in types:
+                yield from self._store.relationships_of(
+                    node.id, _DIRECTIONS[direction], rel_type
+                )
+        else:
+            yield from self._store.relationships_of(node.id, _DIRECTIONS[direction])
+
+    @staticmethod
+    def _rel_touches(rel: Relationship, node: Node, direction: str) -> bool:
+        if direction == "out":
+            return rel.start_id == node.id
+        if direction == "in":
+            return rel.end_id == node.id
+        return node.id in (rel.start_id, rel.end_id)
+
+    def _rel_properties_match(
+        self, rel: Relationship, rel_pattern: ast.RelPattern, binding: Binding
+    ) -> bool:
+        for key, value_expr in rel_pattern.properties:
+            expected = self._evaluate(value_expr, binding)
+            if equals(rel.properties.get(key), expected) is not True:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Binding helpers
+    # ------------------------------------------------------------------
+
+    def _bind_node(
+        self, node_pattern: ast.NodePattern, node: Node, binding: Binding
+    ) -> bool:
+        if node_pattern.labels and not all(
+            label in node.labels for label in node_pattern.labels
+        ):
+            return False
+        for key, value_expr in node_pattern.properties:
+            expected = self._evaluate(value_expr, binding)
+            if equals(node.properties.get(key), expected) is not True:
+                return False
+        if node_pattern.variable:
+            if node_pattern.variable in binding:
+                existing = binding[node_pattern.variable]
+                if not isinstance(existing, Node) or existing.id != node.id:
+                    return False
+            binding[node_pattern.variable] = node
+        return True
+
+    def _bind_step(
+        self,
+        rel_pattern: ast.RelPattern,
+        rels: list[Relationship],
+        node_pattern: ast.NodePattern,
+        node: Node,
+        binding: Binding,
+    ) -> bool:
+        if rel_pattern.variable:
+            value: Any = list(rels) if rel_pattern.is_variable_length else rels[0]
+            if rel_pattern.variable in binding:
+                if binding[rel_pattern.variable] != value:
+                    return False
+            binding[rel_pattern.variable] = value
+        return self._bind_node(node_pattern, node, binding)

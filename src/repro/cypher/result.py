@@ -1,0 +1,106 @@
+"""Query results and write statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class WriteStats:
+    """Counters of mutations performed by a query."""
+
+    nodes_created: int = 0
+    nodes_deleted: int = 0
+    relationships_created: int = 0
+    relationships_deleted: int = 0
+    properties_set: int = 0
+    labels_added: int = 0
+
+    def __bool__(self) -> bool:
+        return any(
+            (
+                self.nodes_created,
+                self.nodes_deleted,
+                self.relationships_created,
+                self.relationships_deleted,
+                self.properties_set,
+                self.labels_added,
+            )
+        )
+
+
+@dataclass
+class QueryResult:
+    """An executed query: ordered columns, one dict per row, write stats."""
+
+    columns: list[str]
+    records: list[dict[str, Any]]
+    stats: WriteStats = field(default_factory=WriteStats)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> dict[str, Any]:
+        return self.records[index]
+
+    def column(self, name: str | None = None) -> list[Any]:
+        """Return one column as a list (first column by default)."""
+        if name is None:
+            if not self.columns:
+                return []
+            name = self.columns[0]
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r}; columns are {self.columns}")
+        return [record[name] for record in self.records]
+
+    def value(self) -> Any:
+        """Return the single value of a single-row, single-column result."""
+        record = self.single()
+        if len(self.columns) != 1:
+            raise ValueError(f"expected one column, got {self.columns}")
+        return record[self.columns[0]]
+
+    def single(self) -> dict[str, Any]:
+        """Return the only record; raises when the result is not one row."""
+        if len(self.records) != 1:
+            raise ValueError(f"expected exactly one record, got {len(self.records)}")
+        return self.records[0]
+
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        """Return rows as tuples in column order."""
+        return [tuple(record[col] for col in self.columns) for record in self.records]
+
+    def to_table(self, max_rows: int = 50) -> str:
+        """Render the result as a plain-text table (for examples/debugging)."""
+        header = self.columns
+        body = [
+            [_cell(record[col]) for col in header]
+            for record in self.records[:max_rows]
+        ]
+        widths = [
+            max(len(str(col)), *(len(row[i]) for row in body)) if body else len(str(col))
+            for i, col in enumerate(header)
+        ]
+        lines = [
+            " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(header)),
+            "-+-".join("-" * width for width in widths),
+        ]
+        lines.extend(
+            " | ".join(row[i].ljust(widths[i]) for i in range(len(header)))
+            for row in body
+        )
+        if len(self.records) > max_rows:
+            lines.append(f"... ({len(self.records) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

@@ -1,0 +1,26 @@
+"""Dataset crawlers: the extract-transform-load layer of IYP.
+
+One crawler per dataset of the paper's Table 8.  Each crawler fetches
+its dataset in the source's *native* serialization (CSV, JSONL, pipe-
+separated delegation files, REST-API JSON...), parses it, and loads
+nodes and provenance-stamped links through the :class:`repro.core.IYP`
+facade.
+
+Offline, fetching is served by :class:`SimulatedFetcher`, which renders
+each dataset from the synthetic world (:mod:`repro.simnet`) — the
+parser code path is identical either way.
+"""
+
+from repro.datasets.base import Crawler, Fetcher, FetchError, SimulatedFetcher
+from repro.datasets.registry import DATASETS, DatasetSpec, crawlers_for, dataset_names
+
+__all__ = [
+    "Crawler",
+    "DATASETS",
+    "DatasetSpec",
+    "FetchError",
+    "Fetcher",
+    "SimulatedFetcher",
+    "crawlers_for",
+    "dataset_names",
+]

@@ -1,0 +1,110 @@
+"""Crawler framework: fetchers, the crawler base class, provenance.
+
+A :class:`Crawler` is constructed with the target :class:`~repro.core.IYP`
+instance and a :class:`Fetcher`.  ``run()`` fetches the dataset's URL(s)
+and loads the parsed content.  The systematic provenance properties of
+Section 2.2 are produced by :meth:`Crawler.reference`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.core import IYP, Reference
+
+SNAPSHOT_DATE = "2024-05-01T00:00:00Z"
+
+
+class FetchError(Exception):
+    """Raised when a dataset URL cannot be served."""
+
+
+class Fetcher(abc.ABC):
+    """Transport abstraction: maps a URL to the dataset's raw bytes."""
+
+    @abc.abstractmethod
+    def fetch(self, url: str) -> str:
+        """Return the content behind ``url``; raises FetchError."""
+
+
+class SimulatedFetcher(Fetcher):
+    """Serves dataset URLs rendered from the synthetic world.
+
+    The registry wires each dataset URL to a generator function
+    ``world -> str`` producing the file in the original source's format.
+    Rendered files are cached, and fetches are counted so tests can
+    assert that crawlers hit the network layer exactly once per URL.
+    """
+
+    def __init__(self, world) -> None:
+        self.world = world
+        self._generators: dict[str, Callable] = {}
+        self._cache: dict[str, str] = {}
+        self.fetch_counts: dict[str, int] = {}
+
+    def register(self, url: str, generator: Callable) -> None:
+        """Associate a URL with its content generator."""
+        self._generators[url] = generator
+
+    def fetch(self, url: str) -> str:
+        self.fetch_counts[url] = self.fetch_counts.get(url, 0) + 1
+        if url not in self._cache:
+            generator = self._generators.get(url)
+            if generator is None:
+                raise FetchError(f"no simulated source registered for {url!r}")
+            self._cache[url] = generator(self.world)
+        return self._cache[url]
+
+
+class StaticFetcher(Fetcher):
+    """Serves URLs from a fixed mapping (used by parser unit tests)."""
+
+    def __init__(self, contents: dict[str, str]):
+        self._contents = dict(contents)
+
+    def fetch(self, url: str) -> str:
+        try:
+            return self._contents[url]
+        except KeyError as exc:
+            raise FetchError(f"no content for {url!r}") from exc
+
+
+class Crawler(abc.ABC):
+    """Base class of all dataset crawlers.
+
+    Subclasses define the class attributes ``organization``, ``name``
+    (the ``reference_name`` stamped on links), ``url_data`` and
+    optionally ``url_info``, and implement :meth:`run`.
+    """
+
+    organization: str = ""
+    name: str = ""
+    url_data: str = ""
+    url_info: str = ""
+
+    def __init__(self, iyp: IYP, fetcher: Fetcher):
+        self.iyp = iyp
+        self.fetcher = fetcher
+
+    def fetch(self, url: str | None = None) -> str:
+        """Fetch the dataset (or a specific URL)."""
+        return self.fetcher.fetch(url or self.url_data)
+
+    def reference(self) -> Reference:
+        """Provenance stamped on every link this crawler creates."""
+        return Reference(
+            organization=self.organization,
+            dataset_name=self.name,
+            url_info=self.url_info,
+            url_data=self.url_data,
+            time_modification=SNAPSHOT_DATE,
+            time_fetch=SNAPSHOT_DATE,
+        )
+
+    @abc.abstractmethod
+    def run(self) -> None:
+        """Fetch, parse, and load the dataset into the knowledge graph."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,1 @@
+"""One crawler module per data-providing organization (paper Table 8)."""

@@ -1,0 +1,95 @@
+"""BGP.Tools datasets: AS names, AS tags, anycast prefix tags.
+
+The AS tags dataset provides the 'Content Delivery Network', 'Academic',
+'Government', 'DDoS Mitigation'... Tag nodes that the RiPKI extension
+(Section 4.1.4) slices RPKI deployment by.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.datasets.base import Crawler
+from repro.simnet.world import World
+
+ASNAMES_URL = "https://bgp.tools/asns.csv"
+TAGS_URL = "https://bgp.tools/tags.csv"
+ANYCAST_URL = "https://raw.githubusercontent.com/bgptools/anycast-prefixes/anycatch.csv"
+
+
+def generate_asnames(world: World) -> str:
+    """CSV: asn,name (ASN in the 'AS123' spelling used by bgp.tools)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["asn", "name"])
+    for asn in sorted(world.ases):
+        writer.writerow([f"AS{asn}", world.ases[asn].name])
+    return buffer.getvalue()
+
+
+def generate_tags(world: World) -> str:
+    """CSV: asn,tag — one row per (AS, classification tag)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["asn", "tag"])
+    for asn in sorted(world.ases):
+        for tag in world.ases[asn].tags:
+            writer.writerow([f"AS{asn}", tag])
+    return buffer.getvalue()
+
+
+def generate_anycast(world: World) -> str:
+    """One anycast prefix per line."""
+    return "\n".join(
+        sorted(info.prefix for info in world.prefixes.values() if info.anycast)
+    )
+
+
+class ASNamesCrawler(Crawler):
+    organization = "BGP.Tools"
+    name = "bgptools.as_names"
+    url_data = ASNAMES_URL
+    url_info = "https://bgp.tools/kb/api"
+
+    def run(self) -> None:
+        reference = self.reference()
+        reader = csv.DictReader(io.StringIO(self.fetch()))
+        for row in reader:
+            as_node = self.iyp.get_node("AS", asn=row["asn"])
+            name_node = self.iyp.get_node("Name", name=row["name"])
+            self.iyp.add_link(as_node, "NAME", name_node, None, reference)
+
+
+class ASTagsCrawler(Crawler):
+    organization = "BGP.Tools"
+    name = "bgptools.tags"
+    url_data = TAGS_URL
+    url_info = "https://bgp.tools/kb/api"
+
+    def run(self) -> None:
+        reference = self.reference()
+        reader = csv.DictReader(io.StringIO(self.fetch()))
+        tags: dict[str, object] = {}
+        for row in reader:
+            as_node = self.iyp.get_node("AS", asn=row["asn"])
+            if row["tag"] not in tags:
+                tags[row["tag"]] = self.iyp.get_node("Tag", label=row["tag"])
+            self.iyp.add_link(as_node, "CATEGORIZED", tags[row["tag"]], None, reference)
+
+
+class AnycastCrawler(Crawler):
+    organization = "BGP.Tools"
+    name = "bgptools.anycast_prefixes"
+    url_data = ANYCAST_URL
+    url_info = "https://github.com/bgptools/anycast-prefixes"
+
+    def run(self) -> None:
+        reference = self.reference()
+        tag = self.iyp.get_node("Tag", label="Anycast")
+        for line in self.fetch().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            prefix = self.iyp.get_node("Prefix", prefix=line)
+            self.iyp.add_link(prefix, "CATEGORIZED", tag, None, reference)

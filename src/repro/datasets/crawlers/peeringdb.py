@@ -1,0 +1,189 @@
+"""PeeringDB API endpoints: org, fac, ix, ixlan/netixlan, netfac.
+
+PeeringDB is the canonical example in the paper of circumstantial
+details becoming relationship properties: IXP membership is one
+MEMBER_OF link, with peering policy and traffic levels as properties.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.datasets.base import Crawler
+from repro.simnet.world import World
+
+ORG_URL = "https://www.peeringdb.com/api/org"
+FAC_URL = "https://www.peeringdb.com/api/fac"
+IX_URL = "https://www.peeringdb.com/api/ix"
+IXLAN_URL = "https://www.peeringdb.com/api/netixlan"
+NETFAC_URL = "https://www.peeringdb.com/api/netfac"
+
+
+def generate_org(world: World) -> str:
+    data = [
+        {"id": org.peeringdb_org_id, "name": org.name, "country": org.country,
+         "website": org.website or ""}
+        for org in world.orgs.values()
+        if org.peeringdb_org_id is not None
+    ]
+    return json.dumps({"data": sorted(data, key=lambda o: o["id"])})
+
+
+def generate_fac(world: World) -> str:
+    data = [
+        {"id": index + 1, "name": name, "country": country}
+        for index, (name, country) in enumerate(world.facilities)
+    ]
+    return json.dumps({"data": data})
+
+
+def generate_ix(world: World) -> str:
+    data = [
+        {
+            "id": ix.peeringdb_ix_id,
+            "name": ix.name,
+            "country": ix.country,
+            "website": ix.website or "",
+            "fac": ix.facility,
+        }
+        for ix in world.ixps.values()
+    ]
+    return json.dumps({"data": data})
+
+
+def generate_netixlan(world: World) -> str:
+    data = []
+    counter = 1
+    for ix in world.ixps.values():
+        for asn in ix.members:
+            data.append(
+                {
+                    "id": counter,
+                    "ix_id": ix.peeringdb_ix_id,
+                    "asn": asn,
+                    "speed": 10000,
+                    "policy": "Open" if asn % 3 else "Selective",
+                }
+            )
+            counter += 1
+    return json.dumps({"data": data})
+
+
+def generate_netfac(world: World) -> str:
+    data = []
+    counter = 1
+    for index, (name, _country) in enumerate(world.facilities):
+        for ix in world.ixps.values():
+            if ix.facility == name:
+                for asn in ix.members[:8]:
+                    data.append({"id": counter, "fac": name, "asn": asn})
+                    counter += 1
+    return json.dumps({"data": data})
+
+
+class OrgCrawler(Crawler):
+    organization = "PeeringDB"
+    name = "peeringdb.org"
+    url_data = ORG_URL
+    url_info = "https://www.peeringdb.com"
+
+    def run(self) -> None:
+        reference = self.reference()
+        for record in json.loads(self.fetch())["data"]:
+            org = self.iyp.get_node("Organization", name=record["name"])
+            org_id = self.iyp.get_node("PeeringdbOrgID", id=record["id"])
+            self.iyp.add_link(org, "EXTERNAL_ID", org_id, None, reference)
+            if record.get("country"):
+                country = self.iyp.get_node("Country", country_code=record["country"])
+                self.iyp.add_link(org, "COUNTRY", country, None, reference)
+            if record.get("website"):
+                url = self.iyp.get_node("URL", url=record["website"])
+                self.iyp.add_link(url, "WEBSITE", org, None, reference)
+
+
+class FacCrawler(Crawler):
+    organization = "PeeringDB"
+    name = "peeringdb.fac"
+    url_data = FAC_URL
+    url_info = "https://www.peeringdb.com"
+
+    def run(self) -> None:
+        reference = self.reference()
+        for record in json.loads(self.fetch())["data"]:
+            facility = self.iyp.get_node("Facility", name=record["name"])
+            fac_id = self.iyp.get_node("PeeringdbFacID", id=record["id"])
+            self.iyp.add_link(facility, "EXTERNAL_ID", fac_id, None, reference)
+            country = self.iyp.get_node("Country", country_code=record["country"])
+            self.iyp.add_link(facility, "COUNTRY", country, None, reference)
+
+
+class IXCrawler(Crawler):
+    organization = "PeeringDB"
+    name = "peeringdb.ix"
+    url_data = IX_URL
+    url_info = "https://www.peeringdb.com"
+
+    def run(self) -> None:
+        reference = self.reference()
+        for record in json.loads(self.fetch())["data"]:
+            ixp = self.iyp.get_node("IXP", name=record["name"])
+            ix_id = self.iyp.get_node("PeeringdbIXID", id=record["id"])
+            self.iyp.add_link(ixp, "EXTERNAL_ID", ix_id, None, reference)
+            country = self.iyp.get_node("Country", country_code=record["country"])
+            self.iyp.add_link(ixp, "COUNTRY", country, None, reference)
+            if record.get("fac"):
+                facility = self.iyp.get_node("Facility", name=record["fac"])
+                self.iyp.add_link(ixp, "LOCATED_IN", facility, None, reference)
+            if record.get("website"):
+                url = self.iyp.get_node("URL", url=record["website"])
+                self.iyp.add_link(url, "WEBSITE", ixp, None, reference)
+
+
+class NetIXLanCrawler(Crawler):
+    """IXP memberships with peering-policy details as link properties."""
+
+    organization = "PeeringDB"
+    name = "peeringdb.netixlan"
+    url_data = IXLAN_URL
+    url_info = "https://www.peeringdb.com"
+
+    def run(self) -> None:
+        reference = self.reference()
+        ix_by_id: dict[int, object] = {}
+        for record in json.loads(self.fetch())["data"]:
+            ix_id = record["ix_id"]
+            if ix_id not in ix_by_id:
+                id_nodes = self.iyp.store.find_nodes("PeeringdbIXID", "id", ix_id)
+                if not id_nodes:
+                    continue
+                ixps = [
+                    self.iyp.store.get_node(rel.other_end(id_nodes[0].id))
+                    for rel in self.iyp.store.relationships_of(
+                        id_nodes[0].id, rel_type="EXTERNAL_ID"
+                    )
+                ]
+                if not ixps:
+                    continue
+                ix_by_id[ix_id] = ixps[0]
+            as_node = self.iyp.get_node("AS", asn=record["asn"])
+            self.iyp.add_link(
+                as_node,
+                "MEMBER_OF",
+                ix_by_id[ix_id],
+                {"speed": record.get("speed"), "policy": record.get("policy")},
+                reference,
+            )
+
+
+class NetFacCrawler(Crawler):
+    organization = "PeeringDB"
+    name = "peeringdb.netfac"
+    url_data = NETFAC_URL
+    url_info = "https://www.peeringdb.com"
+
+    def run(self) -> None:
+        reference = self.reference()
+        for record in json.loads(self.fetch())["data"]:
+            as_node = self.iyp.get_node("AS", asn=record["asn"])
+            facility = self.iyp.get_node("Facility", name=record["fac"])
+            self.iyp.add_link(as_node, "LOCATED_IN", facility, None, reference)

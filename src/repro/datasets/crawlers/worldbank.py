@@ -1,0 +1,58 @@
+"""World Bank country population estimates."""
+
+from __future__ import annotations
+
+import json
+
+from repro.datasets.base import Crawler
+from repro.nettypes.countries import alpha2_to_alpha3
+from repro.simnet.world import World
+
+POPULATION_URL = (
+    "https://api.worldbank.org/v2/country/all/indicator/SP.POP.TOTL?format=json"
+)
+
+
+def generate_population(world: World) -> str:
+    """World Bank API format: [metadata, [records]]."""
+    records = []
+    for country, population in sorted(world.country_population.items()):
+        records.append(
+            {
+                "country": {"id": alpha2_to_alpha3(country), "value": country},
+                "countryiso3code": alpha2_to_alpha3(country),
+                "date": "2023",
+                "value": population,
+            }
+        )
+    return json.dumps([{"page": 1, "pages": 1}, records])
+
+
+class WorldBankPopulationCrawler(Crawler):
+    """Loads (:Country)-[:POPULATION {value}]->(:Estimate)."""
+
+    organization = "World Bank"
+    name = "worldbank.country_pop"
+    url_data = POPULATION_URL
+    url_info = "https://www.worldbank.org"
+
+    def run(self) -> None:
+        reference = self.reference()
+        _metadata, records = json.loads(self.fetch())
+        estimate = self.iyp.get_node(
+            "Estimate", name="World Bank Population Estimate"
+        )
+        for record in records:
+            if record.get("value") is None:
+                continue
+            alpha3 = record["countryiso3code"]
+            try:
+                from repro.nettypes.countries import alpha3_to_alpha2
+
+                alpha2 = alpha3_to_alpha2(alpha3)
+            except KeyError:
+                continue
+            country = self.iyp.get_node("Country", country_code=alpha2)
+            self.iyp.add_link(
+                country, "POPULATION", estimate, {"value": record["value"]}, reference
+            )

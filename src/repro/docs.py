@@ -1,0 +1,92 @@
+"""Documentation generator — the IYP project's documentation pages.
+
+The real project maintains ``documentation/data-sources.md``,
+``node_types.md``, and ``relationship_types.md`` by hand; here they are
+generated from the registry and the ontology, so they can never drift
+from the code.  ``python -m repro docs`` (or :func:`write_docs`) writes
+them under ``documentation/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datasets.registry import DATASETS, organizations
+from repro.ontology import ENTITIES, RELATIONSHIPS
+
+
+def render_data_sources() -> str:
+    """The Table 8 page: every dataset with its metadata."""
+    lines = [
+        "# Data sources",
+        "",
+        f"{len(DATASETS)} datasets from {len(organizations())} organizations.",
+        "",
+        "| Organization | Dataset | Description | Frequency | License |",
+        "|---|---|---|---|---|",
+    ]
+    for spec in DATASETS:
+        lines.append(
+            f"| {spec.organization} | `{spec.name}` | {spec.description} "
+            f"| {spec.frequency} | {spec.license} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_node_types() -> str:
+    """The Table 6 page: entities and their identifying properties."""
+    lines = [
+        "# Node types (entities)",
+        "",
+        f"{len(ENTITIES)} entity types.",
+        "",
+        "| Entity | Key properties | Description |",
+        "|---|---|---|",
+    ]
+    for definition in ENTITIES.values():
+        keys = ", ".join(f"`{k}`" for k in definition.key_properties)
+        loose = " *(loosely identified)*" if definition.loose else ""
+        lines.append(
+            f"| `:{definition.label}` | {keys} | {definition.description}{loose} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_relationship_types() -> str:
+    """The Table 7 page: relationships and permitted endpoints."""
+    lines = [
+        "# Relationship types",
+        "",
+        f"{len(RELATIONSHIPS)} relationship types.",
+        "",
+        "| Relationship | Endpoints | Description |",
+        "|---|---|---|",
+    ]
+    for definition in RELATIONSHIPS.values():
+        endpoints = "; ".join(
+            f"`{start}` → `{end}`" for start, end in definition.endpoints
+        )
+        lines.append(
+            f"| `:{definition.type}` | {endpoints} | {definition.description} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_docs(directory: str | Path = "documentation") -> list[Path]:
+    """Write all documentation pages; returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    pages = {
+        "data-sources.md": render_data_sources(),
+        "node_types.md": render_node_types(),
+        "relationship_types.md": render_relationship_types(),
+    }
+    written = []
+    for name, content in pages.items():
+        path = directory / name
+        path.write_text(content, encoding="utf-8")
+        written.append(path)
+    return written

@@ -1,0 +1,31 @@
+"""An embedded property-graph database.
+
+This package is the reproduction's substitute for Neo4j (Section 3.1 of
+the paper): a label/property graph with hash indexes, uniqueness
+constraints, adjacency lists, and gzip-JSON snapshots standing in for the
+paper's weekly database dumps.  The Cypher-subset query engine in
+:mod:`repro.cypher` executes against :class:`GraphStore`.
+"""
+
+from repro.graphdb.errors import (
+    ConstraintViolationError,
+    GraphError,
+    NoSuchNodeError,
+    NoSuchRelationshipError,
+)
+from repro.graphdb.model import Direction, Node, Relationship
+from repro.graphdb.snapshot import load_snapshot, save_snapshot
+from repro.graphdb.store import GraphStore
+
+__all__ = [
+    "ConstraintViolationError",
+    "Direction",
+    "GraphError",
+    "GraphStore",
+    "NoSuchNodeError",
+    "NoSuchRelationshipError",
+    "Node",
+    "Relationship",
+    "load_snapshot",
+    "save_snapshot",
+]

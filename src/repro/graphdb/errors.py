@@ -1,0 +1,23 @@
+"""Exceptions raised by the graph store."""
+
+from __future__ import annotations
+
+
+class GraphError(Exception):
+    """Base class for all graph-store errors."""
+
+
+class NoSuchNodeError(GraphError):
+    """Raised when a node id does not exist in the store."""
+
+
+class NoSuchRelationshipError(GraphError):
+    """Raised when a relationship id does not exist in the store."""
+
+
+class ConstraintViolationError(GraphError):
+    """Raised when a write violates a uniqueness constraint."""
+
+
+class InvalidPropertyError(GraphError):
+    """Raised when a property value has an unsupported type."""

@@ -1,0 +1,75 @@
+"""Graph snapshots: the reproduction's analogue of IYP's weekly dumps.
+
+A snapshot is a gzip-compressed JSON document containing every node,
+relationship, index definition, and constraint.  Loading a snapshot
+reconstructs a store that is observationally identical (ids included),
+mirroring how IYP users download a dump and run a local instance.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.graphdb.store import GraphStore
+
+FORMAT_VERSION = 1
+
+
+def snapshot_dict(store: GraphStore) -> dict[str, Any]:
+    """Serialize a store to a plain dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "nodes": [
+            {"id": node.id, "labels": sorted(node.labels), "properties": node.properties}
+            for node in store.iter_nodes()
+        ],
+        "relationships": [
+            {
+                "id": rel.id,
+                "type": rel.type,
+                "start": rel.start_id,
+                "end": rel.end_id,
+                "properties": rel.properties,
+            }
+            for rel in store.iter_relationships()
+        ],
+        "indexes": sorted(store._property_index),
+        "constraints": sorted(store._unique_constraints),
+    }
+
+
+def store_from_dict(data: dict[str, Any]) -> GraphStore:
+    """Rebuild a store from :func:`snapshot_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot format version {version!r}")
+    store = GraphStore()
+    id_map: dict[int, int] = {}
+    for entry in sorted(data["nodes"], key=lambda item: item["id"]):
+        node = store.create_node(entry["labels"], entry["properties"])
+        id_map[entry["id"]] = node.id
+    for entry in sorted(data["relationships"], key=lambda item: item["id"]):
+        store.create_relationship(
+            id_map[entry["start"]], entry["type"], id_map[entry["end"]], entry["properties"]
+        )
+    for label, prop in data.get("indexes", ()):
+        store.create_index(label, prop)
+    for label, prop in data.get("constraints", ()):
+        store.create_unique_constraint(label, prop)
+    return store
+
+
+def save_snapshot(store: GraphStore, path: str | Path) -> None:
+    """Write a gzip-JSON snapshot of the store to ``path``."""
+    payload = json.dumps(snapshot_dict(store), separators=(",", ":"))
+    with gzip.open(Path(path), "wt", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def load_snapshot(path: str | Path) -> GraphStore:
+    """Load a snapshot previously written by :func:`save_snapshot`."""
+    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+        return store_from_dict(json.load(handle))

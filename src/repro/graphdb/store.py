@@ -1,0 +1,412 @@
+"""The in-memory property-graph store.
+
+Storage layout:
+
+- nodes and relationships live in dicts keyed by integer id;
+- a label index maps each label to the set of node ids carrying it;
+- optional (label, property) hash indexes accelerate equality seeks and
+  back uniqueness constraints — IYP creates one per entity identifier
+  (``AS.asn``, ``Prefix.prefix``, ...);
+- adjacency is kept as per-node lists of relationship ids, split by
+  direction, with a per-node-pair-and-type index for MERGE.
+
+The store is deliberately single-threaded: the paper's workload is
+bulk-load-then-query, and snapshots provide durability.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.graphdb.errors import (
+    ConstraintViolationError,
+    NoSuchNodeError,
+    NoSuchRelationshipError,
+)
+from repro.graphdb.model import (
+    Direction,
+    Node,
+    Relationship,
+    check_property_value,
+    freeze_properties,
+)
+
+
+class GraphStore:
+    """An embedded label/property graph with hash indexes."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, Node] = {}
+        self._relationships: dict[int, Relationship] = {}
+        self._next_node_id = 0
+        self._next_rel_id = 0
+        self._label_index: dict[str, set[int]] = defaultdict(set)
+        # (label, property) -> value -> set of node ids
+        self._property_index: dict[tuple[str, str], dict[Any, set[int]]] = {}
+        self._unique_constraints: set[tuple[str, str]] = set()
+        self._outgoing: dict[int, list[int]] = defaultdict(list)
+        self._incoming: dict[int, list[int]] = defaultdict(list)
+        # (start, type, end) -> list of relationship ids, for MERGE
+        self._edge_index: dict[tuple[int, str, int], list[int]] = defaultdict(list)
+        self._rel_type_index: dict[str, set[int]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the store."""
+        return len(self._nodes)
+
+    @property
+    def relationship_count(self) -> int:
+        """Number of relationships in the store."""
+        return len(self._relationships)
+
+    def label_counts(self) -> dict[str, int]:
+        """Return node counts per label."""
+        return {label: len(ids) for label, ids in self._label_index.items() if ids}
+
+    def relationship_type_counts(self) -> dict[str, int]:
+        """Return relationship counts per type."""
+        return {t: len(ids) for t, ids in self._rel_type_index.items() if ids}
+
+    def degree(self, node_id: int, direction: Direction = Direction.BOTH) -> int:
+        """Return the degree of a node in the given direction."""
+        self._require_node(node_id)
+        if direction is Direction.OUT:
+            return len(self._outgoing.get(node_id, ()))
+        if direction is Direction.IN:
+            return len(self._incoming.get(node_id, ()))
+        return len(self._outgoing.get(node_id, ())) + len(self._incoming.get(node_id, ()))
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+
+    def create_index(self, label: str, prop: str) -> None:
+        """Create (idempotently) a hash index on (label, property)."""
+        key = (label, prop)
+        if key in self._property_index:
+            return
+        index: dict[Any, set[int]] = defaultdict(set)
+        for node_id in self._label_index.get(label, ()):
+            value = self._nodes[node_id].properties.get(prop)
+            if _indexable(value):
+                index[value].add(node_id)
+        self._property_index[key] = index
+
+    def create_unique_constraint(self, label: str, prop: str) -> None:
+        """Create a uniqueness constraint (and backing index)."""
+        self.create_index(label, prop)
+        index = self._property_index[(label, prop)]
+        for value, ids in index.items():
+            if len(ids) > 1:
+                raise ConstraintViolationError(
+                    f"existing duplicates for :{label}({prop}={value!r})"
+                )
+        self._unique_constraints.add((label, prop))
+
+    def has_index(self, label: str, prop: str) -> bool:
+        """Return True when an index exists on (label, property)."""
+        return (label, prop) in self._property_index
+
+    # ------------------------------------------------------------------
+    # Node operations
+    # ------------------------------------------------------------------
+
+    def create_node(
+        self, labels: Iterable[str], properties: Mapping[str, Any] | None = None
+    ) -> Node:
+        """Create a node with the given labels and properties."""
+        label_set = frozenset(labels)
+        props = freeze_properties(properties)
+        self._check_unique(label_set, props, exclude_id=None)
+        node = Node(self._next_node_id, label_set, props)
+        self._next_node_id += 1
+        self._nodes[node.id] = node
+        for label in label_set:
+            self._label_index[label].add(node.id)
+            self._index_node_property_updates(label, node.id, props)
+        return node
+
+    def merge_node(
+        self,
+        label: str,
+        key_prop: str,
+        key_value: Any,
+        properties: Mapping[str, Any] | None = None,
+        extra_labels: Iterable[str] = (),
+    ) -> Node:
+        """Get-or-create a node by its identifying (label, property, value).
+
+        This implements IYP's canonical-identifier deduplication: the first
+        caller creates the node, later callers receive the existing one
+        (with ``properties`` merged in and ``extra_labels`` added).
+        """
+        self.create_index(label, key_prop)
+        existing = self.find_nodes(label, key_prop, key_value)
+        if existing:
+            node = existing[0]
+            if properties:
+                self.update_node(node.id, properties)
+            for extra in extra_labels:
+                self.add_label(node.id, extra)
+            return node
+        props = dict(properties or {})
+        props[key_prop] = key_value
+        return self.create_node({label, *extra_labels}, props)
+
+    def get_node(self, node_id: int) -> Node:
+        """Return the node with the given id."""
+        return self._require_node(node_id)
+
+    def has_node(self, node_id: int) -> bool:
+        """Return True when the node id exists."""
+        return node_id in self._nodes
+
+    def nodes_with_label(self, label: str) -> list[Node]:
+        """Return all nodes carrying ``label``."""
+        return [self._nodes[i] for i in self._label_index.get(label, ())]
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Yield every node in the store."""
+        return iter(self._nodes.values())
+
+    def find_nodes(self, label: str, prop: str, value: Any) -> list[Node]:
+        """Return nodes with ``label`` whose ``prop`` equals ``value``.
+
+        Uses the hash index when one exists, otherwise scans the label.
+        """
+        index = self._property_index.get((label, prop))
+        if index is not None and _indexable(value):
+            return [self._nodes[i] for i in index.get(value, ())]
+        return [
+            self._nodes[i]
+            for i in self._label_index.get(label, ())
+            if self._nodes[i].properties.get(prop) == value
+        ]
+
+    def add_label(self, node_id: int, label: str) -> None:
+        """Add a label to an existing node."""
+        node = self._require_node(node_id)
+        if label in node.labels:
+            return
+        node.labels = node.labels | {label}
+        self._label_index[label].add(node_id)
+        self._index_node_property_updates(label, node_id, node.properties)
+
+    def update_node(self, node_id: int, properties: Mapping[str, Any]) -> None:
+        """Merge properties into a node (None values delete the key)."""
+        node = self._require_node(node_id)
+        for key, value in properties.items():
+            old = node.properties.get(key)
+            if value is None:
+                if key in node.properties:
+                    del node.properties[key]
+                    self._deindex_value(node, key, old)
+                continue
+            check_property_value(value)
+            if isinstance(value, tuple):
+                value = list(value)
+            if old == value and type(old) is type(value):
+                continue
+            self._check_unique(node.labels, {key: value}, exclude_id=node_id)
+            self._deindex_value(node, key, old)
+            node.properties[key] = value
+            for label in node.labels:
+                self._index_node_property_updates(label, node_id, {key: value})
+
+    def delete_node(self, node_id: int, detach: bool = False) -> None:
+        """Delete a node; with ``detach`` also delete incident edges."""
+        node = self._require_node(node_id)
+        incident = list(self._outgoing.get(node_id, ())) + list(
+            self._incoming.get(node_id, ())
+        )
+        if incident and not detach:
+            raise ConstraintViolationError(
+                f"node {node_id} still has {len(incident)} relationship(s)"
+            )
+        for rel_id in set(incident):
+            self.delete_relationship(rel_id)
+        for label in node.labels:
+            self._label_index[label].discard(node_id)
+            for key, value in node.properties.items():
+                index = self._property_index.get((label, key))
+                if index is not None and _indexable(value):
+                    index.get(value, set()).discard(node_id)
+        self._outgoing.pop(node_id, None)
+        self._incoming.pop(node_id, None)
+        del self._nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Relationship operations
+    # ------------------------------------------------------------------
+
+    def create_relationship(
+        self,
+        start_id: int,
+        rel_type: str,
+        end_id: int,
+        properties: Mapping[str, Any] | None = None,
+    ) -> Relationship:
+        """Create a directed relationship between two existing nodes."""
+        self._require_node(start_id)
+        self._require_node(end_id)
+        rel = Relationship(
+            self._next_rel_id, rel_type, start_id, end_id, freeze_properties(properties)
+        )
+        self._next_rel_id += 1
+        self._relationships[rel.id] = rel
+        self._outgoing[start_id].append(rel.id)
+        self._incoming[end_id].append(rel.id)
+        self._edge_index[(start_id, rel_type, end_id)].append(rel.id)
+        self._rel_type_index[rel_type].add(rel.id)
+        return rel
+
+    def merge_relationship(
+        self,
+        start_id: int,
+        rel_type: str,
+        end_id: int,
+        properties: Mapping[str, Any] | None = None,
+        match_props: Mapping[str, Any] | None = None,
+    ) -> Relationship:
+        """Get-or-create a relationship between two nodes.
+
+        When ``match_props`` is given, an existing edge matches only if it
+        carries those exact property values — IYP uses ``reference_name``
+        here so the same semantic link from two datasets stays distinct.
+        """
+        for rel_id in self._edge_index.get((start_id, rel_type, end_id), ()):
+            rel = self._relationships[rel_id]
+            if match_props and any(
+                rel.properties.get(k) != v for k, v in match_props.items()
+            ):
+                continue
+            if properties:
+                self.update_relationship(rel_id, properties)
+            return rel
+        merged = dict(properties or {})
+        if match_props:
+            merged.update(match_props)
+        return self.create_relationship(start_id, rel_type, end_id, merged)
+
+    def get_relationship(self, rel_id: int) -> Relationship:
+        """Return the relationship with the given id."""
+        rel = self._relationships.get(rel_id)
+        if rel is None:
+            raise NoSuchRelationshipError(f"no relationship with id {rel_id}")
+        return rel
+
+    def iter_relationships(self) -> Iterator[Relationship]:
+        """Yield every relationship in the store."""
+        return iter(self._relationships.values())
+
+    def relationships_of(
+        self,
+        node_id: int,
+        direction: Direction = Direction.BOTH,
+        rel_type: str | None = None,
+    ) -> list[Relationship]:
+        """Return relationships incident to a node.
+
+        ``Direction.BOTH`` deduplicates self-loops (an edge from a node to
+        itself is returned once).
+        """
+        self._require_node(node_id)
+        rel_ids: list[int] = []
+        if direction in (Direction.OUT, Direction.BOTH):
+            rel_ids.extend(self._outgoing.get(node_id, ()))
+        if direction in (Direction.IN, Direction.BOTH):
+            for rel_id in self._incoming.get(node_id, ()):
+                rel = self._relationships[rel_id]
+                if direction is Direction.BOTH and rel.start_id == rel.end_id:
+                    continue  # self-loop already yielded from the outgoing list
+                rel_ids.append(rel_id)
+        result = [self._relationships[i] for i in rel_ids]
+        if rel_type is not None:
+            result = [rel for rel in result if rel.type == rel_type]
+        return result
+
+    def relationships_with_type(self, rel_type: str) -> list[Relationship]:
+        """Return all relationships of the given type."""
+        return [self._relationships[i] for i in self._rel_type_index.get(rel_type, ())]
+
+    def relationships_between(
+        self, start_id: int, end_id: int, rel_type: str | None = None
+    ) -> list[Relationship]:
+        """Return directed relationships from ``start_id`` to ``end_id``."""
+        if rel_type is not None:
+            ids = self._edge_index.get((start_id, rel_type, end_id), ())
+            return [self._relationships[i] for i in ids]
+        return [
+            self._relationships[i]
+            for i in self._outgoing.get(start_id, ())
+            if self._relationships[i].end_id == end_id
+        ]
+
+    def update_relationship(self, rel_id: int, properties: Mapping[str, Any]) -> None:
+        """Merge properties into a relationship (None deletes the key)."""
+        rel = self.get_relationship(rel_id)
+        for key, value in properties.items():
+            if value is None:
+                rel.properties.pop(key, None)
+                continue
+            check_property_value(value)
+            rel.properties[key] = list(value) if isinstance(value, tuple) else value
+
+    def delete_relationship(self, rel_id: int) -> None:
+        """Delete a relationship."""
+        rel = self.get_relationship(rel_id)
+        self._outgoing[rel.start_id].remove(rel_id)
+        self._incoming[rel.end_id].remove(rel_id)
+        self._edge_index[(rel.start_id, rel.type, rel.end_id)].remove(rel_id)
+        self._rel_type_index[rel.type].discard(rel_id)
+        del self._relationships[rel_id]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _require_node(self, node_id: int) -> Node:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise NoSuchNodeError(f"no node with id {node_id}")
+        return node
+
+    def _index_node_property_updates(
+        self, label: str, node_id: int, props: Mapping[str, Any]
+    ) -> None:
+        for key, value in props.items():
+            index = self._property_index.get((label, key))
+            if index is not None and _indexable(value):
+                index[value].add(node_id)
+
+    def _deindex_value(self, node: Node, key: str, old: Any) -> None:
+        if old is None or not _indexable(old):
+            return
+        for label in node.labels:
+            index = self._property_index.get((label, key))
+            if index is not None:
+                index.get(old, set()).discard(node.id)
+
+    def _check_unique(
+        self, labels: frozenset[str], props: Mapping[str, Any], exclude_id: int | None
+    ) -> None:
+        for label in labels:
+            for key, value in props.items():
+                if (label, key) not in self._unique_constraints:
+                    continue
+                for existing in self.find_nodes(label, key, value):
+                    if existing.id != exclude_id:
+                        raise ConstraintViolationError(
+                            f"duplicate :{label}({key}={value!r})"
+                        )
+
+
+def _indexable(value: Any) -> bool:
+    """Only scalar values participate in hash indexes."""
+    return isinstance(value, (str, int, float, bool))

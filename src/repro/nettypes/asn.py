@@ -1,0 +1,61 @@
+"""Autonomous System Number parsing and classification.
+
+ASNs appear in datasets in several spellings (``2914``, ``AS2914``,
+``as2914``, and the deprecated asdot form ``1.10``).  The graph stores
+them as plain integers; this module performs the translation and flags
+reserved ranges so crawlers can skip bogus data.
+"""
+
+from __future__ import annotations
+
+ASN_MAX = 2**32 - 1
+
+# RFC 6996 private-use ranges.
+_PRIVATE_16 = range(64512, 65535)
+_PRIVATE_32 = range(4200000000, 4294967295)
+# RFC 5398 documentation ranges.
+_DOC_16 = range(64496, 64512)
+_DOC_32 = range(65536, 65552)
+
+
+class InvalidASNError(ValueError):
+    """Raised when a value cannot be interpreted as an ASN."""
+
+
+def parse_asn(value: int | str) -> int:
+    """Parse an ASN from any of its common textual spellings.
+
+    >>> parse_asn('AS2914')
+    2914
+    >>> parse_asn('1.10')  # asdot
+    65546
+    """
+    if isinstance(value, bool):
+        raise InvalidASNError(f"invalid ASN {value!r}")
+    if isinstance(value, int):
+        asn = value
+    else:
+        text = value.strip()
+        if text[:2].lower() == "as":
+            text = text[2:]
+        try:
+            if "." in text:
+                high, _, low = text.partition(".")
+                asn = int(high, 10) * 65536 + int(low, 10)
+            else:
+                asn = int(text, 10)
+        except ValueError as exc:
+            raise InvalidASNError(f"invalid ASN {value!r}") from exc
+    if not 0 <= asn <= ASN_MAX:
+        raise InvalidASNError(f"ASN {asn} out of range [0, {ASN_MAX}]")
+    return asn
+
+
+def is_private_asn(asn: int) -> bool:
+    """Return True for RFC 6996 private-use ASNs."""
+    return asn in _PRIVATE_16 or asn in _PRIVATE_32
+
+
+def is_documentation_asn(asn: int) -> bool:
+    """Return True for RFC 5398 documentation ASNs."""
+    return asn in _DOC_16 or asn in _DOC_32

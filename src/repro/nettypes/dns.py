@@ -1,0 +1,128 @@
+"""DNS name handling: hostnames, domain names, zones, public suffixes.
+
+IYP distinguishes *HostName* nodes (fully qualified, resolvable names)
+from *DomainName* nodes (zones, e.g. the zone cut for ``nytimes.com``),
+and its PARENT relationship models zone cuts.  The DNS Robustness
+reproduction additionally needs second-level-domain extraction under a
+public-suffix list.  The suffix list here is a curated subset adequate
+for the synthetic world (generic TLDs plus the ccTLDs the SPoF analysis
+exercises, including two-label suffixes like ``co.uk``).
+"""
+
+from __future__ import annotations
+
+import re
+
+
+class InvalidNameError(ValueError):
+    """Raised when a string is not a syntactically valid DNS name."""
+
+
+_LABEL_RE = re.compile(r"^(?!-)[a-z0-9_-]{1,63}(?<!-)$")
+
+# Public-suffix subset: one- and two-label suffixes.  Matching is
+# longest-suffix-first, as with the real PSL.
+PUBLIC_SUFFIXES = frozenset(
+    {
+        "com", "net", "org", "edu", "gov", "mil", "int", "info", "biz",
+        "io", "co", "dev", "app", "xyz", "online", "site", "shop", "top",
+        "cloud", "ai", "tv", "me", "cc",
+        # ccTLDs used by the synthetic world / SPoF study.
+        "us", "uk", "ru", "cn", "de", "fr", "jp", "nl", "br", "in", "au",
+        "ca", "it", "es", "pl", "se", "ch", "kr", "tw", "ua", "za", "tr",
+        "ir", "vn", "id", "mx", "ar", "gr", "cz", "eu", "no", "fi", "dk",
+        "be", "at", "pt", "ro", "hu", "sg", "hk", "th", "my", "il", "nz",
+        "cl", "co.uk", "org.uk", "ac.uk", "gov.uk", "com.cn", "net.cn",
+        "com.br", "com.au", "co.jp", "ne.jp", "or.jp", "co.kr", "com.tw",
+        "co.in", "com.ru",
+    }
+)
+
+
+def normalize_name(name: str) -> str:
+    """Return the canonical form of a DNS name.
+
+    Lower-cases the name and strips the trailing root dot; both spellings
+    of the same name must map to the same graph node.
+
+    >>> normalize_name('WWW.Example.COM.')
+    'www.example.com'
+    """
+    text = name.strip().lower()
+    if text.endswith("."):
+        text = text[:-1]
+    if not text:
+        raise InvalidNameError("empty DNS name")
+    return text
+
+
+def is_valid_hostname(name: str) -> bool:
+    """Return True for a syntactically valid (normalized) hostname."""
+    if len(name) > 253:
+        return False
+    labels = name.split(".")
+    return all(_LABEL_RE.match(label) for label in labels)
+
+
+def tld(name: str) -> str:
+    """Return the top-level domain (final label) of a name."""
+    name = normalize_name(name)
+    return name.rsplit(".", 1)[-1]
+
+
+def public_suffix(name: str) -> str:
+    """Return the public suffix of a name (longest match wins).
+
+    >>> public_suffix('shop.example.co.uk')
+    'co.uk'
+    """
+    name = normalize_name(name)
+    labels = name.split(".")
+    for take in (2, 1):
+        if len(labels) >= take:
+            candidate = ".".join(labels[-take:])
+            if candidate in PUBLIC_SUFFIXES:
+                return candidate
+    return labels[-1]
+
+
+def registered_domain(name: str) -> str | None:
+    """Return the registrable domain (public suffix plus one label).
+
+    Returns None when the name *is* a public suffix (nothing registrable).
+
+    >>> registered_domain('www.example.co.uk')
+    'example.co.uk'
+    """
+    name = normalize_name(name)
+    suffix = public_suffix(name)
+    if name == suffix:
+        return None
+    remainder = name[: -(len(suffix) + 1)]
+    return f"{remainder.rsplit('.', 1)[-1]}.{suffix}"
+
+
+def second_level_label(name: str) -> str | None:
+    """Return the label immediately left of the public suffix, or None."""
+    registrable = registered_domain(name)
+    if registrable is None:
+        return None
+    return registrable.split(".", 1)[0]
+
+
+def parent_zones(name: str) -> list[str]:
+    """Return every ancestor zone of a name, nearest first.
+
+    >>> parent_zones('a.b.example.com')
+    ['b.example.com', 'example.com', 'com']
+    """
+    name = normalize_name(name)
+    labels = name.split(".")
+    return [".".join(labels[start:]) for start in range(1, len(labels))]
+
+
+def is_subdomain_of(name: str, zone: str) -> bool:
+    """Return True when ``name`` is inside ``zone`` (proper subdomain)."""
+    name = normalize_name(name)
+    zone = normalize_name(zone)
+    return name.endswith("." + zone)

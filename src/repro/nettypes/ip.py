@@ -1,0 +1,144 @@
+"""Canonical IP address and prefix handling.
+
+The IYP paper (Section 2.3) avoids duplicate graph nodes by translating
+identifiers to a canonical form before node creation: ``2001:DB8::/32`` and
+``2001:0db8::/32`` must map to the single node ``2001:db8::/32``.  This
+module implements that translation plus the small amount of prefix
+arithmetic the refinement passes need (address family, containment, /24
+derivation for the DNS Robustness reproduction).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+
+class InvalidAddressError(ValueError):
+    """Raised when a string cannot be parsed as an IPv4/IPv6 address."""
+
+
+class InvalidPrefixError(ValueError):
+    """Raised when a string cannot be parsed as an IPv4/IPv6 prefix."""
+
+
+def canonical_ip(value: str) -> str:
+    """Return the canonical textual form of an IP address.
+
+    IPv4 addresses are stripped of leading zeros; IPv6 addresses are
+    compressed and lower-cased, per RFC 5952.
+
+    >>> canonical_ip('2001:DB8:0:0:0:0:0:1')
+    '2001:db8::1'
+    >>> canonical_ip('192.000.002.001')
+    '192.0.2.1'
+    """
+    text = value.strip()
+    if not text:
+        raise InvalidAddressError("empty IP address")
+    try:
+        if "." in text and ":" not in text:
+            # ipaddress rejects leading zeros in IPv4 (ambiguous octal);
+            # measurement datasets contain them, so strip them explicitly.
+            octets = text.split(".")
+            if len(octets) != 4:
+                raise ValueError(f"expected 4 octets, got {len(octets)}")
+            text = ".".join(str(int(octet, 10)) for octet in octets)
+        return str(ipaddress.ip_address(text))
+    except ValueError as exc:
+        raise InvalidAddressError(f"invalid IP address {value!r}: {exc}") from exc
+
+
+def canonical_prefix(value: str) -> str:
+    """Return the canonical textual form of an IP prefix.
+
+    Host bits are zeroed (``10.0.0.1/8`` becomes ``10.0.0.0/8``) because
+    datasets occasionally publish prefixes with host bits set, and the two
+    spellings denote the same routed object.
+
+    >>> canonical_prefix('2001:0DB8::/32')
+    '2001:db8::/32'
+    """
+    text = value.strip()
+    if not text or "/" not in text:
+        raise InvalidPrefixError(f"invalid prefix {value!r}: missing length")
+    address, _, length = text.partition("/")
+    try:
+        address = canonical_ip(address)
+        network = ipaddress.ip_network(f"{address}/{int(length)}", strict=False)
+    except (ValueError, InvalidAddressError) as exc:
+        raise InvalidPrefixError(f"invalid prefix {value!r}: {exc}") from exc
+    return str(network)
+
+
+def address_family(ip: str) -> int:
+    """Return 4 or 6 for a textual IP address."""
+    try:
+        return ipaddress.ip_address(ip).version
+    except ValueError as exc:
+        raise InvalidAddressError(f"invalid IP address {ip!r}: {exc}") from exc
+
+
+def prefix_af(prefix: str) -> int:
+    """Return 4 or 6 for a textual IP prefix."""
+    try:
+        return ipaddress.ip_network(prefix, strict=False).version
+    except ValueError as exc:
+        raise InvalidPrefixError(f"invalid prefix {prefix!r}: {exc}") from exc
+
+
+def ip_in_prefix(ip: str, prefix: str) -> bool:
+    """Return True when ``ip`` falls inside ``prefix`` (same family only)."""
+    address = ipaddress.ip_address(ip)
+    network = ipaddress.ip_network(prefix, strict=False)
+    if address.version != network.version:
+        return False
+    return address in network
+
+
+def prefix_contains(outer: str, inner: str) -> bool:
+    """Return True when prefix ``outer`` covers prefix ``inner``.
+
+    A prefix covers itself.  Prefixes of different address families never
+    cover each other.
+    """
+    outer_net = ipaddress.ip_network(outer, strict=False)
+    inner_net = ipaddress.ip_network(inner, strict=False)
+    if outer_net.version != inner_net.version:
+        return False
+    return inner_net.subnet_of(outer_net)
+
+
+def slash24_of(ip: str) -> str:
+    """Return the enclosing /24 (IPv4) or /48 (IPv6) of an address.
+
+    The DNS Robustness study groups nameservers by /24; the IPv6 analogue
+    used by follow-up studies is the /48.
+    """
+    address = ipaddress.ip_address(canonical_ip(ip))
+    length = 24 if address.version == 4 else 48
+    return str(ipaddress.ip_network(f"{address}/{length}", strict=False))
+
+
+def prefix_key(prefix: str) -> tuple[int, int, int]:
+    """Return a sortable, hashable key ``(af, network_int, length)``."""
+    network = ipaddress.ip_network(prefix, strict=False)
+    return network.version, int(network.network_address), network.prefixlen
+
+
+def prefix_bits(prefix: str) -> tuple[int, str]:
+    """Return ``(af, bitstring)`` for trie insertion.
+
+    The bitstring is the network address truncated to the prefix length,
+    most-significant bit first.
+    """
+    network = ipaddress.ip_network(prefix, strict=False)
+    width = 32 if network.version == 4 else 128
+    bits = format(int(network.network_address), f"0{width}b")
+    return network.version, bits[: network.prefixlen]
+
+
+def ip_bits(ip: str) -> tuple[int, str]:
+    """Return ``(af, full bitstring)`` of an address for trie lookups."""
+    address = ipaddress.ip_address(ip)
+    width = 32 if address.version == 4 else 128
+    return address.version, format(int(address), f"0{width}b")

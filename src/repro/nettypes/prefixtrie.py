@@ -1,0 +1,142 @@
+"""Binary radix trie for longest-prefix-match lookups.
+
+The IYP refinement pass (Section 2.3) links every IP address node to the
+prefix node of its longest prefix match, and every prefix to its covering
+prefix.  Both lookups are served by this trie.  One trie instance holds
+both address families; keys are ``(af, bitstring)`` pairs so IPv4 and IPv6
+never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.nettypes.ip import canonical_prefix, ip_bits, prefix_bits
+
+
+class _TrieNode:
+    """A node in the binary trie.
+
+    ``value`` is ``_MISSING`` for pure branch nodes and the stored payload
+    for nodes that terminate an inserted prefix.
+    """
+
+    __slots__ = ("children", "prefix", "value")
+
+    def __init__(self) -> None:
+        self.children: list[_TrieNode | None] = [None, None]
+        self.prefix: str | None = None
+        self.value: Any = _MISSING
+
+
+_MISSING = object()
+
+
+class PrefixTrie:
+    """Maps IP prefixes to arbitrary payloads with LPM lookups.
+
+    >>> trie = PrefixTrie()
+    >>> trie.insert('10.0.0.0/8', 'coarse')
+    >>> trie.insert('10.1.0.0/16', 'fine')
+    >>> trie.longest_match_ip('10.1.2.3')
+    ('10.1.0.0/16', 'fine')
+    >>> trie.longest_match_ip('10.9.9.9')
+    ('10.0.0.0/8', 'coarse')
+    """
+
+    def __init__(self) -> None:
+        self._roots: dict[int, _TrieNode] = {4: _TrieNode(), 6: _TrieNode()}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: str) -> bool:
+        return self.get(prefix, _MISSING) is not _MISSING
+
+    def insert(self, prefix: str, value: Any = None) -> None:
+        """Insert (or replace) a prefix with an associated payload."""
+        prefix = canonical_prefix(prefix)
+        af, bits = prefix_bits(prefix)
+        node = self._roots[af]
+        for bit in bits:
+            index = int(bit)
+            if node.children[index] is None:
+                node.children[index] = _TrieNode()
+            node = node.children[index]
+        if node.value is _MISSING:
+            self._size += 1
+        node.prefix = prefix
+        node.value = value
+
+    def get(self, prefix: str, default: Any = None) -> Any:
+        """Return the payload stored for an exact prefix, else ``default``."""
+        af, bits = prefix_bits(canonical_prefix(prefix))
+        node = self._roots[af]
+        for bit in bits:
+            node = node.children[int(bit)]
+            if node is None:
+                return default
+        return default if node.value is _MISSING else node.value
+
+    def longest_match_ip(self, ip: str) -> tuple[str, Any] | None:
+        """Return ``(prefix, value)`` of the longest prefix covering ``ip``.
+
+        Returns None when no inserted prefix covers the address.
+        """
+        af, bits = ip_bits(ip)
+        return self._walk(self._roots[af], bits)
+
+    def longest_match_prefix(self, prefix: str) -> tuple[str, Any] | None:
+        """Return the longest inserted prefix covering ``prefix`` (inclusive)."""
+        af, bits = prefix_bits(canonical_prefix(prefix))
+        return self._walk(self._roots[af], bits)
+
+    def covering_prefix(self, prefix: str) -> tuple[str, Any] | None:
+        """Return the longest inserted prefix *strictly* covering ``prefix``.
+
+        This is the "covering prefix" relation of the IYP refinement: the
+        parent of a prefix in the routing hierarchy, never the prefix
+        itself.
+        """
+        prefix = canonical_prefix(prefix)
+        af, bits = prefix_bits(prefix)
+        node = self._roots[af]
+        best: tuple[str, Any] | None = None
+        if node.value is not _MISSING and bits:
+            best = (node.prefix, node.value)  # a /0 route covers everything
+        for bit in bits[:-1]:  # stop one level short so prefix itself is excluded
+            node = node.children[int(bit)]
+            if node is None:
+                return best
+            if node.value is not _MISSING:
+                best = (node.prefix, node.value)
+        # The final step may land on a different prefix with the same bits
+        # only if it equals `prefix`, which we exclude by construction.
+        return best
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        """Yield all ``(prefix, value)`` pairs in trie order."""
+        for root in self._roots.values():
+            yield from self._iter_node(root)
+
+    @staticmethod
+    def _walk(node: _TrieNode, bits: str) -> tuple[str, Any] | None:
+        best: tuple[str, Any] | None = None
+        if node.value is not _MISSING:
+            best = (node.prefix, node.value)
+        for bit in bits:
+            node = node.children[int(bit)]
+            if node is None:
+                break
+            if node.value is not _MISSING:
+                best = (node.prefix, node.value)
+        return best
+
+    @classmethod
+    def _iter_node(cls, node: _TrieNode) -> Iterator[tuple[str, Any]]:
+        if node.value is not _MISSING:
+            yield node.prefix, node.value
+        for child in node.children:
+            if child is not None:
+                yield from cls._iter_node(child)

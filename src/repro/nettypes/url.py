@@ -1,0 +1,46 @@
+"""URL normalization and hostname extraction.
+
+The IYP refinement pass links URL nodes to the corresponding HostName
+nodes; this module provides the extraction.  Only http(s) URLs occur in
+the imported datasets (Citizen Lab test lists, PeeringDB websites).
+"""
+
+from __future__ import annotations
+
+from urllib.parse import urlsplit, urlunsplit
+
+from repro.nettypes.dns import InvalidNameError, normalize_name
+
+
+class InvalidURLError(ValueError):
+    """Raised when a string is not a usable http(s) URL."""
+
+
+def normalize_url(url: str) -> str:
+    """Return a canonical URL: lowercase scheme/host, no default port.
+
+    >>> normalize_url('HTTPS://Example.COM:443/path?q=1')
+    'https://example.com/path?q=1'
+    """
+    parts = urlsplit(url.strip())
+    scheme = parts.scheme.lower()
+    if scheme not in ("http", "https"):
+        raise InvalidURLError(f"unsupported URL scheme in {url!r}")
+    if not parts.hostname:
+        raise InvalidURLError(f"URL without hostname: {url!r}")
+    host = parts.hostname.lower().rstrip(".")
+    port = parts.port
+    default_port = 80 if scheme == "http" else 443
+    netloc = host if port in (None, default_port) else f"{host}:{port}"
+    return urlunsplit((scheme, netloc, parts.path, parts.query, ""))
+
+
+def hostname_of_url(url: str) -> str:
+    """Return the normalized hostname embedded in a URL."""
+    parts = urlsplit(url.strip())
+    if not parts.hostname:
+        raise InvalidURLError(f"URL without hostname: {url!r}")
+    try:
+        return normalize_name(parts.hostname)
+    except InvalidNameError as exc:
+        raise InvalidURLError(str(exc)) from exc

@@ -1,0 +1,27 @@
+"""The IYP ontology: entities, relationships, and schema validation.
+
+Mirrors Tables 6 and 7 of the paper: 24 entity (node) types and 24
+relationship types, each with a description, identifying properties, and
+permitted endpoint combinations.  The loader validates imported data
+against this schema, and the studies use it for documentation.
+"""
+
+from repro.ontology.entities import ENTITIES, EntityDef, entity
+from repro.ontology.relationships import RELATIONSHIPS, RelationshipDef, relationship
+from repro.ontology.schema import (
+    REFERENCE_PROPERTIES,
+    OntologyViolation,
+    SchemaValidator,
+)
+
+__all__ = [
+    "ENTITIES",
+    "EntityDef",
+    "OntologyViolation",
+    "REFERENCE_PROPERTIES",
+    "RELATIONSHIPS",
+    "RelationshipDef",
+    "SchemaValidator",
+    "entity",
+    "relationship",
+]

@@ -1,0 +1,120 @@
+"""Entity (node type) definitions — Table 6 of the paper.
+
+Each entity names the property (or properties) that uniquely identify a
+node of that type.  Entities flagged ``loose`` (IXP, Organization, Name)
+are identified by name only loosely; exact identification goes through
+EXTERNAL_ID relationships to ID nodes, exactly as in IYP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EntityDef:
+    """One node type of the ontology."""
+
+    label: str
+    key_properties: tuple[str, ...]
+    description: str
+    loose: bool = False  # identity is approximate (see EXTERNAL_ID)
+
+
+ENTITIES: dict[str, EntityDef] = {
+    e.label: e
+    for e in [
+        EntityDef("AS", ("asn",), "Autonomous System, identified by its ASN."),
+        EntityDef(
+            "AtlasMeasurement", ("id",), "RIPE Atlas measurement, identified by id."
+        ),
+        EntityDef("AtlasProbe", ("id",), "RIPE Atlas probe, identified by id."),
+        EntityDef(
+            "AuthoritativeNameServer",
+            ("name",),
+            "Authoritative DNS nameserver for a set of domain names.",
+        ),
+        EntityDef(
+            "BGPCollector",
+            ("name",),
+            "A RIPE RIS or RouteViews BGP collector, identified by name.",
+        ),
+        EntityDef(
+            "CaidaIXID", ("id",), "Unique IXP identifier from CAIDA's IXP dataset."
+        ),
+        EntityDef(
+            "Country",
+            ("country_code",),
+            "An economy, identified by its two-letter (country_code) or "
+            "three-letter (alpha3) code.",
+        ),
+        EntityDef(
+            "DomainName",
+            ("name",),
+            "A DNS zone / domain name that is not necessarily a resolvable "
+            "FQDN (see HostName).",
+        ),
+        EntityDef(
+            "Estimate",
+            ("name",),
+            "A report approximating a quantity, e.g. the World Bank "
+            "population estimate.",
+        ),
+        EntityDef(
+            "Facility", ("name",), "Co-location facility for IXPs and ASes.", loose=True
+        ),
+        EntityDef("HostName", ("name",), "A fully qualified domain name."),
+        EntityDef(
+            "IP",
+            ("ip",),
+            "An IPv4 or IPv6 address; the af property gives the address family.",
+        ),
+        EntityDef(
+            "IXP", ("name",), "An Internet Exchange Point, loosely identified by "
+            "name (see EXTERNAL_ID).", loose=True,
+        ),
+        EntityDef(
+            "Name", ("name",), "A name that can be associated to a network resource."
+        ),
+        EntityDef(
+            "OpaqueID",
+            ("id",),
+            "Opaque-id from RIR delegated files; resources sharing one are "
+            "registered to the same holder.",
+        ),
+        EntityDef(
+            "Organization", ("name",), "An organization, loosely identified by name.",
+            loose=True,
+        ),
+        EntityDef(
+            "PeeringdbFacID", ("id",), "Facility identifier assigned by PeeringDB."
+        ),
+        EntityDef("PeeringdbIXID", ("id",), "IXP identifier assigned by PeeringDB."),
+        EntityDef("PeeringdbNetID", ("id",), "AS identifier assigned by PeeringDB."),
+        EntityDef(
+            "PeeringdbOrgID", ("id",), "Organization identifier assigned by PeeringDB."
+        ),
+        EntityDef(
+            "Prefix",
+            ("prefix",),
+            "An IPv4 or IPv6 prefix; the af property gives the address family.",
+        ),
+        EntityDef(
+            "Ranking",
+            ("name",),
+            "A ranking of Internet resources (e.g. Tranco); rank values live "
+            "on RANK relationships.",
+        ),
+        EntityDef(
+            "Tag",
+            ("label",),
+            "The output of a manual or automated classification.",
+        ),
+        EntityDef("URL", ("url",), "The full URL of an Internet resource."),
+    ]
+}
+
+
+def entity(label: str) -> EntityDef:
+    """Return the entity definition for a label; raises KeyError."""
+    return ENTITIES[label]

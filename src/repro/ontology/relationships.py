@@ -1,0 +1,201 @@
+"""Relationship type definitions — Table 7 of the paper.
+
+Endpoint constraints list the permitted (start label, end label) pairs.
+A pair of ``("*", "*")`` means unconstrained.  Directions follow IYP's
+modeling: e.g. ``(:AS)-[:ORIGINATE]->(:Prefix)`` and
+``(:DomainName)-[:MANAGED_BY]->(:AuthoritativeNameServer)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RelationshipDef:
+    """One relationship type of the ontology."""
+
+    type: str
+    endpoints: tuple[tuple[str, str], ...]
+    description: str
+
+
+RELATIONSHIPS: dict[str, RelationshipDef] = {
+    r.type: r
+    for r in [
+        RelationshipDef(
+            "ALIAS_OF",
+            (("HostName", "HostName"),),
+            "Equivalent to a DNS CNAME record; relates two HostNames.",
+        ),
+        RelationshipDef(
+            "ASSIGNED",
+            (
+                ("AS", "OpaqueID"),
+                ("Prefix", "OpaqueID"),
+                ("AtlasProbe", "IP"),
+            ),
+            "RIR allocation of a resource to a holder, or the IP assigned "
+            "to an Atlas probe.",
+        ),
+        RelationshipDef(
+            "AVAILABLE",
+            (("AS", "OpaqueID"), ("Prefix", "OpaqueID")),
+            "Resource is unallocated and available at the related RIR.",
+        ),
+        RelationshipDef(
+            "CATEGORIZED",
+            (("AS", "Tag"), ("Prefix", "Tag"), ("URL", "Tag")),
+            "Resource classified according to the Tag.",
+        ),
+        RelationshipDef(
+            "COUNTRY",
+            (("*", "Country"),),
+            "Relates any node to a country (geo-location or registration).",
+        ),
+        RelationshipDef(
+            "DEPENDS_ON",
+            (("AS", "AS"), ("Prefix", "AS"), ("Country", "AS")),
+            "Reachability of the AS/Prefix (or a country's networks as a "
+            "whole) depends on a certain AS.",
+        ),
+        RelationshipDef(
+            "EXTERNAL_ID",
+            (
+                ("AS", "PeeringdbNetID"),
+                ("IXP", "PeeringdbIXID"),
+                ("IXP", "CaidaIXID"),
+                ("Facility", "PeeringdbFacID"),
+                ("Organization", "PeeringdbOrgID"),
+            ),
+            "Relates a node to an identifier used by an organization.",
+        ),
+        RelationshipDef(
+            "LOCATED_IN",
+            (
+                ("IXP", "Facility"),
+                ("AS", "Facility"),
+                ("AtlasProbe", "AS"),
+                ("IP", "Facility"),
+            ),
+            "Geographical or topological location of a resource.",
+        ),
+        RelationshipDef(
+            "MANAGED_BY",
+            (
+                ("AS", "Organization"),
+                ("DomainName", "AuthoritativeNameServer"),
+                ("IXP", "Organization"),
+                ("Prefix", "Organization"),
+                ("Prefix", "AuthoritativeNameServer"),
+            ),
+            "Entity in charge of a network resource (an AS by its "
+            "organization, a DomainName or a reverse zone by its "
+            "authoritative nameserver).",
+        ),
+        RelationshipDef(
+            "MEMBER_OF",
+            (("AS", "IXP"), ("AS", "Organization")),
+            "Membership of an organization, e.g. an AS is member of an IXP.",
+        ),
+        RelationshipDef(
+            "NAME",
+            (("*", "Name"),),
+            "Relates an entity to its usual or registered name.",
+        ),
+        RelationshipDef(
+            "ORIGINATE",
+            (("AS", "Prefix"),),
+            "The prefix is seen originated by that AS in BGP.",
+        ),
+        RelationshipDef(
+            "PARENT",
+            (("DomainName", "DomainName"),),
+            "Zone cut between a parent zone and a more specific zone.",
+        ),
+        RelationshipDef(
+            "PART_OF",
+            (
+                ("IP", "Prefix"),
+                ("Prefix", "Prefix"),
+                ("HostName", "DomainName"),
+                ("DomainName", "DomainName"),
+                ("AtlasProbe", "AtlasMeasurement"),
+                ("URL", "HostName"),
+            ),
+            "One entity is a part of another (IP in Prefix, HostName in "
+            "DomainName, covered Prefix in covering Prefix, participating "
+            "probe in Atlas measurement).",
+        ),
+        RelationshipDef(
+            "PEERS_WITH",
+            (("AS", "AS"), ("AS", "BGPCollector")),
+            "BGP connection between two ASes, or an AS and a collector.",
+        ),
+        RelationshipDef(
+            "POPULATION",
+            (("AS", "Country"), ("Country", "Estimate"), ("AS", "Estimate")),
+            "Fraction of a country's Internet population hosted by an AS, "
+            "or a country's estimated population.",
+        ),
+        RelationshipDef(
+            "QUERIED_FROM",
+            (("DomainName", "AS"), ("DomainName", "Country")),
+            "The AS/Country is among the top querying the DomainName "
+            "(Cloudflare Radar).",
+        ),
+        RelationshipDef(
+            "RANK",
+            (("*", "Ranking"),),
+            "The resource appears in the Ranking; the rank property gives "
+            "the position.",
+        ),
+        RelationshipDef(
+            "RESERVED",
+            (("AS", "OpaqueID"), ("Prefix", "OpaqueID")),
+            "Resource reserved for a certain purpose by RIRs or IANA.",
+        ),
+        RelationshipDef(
+            "RESOLVES_TO",
+            (
+                ("HostName", "IP"),
+                ("AuthoritativeNameServer", "IP"),
+            ),
+            "A DNS resolution of the HostName yielded this IP address.",
+        ),
+        RelationshipDef(
+            "ROUTE_ORIGIN_AUTHORIZATION",
+            (("AS", "Prefix"),),
+            "The AS is authorized by RPKI to originate the Prefix.",
+        ),
+        RelationshipDef(
+            "SIBLING_OF",
+            (("AS", "AS"), ("Organization", "Organization")),
+            "The two resources represent the same entity.",
+        ),
+        RelationshipDef(
+            "TARGET",
+            (
+                ("AtlasMeasurement", "IP"),
+                ("AtlasMeasurement", "HostName"),
+                ("AtlasMeasurement", "AS"),
+            ),
+            "An Atlas measurement probes that resource.",
+        ),
+        RelationshipDef(
+            "WEBSITE",
+            (
+                ("URL", "Organization"),
+                ("URL", "Facility"),
+                ("URL", "IXP"),
+                ("URL", "AS"),
+            ),
+            "A common website for the resource.",
+        ),
+    ]
+}
+
+
+def relationship(rel_type: str) -> RelationshipDef:
+    """Return the relationship definition for a type; raises KeyError."""
+    return RELATIONSHIPS[rel_type]

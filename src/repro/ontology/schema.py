@@ -1,0 +1,144 @@
+"""Schema validation of a graph against the IYP ontology.
+
+The validator checks that every node carries a known entity label and
+its identifying properties, that every relationship type is defined and
+connects permitted endpoint labels, and that every relationship carries
+the provenance ("reference") properties of Section 2.2 — except for the
+links added by the refinement pass, which are flagged as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphdb.model import Node, Relationship
+from repro.graphdb.store import GraphStore
+from repro.ontology.entities import ENTITIES
+from repro.ontology.relationships import RELATIONSHIPS
+
+# The provenance properties systematically added to every imported link
+# (paper Section 2.2).
+REFERENCE_PROPERTIES = (
+    "reference_org",
+    "reference_name",
+    "reference_url_info",
+    "reference_url_data",
+    "reference_time_modification",
+    "reference_time_fetch",
+)
+
+
+@dataclass
+class OntologyViolation:
+    """One schema violation found during validation."""
+
+    kind: str  # 'node' or 'relationship'
+    element_id: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.element_id}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Aggregated validation outcome."""
+
+    violations: list[OntologyViolation] = field(default_factory=list)
+    nodes_checked: int = 0
+    relationships_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class SchemaValidator:
+    """Validates a :class:`GraphStore` against the ontology."""
+
+    def __init__(self, require_reference: bool = True):
+        self._require_reference = require_reference
+
+    def validate(self, store: GraphStore) -> ValidationReport:
+        """Validate every node and relationship in the store."""
+        report = ValidationReport()
+        for node in store.iter_nodes():
+            report.nodes_checked += 1
+            self._check_node(node, report)
+        for rel in store.iter_relationships():
+            report.relationships_checked += 1
+            self._check_relationship(store, rel, report)
+        return report
+
+    def _check_node(self, node: Node, report: ValidationReport) -> None:
+        known = [label for label in node.labels if label in ENTITIES]
+        if not known:
+            report.violations.append(
+                OntologyViolation(
+                    "node", node.id, f"no ontology label among {sorted(node.labels)}"
+                )
+            )
+            return
+        for label in known:
+            definition = ENTITIES[label]
+            missing = [
+                key
+                for key in definition.key_properties
+                if key not in node.properties
+            ]
+            if missing:
+                report.violations.append(
+                    OntologyViolation(
+                        "node",
+                        node.id,
+                        f":{label} missing identifying properties {missing}",
+                    )
+                )
+
+    def _check_relationship(
+        self, store: GraphStore, rel: Relationship, report: ValidationReport
+    ) -> None:
+        definition = RELATIONSHIPS.get(rel.type)
+        if definition is None:
+            report.violations.append(
+                OntologyViolation(
+                    "relationship", rel.id, f"unknown relationship type :{rel.type}"
+                )
+            )
+            return
+        start = store.get_node(rel.start_id)
+        end = store.get_node(rel.end_id)
+        if not self._endpoints_permitted(definition.endpoints, start, end):
+            report.violations.append(
+                OntologyViolation(
+                    "relationship",
+                    rel.id,
+                    f":{rel.type} between {sorted(start.labels)} and "
+                    f"{sorted(end.labels)} not permitted by the ontology",
+                )
+            )
+        if self._require_reference and "reference_name" not in rel.properties:
+            report.violations.append(
+                OntologyViolation(
+                    "relationship",
+                    rel.id,
+                    f":{rel.type} lacks provenance (reference_name)",
+                )
+            )
+
+    @staticmethod
+    def _endpoints_permitted(
+        endpoints: tuple[tuple[str, str], ...], start: Node, end: Node
+    ) -> bool:
+        for start_label, end_label in endpoints:
+            start_ok = start_label == "*" or start_label in start.labels
+            end_ok = end_label == "*" or end_label in end.labels
+            if start_ok and end_ok:
+                return True
+            # IYP relationships are stored directed but queried
+            # undirected; accept the reverse orientation too.
+            rev_start_ok = end_label == "*" or end_label in start.labels
+            rev_end_ok = start_label == "*" or start_label in end.labels
+            if rev_start_ok and rev_end_ok:
+                return True
+        return False

@@ -1,0 +1,11 @@
+"""Graph construction pipeline: import all datasets, then refine.
+
+:func:`build_iyp` is the one-call entry point used by the examples and
+benchmarks: synthetic world in, fully fused and refined knowledge graph
+out.
+"""
+
+from repro.pipeline.build import BuildReport, build_iyp
+from repro.pipeline.postprocess import REFINEMENT_REFERENCE, run_postprocessing
+
+__all__ = ["BuildReport", "REFINEMENT_REFERENCE", "build_iyp", "run_postprocessing"]

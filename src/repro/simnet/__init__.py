@@ -1,0 +1,43 @@
+"""A deterministic synthetic Internet.
+
+The paper builds IYP from 46 live datasets (BGP tables, RPKI
+repositories, DNS measurement platforms, PeeringDB...).  Those sources
+are unreachable offline, so this package generates a *coherent* synthetic
+Internet — AS-level topology, address allocations, BGP routing, RPKI,
+DNS hosting, rankings, IXPs — from a single seeded model.  Every dataset
+crawler in :mod:`repro.datasets` then derives its input file from this
+world in the original source's native format, which keeps the paper's
+entire extract-transform-load path exercised.
+
+The generator's knobs (:class:`WorldConfig`) are calibrated so the 2024
+evaluation results keep their shape: RPKI coverage above 50% with CDNs
+highest and academic/government networks lowest, a tiny invalid fraction
+dominated by max-length mistakes, heavy DNS consolidation, and SPoF
+concentration on US-registered ASes.
+"""
+
+from repro.simnet.config import WorldConfig
+from repro.simnet.world import (
+    ASInfo,
+    DNSProvider,
+    DomainInfo,
+    NameServerInfo,
+    OrgInfo,
+    PrefixInfo,
+    TLDInfo,
+    World,
+    build_world,
+)
+
+__all__ = [
+    "ASInfo",
+    "DNSProvider",
+    "DomainInfo",
+    "NameServerInfo",
+    "OrgInfo",
+    "PrefixInfo",
+    "TLDInfo",
+    "World",
+    "WorldConfig",
+    "build_world",
+]

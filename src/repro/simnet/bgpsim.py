@@ -1,0 +1,167 @@
+"""BGP route propagation with Gao-Rexford policies.
+
+Computes, for every origin AS, the best route each other AS selects
+under the standard valley-free model:
+
+- routes learned from customers are exported to everyone;
+- routes learned from peers or providers are exported to customers only;
+- route preference: customer > peer > provider, then shortest AS path,
+  then lowest next-hop ASN (deterministic tie-break).
+
+The simulator powers two datasets: PCH routing snapshots carry the AS
+paths the collector peers select, and IHR's AS hegemony is computed
+from the simulated paths exactly as the real dataset is computed from
+BGP — the fraction of ASes whose best path toward an origin traverses a
+given transit AS.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.simnet.world import World
+
+Path = tuple[int, ...]
+
+
+@dataclass
+class RoutingState:
+    """Results of route propagation."""
+
+    # (source asn, origin asn) -> selected AS path (source first).
+    collector_paths: dict[tuple[int, int], Path] = field(default_factory=dict)
+    # origin asn -> {transit asn: hegemony score in [0, 1]}.
+    hegemony: dict[int, dict[int, float]] = field(default_factory=dict)
+
+
+def propagate(world: World, sources: set[int]) -> RoutingState:
+    """Run propagation for every origin; keep paths for ``sources``."""
+    providers_of = {asn: sorted(info.providers) for asn, info in world.ases.items()}
+    customers_of = {asn: sorted(info.customers) for asn, info in world.ases.items()}
+    peers_of = {asn: sorted(info.peers) for asn, info in world.ases.items()}
+    origins = sorted({origin for p in world.prefixes.values() for origin in p.origins})
+    n_ases = len(world.ases)
+    state = RoutingState()
+    for origin in origins:
+        best = _best_paths(origin, providers_of, customers_of, peers_of)
+        for source in sources:
+            path = best.get(source)
+            if path is not None:
+                state.collector_paths[(source, origin)] = path
+        counts: dict[int, int] = {}
+        for source, path in best.items():
+            for transit in path[1:-1]:  # neither source nor origin
+                counts[transit] = counts.get(transit, 0) + 1
+        state.hegemony[origin] = {
+            transit: round(count / max(n_ases - 1, 1), 6)
+            for transit, count in counts.items()
+            if count / max(n_ases - 1, 1) >= 0.001
+        }
+    return state
+
+
+def _best_paths(
+    origin: int,
+    providers_of: dict[int, list[int]],
+    customers_of: dict[int, list[int]],
+    peers_of: dict[int, list[int]],
+) -> dict[int, Path]:
+    """Best selected path from every AS toward ``origin``."""
+    # Phase 1 -- customer routes: propagate from the origin upward along
+    # customer->provider edges (BFS: unweighted, shortest first).
+    customer_route: dict[int, Path] = {origin: (origin,)}
+    queue: deque[int] = deque([origin])
+    while queue:
+        current = queue.popleft()
+        for provider in providers_of[current]:
+            if provider not in customer_route:
+                customer_route[provider] = (provider,) + customer_route[current]
+                queue.append(provider)
+
+    # Phase 2 -- peer routes: one lateral hop from an AS holding a
+    # customer route.  Customer routes always win, so only ASes without
+    # one select a peer route.
+    peer_route: dict[int, Path] = {}
+    for asn, peers in peers_of.items():
+        if asn in customer_route:
+            continue
+        best: Path | None = None
+        for peer in peers:
+            via = customer_route.get(peer)
+            if via is None:
+                continue
+            candidate = (asn,) + via
+            if best is None or (len(candidate), candidate[1]) < (len(best), best[1]):
+                best = candidate
+        if best is not None:
+            peer_route[asn] = best
+
+    # Phase 3 -- provider routes: propagate downward along
+    # provider->customer edges from every AS that has any route, using
+    # a Dijkstra-style frontier so shorter paths win deterministically.
+    selected: dict[int, Path] = dict(customer_route)
+    selected.update(peer_route)
+    frontier: list[tuple[int, int, Path]] = [
+        (len(path), asn, path) for asn, path in selected.items()
+    ]
+    heapq.heapify(frontier)
+    provider_route: dict[int, Path] = {}
+    while frontier:
+        length, current, path = heapq.heappop(frontier)
+        current_best = selected.get(current)
+        if current_best is not None and len(current_best) < length:
+            continue  # stale entry
+        for customer in customers_of[current]:
+            if customer in customer_route or customer in peer_route:
+                continue
+            candidate = (customer,) + path
+            existing = provider_route.get(customer)
+            if existing is not None and (len(existing), existing[1]) <= (
+                len(candidate), candidate[1]
+            ):
+                continue
+            provider_route[customer] = candidate
+            selected[customer] = candidate
+            heapq.heappush(frontier, (len(candidate), customer, candidate))
+    return selected
+
+
+def is_valley_free(
+    path: Path,
+    providers_of: dict[int, list[int]],
+    peers_of: dict[int, list[int]],
+) -> bool:
+    """Check the Gao-Rexford validity of a path (source ... origin).
+
+    Walking from the source toward the origin, the sequence of hop
+    types must be: zero or more provider-hops (downhill toward the
+    origin means the *previous* AS learned from a customer)... the
+    practical check: reading from origin to source, hops go up
+    (customer->provider) zero or more times, then at most one peer hop,
+    then down (provider->customer) zero or more times.
+    """
+    reversed_path = tuple(reversed(path))  # origin ... source
+    phase = "up"
+    for first, second in zip(reversed_path, reversed_path[1:]):
+        if second in providers_of.get(first, ()):  # climbing
+            hop = "up"
+        elif first in providers_of.get(second, ()):  # descending
+            hop = "down"
+        elif second in peers_of.get(first, ()):
+            hop = "peer"
+        else:
+            hop = "down"
+        if phase == "up":
+            if hop == "up":
+                continue
+            phase = "peer" if hop == "peer" else "down"
+        elif phase == "peer":
+            if hop != "down":
+                return False
+            phase = "down"
+        else:  # down
+            if hop != "down":
+                return False
+    return True

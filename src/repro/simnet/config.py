@@ -1,0 +1,147 @@
+"""Configuration of the synthetic Internet generator.
+
+The defaults are calibrated against the paper's 2024 measurements (see
+DESIGN.md, "Calibration targets").  ``scale`` multiplies the entity
+counts so tests can run on a small world and benchmarks on a larger one
+without touching the distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorldConfig:
+    """Knobs of the synthetic world.
+
+    Counts are at scale=1.0; pass e.g. ``scale=0.2`` for a small test
+    world.  Probabilities are absolute and unaffected by scale.
+    """
+
+    seed: int = 20240501
+    scale: float = 1.0
+
+    # Topology ---------------------------------------------------------
+    n_ases: int = 1200
+    n_tier1: int = 12
+    n_ixps: int = 40
+    n_collectors: int = 6
+    n_facilities: int = 60
+    multi_as_org_fraction: float = 0.06  # orgs holding several ASes (siblings)
+
+    # Addressing -------------------------------------------------------
+    mean_prefixes_per_as: float = 4.0
+    ipv6_prefix_fraction: float = 0.3
+    moas_fraction: float = 0.01  # prefixes with multiple origin ASes
+    anycast_fraction: float = 0.04
+
+    # RPKI: per-category probability that an AS registers ROAs for its
+    # prefixes.  Calibrated to Table 2 / Section 4.1.4 of the paper.
+    rpki_propensity: dict[str, float] = field(
+        default_factory=lambda: {
+            "Content Delivery Network": 0.82,
+            "DDoS Mitigation": 0.76,
+            "Cloud": 0.70,
+            "DNS Provider": 0.62,
+            "Tier1": 0.65,
+            "ISP": 0.55,
+            "Hosting": 0.62,
+            "Academic": 0.16,
+            "Government": 0.21,
+            "Enterprise": 0.40,
+        }
+    )
+    # Fraction of announced prefix/origin pairs that are RPKI invalid,
+    # and the share of those invalids caused by a too-small maxLength.
+    rpki_invalid_fraction: float = 0.0012
+    rpki_invalid_maxlen_share: float = 0.75
+
+    # IRR --------------------------------------------------------------
+    irr_coverage: float = 0.6
+
+    # DNS / web --------------------------------------------------------
+    n_domains: int = 20000
+    top100k_equivalent: float = 0.1  # top/bottom band size as list fraction
+    com_net_org_fraction: float = 0.49  # Table 3 "Coverage"
+    discarded_fraction: float = 0.10  # SLDs without in-zone glue data
+    in_zone_glue_fraction: float = 0.76
+    # NS-count mix for .com/.net/.org SLDs (Table 3 2024 row):
+    # not meet (1 NS) / meet (2 NS) / exceed (>2 NS), relative to kept SLDs.
+    ns_not_meet: float = 0.045
+    ns_meet: float = 0.20
+    # remainder exceeds requirements
+    n_dns_providers: int = 30
+    self_hosted_dns_fraction: float = 0.12
+    n_nameserver_slash24s_per_provider: int = 2
+    cname_fraction: float = 0.12
+    # Cohort hosting mix: probability that a domain in the top / middle /
+    # bottom rank band is hosted on a CDN.
+    cdn_hosted_top: float = 0.45
+    cdn_hosted_middle: float = 0.12
+    cdn_hosted_bottom: float = 0.18
+
+    # Rankings ----------------------------------------------------------
+    umbrella_overlap: float = 0.6  # Cisco Umbrella coverage of Tranco names
+    cloudflare_top_fraction: float = 0.05
+
+    # Atlas --------------------------------------------------------------
+    n_atlas_probes: int = 300
+    n_atlas_measurements: int = 120
+
+    # Injected data error (Section 6.1 dataset-comparison lesson):
+    # BGPKIT pfx2asn reports a wrong origin for this fraction of IPv6
+    # prefixes, which the comparison study must detect against IHR ROV.
+    bgpkit_ipv6_error_fraction: float = 0.01
+
+    def scaled(self, count: int | float) -> int:
+        """Scale an entity count, keeping at least 1."""
+        return max(1, int(round(count * self.scale)))
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "WorldConfig":
+        """A small world for unit tests (builds in well under a second)."""
+        return cls(seed=seed, scale=0.1, n_domains=2000, n_ases=250)
+
+    @classmethod
+    def medium(cls, seed: int = 20240501) -> "WorldConfig":
+        """A medium world for integration tests and fast benches."""
+        return cls(seed=seed, scale=0.5, n_domains=8000, n_ases=700)
+
+    @classmethod
+    def year2015(cls, seed: int = 20150601, scale: float = 0.5,
+                 n_domains: int = 8000, n_ases: int = 700) -> "WorldConfig":
+        """A 2015-era Internet, for the paper's temporal contrast.
+
+        Calibrated to the original RiPKI and DNS Robustness numbers:
+        near-zero RPKI deployment (6% coverage overall, 0.9% for CDNs),
+        the old nameserver-count mix (meet ≈ 39%, exceed ≈ 20%, not
+        meet ≈ 28%), and less DNS/web consolidation.
+        """
+        config = cls(seed=seed, scale=scale, n_domains=n_domains, n_ases=n_ases)
+        config.rpki_propensity = {
+            "Content Delivery Network": 0.01,
+            "DDoS Mitigation": 0.08,
+            "Cloud": 0.05,
+            "DNS Provider": 0.06,
+            "Tier1": 0.10,
+            "ISP": 0.06,
+            "Hosting": 0.06,
+            "Academic": 0.03,
+            "Government": 0.03,
+            "Enterprise": 0.04,
+        }
+        config.rpki_invalid_fraction = 0.0009  # paper 2015: 0.09%
+        # 2015 NS-count mix (relative to kept SLDs): not meet ~31%,
+        # meet ~44%, remainder exceeds -- matching the ~28/39/20 split
+        # of the original study after the ~13% discarded share.
+        config.ns_not_meet = 0.31
+        config.ns_meet = 0.44
+        config.discarded_fraction = 0.135
+        # Less consolidation and far less CDN hosting.
+        config.cdn_hosted_top = 0.12
+        config.cdn_hosted_middle = 0.03
+        config.cdn_hosted_bottom = 0.03
+        config.self_hosted_dns_fraction = 0.30
+        config.anycast_fraction = 0.01
+        return config

@@ -1,0 +1,65 @@
+"""IXPs, co-location facilities, and the PeeringDB identifier space.
+
+PeeringDB assigns its own IDs to networks, IXPs, facilities, and
+organizations; CAIDA's IXP dataset has an independent ID space.  Both
+are modeled so the EXTERNAL_ID machinery of the ontology is exercised
+with two genuinely different identifier systems for the same IXPs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.simnet.world import IXPInfo, World
+
+_IXP_CITIES = [
+    ("AMS", "NL"), ("FRA", "DE"), ("LON", "GB"), ("NYC", "US"), ("ASH", "US"),
+    ("SAO", "BR"), ("TOK", "JP"), ("SIN", "SG"), ("SYD", "AU"), ("PAR", "FR"),
+    ("MOW", "RU"), ("HKG", "HK"), ("JNB", "ZA"), ("MAD", "ES"), ("WAW", "PL"),
+    ("STO", "SE"), ("MIL", "IT"), ("VIE", "AT"), ("PRG", "CZ"), ("DUB", "IE"),
+]
+
+
+def build_ixps(world: World, rng: random.Random) -> None:
+    """Create IXPs, facilities, and membership lists."""
+    config = world.config
+    n_ixps = config.scaled(config.n_ixps)
+    n_facilities = config.scaled(config.n_facilities)
+    for index in range(n_facilities):
+        city, country = _IXP_CITIES[index % len(_IXP_CITIES)]
+        world.facilities.append((f"DataDock {city} {index // len(_IXP_CITIES) + 1}", country))
+
+    asns = list(world.ases)
+    # Membership counts follow a heavy-tailed distribution: the biggest
+    # exchanges have hundreds of members, the tail a handful.
+    for index in range(n_ixps):
+        city, country = _IXP_CITIES[index % len(_IXP_CITIES)]
+        name = f"{city}-IX" if index < len(_IXP_CITIES) else f"{city}-IX {index}"
+        share = 0.45 / (index + 1) ** 0.7
+        n_members = max(3, int(len(asns) * share))
+        members = sorted(rng.sample(asns, min(n_members, len(asns))))
+        facility = world.facilities[index % len(world.facilities)][0]
+        world.ixps[index + 1] = IXPInfo(
+            name=name,
+            country=country,
+            peeringdb_ix_id=index + 1,
+            caida_ix_id=1000 + index,
+            members=members,
+            facility=facility,
+            website=f"https://www.{name.lower().replace(' ', '')}.example",
+        )
+
+    # PeeringDB net/org IDs for a large subset of ASes.
+    next_net_id = 1
+    next_org_id = 1
+    org_ids: dict[str, int] = {}
+    for asn in sorted(world.ases):
+        info = world.ases[asn]
+        if rng.random() < 0.75:
+            info.peeringdb_net_id = next_net_id
+            next_net_id += 1
+            org = world.orgs[info.org_name]
+            if org.peeringdb_org_id is None:
+                org.peeringdb_org_id = next_org_id
+                org_ids[info.org_name] = next_org_id
+                next_org_id += 1

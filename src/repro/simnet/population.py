@@ -1,0 +1,45 @@
+"""Population data: World Bank country estimates and APNIC-style
+per-AS Internet population shares.
+
+Within each country the eyeball ASes split the user population with a
+heavy-tailed market share, mirroring the APNIC "AS population estimate"
+dataset (the POPULATION relationships of the ontology).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.nettypes.countries import iter_countries
+from repro.simnet.world import World
+
+# Rough relative population weights so country estimates look sane.
+_POPULATION_BASE = {
+    "CN": 1_410, "IN": 1_390, "US": 333, "ID": 275, "PK": 230, "BR": 214,
+    "NG": 216, "BD": 170, "RU": 146, "MX": 128, "JP": 125, "PH": 113,
+    "VN": 98, "EG": 104, "TR": 85, "IR": 86, "DE": 83, "TH": 70, "GB": 67,
+    "FR": 65, "IT": 59, "ZA": 60, "KR": 52, "CO": 51, "ES": 47, "AR": 46,
+    "UA": 41, "CA": 38, "PL": 38, "SA": 35, "MY": 33, "AU": 26, "TW": 24,
+    "CL": 19, "NL": 18, "EC": 18, "KE": 54,
+}
+
+
+def build_population(world: World, rng: random.Random) -> None:
+    """Create country populations and per-AS user shares."""
+    for country in iter_countries():
+        base = _POPULATION_BASE.get(country.alpha2, rng.randint(4, 40))
+        world.country_population[country.alpha2] = base * 1_000_000 + rng.randint(
+            0, 900_000
+        )
+    by_country: dict[str, list[int]] = {}
+    for asn, info in world.ases.items():
+        if info.category == "ISP":
+            by_country.setdefault(info.country, []).append(asn)
+    for country, asns in by_country.items():
+        asns.sort()
+        weights = [1.0 / (index + 1) ** 1.3 for index in range(len(asns))]
+        total = sum(weights)
+        for asn, weight in zip(asns, weights):
+            share = round(100.0 * weight / total, 2)
+            if share > 0:
+                world.as_population[(country, asn)] = share

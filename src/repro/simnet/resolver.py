@@ -1,0 +1,130 @@
+"""A simulated iterative DNS resolver over the synthetic zone data.
+
+Validates that the world's delegation chains actually work the way DNS
+does: to resolve a name, walk the zone hierarchy (TLD, then registrable
+domain), obtain the zone's nameserver set, and — crucially — obtain an
+*address* for at least one nameserver.  In-bailiwick nameservers come
+with glue; out-of-bailiwick nameservers must themselves be resolved
+first, which is exactly where circular dependencies and missing glue
+bite real operators (and what the SPoF study's third-party chains are
+made of).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nettypes.dns import is_subdomain_of, public_suffix, registered_domain
+from repro.simnet.dns import zone_nameservers
+from repro.simnet.world import World
+
+
+@dataclass
+class Resolution:
+    """Outcome of one resolution."""
+
+    name: str
+    ips: list[str] = field(default_factory=list)
+    zones_visited: list[str] = field(default_factory=list)
+    nameservers_used: list[str] = field(default_factory=list)
+    failure: str | None = None  # 'nxdomain' | 'no-glue' | 'cycle' | 'depth'
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None and bool(self.ips)
+
+
+class SimResolver:
+    """Iterative resolution over the world's zone cuts."""
+
+    def __init__(self, world: World, max_depth: int = 8):
+        self._world = world
+        self._zones = zone_nameservers(world)
+        self._max_depth = max_depth
+
+    def resolve(self, name: str, _visiting: frozenset[str] = frozenset(),
+                _depth: int = 0) -> Resolution:
+        """Resolve a hostname to its addresses, walking delegations."""
+        result = Resolution(name=name)
+        if _depth > self._max_depth:
+            result.failure = "depth"
+            return result
+        if name in _visiting:
+            result.failure = "cycle"
+            return result
+        _visiting = _visiting | {name}
+
+        # The zone holding this name: its registrable domain, falling
+        # back to the TLD (for names like nic.<tld> hosts).
+        registrable = registered_domain(name)
+        suffix = public_suffix(name)
+        zone = None
+        for candidate in (registrable, suffix):
+            if candidate and candidate in self._zones:
+                zone = candidate
+                break
+        if zone is None:
+            result.failure = "nxdomain"
+            return result
+
+        # Walk the hierarchy: TLD first, then the zone itself.
+        if suffix != zone and suffix in self._zones:
+            result.zones_visited.append(suffix)
+        result.zones_visited.append(zone)
+
+        # Obtain an address for one of the zone's nameservers.
+        reachable_ns = None
+        for ns_name in self._zones[zone]:
+            ips = self._nameserver_address(ns_name, zone, _visiting, _depth)
+            if ips:
+                reachable_ns = ns_name
+                result.nameservers_used.append(ns_name)
+                break
+        if reachable_ns is None:
+            result.failure = "no-glue"
+            return result
+
+        # Finally, the answer itself.
+        answer = self._answer(name)
+        if answer is None:
+            result.failure = "nxdomain"
+            return result
+        result.ips = answer
+        return result
+
+    def _nameserver_address(
+        self, ns_name: str, zone: str, visiting: frozenset[str], depth: int
+    ) -> list[str]:
+        info = self._world.nameservers.get(ns_name)
+        if info is None:
+            return []
+        if is_subdomain_of(ns_name, zone):
+            return info.ips  # glue record travels with the delegation
+        # Out-of-bailiwick: the resolver must resolve the NS name itself.
+        sub = self.resolve(ns_name, visiting, depth + 1)
+        return sub.ips if sub.ok else []
+
+    def _answer(self, name: str) -> list[str] | None:
+        domain = self._world.domains.get(name)
+        if domain is not None:
+            return list(domain.ips)
+        ns_info = self._world.nameservers.get(name)
+        if ns_info is not None:
+            return list(ns_info.ips)
+        return None
+
+
+def resolution_report(world: World, sample: int | None = None) -> dict[str, int]:
+    """Resolve (a sample of) every ranked domain; count outcomes."""
+    resolver = SimResolver(world)
+    names = world.tranco[:sample] if sample else world.tranco
+    outcomes: dict[str, int] = {"ok": 0}
+    for name in names:
+        result = resolver.resolve(name)
+        if result.ok:
+            outcomes["ok"] += 1
+        else:
+            outcomes[result.failure or "unknown"] = (
+                outcomes.get(result.failure or "unknown", 0) + 1
+            )
+    return outcomes

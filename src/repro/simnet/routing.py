@@ -1,0 +1,55 @@
+"""BGP routing artifacts: MOAS, anycast, collectors and their peers.
+
+The announced prefixes already exist (addressing); this step adds the
+routing-layer phenomena the datasets expose: multi-origin prefixes, an
+anycast flag (BGP.Tools anycast-prefixes dataset), and the RIS/PCH
+collector infrastructure with its peering ASes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.simnet.world import World
+
+
+def build_routing(world: World, rng: random.Random) -> None:
+    """Add MOAS origins, anycast flags, and BGP collectors."""
+    config = world.config
+    asns = list(world.ases)
+    prefixes = list(world.prefixes.values())
+
+    n_moas = int(len(prefixes) * config.moas_fraction)
+    for info in rng.sample(prefixes, n_moas):
+        extra = rng.choice(asns)
+        if extra not in info.origins:
+            info.origins.append(extra)
+
+    # Anycast prefixes live disproportionately in CDN / DNS / DDoS ASes.
+    anycast_friendly = {
+        asn
+        for asn, info in world.ases.items()
+        if info.category in ("Content Delivery Network", "DNS Provider",
+                             "DDoS Mitigation", "Cloud")
+    }
+    for info in prefixes:
+        base = config.anycast_fraction
+        probability = base * 8 if info.origins[0] in anycast_friendly else base / 2
+        if rng.random() < probability:
+            info.anycast = True
+
+    # Collectors: RIS-style rrc collectors; tier-1s and a sample of other
+    # ASes peer with them (PEERS_WITH in the graph).
+    world.collectors = [f"rrc{i:02d}" for i in range(config.scaled(config.n_collectors))]
+    tier1 = [asn for asn, info in world.ases.items() if info.category == "Tier1"]
+    for collector in world.collectors:
+        sample_size = min(len(asns), max(5, len(asns) // 10))
+        peers = set(tier1) | set(rng.sample(asns, sample_size))
+        world.collector_peers[collector] = sorted(peers)
+
+    # Propagate routes (Gao-Rexford) so collector dumps carry real AS
+    # paths and hegemony can be computed from routing, not topology.
+    from repro.simnet.bgpsim import propagate
+
+    sources = {peer for peers in world.collector_peers.values() for peer in peers}
+    world.routing = propagate(world, sources)

@@ -1,0 +1,65 @@
+"""RPKI (ROAs and route-origin validation) and IRR registration.
+
+Each AS registers ROAs for its prefixes with a probability set by its
+business category (the calibration behind Table 2 and Section 4.1.4: CDN
+and DDoS-mitigation networks near the top, academic and government at
+the bottom).  A small, configurable fraction of announced prefix/origin
+pairs is made RPKI-invalid — 75% of them through a too-small maxLength,
+matching the paper's "75% of invalids are due to a wrong maximum prefix
+length in ROAs".
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.simnet.world import ROA, World
+
+
+def build_rpki(world: World, rng: random.Random) -> None:
+    """Assign ROAs, ROV status, and IRR status to all prefixes."""
+    config = world.config
+    covered = []
+    for info in world.prefixes.values():
+        owner = world.ases[info.origins[0]]
+        if rng.random() < owner.rpki_propensity:
+            length = int(info.prefix.rsplit("/", 1)[1])
+            info.roas.append(ROA(asn=owner.asn, prefix=info.prefix, max_length=length))
+            info.rov_status = "Valid"
+            covered.append(info)
+        else:
+            info.rov_status = "NotFound"
+        # IRR registration is independent of RPKI and more widespread.
+        if rng.random() < config.irr_coverage:
+            info.irr_status = "Valid"
+
+    # Inject the calibrated invalid population.
+    n_invalid = max(1, int(len(world.prefixes) * config.rpki_invalid_fraction))
+    n_invalid = min(n_invalid, len(covered))
+    # Bias the invalids toward content-hosting networks so the RiPKI
+    # query (which only sees prefixes hosting ranked domains) observes a
+    # nonzero invalid fraction, as the paper does (0.12%).
+    hosting_like = [
+        info
+        for info in covered
+        if world.ases[info.origins[0]].category
+        in ("Hosting", "Cloud", "Content Delivery Network", "ISP")
+    ]
+    pool = hosting_like if len(hosting_like) >= n_invalid else covered
+    invalid_sample = rng.sample(pool, n_invalid)
+    asns = list(world.ases)
+    # Deterministic split so the maxLength share matches the configured
+    # 75% even for the handful of invalids a small world produces.
+    n_maxlen = max(1, round(n_invalid * config.rpki_invalid_maxlen_share))
+    for index, info in enumerate(invalid_sample):
+        roa = info.roas[0]
+        if index < n_maxlen:
+            # The operator announced a more-specific than the ROA allows.
+            roa.max_length = max(8, roa.max_length - rng.choice([1, 2, 4]))
+            info.rov_status = "Invalid,more-specific"
+        else:
+            wrong = rng.choice(asns)
+            while wrong == roa.asn:
+                wrong = rng.choice(asns)
+            roa.asn = wrong
+            info.rov_status = "Invalid"

@@ -1,0 +1,227 @@
+"""AS-level topology: ASes, organizations, business categories, AS
+relationships, customer cones, ASRank, and AS hegemony.
+
+The topology is a three-layer transit hierarchy (tier-1 clique, transit
+providers, edge networks) with lateral peering, matching the structure
+CAIDA's ASRank and IHR's hegemony are computed from in the real
+datasets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.simnet.world import ASInfo, OrgInfo, World
+
+# Country weights approximate AS registration counts per economy.
+COUNTRY_WEIGHTS = [
+    ("US", 0.24), ("BR", 0.06), ("RU", 0.06), ("GB", 0.05), ("DE", 0.05),
+    ("CN", 0.04), ("IN", 0.04), ("FR", 0.03), ("JP", 0.03), ("NL", 0.03),
+    ("AU", 0.025), ("CA", 0.025), ("IT", 0.02), ("ES", 0.02), ("PL", 0.02),
+    ("UA", 0.02), ("ID", 0.02), ("KR", 0.015), ("SE", 0.015), ("CH", 0.015),
+    ("TR", 0.015), ("ZA", 0.01), ("AR", 0.01), ("MX", 0.01), ("SG", 0.01),
+    ("HK", 0.01), ("TW", 0.01), ("VN", 0.01), ("NG", 0.01), ("EG", 0.01),
+    ("RO", 0.01), ("CZ", 0.01), ("AT", 0.01), ("BE", 0.01), ("DK", 0.01),
+    ("NO", 0.01), ("FI", 0.01), ("PT", 0.01), ("GR", 0.01), ("IE", 0.01),
+    ("NZ", 0.01), ("CL", 0.01), ("CO", 0.01), ("TH", 0.01), ("MY", 0.01),
+    ("PH", 0.01), ("IL", 0.01), ("SA", 0.01), ("AE", 0.01), ("KE", 0.01),
+]
+
+# (category, weight); Tier1 is assigned separately to the first ASes.
+CATEGORY_WEIGHTS = [
+    ("ISP", 0.44),
+    ("Hosting", 0.16),
+    ("Enterprise", 0.14),
+    ("Academic", 0.07),
+    ("Government", 0.05),
+    ("Cloud", 0.045),
+    ("Content Delivery Network", 0.03),
+    ("DNS Provider", 0.03),
+    ("DDoS Mitigation", 0.015),
+    ("Transit", 0.02),
+]
+
+# Stanford ASdb layer-1 category per BGP.Tools-style category.
+ASDB_MAP = {
+    "ISP": ["Computer and Information Technology", "Internet Service Provider (ISP)"],
+    "Hosting": ["Computer and Information Technology", "Hosting and Cloud Provider"],
+    "Enterprise": ["Retail Stores, Wholesale, and E-commerce Sites"],
+    "Academic": ["Education and Research"],
+    "Government": ["Government and Public Administration"],
+    "Cloud": ["Computer and Information Technology", "Hosting and Cloud Provider"],
+    "Content Delivery Network": [
+        "Computer and Information Technology",
+        "Media, Publishing, and Broadcasting",
+    ],
+    "DNS Provider": ["Computer and Information Technology"],
+    "DDoS Mitigation": ["Computer and Information Technology"],
+    "Transit": ["Computer and Information Technology", "Internet Service Provider (ISP)"],
+    "Tier1": ["Computer and Information Technology", "Internet Service Provider (ISP)"],
+}
+
+_SYLLABLES = [
+    "net", "tel", "com", "link", "data", "core", "edge", "nova", "gig",
+    "byte", "peer", "route", "cloud", "fiber", "wave", "star", "metro",
+    "global", "swift", "zen", "apex", "omni", "vertex", "lumen", "pulse",
+]
+
+
+def weighted_choice(rng: random.Random, weights: list[tuple[str, float]]) -> str:
+    """Pick a key from (key, weight) pairs."""
+    total = sum(weight for _, weight in weights)
+    point = rng.random() * total
+    for key, weight in weights:
+        point -= weight
+        if point <= 0:
+            return key
+    return weights[-1][0]
+
+
+def _as_name(rng: random.Random, category: str, country: str, asn: int) -> str:
+    stem = rng.choice(_SYLLABLES) + rng.choice(_SYLLABLES)
+    suffix = {
+        "Content Delivery Network": "CDN",
+        "DNS Provider": "DNS",
+        "DDoS Mitigation": "SHIELD",
+        "Cloud": "CLOUD",
+        "Academic": "EDU",
+        "Government": "GOV",
+        "Tier1": "BACKBONE",
+    }.get(category, "NET")
+    return f"{stem.upper()}-{suffix}-{country}"
+
+
+def build_topology(world: World, rng: random.Random) -> None:
+    """Populate ``world.ases`` and ``world.orgs``."""
+    config = world.config
+    n_ases = config.n_ases
+    asns = sorted(rng.sample(range(1, 400000), n_ases))
+    categories: list[str] = []
+    for index in range(n_ases):
+        if index < config.n_tier1:
+            categories.append("Tier1")
+        else:
+            categories.append(weighted_choice(rng, CATEGORY_WEIGHTS))
+
+    for index, asn in enumerate(asns):
+        category = categories[index]
+        country = weighted_choice(rng, COUNTRY_WEIGHTS)
+        if category == "Tier1":
+            country = rng.choice(["US", "US", "US", "JP", "DE", "FR", "SE", "IT"])
+        # The infrastructure heavyweights that the SPoF study surfaces
+        # are predominantly US-registered, as in the real Internet.
+        if category in ("Content Delivery Network", "DNS Provider", "Cloud",
+                        "DDoS Mitigation") and rng.random() < 0.7:
+            country = "US"
+        name = _as_name(rng, category, country, asn)
+        info = ASInfo(
+            asn=asn,
+            name=name,
+            org_name=f"{name.title().replace('-', ' ')} LLC",
+            country=country,
+            category=category,
+            asdb_categories=list(ASDB_MAP[category]),
+            rpki_propensity=config.rpki_propensity.get(
+                category, config.rpki_propensity.get("Enterprise", 0.4)
+            ),
+        )
+        if category == "Tier1":
+            info.extra_tags.append("Tier1")
+            info.rpki_propensity = config.rpki_propensity["Tier1"]
+        if category == "ISP" and rng.random() < 0.6:
+            info.extra_tags.append("Eyeball")
+        world.ases[asn] = info
+
+    _build_orgs(world, rng)
+    _build_as_graph(world, rng, asns, categories)
+    _compute_cones_and_ranks(world, asns)
+
+
+def _build_orgs(world: World, rng: random.Random) -> None:
+    """One org per AS, then merge a fraction into multi-AS (sibling) orgs."""
+    config = world.config
+    for info in world.ases.values():
+        org = world.orgs.setdefault(
+            info.org_name, OrgInfo(name=info.org_name, country=info.country)
+        )
+        org.asns.append(info.asn)
+        org.website = f"https://www.{info.name.lower().replace('-', '')}.example"
+    # Sibling groups: a few orgs absorb the ASes of 1-3 smaller orgs.
+    asns = list(world.ases)
+    n_groups = max(1, int(len(asns) * config.multi_as_org_fraction / 2))
+    for _ in range(n_groups):
+        absorber_asn, absorbed_asn = rng.sample(asns, 2)
+        absorber = world.ases[absorber_asn]
+        absorbed = world.ases[absorbed_asn]
+        if absorber.org_name == absorbed.org_name:
+            continue
+        old_org = world.orgs.get(absorbed.org_name)
+        new_org = world.orgs[absorber.org_name]
+        if old_org is None or len(old_org.asns) != 1:
+            continue
+        del world.orgs[absorbed.org_name]
+        absorbed.org_name = absorber.org_name
+        new_org.asns.append(absorbed_asn)
+
+
+def _build_as_graph(
+    world: World, rng: random.Random, asns: list[int], categories: list[str]
+) -> None:
+    """Tier-1 clique + provider hierarchy + lateral peering."""
+    tier1 = [asn for asn, cat in zip(asns, categories) if cat == "Tier1"]
+    transits = [
+        asn for asn, cat in zip(asns, categories) if cat in ("Transit", "Tier1")
+    ]
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1:]:
+            world.ases[a].peers.append(b)
+            world.ases[b].peers.append(a)
+    for asn, category in zip(asns, categories):
+        if category == "Tier1":
+            continue
+        upstream_pool = tier1 if category == "Transit" else transits
+        n_providers = 1 + (rng.random() < 0.55) + (rng.random() < 0.2)
+        for provider in rng.sample(upstream_pool, min(n_providers, len(upstream_pool))):
+            if provider == asn:
+                continue
+            world.ases[asn].providers.append(provider)
+            world.ases[provider].customers.append(asn)
+    # Lateral peering between random non-tier1 pairs (IXP-style).
+    n_peerings = len(asns) * 2
+    for _ in range(n_peerings):
+        a, b = rng.sample(asns, 2)
+        if (
+            b in world.ases[a].peers
+            or b in world.ases[a].providers
+            or b in world.ases[a].customers
+        ):
+            continue
+        world.ases[a].peers.append(b)
+        world.ases[b].peers.append(a)
+
+
+def _compute_cones_and_ranks(world: World, asns: list[int]) -> None:
+    """Customer-cone sizes via DFS, ASRank by cone, hegemony normalized."""
+    cone_cache: dict[int, set[int]] = {}
+
+    def cone(asn: int, visiting: set[int]) -> set[int]:
+        if asn in cone_cache:
+            return cone_cache[asn]
+        if asn in visiting:
+            return {asn}
+        visiting.add(asn)
+        members = {asn}
+        for customer in world.ases[asn].customers:
+            members |= cone(customer, visiting)
+        visiting.discard(asn)
+        cone_cache[asn] = members
+        return members
+
+    for asn in asns:
+        world.ases[asn].cone_size = len(cone(asn, set()))
+    ranked = sorted(asns, key=lambda a: (-world.ases[a].cone_size, a))
+    total = len(asns)
+    for position, asn in enumerate(ranked, start=1):
+        info = world.ases[asn]
+        info.rank = position
+        info.hegemony = round(info.cone_size / total, 6)

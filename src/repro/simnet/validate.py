@@ -1,0 +1,125 @@
+"""Self-check of a synthetic world's cross-dataset consistency.
+
+Users who tune :class:`~repro.simnet.WorldConfig` (new scenarios, new
+eras) need to know the world is still internally consistent before the
+datasets rendered from it can be trusted.  This module checks the
+invariants every dataset generator relies on; the CLI exposes it as
+``python -m repro selfcheck``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nettypes import ip_in_prefix, prefix_contains
+from repro.simnet.resolver import resolution_report
+from repro.simnet.world import World
+
+
+@dataclass
+class WorldCheckReport:
+    """Outcome of the consistency checks."""
+
+    problems: list[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def note(self, condition: bool, message: str) -> None:
+        self.checks_run += 1
+        if not condition:
+            self.problems.append(message)
+
+
+def validate_world(world: World, resolve_sample: int = 300) -> WorldCheckReport:
+    """Run every consistency check; returns the aggregated report."""
+    report = WorldCheckReport()
+
+    # Topology ---------------------------------------------------------
+    orphans = [
+        asn for asn, info in world.ases.items()
+        if info.category != "Tier1" and not info.providers
+    ]
+    report.note(not orphans, f"{len(orphans)} non-tier1 ASes without providers")
+    asymmetric = [
+        asn
+        for asn, info in world.ases.items()
+        for provider in info.providers
+        if asn not in world.ases[provider].customers
+    ]
+    report.note(not asymmetric, f"{len(asymmetric)} asymmetric provider links")
+
+    # Addressing -------------------------------------------------------
+    stray = [
+        info.prefix
+        for info in world.prefixes.values()
+        if not prefix_contains(info.allocated_block, info.prefix)
+    ]
+    report.note(not stray, f"{len(stray)} prefixes outside their allocation")
+    unknown_origins = [
+        info.prefix
+        for info in world.prefixes.values()
+        for origin in info.origins
+        if origin not in world.ases
+    ]
+    report.note(
+        not unknown_origins, f"{len(unknown_origins)} originations by unknown ASes"
+    )
+
+    # RPKI ---------------------------------------------------------------
+    bad_rov = [
+        info.prefix
+        for info in world.prefixes.values()
+        if (info.rov_status == "Valid") != bool(
+            info.roas
+            and info.roas[0].asn == info.origins[0]
+            and info.roas[0].max_length >= int(info.prefix.rsplit("/", 1)[1])
+        )
+        and info.rov_status in ("Valid", "NotFound")
+    ]
+    report.note(not bad_rov, f"{len(bad_rov)} inconsistent ROV states")
+
+    # DNS / web -----------------------------------------------------------
+    homeless_ips = [
+        domain.name
+        for domain in world.domains.values()
+        for ip in domain.ips
+        if world.as_of_ip(ip) != domain.hosting_asn
+    ]
+    report.note(
+        not homeless_ips, f"{len(homeless_ips)} domain IPs outside the hosting AS"
+    )
+    dangling_ns = [
+        domain.name
+        for domain in world.domains.values()
+        for ns in domain.nameservers
+        if ns not in world.nameservers
+    ]
+    report.note(not dangling_ns, f"{len(dangling_ns)} dangling nameserver names")
+    ns_outside_as = [
+        ns.name
+        for ns in world.nameservers.values()
+        for ip in ns.ips
+        if world.as_of_ip(ip) != ns.asn
+    ]
+    report.note(
+        not ns_outside_as, f"{len(ns_outside_as)} nameserver IPs outside their AS"
+    )
+
+    # End-to-end resolvability (iterative resolver) ------------------------
+    outcomes = resolution_report(world, sample=resolve_sample)
+    failures = {k: v for k, v in outcomes.items() if k != "ok"}
+    report.note(not failures, f"unresolvable ranked domains: {failures}")
+
+    # Rankings --------------------------------------------------------------
+    report.note(
+        sorted(world.tranco) == sorted(world.domains),
+        "tranco list is not a permutation of the domain set",
+    )
+    report.note(
+        set(world.umbrella) <= set(world.tranco),
+        "umbrella contains unknown domains",
+    )
+    return report

@@ -1,0 +1,239 @@
+"""The synthetic world model and its build orchestrator.
+
+:func:`build_world` assembles the world in dependency order: topology
+(ASes, organizations, countries) → addressing (prefix allocations,
+delegated files) → routing (originations, collectors) → RPKI/IRR →
+IXPs/PeeringDB → DNS and web hosting (domains, rankings, nameservers,
+resolutions) → Atlas → population estimates.  Everything is derived
+from one seeded :class:`random.Random`, so the same config always
+produces the identical world.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.simnet.config import WorldConfig
+
+
+@dataclass
+class OrgInfo:
+    """An organization holding one or more ASes."""
+
+    name: str
+    country: str
+    asns: list[int] = field(default_factory=list)
+    peeringdb_org_id: int | None = None
+    website: str | None = None
+
+
+@dataclass
+class ASInfo:
+    """One autonomous system."""
+
+    asn: int
+    name: str
+    org_name: str
+    country: str
+    category: str  # primary BGP.Tools-style tag
+    extra_tags: list[str] = field(default_factory=list)
+    asdb_categories: list[str] = field(default_factory=list)
+    providers: list[int] = field(default_factory=list)
+    peers: list[int] = field(default_factory=list)
+    customers: list[int] = field(default_factory=list)
+    cone_size: int = 1
+    rank: int = 0  # CAIDA ASRank position (1 = largest cone)
+    hegemony: float = 0.0
+    rpki_propensity: float = 0.5
+    peeringdb_net_id: int | None = None
+    opaque_id: str = ""
+    rir: str = ""
+
+    @property
+    def tags(self) -> list[str]:
+        return [self.category, *self.extra_tags]
+
+
+@dataclass
+class ROA:
+    """A Route Origin Authorization."""
+
+    asn: int
+    prefix: str
+    max_length: int
+
+
+@dataclass
+class PrefixInfo:
+    """One announced (routed) prefix."""
+
+    prefix: str
+    af: int
+    origins: list[int]
+    allocated_block: str  # covering RIR allocation
+    opaque_id: str
+    rir: str
+    country: str
+    anycast: bool = False
+    roas: list[ROA] = field(default_factory=list)
+    rov_status: str = "NotFound"  # Valid | Invalid | Invalid,more-specific | NotFound
+    irr_status: str | None = None  # Valid | Invalid | None (not registered)
+
+
+@dataclass
+class IXPInfo:
+    """One Internet Exchange Point."""
+
+    name: str
+    country: str
+    peeringdb_ix_id: int
+    caida_ix_id: int
+    members: list[int] = field(default_factory=list)
+    facility: str | None = None
+    website: str | None = None
+
+
+@dataclass
+class NameServerInfo:
+    """One authoritative nameserver hostname."""
+
+    name: str
+    ips: list[str]
+    asn: int
+    provider: str  # provider key or 'self:<domain>'
+
+
+@dataclass
+class DNSProvider:
+    """A managed-DNS provider."""
+
+    name: str
+    domain: str  # the provider's own registrable domain
+    asn: int
+    mode: str  # 'shared_set' | 'per_customer'
+    ns_pool: list[str] = field(default_factory=list)
+    outsourced_to: str | None = None  # provider key its own domain uses
+
+
+@dataclass
+class TLDInfo:
+    """A top-level domain and its registry operator."""
+
+    tld: str
+    operator_org: str
+    country: str
+    nameservers: list[str] = field(default_factory=list)
+
+
+@dataclass
+class DomainInfo:
+    """One registrable domain of the ranked list."""
+
+    name: str
+    tld: str
+    rank: int  # Tranco rank, 1-based
+    umbrella_rank: int | None
+    hostname: str  # the resolvable apex FQDN
+    ips: list[str]
+    hosting_asn: int
+    cdn_hosted: bool
+    nameservers: list[str]
+    ns_provider: str
+    has_glue: bool  # glue data present in zone files (else "discarded")
+    in_zone_glue: bool
+    cname_target: str | None = None
+    registered_country: str = "US"
+    queried_from_asns: list[int] = field(default_factory=list)
+
+
+@dataclass
+class AtlasProbeInfo:
+    """One RIPE Atlas probe."""
+
+    probe_id: int
+    asn: int
+    country: str
+    ip: str
+    status: str = "Connected"
+    tags: list[str] = field(default_factory=list)
+
+
+@dataclass
+class AtlasMeasurementInfo:
+    """One RIPE Atlas measurement."""
+
+    measurement_id: int
+    kind: str  # 'ping' | 'traceroute'
+    target: str  # hostname or IP
+    target_is_ip: bool
+    af: int
+    probe_ids: list[int] = field(default_factory=list)
+
+
+@dataclass
+class World:
+    """The complete synthetic Internet."""
+
+    config: WorldConfig
+    orgs: dict[str, OrgInfo] = field(default_factory=dict)
+    ases: dict[int, ASInfo] = field(default_factory=dict)
+    prefixes: dict[str, PrefixInfo] = field(default_factory=dict)
+    allocations: list[tuple[str, str, str, str]] = field(default_factory=list)
+    # (block, opaque_id, rir, country) RIR allocation blocks
+    collectors: list[str] = field(default_factory=list)
+    collector_peers: dict[str, list[int]] = field(default_factory=dict)
+    ixps: dict[int, IXPInfo] = field(default_factory=dict)  # by peeringdb ix id
+    facilities: list[tuple[str, str]] = field(default_factory=list)  # (name, country)
+    tlds: dict[str, TLDInfo] = field(default_factory=dict)
+    dns_providers: dict[str, DNSProvider] = field(default_factory=dict)
+    nameservers: dict[str, NameServerInfo] = field(default_factory=dict)
+    domains: dict[str, DomainInfo] = field(default_factory=dict)
+    tranco: list[str] = field(default_factory=list)  # domain names by rank
+    umbrella: list[str] = field(default_factory=list)
+    atlas_probes: dict[int, AtlasProbeInfo] = field(default_factory=dict)
+    atlas_measurements: dict[int, AtlasMeasurementInfo] = field(default_factory=dict)
+    country_population: dict[str, int] = field(default_factory=dict)
+    as_population: dict[tuple[str, int], float] = field(default_factory=dict)
+    # (country, asn) -> fraction of the country's users in that AS
+    routing: object | None = None  # RoutingState from repro.simnet.bgpsim
+
+    def as_of_ip(self, ip: str) -> int | None:
+        """Origin AS of the longest prefix covering ``ip`` (trie-backed)."""
+        match = self._trie.longest_match_ip(ip)
+        if match is None:
+            return None
+        return match[1].origins[0]
+
+    def prefix_of_ip(self, ip: str) -> str | None:
+        """Longest announced prefix covering ``ip``."""
+        match = self._trie.longest_match_ip(ip)
+        return None if match is None else match[0]
+
+    def finalize(self) -> None:
+        """Build derived lookup structures after generation."""
+        from repro.nettypes.prefixtrie import PrefixTrie
+
+        trie = PrefixTrie()
+        for info in self.prefixes.values():
+            trie.insert(info.prefix, info)
+        self._trie = trie
+
+
+def build_world(config: WorldConfig | None = None) -> World:
+    """Generate the full synthetic Internet for a configuration."""
+    from repro.simnet import addressing, atlas, dns, ixp, population, routing, rpki, topology
+
+    config = config or WorldConfig()
+    rng = random.Random(config.seed)
+    world = World(config=config)
+    topology.build_topology(world, rng)
+    addressing.build_addressing(world, rng)
+    routing.build_routing(world, rng)
+    rpki.build_rpki(world, rng)
+    ixp.build_ixps(world, rng)
+    world.finalize()  # DNS hosting picks IPs inside announced prefixes
+    dns.build_dns(world, rng)
+    atlas.build_atlas(world, rng)
+    population.build_population(world, rng)
+    return world

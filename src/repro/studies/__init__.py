@@ -1,0 +1,42 @@
+"""The paper's evaluation, reproduced as queries over the knowledge graph.
+
+- :mod:`repro.studies.queries` — the paper's published Cypher listings;
+- :mod:`repro.studies.ripki` — the RiPKI reproduction (Table 2) and its
+  extensions (Section 4.1.4 tag breakdown, Section 5.1.2 domain
+  weighting);
+- :mod:`repro.studies.dns_robustness` — the DNS Robustness reproduction
+  (Tables 3-5);
+- :mod:`repro.studies.combined` — RPKI coverage of the DNS
+  infrastructure (Section 5.1.1);
+- :mod:`repro.studies.spof` — single points of failure in the DNS
+  resolution chain (Figures 5 and 6);
+- :mod:`repro.studies.comparison` — the dataset-comparison lesson of
+  Section 6.1 (finding the injected BGPKIT IPv6 bug);
+- :mod:`repro.studies.sneak_peek` — the Figure 4 neighbourhood walk.
+"""
+
+from repro.studies.combined import CombinedResults, run_combined_study
+from repro.studies.comparison import ComparisonResult, compare_origin_datasets
+from repro.studies.dns_robustness import (
+    DNSRobustnessResults,
+    GroupingStats,
+    run_dns_robustness_study,
+)
+from repro.studies.ripki import RiPKIResults, run_ripki_study
+from repro.studies.sneak_peek import sneak_peek
+from repro.studies.spof import SPOFResults, run_spof_study
+
+__all__ = [
+    "CombinedResults",
+    "ComparisonResult",
+    "DNSRobustnessResults",
+    "GroupingStats",
+    "RiPKIResults",
+    "SPOFResults",
+    "compare_origin_datasets",
+    "run_combined_study",
+    "run_dns_robustness_study",
+    "run_ripki_study",
+    "run_spof_study",
+    "sneak_peek",
+]

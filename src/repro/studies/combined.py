@@ -1,0 +1,71 @@
+"""Combining RiPKI and DNS Robustness (paper Section 5.1.1).
+
+RPKI coverage of the DNS infrastructure itself: the fraction of
+prefixes hosting Tranco nameservers that are RPKI-covered, and the
+fraction of Tranco *domains* whose nameservers all sit in RPKI-covered
+prefixes (the concentration effect the paper reports: 48% of prefixes
+but 84% of domains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import IYP
+
+_NS_PREFIXES = """
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)
+      -[:MANAGED_BY {reference_name:'openintel.ns'}]-(ns:AuthoritativeNameServer)
+      -[:RESOLVES_TO {reference_name:'openintel.ns'}]-(:IP)
+      -[:PART_OF]-(pfx:Prefix)
+RETURN DISTINCT d.name AS domain, pfx.prefix AS prefix
+"""
+
+_RPKI_TAGGED_PREFIXES = """
+MATCH (pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI Valid' OR t.label STARTS WITH 'RPKI Invalid'
+RETURN DISTINCT pfx.prefix AS prefix
+"""
+
+
+@dataclass
+class CombinedResults:
+    """Section 5.1.1 numbers."""
+
+    ns_prefixes_total: int = 0
+    ns_prefixes_covered_pct: float = 0.0
+    domains_on_covered_ns_pct: float = 0.0
+
+
+def run_combined_study(iyp: IYP) -> CombinedResults:
+    """RPKI coverage of nameserver prefixes and of the domains above them.
+
+    Two set-shaped queries joined in Python (as the paper's notebooks
+    do) instead of a per-row OPTIONAL MATCH — same result, an order of
+    magnitude faster on laptop-scale graphs.
+    """
+    results = CombinedResults()
+    rows = iyp.run(_NS_PREFIXES).records
+    if not rows:
+        return results
+    covered_prefixes = {
+        row["prefix"] for row in iyp.run(_RPKI_TAGGED_PREFIXES).records
+    }
+    prefix_covered: dict[str, bool] = {}
+    domain_covered: dict[str, bool] = {}
+    for row in rows:
+        covered = row["prefix"] in covered_prefixes
+        prefix_covered[row["prefix"]] = prefix_covered.get(
+            row["prefix"], False
+        ) or covered
+        domain_covered[row["domain"]] = domain_covered.get(
+            row["domain"], False
+        ) or covered
+    results.ns_prefixes_total = len(prefix_covered)
+    results.ns_prefixes_covered_pct = (
+        100.0 * sum(prefix_covered.values()) / len(prefix_covered)
+    )
+    results.domains_on_covered_ns_pct = (
+        100.0 * sum(domain_covered.values()) / len(domain_covered)
+    )
+    return results

@@ -1,0 +1,78 @@
+"""Dataset comparison (paper Section 6.1, "Datasets comparison").
+
+BGPKIT's pfx2asn and IHR's ROV both map prefixes to origin ASes.  The
+paper recounts how querying the *differences* between the two datasets
+in IYP surfaced an error affecting IPv6 prefixes in the BGPKIT data.
+The synthetic world injects exactly such an error
+(``WorldConfig.bgpkit_ipv6_error_fraction``); this study is the query
+that finds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import IYP
+
+_ORIGINS_BY_DATASET = """
+MATCH (a:AS)-[o:ORIGINATE]-(p:Prefix)
+WHERE o.reference_name IN ['bgpkit.pfx2as', 'ihr.rov']
+RETURN p.prefix AS prefix, p.af AS af, o.reference_name AS dataset,
+       collect(DISTINCT a.asn) AS origins
+"""
+
+
+@dataclass
+class ComparisonResult:
+    """Origin disagreements between the two prefix-to-AS datasets."""
+
+    disagreements: list[dict] = field(default_factory=list)
+    ipv4_count: int = 0
+    ipv6_count: int = 0
+    prefixes_compared: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.disagreements)
+
+    @property
+    def ipv6_dominated(self) -> bool:
+        """True when the bug signature matches the paper's: the
+        disagreement is concentrated in IPv6 prefixes."""
+        return self.ipv6_count > self.ipv4_count
+
+
+def compare_origin_datasets(iyp: IYP) -> ComparisonResult:
+    """Find prefixes whose origin sets differ between BGPKIT and IHR.
+
+    MOAS prefixes with the same origin set in both datasets are not
+    disagreements; a prefix is flagged when either dataset reports an
+    origin the other does not.
+    """
+    by_prefix: dict[str, dict] = {}
+    for row in iyp.run(_ORIGINS_BY_DATASET).records:
+        entry = by_prefix.setdefault(
+            row["prefix"],
+            {"af": row["af"], "bgpkit.pfx2as": set(), "ihr.rov": set()},
+        )
+        entry[row["dataset"]] |= set(row["origins"])
+    result = ComparisonResult()
+    result.prefixes_compared = len(by_prefix)
+    for prefix in sorted(by_prefix):
+        entry = by_prefix[prefix]
+        bgpkit, ihr = entry["bgpkit.pfx2as"], entry["ihr.rov"]
+        if not bgpkit or not ihr or bgpkit == ihr:
+            continue
+        result.disagreements.append(
+            {
+                "prefix": prefix,
+                "af": entry["af"],
+                "bgpkit_origins": sorted(bgpkit),
+                "ihr_origins": sorted(ihr),
+            }
+        )
+        if entry["af"] == 6:
+            result.ipv6_count += 1
+        else:
+            result.ipv4_count += 1
+    return result

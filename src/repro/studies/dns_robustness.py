@@ -1,0 +1,185 @@
+"""The DNS Robustness reproduction (paper Section 4.2, Tables 3-5).
+
+Three parts:
+
+1. **Best practices (Table 3)** — for .com/.net/.org SLDs of the Tranco
+   list: coverage, discarded fraction (no glue data), and whether the
+   RFC 1034/2182 two-nameserver requirement is not met / met / exceeded,
+   plus the in-zone-glue fraction.
+2. **Shared infrastructure (Table 4)** — group domains by their exact
+   nameserver set and by the /24s of their nameserver addresses; report
+   the median (per-domain) and maximum group sizes.
+3. **Extensions (Table 5)** — the same grouping using BGP prefixes
+   instead of /24s, and over the whole Tranco list instead of the three
+   TLDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import IYP
+from repro.nettypes.ip import slash24_of
+
+_CNO_SUFFIXES = (".com", ".net", ".org")
+
+_DOMAIN_NS = """
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)
+      -[m:MANAGED_BY]-(ns:AuthoritativeNameServer)
+WHERE m.reference_name = 'openintel.ns'
+RETURN d.name AS domain, ns.name AS ns, m.glue AS glue, m.in_zone AS in_zone
+"""
+
+_NS_IPV4 = """
+MATCH (ns:AuthoritativeNameServer)-[:RESOLVES_TO]-(i:IP {af:4})
+RETURN DISTINCT ns.name AS ns, i.ip AS ip
+"""
+
+_NS_PREFIX = """
+MATCH (ns:AuthoritativeNameServer)-[:RESOLVES_TO]-(:IP {af:4})
+      -[:PART_OF]-(pfx:Prefix)
+RETURN DISTINCT ns.name AS ns, pfx.prefix AS prefix
+"""
+
+
+@dataclass
+class GroupingStats:
+    """Median (per-domain) and maximum shared-infrastructure group size."""
+
+    median: int = 0
+    maximum: int = 0
+    groups: int = 0
+
+
+@dataclass
+class DNSRobustnessResults:
+    """Tables 3, 4, and 5."""
+
+    # Table 3
+    coverage_pct: float = 0.0
+    discarded_pct: float = 0.0
+    meet_pct: float = 0.0
+    exceed_pct: float = 0.0
+    not_meet_pct: float = 0.0
+    in_zone_glue_pct: float = 0.0
+    # Table 4
+    cno_by_ns: GroupingStats = field(default_factory=GroupingStats)
+    cno_by_slash24: GroupingStats = field(default_factory=GroupingStats)
+    # Table 5
+    cno_by_prefix: GroupingStats = field(default_factory=GroupingStats)
+    all_by_prefix: GroupingStats = field(default_factory=GroupingStats)
+    all_by_ns: GroupingStats = field(default_factory=GroupingStats)
+
+    def table3_row(self) -> dict[str, float]:
+        return {
+            "Coverage": self.coverage_pct,
+            "Discarded": self.discarded_pct,
+            "Meet": self.meet_pct,
+            "Exceed": self.exceed_pct,
+            "Not meet": self.not_meet_pct,
+            "In-zone glue": self.in_zone_glue_pct,
+        }
+
+
+def _is_cno_sld(domain: str) -> bool:
+    return domain.endswith(_CNO_SUFFIXES) and domain.count(".") == 1
+
+
+def _group_stats(domain_keys: dict[str, tuple]) -> GroupingStats:
+    """Group domains by an identical key; median is per-domain."""
+    sizes: dict[tuple, int] = {}
+    for key in domain_keys.values():
+        sizes[key] = sizes.get(key, 0) + 1
+    if not sizes:
+        return GroupingStats()
+    per_domain = sorted(sizes[key] for key in domain_keys.values())
+    return GroupingStats(
+        median=per_domain[len(per_domain) // 2],
+        maximum=max(sizes.values()),
+        groups=len(sizes),
+    )
+
+
+def run_dns_robustness_study(iyp: IYP) -> DNSRobustnessResults:
+    """Run the full DNS Robustness reproduction."""
+    results = DNSRobustnessResults()
+    rows = iyp.run(_DOMAIN_NS).records
+    if not rows:
+        return results
+
+    domains: dict[str, dict] = {}
+    for row in rows:
+        entry = domains.setdefault(
+            row["domain"], {"ns": set(), "glue": False, "in_zone": False}
+        )
+        entry["ns"].add(row["ns"])
+        entry["glue"] = entry["glue"] or bool(row["glue"])
+        entry["in_zone"] = entry["in_zone"] or bool(row["in_zone"])
+
+    total = len(domains)
+    cno = {name: entry for name, entry in domains.items() if _is_cno_sld(name)}
+    results.coverage_pct = 100.0 * len(cno) / total if total else 0.0
+
+    kept = {name: entry for name, entry in cno.items() if entry["glue"]}
+    if cno:
+        results.discarded_pct = 100.0 * (len(cno) - len(kept)) / len(cno)
+        not_meet = sum(1 for entry in kept.values() if len(entry["ns"]) < 2)
+        meet = sum(1 for entry in kept.values() if len(entry["ns"]) == 2)
+        exceed = sum(1 for entry in kept.values() if len(entry["ns"]) > 2)
+        results.not_meet_pct = 100.0 * not_meet / len(cno)
+        results.meet_pct = 100.0 * meet / len(cno)
+        results.exceed_pct = 100.0 * exceed / len(cno)
+    if kept:
+        results.in_zone_glue_pct = 100.0 * sum(
+            1 for entry in kept.values() if entry["in_zone"]
+        ) / len(kept)
+
+    # Shared infrastructure groupings.
+    ns_ips: dict[str, list[str]] = {}
+    for row in iyp.run(_NS_IPV4).records:
+        ns_ips.setdefault(row["ns"], []).append(row["ip"])
+    ns_prefixes: dict[str, list[str]] = {}
+    for row in iyp.run(_NS_PREFIX).records:
+        ns_prefixes.setdefault(row["ns"], []).append(row["prefix"])
+
+    def key_by_ns(entry) -> tuple:
+        return tuple(sorted(entry["ns"]))
+
+    def key_by_slash24(entry) -> tuple:
+        return tuple(
+            sorted(
+                {
+                    slash24_of(ip)
+                    for ns in entry["ns"]
+                    for ip in ns_ips.get(ns, ())
+                }
+            )
+        )
+
+    def key_by_prefix(entry) -> tuple:
+        return tuple(
+            sorted(
+                {
+                    prefix
+                    for ns in entry["ns"]
+                    for prefix in ns_prefixes.get(ns, ())
+                }
+            )
+        )
+
+    results.cno_by_ns = _group_stats(
+        {name: key_by_ns(entry) for name, entry in kept.items()}
+    )
+    results.cno_by_slash24 = _group_stats(
+        {name: key_by_slash24(entry) for name, entry in kept.items()}
+    )
+    results.cno_by_prefix = _group_stats(
+        {name: key_by_prefix(entry) for name, entry in kept.items()}
+    )
+    results.all_by_ns = _group_stats(
+        {name: key_by_ns(entry) for name, entry in domains.items()}
+    )
+    results.all_by_prefix = _group_stats(
+        {name: key_by_prefix(entry) for name, entry in domains.items()}
+    )
+    return results

@@ -1,0 +1,51 @@
+"""Longitudinal analysis across snapshots (paper Section 7).
+
+The paper calls running one IYP instance per point in time and merging
+results by hand "cumbersome".  This module is that workflow as a
+library: register labelled snapshots, run the same query against each,
+and get the merged time series back.  Combined with the era presets of
+:class:`~repro.simnet.WorldConfig` it reproduces the paper's
+2015-vs-2024 arc as a single call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core import IYP
+
+
+@dataclass
+class SnapshotSeries:
+    """An ordered set of labelled knowledge-graph snapshots."""
+
+    snapshots: dict[str, IYP] = field(default_factory=dict)
+
+    def add(self, label: str, iyp: IYP) -> None:
+        """Register a snapshot under a time label (e.g. '2024-05-01')."""
+        self.snapshots[label] = iyp
+
+    def run(self, query: str, parameters: dict[str, Any] | None = None):
+        """Run one query on every snapshot; label -> QueryResult."""
+        return {
+            label: iyp.run(query, parameters)
+            for label, iyp in self.snapshots.items()
+        }
+
+    def metric(self, query: str, parameters: dict[str, Any] | None = None
+               ) -> dict[str, Any]:
+        """Run a single-value query on every snapshot; label -> value."""
+        return {
+            label: result.value()
+            for label, result in self.run(query, parameters).items()
+        }
+
+    def study(self, runner: Callable[[IYP], Any]) -> dict[str, Any]:
+        """Apply a study function (e.g. run_ripki_study) per snapshot."""
+        return {label: runner(iyp) for label, iyp in self.snapshots.items()}
+
+    def trend(self, query: str) -> list[tuple[str, Any]]:
+        """A metric as an ordered (label, value) series."""
+        values = self.metric(query)
+        return [(label, values[label]) for label in self.snapshots]

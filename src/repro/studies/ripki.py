@@ -1,0 +1,190 @@
+"""The RiPKI reproduction (paper Section 4.1, Table 2) and extensions.
+
+Reports, for the prefixes hosting Tranco domains:
+
+- the fraction of RPKI-invalid prefixes and the share of invalids
+  caused by a too-small maxLength;
+- overall RPKI coverage (valid + invalid), and coverage restricted to
+  the top band, the bottom band, and CDN-tagged prefixes (Table 2);
+- coverage per BGP.Tools AS tag (the Section 4.1.4 extension);
+- domain-weighted coverage (the Section 5.1.2 extension: how many
+  *domains* sit on RPKI-covered prefixes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import IYP
+
+# Prefix -> RPKI tag membership for the Tranco hosting infrastructure.
+_TRANCO_PREFIX_TAGS = """
+MATCH (:Ranking {name:'Tranco top 1M'})-[r:RANK]-(d:DomainName)-[:PART_OF]-(h:HostName)
+      -[:RESOLVES_TO]-(:IP)-[:PART_OF]-(pfx:Prefix)
+OPTIONAL MATCH (pfx)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+RETURN d.name AS domain, r.rank AS rank, pfx.prefix AS prefix,
+       collect(DISTINCT t.label) AS rpki_tags
+"""
+
+_CDN_PREFIXES = """
+MATCH (:Tag {label:'Content Delivery Network'})-[:CATEGORIZED]-(a:AS)
+      -[:ORIGINATE]-(pfx:Prefix)
+RETURN DISTINCT pfx.prefix AS prefix
+"""
+
+_TAG_AS_PREFIXES = """
+MATCH (t:Tag)-[:CATEGORIZED]-(a:AS)-[:ORIGINATE]-(pfx:Prefix)
+OPTIONAL MATCH (pfx)-[:CATEGORIZED]-(rt:Tag)
+WHERE rt.label STARTS WITH 'RPKI'
+RETURN t.label AS tag, pfx.prefix AS prefix,
+       collect(DISTINCT rt.label) AS rpki_tags
+"""
+
+_INVALID_DETAIL = """
+MATCH (pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI Invalid'
+RETURN pfx.prefix AS prefix, t.label AS label
+"""
+
+
+@dataclass
+class RiPKIResults:
+    """Everything Table 2 and the extensions report."""
+
+    total_prefixes: int = 0
+    invalid_pct: float = 0.0
+    invalid_maxlen_share: float = 0.0
+    covered_pct: float = 0.0
+    top_band_pct: float = 0.0
+    bottom_band_pct: float = 0.0
+    cdn_pct: float = 0.0
+    coverage_by_tag: dict[str, float] = field(default_factory=dict)
+    domains_covered_pct: float = 0.0
+    cdn_domains_covered_pct: float = 0.0
+
+    def table2_row(self) -> dict[str, float]:
+        """The IYP row of Table 2."""
+        return {
+            "RPKI Invalid": self.invalid_pct,
+            "RPKI covered": self.covered_pct,
+            "Top 100k": self.top_band_pct,
+            "Bottom 100k": self.bottom_band_pct,
+            "CDN": self.cdn_pct,
+        }
+
+
+def _is_covered(tags: list[str]) -> bool:
+    return any(tag.startswith("RPKI Valid") or tag.startswith("RPKI Invalid")
+               for tag in tags)
+
+
+def _is_invalid(tags: list[str]) -> bool:
+    return any(tag.startswith("RPKI Invalid") for tag in tags)
+
+
+def run_ripki_study(iyp: IYP, band_fraction: float = 0.1) -> RiPKIResults:
+    """Run the full RiPKI reproduction against a knowledge graph.
+
+    ``band_fraction`` is the size of the "Top/Bottom 100k" bands as a
+    fraction of the ranked list (the paper's 100k out of 1M).
+    """
+    results = RiPKIResults()
+    rows = iyp.run(_TRANCO_PREFIX_TAGS).records
+    if not rows:
+        return results
+
+    max_rank = max(row["rank"] for row in rows)
+    band = max(1, int(max_rank * band_fraction))
+
+    prefix_tags: dict[str, list[str]] = {}
+    prefix_min_rank: dict[str, int] = {}
+    domain_tags: dict[str, list[str]] = {}
+    domain_prefixes: dict[str, set[str]] = {}
+    for row in rows:
+        prefix = row["prefix"]
+        tags = prefix_tags.setdefault(prefix, [])
+        for tag in row["rpki_tags"]:
+            if tag not in tags:
+                tags.append(tag)
+        rank = row["rank"]
+        prefix_min_rank[prefix] = min(prefix_min_rank.get(prefix, rank), rank)
+        domain_tags.setdefault(row["domain"], []).extend(row["rpki_tags"])
+        domain_prefixes.setdefault(row["domain"], set()).add(prefix)
+
+    all_prefixes = list(prefix_tags)
+    results.total_prefixes = len(all_prefixes)
+    covered = [p for p in all_prefixes if _is_covered(prefix_tags[p])]
+    invalid = [p for p in all_prefixes if _is_invalid(prefix_tags[p])]
+    results.covered_pct = 100.0 * len(covered) / len(all_prefixes)
+    results.invalid_pct = 100.0 * len(invalid) / len(all_prefixes)
+
+    top = [p for p in all_prefixes if prefix_min_rank[p] <= band]
+    bottom_rows = {
+        row["prefix"] for row in rows if row["rank"] > max_rank - band
+    }
+    bottom = list(bottom_rows)
+    if top:
+        results.top_band_pct = 100.0 * sum(
+            1 for p in top if _is_covered(prefix_tags[p])
+        ) / len(top)
+    if bottom:
+        results.bottom_band_pct = 100.0 * sum(
+            1 for p in bottom if _is_covered(prefix_tags[p])
+        ) / len(bottom)
+
+    # CDN prefixes (hosting Tranco content or not, as in the paper).
+    cdn_rows = iyp.run(_CDN_PREFIXES).records
+    cdn_prefixes = [row["prefix"] for row in cdn_rows]
+    if cdn_prefixes:
+        cdn_in_tranco = [p for p in cdn_prefixes if p in prefix_tags]
+        pool = cdn_in_tranco or cdn_prefixes
+        covered_cdn = sum(1 for p in pool if _is_covered(prefix_tags.get(p, [])))
+        results.cdn_pct = 100.0 * covered_cdn / len(pool)
+
+    # Invalid cause breakdown: maxLength vs wrong origin.
+    invalid_rows = iyp.run(_INVALID_DETAIL).records
+    labels = [row["label"] for row in invalid_rows]
+    if labels:
+        maxlen = sum(1 for label in labels if "more-specific" in label)
+        results.invalid_maxlen_share = 100.0 * maxlen / len(labels)
+
+    # Section 4.1.4: coverage per AS classification tag.
+    results.coverage_by_tag = _coverage_by_tag(iyp)
+
+    # Section 5.1.2: domain-weighted coverage.
+    covered_domains = sum(
+        1 for tags in domain_tags.values() if _is_covered(tags)
+    )
+    results.domains_covered_pct = 100.0 * covered_domains / len(domain_tags)
+    cdn_prefix_set = set(cdn_prefixes)
+    cdn_domains = [
+        domain
+        for domain, prefixes in domain_prefixes.items()
+        if prefixes & cdn_prefix_set
+    ]
+    if cdn_domains:
+        covered_cdn_domains = sum(
+            1 for domain in cdn_domains if _is_covered(domain_tags[domain])
+        )
+        results.cdn_domains_covered_pct = (
+            100.0 * covered_cdn_domains / len(cdn_domains)
+        )
+    return results
+
+
+def _coverage_by_tag(iyp: IYP) -> dict[str, float]:
+    rows = iyp.run(_TAG_AS_PREFIXES).records
+    by_tag: dict[str, dict[str, bool]] = {}
+    for row in rows:
+        if row["tag"].startswith("RPKI") or row["tag"].startswith("IRR"):
+            continue
+        prefixes = by_tag.setdefault(row["tag"], {})
+        prefixes[row["prefix"]] = prefixes.get(row["prefix"], False) or _is_covered(
+            row["rpki_tags"]
+        )
+    return {
+        tag: round(100.0 * sum(covered.values()) / len(covered), 1)
+        for tag, covered in sorted(by_tag.items())
+        if covered
+    }

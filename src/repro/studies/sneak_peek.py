@@ -1,0 +1,143 @@
+"""The Figure 4 "sneak peek": one popular domain's neighbourhood.
+
+Starting from a DomainName node, walk the branches the paper's figure
+shows — ranking, zone structure, resolution chain down to the
+originating AS and its RPKI/IRR tags, the delegated nameservers, and
+the querying ASes — and report which distinct datasets contributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import IYP
+
+_NEIGHBOURHOOD = """
+MATCH (d:DomainName {name: $domain})-[r]-(n)
+RETURN type(r) AS rel, labels(n) AS labels, r.reference_name AS dataset
+"""
+
+_RESOLUTION_CHAIN = """
+MATCH (d:DomainName {name: $domain})-[:PART_OF]-(h:HostName)
+      -[rt:RESOLVES_TO]-(i:IP)-[:PART_OF]-(p:Prefix)
+OPTIONAL MATCH (p)-[o:ORIGINATE]-(a:AS)
+OPTIONAL MATCH (p)-[:CATEGORIZED]-(t:Tag)
+RETURN h.name AS hostname, i.ip AS ip, p.prefix AS prefix,
+       collect(DISTINCT a.asn) AS origins,
+       collect(DISTINCT t.label) AS prefix_tags,
+       collect(DISTINCT rt.reference_name) AS resolution_datasets
+"""
+
+_NS_CHAIN = """
+MATCH (d:DomainName {name: $domain})-[m:MANAGED_BY]-(ns:AuthoritativeNameServer)
+OPTIONAL MATCH (ns)-[:RESOLVES_TO]-(i:IP)-[:PART_OF]-(p:Prefix)-[:ORIGINATE]-(a:AS)
+RETURN ns.name AS ns, collect(DISTINCT i.ip) AS ips,
+       collect(DISTINCT a.asn) AS hosting_ases
+"""
+
+
+@dataclass
+class SneakPeek:
+    """One domain's cross-dataset neighbourhood."""
+
+    domain: str
+    relationships: list[dict] = field(default_factory=list)
+    resolution: list[dict] = field(default_factory=list)
+    nameservers: list[dict] = field(default_factory=list)
+    datasets: set[str] = field(default_factory=set)
+
+    @property
+    def dataset_count(self) -> int:
+        return len(self.datasets)
+
+
+_LABEL_COLORS = {
+    "DomainName": "gold",
+    "HostName": "lightpink",
+    "IP": "lightblue",
+    "Prefix": "palegreen",
+    "AS": "orange",
+    "Tag": "lightgrey",
+    "Ranking": "plum",
+    "AuthoritativeNameServer": "lightsalmon",
+    "Country": "khaki",
+}
+
+_PEEK_GRAPH = """
+MATCH (d:DomainName {name: $domain})-[r]-(n)
+RETURN d AS start, type(r) AS rel, n AS end
+UNION
+MATCH (:DomainName {name: $domain})-[:PART_OF]-(h:HostName)
+      -[r:RESOLVES_TO]-(i:IP)
+RETURN h AS start, type(r) AS rel, i AS end
+UNION
+MATCH (:DomainName {name: $domain})-[:PART_OF]-(:HostName)
+      -[:RESOLVES_TO]-(i:IP)-[r:PART_OF]-(p:Prefix)
+RETURN i AS start, type(r) AS rel, p AS end
+UNION
+MATCH (:DomainName {name: $domain})-[:PART_OF]-(:HostName)
+      -[:RESOLVES_TO]-(:IP)-[:PART_OF]-(p:Prefix)-[r]-(x)
+WHERE type(r) IN ['ORIGINATE', 'CATEGORIZED', 'ROUTE_ORIGIN_AUTHORIZATION']
+RETURN p AS start, type(r) AS rel, x AS end
+"""
+
+
+def sneak_peek_dot(iyp: IYP, domain: str) -> str:
+    """Render the Figure 4 neighbourhood as a Graphviz DOT document.
+
+    Node colors follow the label scheme of the paper's figure (yellow
+    DomainName, pink HostName, ...).  Pipe the output through
+    ``dot -Tsvg`` to get the picture.
+    """
+    rows = iyp.run(_PEEK_GRAPH, {"domain": domain}).records
+    lines = [
+        "graph sneak_peek {",
+        "  layout=neato; overlap=false; splines=true;",
+        '  node [style=filled, fontname="Helvetica", fontsize=10];',
+    ]
+    seen_nodes: set[int] = set()
+    seen_edges: set[tuple[int, str, int]] = set()
+    for row in rows:
+        for node in (row["start"], row["end"]):
+            if node.id in seen_nodes:
+                continue
+            seen_nodes.add(node.id)
+            label = next(iter(sorted(node.labels)))
+            color = _LABEL_COLORS.get(label, "white")
+            caption = (
+                node.properties.get("name")
+                or node.properties.get("prefix")
+                or node.properties.get("ip")
+                or node.properties.get("label")
+                or (f"AS{node.properties['asn']}" if "asn" in node.properties else "")
+                or label
+            )
+            lines.append(
+                f'  n{node.id} [label="{caption}", fillcolor="{color}"];'
+            )
+        key = (row["start"].id, row["rel"], row["end"].id)
+        reverse = (row["end"].id, row["rel"], row["start"].id)
+        if key in seen_edges or reverse in seen_edges:
+            continue
+        seen_edges.add(key)
+        lines.append(
+            f'  n{row["start"].id} -- n{row["end"].id} '
+            f'[label="{row["rel"]}", fontsize=8];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def sneak_peek(iyp: IYP, domain: str) -> SneakPeek:
+    """Collect the Figure 4 neighbourhood for one domain name."""
+    peek = SneakPeek(domain=domain)
+    params = {"domain": domain}
+    peek.relationships = iyp.run(_NEIGHBOURHOOD, params).records
+    for row in peek.relationships:
+        if row["dataset"]:
+            peek.datasets.add(row["dataset"])
+    peek.resolution = iyp.run(_RESOLUTION_CHAIN, params).records
+    for row in peek.resolution:
+        peek.datasets.update(row.get("resolution_datasets") or ())
+    peek.nameservers = iyp.run(_NS_CHAIN, params).records
+    return peek

@@ -1,0 +1,166 @@
+"""Single points of failure in the DNS resolution chain (Section 5.2,
+Figures 5 and 6).
+
+The paper extends the DNS Robustness methodology beyond direct
+dependencies using the OpenINTEL DNS Dependency Graph, BGPKIT pfx2asn,
+and the NRO delegated files:
+
+- **direct** — the ASes hosting a domain's own nameservers;
+- **third-party** — ASes reached only transitively: the domain's
+  nameservers live under a provider's zone, whose own nameservers live
+  under another provider's zone, and so on (outsourcing chains);
+- **hierarchical** — the ASes hosting the registries of the domain's
+  TLD chain (a ccTLD ties every domain under it to the registry
+  operator's country).
+
+The study reports, per country and per AS, how many ranked domains
+depend on it in each of the three ways — the data behind the paper's
+stacked-bar Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import IYP
+from repro.nettypes.dns import public_suffix, registered_domain
+
+_ZONE_NS = """
+MATCH (z:DomainName)-[m:MANAGED_BY {reference_name:'openintel.dnsgraph'}]
+      -(ns:AuthoritativeNameServer)
+RETURN z.name AS zone, ns.name AS ns
+"""
+
+_NS_AS = """
+MATCH (ns:AuthoritativeNameServer)-[:RESOLVES_TO]-(:IP)-[:PART_OF]
+      -(:Prefix)-[o:ORIGINATE {reference_name:'bgpkit.pfx2as'}]-(a:AS)
+RETURN DISTINCT ns.name AS ns, a.asn AS asn
+"""
+
+_AS_COUNTRY = """
+MATCH (a:AS)-[c:COUNTRY {reference_name:'nro.delegated_stats'}]-(cn:Country)
+RETURN DISTINCT a.asn AS asn, cn.country_code AS country
+"""
+
+_AS_NAME = """
+MATCH (a:AS)-[n:NAME {reference_name:'ripe.as_names'}]-(name:Name)
+RETURN a.asn AS asn, name.name AS name
+"""
+
+_RANKED = """
+MATCH (d:DomainName)-[:RANK]-(r:Ranking)
+WHERE r.name IN ['Tranco top 1M', 'Cisco Umbrella Top 1M']
+RETURN DISTINCT d.name AS domain
+"""
+
+DepCounts = dict[str, int]  # {'direct': n, 'third_party': n, 'hierarchical': n}
+
+
+@dataclass
+class SPOFResults:
+    """Figures 5 and 6 as data series."""
+
+    domains_analyzed: int = 0
+    by_country: dict[str, DepCounts] = field(default_factory=dict)
+    by_as: dict[int, DepCounts] = field(default_factory=dict)
+    as_names: dict[int, str] = field(default_factory=dict)
+    # Number of domains with at least one dependency of each type.
+    domains_with: DepCounts = field(
+        default_factory=lambda: {"direct": 0, "third_party": 0, "hierarchical": 0}
+    )
+
+    def top_countries(self, n: int = 10) -> list[tuple[str, DepCounts]]:
+        """Countries by total dependent domains, descending."""
+        return sorted(
+            self.by_country.items(),
+            key=lambda item: -sum(item[1].values()),
+        )[:n]
+
+    def top_ases(self, n: int = 10) -> list[tuple[int, DepCounts]]:
+        """ASes by total dependent domains, descending."""
+        return sorted(
+            self.by_as.items(),
+            key=lambda item: -sum(item[1].values()),
+        )[:n]
+
+
+def run_spof_study(iyp: IYP, max_chain_depth: int = 5) -> SPOFResults:
+    """Walk the DNS dependency chains of every ranked domain."""
+    zone_ns: dict[str, set[str]] = {}
+    for row in iyp.run(_ZONE_NS).records:
+        zone_ns.setdefault(row["zone"], set()).add(row["ns"])
+    ns_as: dict[str, set[int]] = {}
+    for row in iyp.run(_NS_AS).records:
+        ns_as.setdefault(row["ns"], set()).add(row["asn"])
+    as_country: dict[int, str] = {
+        row["asn"]: row["country"] for row in iyp.run(_AS_COUNTRY).records
+    }
+    ranked = [row["domain"] for row in iyp.run(_RANKED).records]
+
+    results = SPOFResults()
+    results.as_names = {
+        row["asn"]: row["name"] for row in iyp.run(_AS_NAME).records
+    }
+
+    def ases_of_zone(zone: str) -> set[int]:
+        ases: set[int] = set()
+        for ns in zone_ns.get(zone, ()):
+            ases |= ns_as.get(ns, set())
+        return ases
+
+    def third_party_ases(domain: str) -> set[int]:
+        """ASes reached through the provider outsourcing chain."""
+        collected: set[int] = set()
+        visited: set[str] = {domain}
+        frontier = {
+            registered_domain(ns) or ns for ns in zone_ns.get(domain, ())
+        }
+        depth = 0
+        while frontier and depth < max_chain_depth:
+            next_frontier: set[str] = set()
+            for zone in frontier:
+                if zone in visited or zone not in zone_ns:
+                    continue
+                visited.add(zone)
+                collected |= ases_of_zone(zone)
+                for ns in zone_ns[zone]:
+                    parent = registered_domain(ns) or ns
+                    if parent not in visited:
+                        next_frontier.add(parent)
+            frontier = next_frontier
+            depth += 1
+        return collected
+
+    def hierarchical_ases(domain: str) -> set[int]:
+        suffix = public_suffix(domain)
+        ases: set[int] = set()
+        for zone in {suffix, suffix.rsplit(".", 1)[-1]}:
+            ases |= ases_of_zone(zone)
+        return ases
+
+    for domain in ranked:
+        if domain not in zone_ns:
+            continue
+        results.domains_analyzed += 1
+        direct = ases_of_zone(domain)
+        third = third_party_ases(domain) - direct
+        hierarchical = hierarchical_ases(domain) - direct - third
+        for dep_type, ases in (
+            ("direct", direct),
+            ("third_party", third),
+            ("hierarchical", hierarchical),
+        ):
+            if ases:
+                results.domains_with[dep_type] += 1
+            countries = {as_country.get(asn) for asn in ases} - {None}
+            for country in countries:
+                counts = results.by_country.setdefault(
+                    country, {"direct": 0, "third_party": 0, "hierarchical": 0}
+                )
+                counts[dep_type] += 1
+            for asn in ases:
+                counts = results.by_as.setdefault(
+                    asn, {"direct": 0, "third_party": 0, "hierarchical": 0}
+                )
+                counts[dep_type] += 1
+    return results

@@ -1,0 +1,30 @@
+"""Shared fixtures: one small synthetic world and one built knowledge
+graph per test session (building is the expensive part)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IYP
+from repro.pipeline import build_iyp
+from repro.simnet import WorldConfig, build_world
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A small, deterministic synthetic Internet."""
+    return build_world(WorldConfig.small())
+
+
+@pytest.fixture(scope="session")
+def small_iyp(small_world):
+    """The knowledge graph built from the small world (all datasets)."""
+    iyp, report = build_iyp(small_world)
+    assert report.ok, report.crawler_errors
+    return iyp
+
+
+@pytest.fixture()
+def empty_iyp():
+    """A fresh, empty IYP instance."""
+    return IYP()

@@ -1,0 +1,91 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "iyp.json.gz"
+    code = main(
+        ["build", "--scale", "small", "--seed", "7", "--output", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestBuild:
+    def test_snapshot_written(self, snapshot_path, capsys):
+        assert snapshot_path.exists()
+
+    def test_build_subset(self, tmp_path, capsys):
+        out = tmp_path / "subset.json.gz"
+        code = main(
+            [
+                "build", "--scale", "small", "--seed", "7",
+                "--datasets", "bgpkit.pfx2as,tranco.top1m",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Snapshot written" in captured
+
+
+class TestQuery:
+    def test_query_table_output(self, snapshot_path, capsys):
+        code = main(
+            [
+                "query", "MATCH (a:AS) RETURN count(a) AS ases",
+                "--snapshot", str(snapshot_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "ases" in captured
+        assert "250" in captured
+
+    def test_write_query_reports_stats(self, snapshot_path, capsys):
+        code = main(
+            [
+                "query",
+                "CREATE (t:Tag {label:'cli-test'}) RETURN t.label",
+                "--snapshot", str(snapshot_path),
+            ]
+        )
+        assert code == 0
+        assert "nodes +1" in capsys.readouterr().out
+
+    def test_explain(self, snapshot_path, capsys):
+        code = main(
+            [
+                "explain", "MATCH (a:AS {asn: 1}) RETURN a",
+                "--snapshot", str(snapshot_path),
+            ]
+        )
+        assert code == 0
+        assert "anchor=:AS" in capsys.readouterr().out
+
+
+class TestInspection:
+    def test_info(self, snapshot_path, capsys):
+        assert main(["info", "--snapshot", str(snapshot_path)]) == 0
+        captured = capsys.readouterr().out
+        assert "nodes:" in captured and ":AS" in captured
+
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        captured = capsys.readouterr().out
+        assert "46 datasets" in captured
+        assert "bgpkit.pfx2as" in captured
+
+    def test_ontology(self, capsys):
+        assert main(["ontology"]) == 0
+        captured = capsys.readouterr().out
+        assert "24 entities" in captured
+        assert ":ORIGINATE" in captured
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,120 @@
+"""Cross-checks between independent computation paths.
+
+Each invariant here is computed two different ways (a study module vs a
+direct query, or a query vs the ground-truth world) — they must agree,
+which guards against bugs that a single path would absorb silently.
+"""
+
+import pytest
+
+from repro.studies import (
+    run_combined_study,
+    run_dns_robustness_study,
+    run_ripki_study,
+    run_spof_study,
+)
+
+
+class TestRiPKIConsistency:
+    def test_coverage_matches_direct_query(self, small_iyp):
+        study = run_ripki_study(small_iyp)
+        # Independent computation of the same number with one query.
+        direct = small_iyp.run(
+            """
+            MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(:DomainName)
+                  -[:PART_OF]-(:HostName)-[:RESOLVES_TO]-(:IP)
+                  -[:PART_OF]-(pfx:Prefix)
+            WITH DISTINCT pfx
+            OPTIONAL MATCH (pfx)-[:CATEGORIZED]-(t:Tag)
+            WHERE t.label STARTS WITH 'RPKI Valid'
+               OR t.label STARTS WITH 'RPKI Invalid'
+            WITH pfx, count(t) AS tags
+            RETURN 100.0 * sum(CASE WHEN tags > 0 THEN 1 ELSE 0 END)
+                   / count(pfx) AS pct, count(pfx) AS total
+            """
+        ).single()
+        assert direct["total"] == study.total_prefixes
+        assert direct["pct"] == pytest.approx(study.covered_pct, abs=0.01)
+
+    def test_coverage_consistent_with_world(self, small_iyp, small_world):
+        """The graph-derived coverage must match ground truth computed
+        directly from the world (no graph involved)."""
+        study = run_ripki_study(small_iyp)
+        hosting_prefixes = set()
+        for domain in small_world.domains.values():
+            for ip in domain.ips:
+                prefix = small_world.prefix_of_ip(ip)
+                if prefix:
+                    hosting_prefixes.add(prefix)
+        covered = sum(
+            1
+            for prefix in hosting_prefixes
+            if small_world.prefixes[prefix].rov_status != "NotFound"
+        )
+        world_pct = 100.0 * covered / len(hosting_prefixes)
+        # CNAME-hosted domains resolve through extra edge hostnames, so
+        # the graph sees a (slightly) different prefix multiset; the two
+        # estimates must still be within a few points of each other.
+        assert study.covered_pct == pytest.approx(world_pct, abs=5.0)
+
+
+class TestDNSConsistency:
+    def test_coverage_matches_world_tld_mix(self, small_iyp, small_world):
+        study = run_dns_robustness_study(small_iyp)
+        world_cno = sum(
+            1
+            for domain in small_world.domains.values()
+            if domain.tld in ("com", "net", "org")
+        )
+        world_pct = 100.0 * world_cno / len(small_world.domains)
+        assert study.coverage_pct == pytest.approx(world_pct, abs=0.5)
+
+    def test_discarded_matches_world_glue_flags(self, small_iyp, small_world):
+        study = run_dns_robustness_study(small_iyp)
+        cno = [
+            domain
+            for domain in small_world.domains.values()
+            if domain.tld in ("com", "net", "org")
+        ]
+        discarded = sum(1 for domain in cno if not domain.has_glue)
+        world_pct = 100.0 * discarded / len(cno)
+        assert study.discarded_pct == pytest.approx(world_pct, abs=0.5)
+
+    def test_ns_group_max_bounded_by_biggest_provider(
+        self, small_iyp, small_world
+    ):
+        study = run_dns_robustness_study(small_iyp)
+        from collections import Counter
+
+        provider_sizes = Counter(
+            domain.ns_provider for domain in small_world.domains.values()
+        )
+        biggest = provider_sizes.most_common(1)[0][1]
+        # A shared-NS group can never exceed the biggest provider's
+        # customer base.
+        assert study.all_by_ns.maximum <= biggest
+
+
+class TestSPOFConsistency:
+    def test_analyzed_domains_match_rankings(self, small_iyp, small_world):
+        study = run_spof_study(small_iyp)
+        ranked = set(small_world.tranco) | set(small_world.umbrella)
+        assert study.domains_analyzed == len(ranked)
+
+    def test_every_domain_has_direct_dependency(self, small_iyp):
+        study = run_spof_study(small_iyp)
+        assert study.domains_with["direct"] == study.domains_analyzed
+
+
+class TestCombinedConsistency:
+    def test_ns_prefixes_subset_of_all_prefixes(self, small_iyp):
+        combined = run_combined_study(small_iyp)
+        total_prefixes = small_iyp.run(
+            "MATCH (p:Prefix) RETURN count(p)"
+        ).value()
+        assert 0 < combined.ns_prefixes_total <= total_prefixes
+
+    def test_percentages_bounded(self, small_iyp):
+        combined = run_combined_study(small_iyp)
+        assert 0 <= combined.ns_prefixes_covered_pct <= 100
+        assert 0 <= combined.domains_on_covered_ns_pct <= 100

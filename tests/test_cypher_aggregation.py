@@ -1,0 +1,189 @@
+"""Projection semantics: aggregation, grouping, DISTINCT, ordering."""
+
+import pytest
+
+from repro.cypher import CypherEngine
+from repro.graphdb import GraphStore
+
+
+@pytest.fixture()
+def engine():
+    store = GraphStore()
+    # Three ASes originating 3, 2, 0 prefixes.
+    a1 = store.create_node({"AS"}, {"asn": 1, "country": "US"})
+    a2 = store.create_node({"AS"}, {"asn": 2, "country": "US"})
+    store.create_node({"AS"}, {"asn": 3, "country": "JP"})
+    for i in range(3):
+        p = store.create_node({"Prefix"}, {"prefix": f"10.{i}.0.0/16"})
+        store.create_relationship(a1.id, "ORIGINATE", p.id)
+    for i in range(2):
+        p = store.create_node({"Prefix"}, {"prefix": f"172.16.{i}.0/24"})
+        store.create_relationship(a2.id, "ORIGINATE", p.id)
+    return CypherEngine(store)
+
+
+class TestAggregates:
+    def test_count_star(self, engine):
+        assert engine.run("MATCH (a:AS) RETURN count(*)").value() == 3
+
+    def test_count_expression_skips_null(self, engine):
+        result = engine.run("UNWIND [1, null, 2] AS x RETURN count(x)")
+        assert result.value() == 2
+
+    def test_count_distinct(self, engine):
+        result = engine.run("UNWIND [1, 1, 2] AS x RETURN count(DISTINCT x)")
+        assert result.value() == 2
+
+    def test_collect(self, engine):
+        result = engine.run("UNWIND [3, 1, null, 2] AS x RETURN collect(x)")
+        assert result.value() == [3, 1, 2]
+
+    def test_collect_distinct(self, engine):
+        result = engine.run("UNWIND [1, 1, 2] AS x RETURN collect(DISTINCT x)")
+        assert result.value() == [1, 2]
+
+    def test_sum_avg_min_max(self, engine):
+        row = engine.run(
+            "UNWIND [1, 2, 3, 4] AS x "
+            "RETURN sum(x) AS s, avg(x) AS a, min(x) AS lo, max(x) AS hi"
+        ).single()
+        assert row == {"s": 10, "a": 2.5, "lo": 1, "hi": 4}
+
+    def test_aggregates_over_empty(self, engine):
+        row = engine.run(
+            "MATCH (a:AS {asn: 99}) RETURN count(a) AS c, sum(a.asn) AS s, "
+            "avg(a.asn) AS av, collect(a.asn) AS xs"
+        ).single()
+        assert row == {"c": 0, "s": 0, "av": None, "xs": []}
+
+    def test_percentiles(self, engine):
+        row = engine.run(
+            "UNWIND [1, 2, 3, 4, 5] AS x "
+            "RETURN percentileCont(x, 0.5) AS med, percentileDisc(x, 0.5) AS disc"
+        ).single()
+        assert row["med"] == 3.0 and row["disc"] == 3
+
+    def test_stdev(self, engine):
+        result = engine.run("UNWIND [2, 4, 4, 4, 5, 5, 7, 9] AS x RETURN stdev(x)")
+        assert abs(result.value() - 2.138) < 0.01
+
+
+class TestImplicitGrouping:
+    def test_group_by_non_aggregated(self, engine):
+        result = engine.run(
+            "MATCH (a:AS)-[:ORIGINATE]->(p) "
+            "RETURN a.asn AS asn, count(p) AS n ORDER BY asn"
+        )
+        assert result.to_rows() == [(1, 3), (2, 2)]
+
+    def test_group_by_two_keys(self, engine):
+        result = engine.run(
+            "MATCH (a:AS) RETURN a.country AS c, count(*) AS n ORDER BY c"
+        )
+        assert result.to_rows() == [("JP", 1), ("US", 2)]
+
+    def test_aggregate_inside_expression(self, engine):
+        result = engine.run(
+            "MATCH (a:AS)-[:ORIGINATE]->(p) "
+            "RETURN a.asn AS asn, 100.0 * count(p) / 5 AS pct ORDER BY asn"
+        )
+        assert result.to_rows() == [(1, 60.0), (2, 40.0)]
+
+    def test_with_then_aggregate_again(self, engine):
+        result = engine.run(
+            "MATCH (a:AS)-[:ORIGINATE]->(p) "
+            "WITH a, count(p) AS n RETURN sum(n) AS total"
+        )
+        assert result.value() == 5
+
+
+class TestDistinct:
+    def test_return_distinct(self, engine):
+        result = engine.run(
+            "MATCH (:AS)-[:ORIGINATE]->(p) RETURN DISTINCT p.prefix"
+        )
+        assert len(result) == 5
+        result = engine.run("UNWIND [1,1,2,2] AS x RETURN DISTINCT x")
+        assert result.column() == [1, 2]
+
+    def test_distinct_on_multiple_columns(self, engine):
+        result = engine.run(
+            "UNWIND [[1,'a'],[1,'a'],[1,'b']] AS pair "
+            "RETURN DISTINCT pair[0] AS x, pair[1] AS y"
+        )
+        assert len(result) == 2
+
+    def test_distinct_on_lists(self, engine):
+        result = engine.run(
+            "UNWIND [[1,2],[1,2],[2,1]] AS xs RETURN DISTINCT xs"
+        )
+        assert len(result) == 2
+
+
+class TestOrdering:
+    def test_order_by_alias(self, engine):
+        result = engine.run("UNWIND [3,1,2] AS x RETURN x AS v ORDER BY v")
+        assert result.column("v") == [1, 2, 3]
+
+    def test_order_desc(self, engine):
+        result = engine.run("UNWIND [3,1,2] AS x RETURN x ORDER BY x DESC")
+        assert result.column() == [3, 2, 1]
+
+    def test_multi_key_mixed_direction(self, engine):
+        result = engine.run(
+            "UNWIND [[1,'b'],[1,'a'],[2,'c']] AS p "
+            "RETURN p[0] AS x, p[1] AS y ORDER BY x DESC, y ASC"
+        )
+        assert result.to_rows() == [(2, "c"), (1, "a"), (1, "b")]
+
+    def test_nulls_sort_last_ascending(self, engine):
+        result = engine.run("UNWIND [2, null, 1] AS x RETURN x ORDER BY x")
+        assert result.column() == [1, 2, None]
+
+    def test_order_by_unprojected_expression(self, engine):
+        result = engine.run(
+            "MATCH (a:AS) RETURN a.asn AS asn ORDER BY a.country, a.asn"
+        )
+        assert result.column("asn") == [3, 1, 2]
+
+    def test_skip_limit(self, engine):
+        result = engine.run("UNWIND [1,2,3,4,5] AS x RETURN x ORDER BY x SKIP 1 LIMIT 2")
+        assert result.column() == [2, 3]
+
+
+class TestWith:
+    def test_with_filters_scope(self, engine):
+        result = engine.run(
+            "MATCH (a:AS) WITH a.asn AS asn WHERE asn > 1 RETURN asn ORDER BY asn"
+        )
+        assert result.column() == [2, 3]
+
+    def test_with_distinct(self, engine):
+        result = engine.run(
+            "MATCH (a:AS) WITH DISTINCT a.country AS c RETURN count(c)"
+        )
+        assert result.value() == 2
+
+    def test_with_limit_then_expand(self, engine):
+        result = engine.run(
+            "MATCH (a:AS) WITH a ORDER BY a.asn LIMIT 1 "
+            "MATCH (a)-[:ORIGINATE]->(p) RETURN count(p)"
+        )
+        assert result.value() == 3
+
+    def test_unwind_collected(self, engine):
+        result = engine.run(
+            "MATCH (a:AS) WITH collect(a.asn) AS asns UNWIND asns AS x "
+            "RETURN x ORDER BY x"
+        )
+        assert result.column() == [1, 2, 3]
+
+
+class TestUnion:
+    def test_union_dedups(self, engine):
+        result = engine.run("RETURN 1 AS x UNION RETURN 1 AS x UNION RETURN 2 AS x")
+        assert sorted(result.column("x")) == [1, 2]
+
+    def test_union_all_keeps(self, engine):
+        result = engine.run("RETURN 1 AS x UNION ALL RETURN 1 AS x")
+        assert result.column("x") == [1, 1]

@@ -1,0 +1,164 @@
+"""Engine edge cases and regression guards."""
+
+import pytest
+
+from repro.cypher import CypherEngine, CypherRuntimeError
+from repro.graphdb import GraphStore
+
+
+@pytest.fixture()
+def engine():
+    return CypherEngine(GraphStore())
+
+
+class TestSelfLoops:
+    @pytest.fixture()
+    def loop_engine(self):
+        store = GraphStore()
+        a = store.create_node({"AS"}, {"asn": 1})
+        store.create_relationship(a.id, "PEERS_WITH", a.id)
+        return CypherEngine(store)
+
+    def test_undirected_self_loop_matched_once(self, loop_engine):
+        result = loop_engine.run(
+            "MATCH (a:AS)-[:PEERS_WITH]-(b:AS) RETURN count(*)"
+        )
+        assert result.value() == 1
+
+    def test_directed_self_loop(self, loop_engine):
+        result = loop_engine.run(
+            "MATCH (a:AS)-[:PEERS_WITH]->(a) RETURN a.asn"
+        )
+        assert result.value() == 1
+
+
+class TestMultiClauseScoping:
+    def test_with_drops_unprojected_variables(self, engine):
+        engine.run("CREATE (:AS {asn: 1})")
+        with pytest.raises(CypherRuntimeError):
+            engine.run("MATCH (a:AS) WITH a.asn AS x RETURN a")
+
+    def test_with_star_keeps_everything(self, engine):
+        engine.run("CREATE (:AS {asn: 1})-[:ORIGINATE]->(:Prefix {prefix: 'p'})")
+        result = engine.run(
+            "MATCH (a:AS)-[:ORIGINATE]->(p) WITH * RETURN a.asn, p.prefix"
+        )
+        assert result.single() == {"a.asn": 1, "p.prefix": "p"}
+
+    def test_chained_aggregation(self, engine):
+        engine.run("UNWIND range(1, 6) AS x CREATE (:N {v: x, g: x % 2})")
+        result = engine.run(
+            "MATCH (n:N) WITH n.g AS g, count(*) AS per_group "
+            "WITH max(per_group) AS biggest RETURN biggest"
+        )
+        assert result.value() == 3
+
+    def test_match_after_return_fails(self, engine):
+        with pytest.raises(CypherRuntimeError):
+            engine.run("MATCH (a) RETURN a MATCH (b) RETURN b")
+
+
+class TestNullRows:
+    def test_property_of_optional_null(self, engine):
+        engine.run("CREATE (:AS {asn: 1})")
+        result = engine.run(
+            "MATCH (a:AS) OPTIONAL MATCH (a)-[:X]->(b) RETURN b.anything AS v"
+        )
+        assert result.column("v") == [None]
+
+    def test_labels_of_null_is_null(self, engine):
+        engine.run("CREATE (:AS {asn: 1})")
+        result = engine.run(
+            "MATCH (a:AS) OPTIONAL MATCH (a)-[:X]->(b) RETURN labels(b) AS l"
+        )
+        assert result.column("l") == [None]
+
+    def test_unwind_null_produces_no_rows(self, engine):
+        result = engine.run("UNWIND null AS x RETURN x")
+        assert len(result) == 0
+
+
+class TestMergeEdgeCases:
+    def test_merge_does_not_mix_partial_matches(self, engine):
+        # MERGE of a whole path creates the whole path if the *pattern*
+        # does not match, even when parts exist.
+        engine.run("CREATE (:AS {asn: 1})")
+        engine.run("MERGE (a:AS {asn: 1})-[:ORIGINATE]->(p:Prefix {prefix: 'x'})")
+        # Node (asn:1) existed but the path did not -> Cypher creates a
+        # fresh path, duplicating the AS node (documented semantics).
+        assert engine.store.node_count == 3
+
+    def test_merge_undirected_relationship_matches_either(self, engine):
+        engine.run("CREATE (:A {v: 1})-[:X]->(:B {v: 2})")
+        engine.run("MATCH (a:A), (b:B) MERGE (b)-[:X]-(a)")
+        assert engine.store.relationship_count == 1
+
+    def test_merge_with_parameter_values(self, engine):
+        engine.run("MERGE (a:AS {asn: $asn})", {"asn": 42})
+        engine.run("MERGE (a:AS {asn: $asn})", {"asn": 42})
+        assert engine.store.node_count == 1
+
+
+class TestIndexConsistencyAfterWrites:
+    def test_set_then_match_via_index(self, engine):
+        engine.store.create_index("AS", "asn")
+        engine.run("CREATE (:AS {asn: 1})")
+        engine.run("MATCH (a:AS {asn: 1}) SET a.asn = 99")
+        assert len(engine.run("MATCH (a:AS {asn: 99}) RETURN a")) == 1
+        assert len(engine.run("MATCH (a:AS {asn: 1}) RETURN a")) == 0
+
+    def test_label_added_then_label_scan(self, engine):
+        engine.run("CREATE (:HostName {name: 'ns1.x.com'})")
+        engine.run("MATCH (h:HostName) SET h:AuthoritativeNameServer")
+        assert len(
+            engine.run("MATCH (n:AuthoritativeNameServer) RETURN n")
+        ) == 1
+
+    def test_deleted_node_not_matched(self, engine):
+        engine.run("CREATE (:AS {asn: 1}), (:AS {asn: 2})")
+        engine.run("MATCH (a:AS {asn: 1}) DETACH DELETE a")
+        assert engine.run("MATCH (a:AS) RETURN count(a)").value() == 1
+
+
+class TestLongPatterns:
+    def test_six_hop_chain(self, engine):
+        engine.run(
+            "CREATE (:N {i:0})-[:E]->(:N {i:1})-[:E]->(:N {i:2})-[:E]->"
+            "(:N {i:3})-[:E]->(:N {i:4})-[:E]->(:N {i:5})-[:E]->(:N {i:6})"
+        )
+        result = engine.run(
+            "MATCH (a:N {i:0})-[:E]->()-[:E]->()-[:E]->()-[:E]->()-[:E]->()"
+            "-[:E]->(z) RETURN z.i"
+        )
+        assert result.value() == 6
+
+    def test_variable_length_zero_min_disallowed_by_grammar(self, engine):
+        # *0.. is parsed (min 0) and the zero-hop case binds both ends
+        # to the same node.
+        engine.run("CREATE (:N {i:0})-[:E]->(:N {i:1})")
+        result = engine.run(
+            "MATCH (a:N {i:0})-[:E*0..1]-(b) RETURN collect(DISTINCT b.i)"
+        )
+        assert sorted(result.value()) == [0, 1]
+
+
+class TestParameterTypes:
+    def test_list_parameter(self, engine):
+        engine.run("UNWIND $xs AS x CREATE (:N {v: x})", {"xs": [1, 2, 3]})
+        assert engine.run("MATCH (n:N) RETURN count(n)").value() == 3
+
+    def test_map_parameter_via_set(self, engine):
+        # Whole-map node parameters (`CREATE (:N $props)`) are not in
+        # the grammar; the supported spelling is CREATE + SET +=.
+        engine.run(
+            "CREATE (n:N) SET n += $props", {"props": {"a": 1, "b": "x"}}
+        )
+        node = engine.store.nodes_with_label("N")[0]
+        assert node.properties == {"a": 1, "b": "x"}
+
+    def test_in_with_parameter_list(self, engine):
+        engine.run("UNWIND [1,2,3,4] AS x CREATE (:N {v: x})")
+        result = engine.run(
+            "MATCH (n:N) WHERE n.v IN $wanted RETURN count(n)", {"wanted": [2, 4]}
+        )
+        assert result.value() == 2

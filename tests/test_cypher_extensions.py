@@ -1,0 +1,128 @@
+"""Cypher extensions: list predicates, reduce, path functions, explain."""
+
+import pytest
+
+from repro.cypher import CypherEngine
+from repro.graphdb import GraphStore
+
+
+@pytest.fixture()
+def engine():
+    return CypherEngine(GraphStore())
+
+
+def evaluate(engine, expression, params=None):
+    return engine.run(f"RETURN {expression} AS x", params).value()
+
+
+class TestListPredicates:
+    def test_all(self, engine):
+        assert evaluate(engine, "all(x IN [2, 4] WHERE x % 2 = 0)") is True
+        assert evaluate(engine, "all(x IN [2, 3] WHERE x % 2 = 0)") is False
+        assert evaluate(engine, "all(x IN [] WHERE x > 0)") is True
+
+    def test_any(self, engine):
+        assert evaluate(engine, "any(x IN [1, 2] WHERE x = 2)") is True
+        assert evaluate(engine, "any(x IN [1, 3] WHERE x = 2)") is False
+        assert evaluate(engine, "any(x IN [] WHERE x = 2)") is False
+
+    def test_none(self, engine):
+        assert evaluate(engine, "none(x IN [1, 3] WHERE x = 2)") is True
+        assert evaluate(engine, "none(x IN [1, 2] WHERE x = 2)") is False
+
+    def test_single(self, engine):
+        assert evaluate(engine, "single(x IN [1, 2, 3] WHERE x = 2)") is True
+        assert evaluate(engine, "single(x IN [2, 2] WHERE x = 2)") is False
+        assert evaluate(engine, "single(x IN [1] WHERE x = 2)") is False
+
+    def test_null_semantics(self, engine):
+        assert evaluate(engine, "all(x IN [1, null] WHERE x > 0)") is None
+        assert evaluate(engine, "all(x IN [0, null] WHERE x > 0)") is False
+        assert evaluate(engine, "any(x IN [1, null] WHERE x > 0)") is True
+        assert evaluate(engine, "any(x IN null WHERE x > 0)") is None
+
+    def test_predicate_over_node_lists(self):
+        store = GraphStore()
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        store.create_relationship(a.id, "PEERS_WITH", b.id)
+        engine = CypherEngine(store)
+        result = engine.run(
+            "MATCH (a:AS) WITH collect(a) AS ases "
+            "RETURN all(x IN ases WHERE x.asn > 0) AS ok"
+        )
+        assert result.value() is True
+
+
+class TestReduce:
+    def test_sum_via_reduce(self, engine):
+        assert evaluate(engine, "reduce(acc = 0, x IN [1, 2, 3] | acc + x)") == 6
+
+    def test_string_fold(self, engine):
+        assert (
+            evaluate(engine, "reduce(s = '', w IN ['a', 'b'] | s + w)") == "ab"
+        )
+
+    def test_reduce_empty_list_returns_init(self, engine):
+        assert evaluate(engine, "reduce(acc = 42, x IN [] | acc + x)") == 42
+
+    def test_reduce_null_list(self, engine):
+        assert evaluate(engine, "reduce(acc = 0, x IN null | acc + x)") is None
+
+
+class TestPathFunctions:
+    @pytest.fixture()
+    def path_engine(self):
+        store = GraphStore()
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        store.create_relationship(a.id, "PEERS_WITH", b.id)
+        return CypherEngine(store)
+
+    def test_nodes_of_path(self, path_engine):
+        result = path_engine.run(
+            "MATCH q = (a:AS {asn:1})-[r:PEERS_WITH]-(b) "
+            "RETURN size(nodes(q)) AS n, size(relationships(q)) AS m"
+        ).single()
+        assert result == {"n": 2, "m": 1}
+
+    def test_node_asns_along_path(self, path_engine):
+        result = path_engine.run(
+            "MATCH q = (a:AS {asn:1})-[r:PEERS_WITH]-(b) "
+            "RETURN [n IN nodes(q) | n.asn] AS asns"
+        )
+        assert result.value() == [1, 2]
+
+
+class TestExplain:
+    @pytest.fixture()
+    def engine_with_data(self):
+        store = GraphStore()
+        store.create_index("AS", "asn")
+        for asn in range(50):
+            store.create_node({"AS"}, {"asn": asn})
+        store.create_node({"Ranking"}, {"name": "Tranco top 1M"})
+        return CypherEngine(store)
+
+    def test_index_seek_chosen(self, engine_with_data):
+        plan = engine_with_data.explain("MATCH (a:AS {asn: 7}) RETURN a")
+        assert any("index seek" in step for step in plan)
+
+    def test_smallest_label_anchors(self, engine_with_data):
+        plan = engine_with_data.explain(
+            "MATCH (r:Ranking)-[:RANK]-(a:AS) RETURN a"
+        )
+        # Ranking has 1 node, AS has 50: Ranking must anchor.
+        assert any("anchor=:Ranking" in step for step in plan)
+
+    def test_label_scan_without_index(self, engine_with_data):
+        plan = engine_with_data.explain("MATCH (a:AS) RETURN a")
+        assert any("label scan" in step for step in plan)
+
+    def test_all_nodes_scan(self, engine_with_data):
+        plan = engine_with_data.explain("MATCH (n) RETURN n")
+        assert any("all-nodes scan" in step for step in plan)
+
+    def test_non_match_clauses_listed(self, engine_with_data):
+        plan = engine_with_data.explain("MATCH (a:AS) WITH a RETURN a")
+        assert "WITH" in plan and "RETURN" in plan

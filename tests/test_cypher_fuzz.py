@@ -1,0 +1,180 @@
+"""Property-based cross-check of the pattern matcher.
+
+For random small multigraphs and random two-hop patterns, the engine's
+MATCH results must agree with an exhaustive brute-force enumeration that
+independently implements Cypher's semantics (label filtering, direction,
+relationship isomorphism).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import CypherEngine
+from repro.graphdb import GraphStore
+
+LABELS = ["A", "B"]
+REL_TYPES = ["X", "Y"]
+
+
+@st.composite
+def graphs(draw):
+    """A random small directed multigraph with labels and types."""
+    n_nodes = draw(st.integers(min_value=2, max_value=6))
+    node_labels = draw(
+        st.lists(
+            st.sampled_from(LABELS), min_size=n_nodes, max_size=n_nodes
+        )
+    )
+    n_edges = draw(st.integers(min_value=0, max_value=10))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_nodes - 1),
+                st.sampled_from(REL_TYPES),
+                st.integers(0, n_nodes - 1),
+            ),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    return node_labels, edges
+
+
+def _build(node_labels, edges):
+    store = GraphStore()
+    nodes = [
+        store.create_node({label}, {"i": index})
+        for index, label in enumerate(node_labels)
+    ]
+    rels = [
+        store.create_relationship(nodes[src].id, rel_type, nodes[dst].id)
+        for src, rel_type, dst in edges
+    ]
+    return store, nodes, rels
+
+
+def _brute_force_two_hop(
+    nodes, rels, label_a, type_1, dir_1, label_b, type_2, dir_2, label_c
+):
+    """All (a.i, b.i, c.i) for (a:A)-[:T1]-(b:B)-[:T2]-(c:C) with
+    relationship isomorphism."""
+    results = set()
+    for rel_1, rel_2 in itertools.permutations(rels, 2):
+        if rel_1.type != type_1 or rel_2.type != type_2:
+            continue
+        for a_id, b_id in _orientations(rel_1, dir_1):
+            for b2_id, c_id in _orientations(rel_2, dir_2):
+                if b_id != b2_id:
+                    continue
+                a, b, c = nodes[a_id], nodes[b_id], nodes[c_id]
+                if (
+                    label_a in a.labels
+                    and label_b in b.labels
+                    and label_c in c.labels
+                ):
+                    results.add(
+                        (a.properties["i"], b.properties["i"], c.properties["i"])
+                    )
+    return results
+
+
+def _orientations(rel, direction):
+    # Node ids here are dense (0..n-1) because the store assigns them
+    # sequentially starting at 0 in these tests.
+    if direction == "out":
+        yield rel.start_id, rel.end_id
+    elif direction == "in":
+        yield rel.end_id, rel.start_id
+    else:
+        yield rel.start_id, rel.end_id
+        if rel.start_id != rel.end_id:
+            yield rel.end_id, rel.start_id
+
+
+def _arrow(rel_type, direction):
+    if direction == "out":
+        return f"-[:{rel_type}]->"
+    if direction == "in":
+        return f"<-[:{rel_type}]-"
+    return f"-[:{rel_type}]-"
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    graphs(),
+    st.sampled_from(LABELS),
+    st.sampled_from(REL_TYPES),
+    st.sampled_from(["out", "in", "both"]),
+    st.sampled_from(LABELS),
+    st.sampled_from(REL_TYPES),
+    st.sampled_from(["out", "in", "both"]),
+    st.sampled_from(LABELS),
+)
+def test_property_two_hop_matches_brute_force(
+    graph, label_a, type_1, dir_1, label_b, type_2, dir_2, label_c
+):
+    node_labels, edges = graph
+    store, nodes, rels = _build(node_labels, edges)
+    engine = CypherEngine(store)
+    query = (
+        f"MATCH (a:{label_a}){_arrow(type_1, dir_1)}(b:{label_b})"
+        f"{_arrow(type_2, dir_2)}(c:{label_c}) "
+        "RETURN a.i AS a, b.i AS b, c.i AS c"
+    )
+    got = {(row["a"], row["b"], row["c"]) for row in engine.run(query)}
+    expected = _brute_force_two_hop(
+        nodes, rels, label_a, type_1, dir_1, label_b, type_2, dir_2, label_c
+    )
+    assert got == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs(), st.sampled_from(LABELS), st.sampled_from(REL_TYPES),
+       st.sampled_from(["out", "in", "both"]), st.sampled_from(LABELS))
+def test_property_one_hop_matches_brute_force(
+    graph, label_a, rel_type, direction, label_b
+):
+    node_labels, edges = graph
+    store, nodes, rels = _build(node_labels, edges)
+    engine = CypherEngine(store)
+    query = (
+        f"MATCH (a:{label_a}){_arrow(rel_type, direction)}(b:{label_b}) "
+        "RETURN a.i AS a, b.i AS b"
+    )
+    got = sorted((row["a"], row["b"]) for row in engine.run(query))
+    expected = []
+    for rel in rels:
+        if rel.type != rel_type:
+            continue
+        for a_id, b_id in _orientations(rel, direction):
+            a, b = nodes[a_id], nodes[b_id]
+            if label_a in a.labels and label_b in b.labels:
+                expected.append((a.properties["i"], b.properties["i"]))
+    assert got == sorted(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_property_count_star_equals_row_count(graph):
+    node_labels, edges = graph
+    store, _nodes, _rels = _build(node_labels, edges)
+    engine = CypherEngine(store)
+    rows = engine.run("MATCH (a)-[r]->(b) RETURN a, r, b")
+    count = engine.run("MATCH (a)-[r]->(b) RETURN count(*)").value()
+    assert count == len(rows) == len(edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_property_distinct_never_exceeds_total(graph):
+    node_labels, edges = graph
+    store, _nodes, _rels = _build(node_labels, edges)
+    engine = CypherEngine(store)
+    total = engine.run("MATCH (a)--(b) RETURN a.i AS x")
+    distinct = engine.run("MATCH (a)--(b) RETURN DISTINCT a.i AS x")
+    assert len(distinct) <= len(total)
+    assert set(distinct.column("x")) == set(total.column("x"))

@@ -1,0 +1,86 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.cypher.errors import CypherSyntaxError
+from repro.cypher.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("match RETURN Where")[0] == (TokenType.KEYWORD, "MATCH")
+        assert kinds("match RETURN Where")[2] == (TokenType.KEYWORD, "WHERE")
+
+    def test_keyword_raw_preserved(self):
+        token = tokenize("Match")[0]
+        assert token.value == "MATCH" and token.raw == "Match"
+
+    def test_identifiers_case_sensitive(self):
+        assert kinds("Prefix")[0] == (TokenType.IDENT, "Prefix")
+
+    def test_comments_skipped(self):
+        tokens = kinds("MATCH // a comment\nRETURN")
+        assert [v for _, v in tokens] == ["MATCH", "RETURN"]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestStrings:
+    def test_single_and_double_quotes(self):
+        assert kinds("'abc'")[0] == (TokenType.STRING, "abc")
+        assert kinds('"abc"')[0] == (TokenType.STRING, "abc")
+
+    def test_escapes(self):
+        assert kinds(r"'a\'b\n'")[0] == (TokenType.STRING, "a'b\n")
+
+    def test_unterminated_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'oops")
+
+    def test_backtick_identifier(self):
+        assert kinds("`RPKI Invalid`")[0] == (TokenType.IDENT, "RPKI Invalid")
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42")[0] == (TokenType.INTEGER, "42")
+
+    def test_float(self):
+        assert kinds("3.14")[0] == (TokenType.FLOAT, "3.14")
+
+    def test_scientific(self):
+        assert kinds("1e3")[0] == (TokenType.FLOAT, "1e3")
+
+    def test_range_not_float(self):
+        # '1..3' must lex as INTEGER, '..', INTEGER (hop ranges).
+        tokens = kinds("1..3")
+        assert [t for t, _ in tokens] == [
+            TokenType.INTEGER, TokenType.PUNCT, TokenType.INTEGER,
+        ]
+
+
+class TestPunctuation:
+    def test_multi_char_operators(self):
+        values = [v for _, v in kinds("<> <= >= =~ .. +=")]
+        assert values == ["<>", "<=", ">=", "=~", "..", "+="]
+
+    def test_arrow_components(self):
+        values = [v for _, v in kinds("-[:X]->")]
+        assert values == ["-", "[", ":", "X", "]", "-", ">"]
+
+    def test_parameter(self):
+        tokens = kinds("$name")
+        assert tokens[0] == (TokenType.PARAMETER, "name")
+
+    def test_empty_parameter_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("$ x")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("MATCH @")

@@ -1,0 +1,222 @@
+"""MATCH execution: pattern semantics against a known graph."""
+
+import pytest
+
+from repro.cypher import CypherEngine, CypherRuntimeError
+from repro.graphdb import GraphStore
+
+
+@pytest.fixture()
+def engine():
+    """A small routing graph:
+
+    AS1 -ORIGINATE-> P1 (10.0.0.0/8)
+    AS1 -ORIGINATE-> P2 (192.0.2.0/24)   <- MOAS with AS2
+    AS2 -ORIGINATE-> P2
+    AS1 -PEERS_WITH-> AS2
+    AS2 -PEERS_WITH-> AS3
+    P2 -CATEGORIZED-> Tag('RPKI Valid')
+    """
+    store = GraphStore()
+    store.create_index("AS", "asn")
+    a1 = store.create_node({"AS"}, {"asn": 1, "name": "one"})
+    a2 = store.create_node({"AS"}, {"asn": 2})
+    a3 = store.create_node({"AS"}, {"asn": 3})
+    p1 = store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8", "af": 4})
+    p2 = store.create_node({"Prefix"}, {"prefix": "192.0.2.0/24", "af": 4})
+    tag = store.create_node({"Tag"}, {"label": "RPKI Valid"})
+    store.create_relationship(a1.id, "ORIGINATE", p1.id, {"reference_name": "bgpkit"})
+    store.create_relationship(a1.id, "ORIGINATE", p2.id, {"reference_name": "bgpkit"})
+    store.create_relationship(a2.id, "ORIGINATE", p2.id, {"reference_name": "ihr"})
+    store.create_relationship(a1.id, "PEERS_WITH", a2.id)
+    store.create_relationship(a2.id, "PEERS_WITH", a3.id)
+    store.create_relationship(p2.id, "CATEGORIZED", tag.id)
+    return CypherEngine(store)
+
+
+class TestBasicMatch:
+    def test_label_scan(self, engine):
+        assert len(engine.run("MATCH (a:AS) RETURN a")) == 3
+
+    def test_property_seek(self, engine):
+        result = engine.run("MATCH (a:AS {asn: 2}) RETURN a.asn")
+        assert result.value() == 2
+
+    def test_no_match_returns_empty(self, engine):
+        assert len(engine.run("MATCH (a:AS {asn: 99}) RETURN a")) == 0
+
+    def test_undirected_expansion(self, engine):
+        result = engine.run("MATCH (a:AS {asn: 1})-[:PEERS_WITH]-(b) RETURN b.asn")
+        assert result.column() == [2]
+
+    def test_directed_expansion(self, engine):
+        out = engine.run("MATCH (a:AS {asn: 2})-[:PEERS_WITH]->(b) RETURN b.asn")
+        assert out.column() == [3]
+        inc = engine.run("MATCH (a:AS {asn: 2})<-[:PEERS_WITH]-(b) RETURN b.asn")
+        assert inc.column() == [1]
+
+    def test_untyped_relationship(self, engine):
+        result = engine.run("MATCH (a:AS {asn: 2})--(n) RETURN count(n)")
+        assert result.value() == 3  # P2, AS1, AS3
+
+    def test_multi_hop(self, engine):
+        result = engine.run(
+            "MATCH (a:AS {asn: 1})-[:PEERS_WITH]-(b)-[:PEERS_WITH]-(c) RETURN c.asn"
+        )
+        assert result.column() == [3]
+
+    def test_relationship_variable(self, engine):
+        result = engine.run(
+            "MATCH (a:AS {asn: 1})-[r:ORIGINATE]->(p) RETURN r.reference_name, p.prefix"
+        )
+        assert len(result) == 2
+        assert all(row["r.reference_name"] == "bgpkit" for row in result)
+
+    def test_inline_rel_properties(self, engine):
+        result = engine.run(
+            "MATCH (a:AS)-[:ORIGINATE {reference_name:'ihr'}]->(p) RETURN a.asn"
+        )
+        assert result.column() == [2]
+
+    def test_anonymous_nodes(self, engine):
+        result = engine.run("MATCH (:AS)-[:ORIGINATE]->(:Prefix) RETURN count(*)")
+        assert result.value() == 3
+
+
+class TestRelationshipUniqueness:
+    def test_moas_requires_distinct_edges(self, engine):
+        # Without relationship isomorphism this would also return
+        # 10.0.0.0/8 (same ORIGINATE edge walked twice).
+        result = engine.run(
+            "MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS) "
+            "RETURN DISTINCT p.prefix"
+        )
+        assert result.column() == ["192.0.2.0/24"]
+
+    def test_uniqueness_spans_comma_patterns(self, engine):
+        # Both patterns must use distinct relationships within one MATCH.
+        result = engine.run(
+            "MATCH (x:AS {asn:2})-[r:ORIGINATE]->(p), (y:AS {asn:2})-[s:ORIGINATE]->(p) "
+            "RETURN count(*)"
+        )
+        assert result.value() == 0
+
+    def test_uniqueness_resets_between_clauses(self, engine):
+        result = engine.run(
+            "MATCH (x:AS {asn:2})-[:ORIGINATE]->(p) "
+            "MATCH (y:AS {asn:2})-[:ORIGINATE]->(p) RETURN count(*)"
+        )
+        assert result.value() == 1
+
+
+class TestJoinSemantics:
+    def test_bound_variable_joins(self, engine):
+        result = engine.run(
+            "MATCH (a:AS {asn: 1}) MATCH (a)-[:ORIGINATE]->(p) RETURN count(p)"
+        )
+        assert result.value() == 2
+
+    def test_rebinding_same_node_variable(self, engine):
+        result = engine.run(
+            "MATCH (a:AS {asn:1})-[:ORIGINATE]->(p:Prefix {prefix:'192.0.2.0/24'})"
+            "<-[:ORIGINATE]-(a2:AS) WHERE a2.asn <> a.asn RETURN a2.asn"
+        )
+        assert result.column() == [2]
+
+    def test_cartesian_product(self, engine):
+        result = engine.run("MATCH (a:AS), (p:Prefix) RETURN count(*)")
+        assert result.value() == 6
+
+
+class TestOptionalMatch:
+    def test_missing_padded_with_null(self, engine):
+        result = engine.run(
+            "MATCH (a:AS) OPTIONAL MATCH (a)-[:CATEGORIZED]-(t:Tag) "
+            "RETURN a.asn, t ORDER BY a.asn"
+        )
+        assert [row["t"] for row in result] == [None, None, None]
+
+    def test_found_rows_kept(self, engine):
+        result = engine.run(
+            "MATCH (p:Prefix) OPTIONAL MATCH (p)-[:CATEGORIZED]-(t:Tag) "
+            "RETURN p.prefix, t.label ORDER BY p.prefix"
+        )
+        assert result.to_rows() == [
+            ("10.0.0.0/8", None),
+            ("192.0.2.0/24", "RPKI Valid"),
+        ]
+
+    def test_optional_with_where(self, engine):
+        result = engine.run(
+            "MATCH (a:AS) OPTIONAL MATCH (a)-[:ORIGINATE]->(p) "
+            "WHERE p.prefix STARTS WITH '10.' RETURN a.asn, p.prefix ORDER BY a.asn"
+        )
+        assert result.to_rows() == [(1, "10.0.0.0/8"), (2, None), (3, None)]
+
+
+class TestVariableLength:
+    def test_fixed_range(self, engine):
+        result = engine.run(
+            "MATCH (a:AS {asn:1})-[:PEERS_WITH*2..2]-(c) RETURN c.asn"
+        )
+        assert result.column() == [3]
+
+    def test_range_one_to_two(self, engine):
+        result = engine.run(
+            "MATCH (a:AS {asn:1})-[:PEERS_WITH*1..2]-(c) RETURN c.asn ORDER BY c.asn"
+        )
+        assert result.column() == [2, 3]
+
+    def test_unbounded(self, engine):
+        result = engine.run(
+            "MATCH (a:AS {asn:3})-[:PEERS_WITH*]-(c) RETURN collect(c.asn)"
+        )
+        assert sorted(result.value()) == [1, 2]
+
+    def test_rel_variable_binds_list(self, engine):
+        result = engine.run(
+            "MATCH (a:AS {asn:1})-[r:PEERS_WITH*2..2]-(c) RETURN size(r)"
+        )
+        assert result.value() == 2
+
+
+class TestPatternPredicates:
+    def test_where_pattern(self, engine):
+        result = engine.run(
+            "MATCH (a:AS) WHERE (a)-[:CATEGORIZED]-(:Tag) RETURN a.asn"
+        )
+        assert result.column() == []
+        result = engine.run(
+            "MATCH (p:Prefix) WHERE (p)-[:CATEGORIZED]-(:Tag) RETURN p.prefix"
+        )
+        assert result.column() == ["192.0.2.0/24"]
+
+    def test_not_pattern(self, engine):
+        result = engine.run(
+            "MATCH (p:Prefix) WHERE NOT (p)-[:CATEGORIZED]-(:Tag) RETURN p.prefix"
+        )
+        assert result.column() == ["10.0.0.0/8"]
+
+    def test_exists_function_form(self, engine):
+        result = engine.run(
+            "MATCH (p:Prefix) WHERE exists((p)-[:CATEGORIZED]-(:Tag)) RETURN count(p)"
+        )
+        assert result.value() == 1
+
+
+class TestPathVariable:
+    def test_path_is_bound(self, engine):
+        result = engine.run(
+            "MATCH q = (a:AS {asn:1})-[:PEERS_WITH]-(b) RETURN size(q)"
+        )
+        assert result.value() == 2  # two nodes (rel var not requested)
+
+
+class TestErrors:
+    def test_undefined_variable(self, engine):
+        with pytest.raises(CypherRuntimeError):
+            engine.run("MATCH (a:AS) RETURN b")
+
+    def test_aggregate_in_where_rejected(self, engine):
+        with pytest.raises(CypherRuntimeError):
+            engine.run("MATCH (a:AS) WHERE count(a) > 1 RETURN a")

@@ -1,0 +1,220 @@
+"""Parser tests: clause structure, patterns, expression precedence."""
+
+import pytest
+
+from repro.cypher import ast
+from repro.cypher.errors import CypherSyntaxError
+from repro.cypher.parser import parse
+
+
+class TestMatch:
+    def test_simple_pattern(self):
+        query = parse("MATCH (a:AS) RETURN a")
+        match = query.clauses[0]
+        assert isinstance(match, ast.MatchClause)
+        node = match.patterns[0].nodes[0]
+        assert node.variable == "a" and node.labels == ("AS",)
+
+    def test_as_label_is_allowed(self):
+        # ':AS' collides with the AS keyword; must parse as a label.
+        query = parse("MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN x")
+        assert query.clauses[0].patterns[0].nodes[0].labels == ("AS",)
+
+    def test_relationship_directions(self):
+        out = parse("MATCH (a)-[:X]->(b) RETURN a").clauses[0]
+        assert out.patterns[0].relationships[0].direction == "out"
+        inc = parse("MATCH (a)<-[:X]-(b) RETURN a").clauses[0]
+        assert inc.patterns[0].relationships[0].direction == "in"
+        both = parse("MATCH (a)-[:X]-(b) RETURN a").clauses[0]
+        assert both.patterns[0].relationships[0].direction == "both"
+
+    def test_bare_relationship(self):
+        clause = parse("MATCH (a)--(b) RETURN a").clauses[0]
+        assert clause.patterns[0].relationships[0].types == ()
+
+    def test_alternative_types(self):
+        clause = parse("MATCH (a)-[:X|Y]-(b) RETURN a").clauses[0]
+        assert clause.patterns[0].relationships[0].types == ("X", "Y")
+
+    def test_variable_length(self):
+        clause = parse("MATCH (a)-[:X*1..3]-(b) RETURN a").clauses[0]
+        rel = clause.patterns[0].relationships[0]
+        assert rel.min_hops == 1 and rel.max_hops == 3
+
+    def test_variable_length_unbounded(self):
+        rel = parse("MATCH (a)-[:X*]-(b) RETURN a").clauses[0].patterns[0].relationships[0]
+        assert rel.min_hops == 1 and rel.max_hops == -1
+
+    def test_inline_properties(self):
+        clause = parse("MATCH (t:Tag {label:'RPKI Valid'}) RETURN t").clauses[0]
+        props = dict(clause.patterns[0].nodes[0].properties)
+        assert isinstance(props["label"], ast.Literal)
+
+    def test_relationship_properties(self):
+        clause = parse(
+            "MATCH (a)-[r:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(b) RETURN a"
+        ).clauses[0]
+        props = dict(clause.patterns[0].relationships[0].properties)
+        assert props["reference_name"].value == "openintel.tranco1m"
+
+    def test_multiple_patterns(self):
+        clause = parse("MATCH (a:AS), (b:Prefix) RETURN a").clauses[0]
+        assert len(clause.patterns) == 2
+
+    def test_optional_match(self):
+        clause = parse("OPTIONAL MATCH (a:AS) RETURN a").clauses[0]
+        assert clause.optional
+
+    def test_where_attached(self):
+        clause = parse("MATCH (a:AS) WHERE a.asn = 1 RETURN a").clauses[0]
+        assert isinstance(clause.where, ast.BinaryOp)
+
+    def test_conflicting_direction_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (a)<-[:X]->(b) RETURN a")
+
+
+class TestProjection:
+    def test_implicit_aliases(self):
+        query = parse("MATCH (a:AS) RETURN a.asn, count(*)")
+        aliases = [item.alias for item in query.clauses[-1].items]
+        assert aliases == ["a.asn", "count(*)"]
+
+    def test_explicit_alias(self):
+        query = parse("MATCH (a) RETURN a.asn AS asn")
+        assert query.clauses[-1].items[0].alias == "asn"
+
+    def test_distinct_flag(self):
+        assert parse("MATCH (a) RETURN DISTINCT a").clauses[-1].distinct
+
+    def test_order_skip_limit(self):
+        clause = parse(
+            "MATCH (a) RETURN a.x ORDER BY a.x DESC, a.y SKIP 2 LIMIT 5"
+        ).clauses[-1]
+        assert clause.order_by[0].descending and not clause.order_by[1].descending
+        assert clause.skip.value == 2 and clause.limit.value == 5
+
+    def test_with_where(self):
+        clause = parse("MATCH (a) WITH a.x AS x WHERE x > 1 RETURN x").clauses[1]
+        assert isinstance(clause, ast.WithClause)
+        assert clause.where is not None
+
+    def test_return_star(self):
+        assert parse("MATCH (a) RETURN *").clauses[-1].star
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse(f"RETURN {text} AS x").clauses[0].items[0].expression
+
+    def test_precedence_and_or(self):
+        expr = self._expr("true OR false AND false")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_comparison_chain(self):
+        expr = self._expr("1 + 2 * 3 = 7")
+        assert expr.op == "eq"
+        assert expr.left.op == "+"
+
+    def test_starts_with(self):
+        expr = self._expr("'abc' STARTS WITH 'a'")
+        assert expr.op == "starts_with"
+
+    def test_in_list(self):
+        expr = self._expr("1 IN [1, 2, 3]")
+        assert expr.op == "in"
+        assert isinstance(expr.right, ast.ListLiteral)
+
+    def test_is_null(self):
+        expr = self._expr("x IS NULL")
+        assert isinstance(expr, ast.IsNull) and not expr.negated
+
+    def test_is_not_null(self):
+        expr = self._expr("x IS NOT NULL")
+        assert isinstance(expr, ast.IsNull) and expr.negated
+
+    def test_case_searched(self):
+        expr = self._expr("CASE WHEN x > 1 THEN 'a' ELSE 'b' END")
+        assert isinstance(expr, ast.CaseExpression) and expr.operand is None
+
+    def test_case_simple(self):
+        expr = self._expr("CASE x WHEN 1 THEN 'a' END")
+        assert expr.operand is not None and expr.default is None
+
+    def test_function_distinct(self):
+        expr = self._expr("count(DISTINCT x)")
+        assert expr.distinct
+
+    def test_count_star(self):
+        expr = self._expr("count(*)")
+        assert expr.star
+
+    def test_list_comprehension(self):
+        expr = self._expr("[y IN xs WHERE y > 1 | y * 2]")
+        assert isinstance(expr, ast.ListComprehension)
+        assert expr.predicate is not None and expr.projection is not None
+
+    def test_index_and_slice(self):
+        assert isinstance(self._expr("xs[0]"), ast.IndexAccess)
+        sliced = self._expr("xs[1..3]")
+        assert sliced.is_slice
+
+    def test_map_literal(self):
+        expr = self._expr("{a: 1, b: 'x'}")
+        assert isinstance(expr, ast.MapLiteral)
+
+    def test_parameter(self):
+        expr = self._expr("$org_name")
+        assert isinstance(expr, ast.Parameter) and expr.name == "org_name"
+
+
+class TestWriteClauses:
+    def test_create(self):
+        clause = parse("CREATE (a:AS {asn: 1})-[:ORIGINATE]->(p:Prefix)").clauses[0]
+        assert isinstance(clause, ast.CreateClause)
+
+    def test_merge_with_on_create(self):
+        clause = parse(
+            "MERGE (a:AS {asn: 1}) ON CREATE SET a.name = 'x' ON MATCH SET a.seen = true"
+        ).clauses[0]
+        assert clause.on_create and clause.on_match
+
+    def test_set_forms(self):
+        clause = parse("MATCH (a) SET a.x = 1, a:Tag, a += {y: 2}").clauses[1]
+        kinds = [item.kind for item in clause.items]
+        assert kinds == ["property", "label", "merge_map"]
+
+    def test_delete_detach(self):
+        clause = parse("MATCH (a) DETACH DELETE a").clauses[1]
+        assert clause.detach
+
+    def test_remove(self):
+        clause = parse("MATCH (a) REMOVE a.x").clauses[1]
+        assert clause.items[0].key == "x"
+
+    def test_unwind(self):
+        clause = parse("UNWIND [1,2] AS x RETURN x").clauses[0]
+        assert isinstance(clause, ast.UnwindClause) and clause.alias == "x"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "MATCH",
+            "RETURN",
+            "MATCH (a RETURN a",
+            "MATCH (a) RETURN a LIMIT",
+            "FROB (a)",
+            "MATCH (a) RETURN a extra",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(CypherSyntaxError):
+            parse(bad)
+
+    def test_union_column_structures_parse(self):
+        query = parse("RETURN 1 AS x UNION RETURN 2 AS x")
+        assert len(query.union_parts) == 1

@@ -1,0 +1,70 @@
+"""QueryResult helpers."""
+
+import pytest
+
+from repro.cypher.result import QueryResult, WriteStats
+
+
+@pytest.fixture()
+def result():
+    return QueryResult(
+        columns=["asn", "name"],
+        records=[{"asn": 1, "name": "a"}, {"asn": 2, "name": None}],
+    )
+
+
+class TestAccessors:
+    def test_len_iter_getitem(self, result):
+        assert len(result) == 2
+        assert list(result)[0]["asn"] == 1
+        assert result[1]["asn"] == 2
+
+    def test_column_default_is_first(self, result):
+        assert result.column() == [1, 2]
+
+    def test_column_by_name(self, result):
+        assert result.column("name") == ["a", None]
+
+    def test_column_unknown_raises(self, result):
+        with pytest.raises(KeyError):
+            result.column("nope")
+
+    def test_single_requires_one_row(self, result):
+        with pytest.raises(ValueError):
+            result.single()
+        one = QueryResult(["x"], [{"x": 9}])
+        assert one.single() == {"x": 9}
+
+    def test_value_requires_one_cell(self):
+        assert QueryResult(["x"], [{"x": 9}]).value() == 9
+        with pytest.raises(ValueError):
+            QueryResult(["x", "y"], [{"x": 1, "y": 2}]).value()
+
+    def test_to_rows(self, result):
+        assert result.to_rows() == [(1, "a"), (2, None)]
+
+
+class TestTable:
+    def test_to_table_renders(self, result):
+        table = result.to_table()
+        lines = table.splitlines()
+        assert "asn" in lines[0] and "name" in lines[0]
+        assert "null" in table  # None rendering
+
+    def test_to_table_truncates(self):
+        big = QueryResult(["x"], [{"x": i} for i in range(100)])
+        table = big.to_table(max_rows=5)
+        assert "95 more rows" in table
+
+    def test_bool_rendering(self):
+        result = QueryResult(["b"], [{"b": True}])
+        assert "true" in result.to_table()
+
+
+class TestWriteStats:
+    def test_falsy_when_empty(self):
+        assert not WriteStats()
+
+    def test_truthy_with_any_mutation(self):
+        assert WriteStats(nodes_created=1)
+        assert WriteStats(properties_set=3)

@@ -1,0 +1,168 @@
+"""Write clauses: CREATE, MERGE, SET, REMOVE, DELETE."""
+
+import pytest
+
+from repro.cypher import CypherEngine, CypherRuntimeError
+from repro.graphdb import GraphStore
+
+
+@pytest.fixture()
+def engine():
+    return CypherEngine(GraphStore())
+
+
+class TestCreate:
+    def test_create_node(self, engine):
+        result = engine.run("CREATE (a:AS {asn: 1}) RETURN a.asn")
+        assert result.value() == 1
+        assert result.stats.nodes_created == 1
+        assert engine.store.node_count == 1
+
+    def test_create_path(self, engine):
+        result = engine.run(
+            "CREATE (a:AS {asn: 1})-[:ORIGINATE {src: 'test'}]->(p:Prefix {prefix: 'x'}) "
+            "RETURN a, p"
+        )
+        assert result.stats.relationships_created == 1
+        rels = list(engine.store.iter_relationships())
+        assert rels[0].properties["src"] == "test"
+
+    def test_create_per_input_row(self, engine):
+        engine.run("UNWIND [1, 2, 3] AS x CREATE (:AS {asn: x})")
+        assert engine.store.node_count == 3
+
+    def test_create_reuses_bound_variable(self, engine):
+        engine.run(
+            "CREATE (a:AS {asn: 1}) CREATE (a)-[:PEERS_WITH]->(b:AS {asn: 2})"
+        )
+        assert engine.store.node_count == 2
+        assert engine.store.relationship_count == 1
+
+    def test_create_undirected_rejected(self, engine):
+        with pytest.raises(CypherRuntimeError):
+            engine.run("CREATE (a)-[:X]-(b)")
+
+    def test_create_directional_in(self, engine):
+        engine.run("CREATE (a:A {v:1})<-[:X]-(b:B {v:2})")
+        rel = next(engine.store.iter_relationships())
+        assert engine.store.get_node(rel.start_id).has_label("B")
+
+
+class TestMerge:
+    def test_merge_creates_once(self, engine):
+        engine.run("MERGE (a:AS {asn: 1})")
+        engine.run("MERGE (a:AS {asn: 1})")
+        assert engine.store.node_count == 1
+
+    def test_merge_on_create_vs_on_match(self, engine):
+        engine.run(
+            "MERGE (a:AS {asn: 1}) ON CREATE SET a.created = true "
+            "ON MATCH SET a.matched = true"
+        )
+        node = engine.store.nodes_with_label("AS")[0]
+        assert node.properties.get("created") is True
+        assert "matched" not in node.properties
+        engine.run(
+            "MERGE (a:AS {asn: 1}) ON CREATE SET a.created2 = true "
+            "ON MATCH SET a.matched = true"
+        )
+        assert node.properties.get("matched") is True
+        assert "created2" not in node.properties
+
+    def test_merge_relationship_between_bound(self, engine):
+        engine.run("CREATE (:AS {asn: 1}), (:AS {asn: 2})")
+        for _ in range(2):
+            engine.run(
+                "MATCH (a:AS {asn: 1}), (b:AS {asn: 2}) MERGE (a)-[:PEERS_WITH]->(b)"
+            )
+        assert engine.store.relationship_count == 1
+
+    def test_merge_whole_path_created_atomically(self, engine):
+        engine.run("MERGE (a:AS {asn: 1})-[:ORIGINATE]->(p:Prefix {prefix: 'x'})")
+        assert engine.store.node_count == 2
+        engine.run("MERGE (a:AS {asn: 1})-[:ORIGINATE]->(p:Prefix {prefix: 'x'})")
+        assert engine.store.node_count == 2
+        assert engine.store.relationship_count == 1
+
+
+class TestSet:
+    def test_set_property(self, engine):
+        engine.run("CREATE (:AS {asn: 1})")
+        result = engine.run("MATCH (a:AS) SET a.name = 'x' RETURN a.name")
+        assert result.value() == "x"
+        assert result.stats.properties_set == 1
+
+    def test_set_label(self, engine):
+        engine.run("CREATE (:AS {asn: 1})")
+        engine.run("MATCH (a:AS) SET a:Tier1")
+        assert engine.store.nodes_with_label("Tier1")
+
+    def test_set_merge_map(self, engine):
+        engine.run("CREATE (:AS {asn: 1, name: 'a'})")
+        engine.run("MATCH (a:AS) SET a += {name: 'b', extra: 1}")
+        node = engine.store.nodes_with_label("AS")[0]
+        assert node.properties == {"asn": 1, "name": "b", "extra": 1}
+
+    def test_set_replace_map(self, engine):
+        engine.run("CREATE (:AS {asn: 1, name: 'a'})")
+        engine.run("MATCH (a:AS) SET a = {asn: 2}")
+        node = engine.store.nodes_with_label("AS")[0]
+        assert node.properties == {"asn": 2}
+
+    def test_set_relationship_property(self, engine):
+        engine.run("CREATE (:A {v:1})-[:X]->(:B {v:2})")
+        engine.run("MATCH (:A)-[r:X]->(:B) SET r.weight = 9")
+        rel = next(engine.store.iter_relationships())
+        assert rel.properties["weight"] == 9
+
+    def test_set_on_null_subject_is_noop(self, engine):
+        engine.run("CREATE (:AS {asn: 1})")
+        engine.run(
+            "MATCH (a:AS) OPTIONAL MATCH (a)-[:X]->(b) SET b.v = 1"
+        )  # must not raise
+
+    def test_remove_property(self, engine):
+        engine.run("CREATE (:AS {asn: 1, name: 'x'})")
+        engine.run("MATCH (a:AS) REMOVE a.name")
+        assert "name" not in engine.store.nodes_with_label("AS")[0].properties
+
+
+class TestDelete:
+    def test_delete_relationship(self, engine):
+        engine.run("CREATE (:A {v:1})-[:X]->(:B {v:2})")
+        engine.run("MATCH (:A)-[r:X]->(:B) DELETE r")
+        assert engine.store.relationship_count == 0
+        assert engine.store.node_count == 2
+
+    def test_detach_delete_node(self, engine):
+        engine.run("CREATE (:A {v:1})-[:X]->(:B {v:2})")
+        result = engine.run("MATCH (a:A) DETACH DELETE a")
+        assert result.stats.nodes_deleted == 1
+        assert result.stats.relationships_deleted == 1
+        assert engine.store.node_count == 1
+
+    def test_plain_delete_connected_raises(self, engine):
+        engine.run("CREATE (:A {v:1})-[:X]->(:B {v:2})")
+        with pytest.raises(Exception):
+            engine.run("MATCH (a:A) DELETE a")
+
+    def test_delete_idempotent_within_query(self, engine):
+        engine.run("CREATE (a:A {v:1})-[:X]->(:B), (a)-[:X]->(:C)")
+        # 'a' appears in two rows; it must be deleted exactly once.
+        result = engine.run("MATCH (a:A)-[:X]->() DETACH DELETE a")
+        assert result.stats.nodes_deleted == 1
+
+
+class TestWriteStats:
+    def test_stats_accumulate(self, engine):
+        result = engine.run(
+            "UNWIND [1,2] AS x CREATE (a:AS {asn: x}) SET a.seen = true"
+        )
+        assert result.stats.nodes_created == 2
+        assert result.stats.properties_set == 4  # 2 asn + 2 seen
+        assert result.stats.labels_added == 2
+
+    def test_pure_read_has_no_stats(self, engine):
+        engine.run("CREATE (:AS {asn: 1})")
+        result = engine.run("MATCH (a:AS) RETURN a")
+        assert not result.stats

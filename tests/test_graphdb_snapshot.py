@@ -1,0 +1,87 @@
+"""Snapshots: the reproduction's equivalent of IYP's weekly dumps."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphdb import GraphStore, load_snapshot, save_snapshot
+from repro.graphdb.snapshot import snapshot_dict, store_from_dict
+
+
+def _sample_store() -> GraphStore:
+    store = GraphStore()
+    store.create_unique_constraint("AS", "asn")
+    a = store.create_node({"AS"}, {"asn": 2914, "tags": ["Tier1", "Eyeball"]})
+    p = store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8", "af": 4})
+    store.create_relationship(a.id, "ORIGINATE", p.id, {"reference_name": "x"})
+    return store
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        store = _sample_store()
+        path = tmp_path / "snapshot.json.gz"
+        save_snapshot(store, path)
+        loaded = load_snapshot(path)
+        assert loaded.node_count == store.node_count
+        assert loaded.relationship_count == store.relationship_count
+        assert snapshot_dict(loaded) == snapshot_dict(store)
+
+    def test_indexes_and_constraints_restored(self, tmp_path):
+        store = _sample_store()
+        path = tmp_path / "snapshot.json.gz"
+        save_snapshot(store, path)
+        loaded = load_snapshot(path)
+        assert loaded.has_index("AS", "asn")
+        assert len(loaded.find_nodes("AS", "asn", 2914)) == 1
+
+    def test_list_properties_survive(self, tmp_path):
+        store = _sample_store()
+        path = tmp_path / "snapshot.json.gz"
+        save_snapshot(store, path)
+        loaded = load_snapshot(path)
+        node = loaded.find_nodes("AS", "asn", 2914)[0]
+        assert node.properties["tags"] == ["Tier1", "Eyeball"]
+
+    def test_version_check(self):
+        try:
+            store_from_dict({"format_version": 999, "nodes": [], "relationships": []})
+        except ValueError as exc:
+            assert "999" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_snapshot_is_compressed_json(self, tmp_path):
+        import gzip
+        import json
+
+        store = _sample_store()
+        path = tmp_path / "snapshot.json.gz"
+        save_snapshot(store, path)
+        with gzip.open(path, "rt") as handle:
+            payload = json.load(handle)
+        assert payload["format_version"] == 1
+        assert len(payload["nodes"]) == 2
+
+
+_props = st.dictionaries(
+    st.text(alphabet="abcxyz", min_size=1, max_size=5),
+    st.one_of(st.integers(-5, 5), st.text(max_size=5), st.booleans()),
+    max_size=3,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7), _props), max_size=15),
+)
+def test_property_snapshot_roundtrip(n_nodes, edges):
+    """Any generated graph survives a dict round-trip exactly."""
+    store = GraphStore()
+    nodes = [store.create_node({"N"}, {"i": i}) for i in range(n_nodes)]
+    for start, end, props in edges:
+        store.create_relationship(
+            nodes[start % n_nodes].id, "E", nodes[end % n_nodes].id, props
+        )
+    restored = store_from_dict(snapshot_dict(store))
+    assert snapshot_dict(restored) == snapshot_dict(store)

@@ -1,0 +1,232 @@
+"""The property-graph store: CRUD, indexes, constraints, adjacency."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphdb import (
+    ConstraintViolationError,
+    Direction,
+    GraphStore,
+    NoSuchNodeError,
+    NoSuchRelationshipError,
+)
+
+
+@pytest.fixture()
+def store():
+    return GraphStore()
+
+
+class TestNodes:
+    def test_create_and_get(self, store):
+        node = store.create_node({"AS"}, {"asn": 2914})
+        assert store.get_node(node.id).properties["asn"] == 2914
+        assert store.node_count == 1
+
+    def test_labels_indexed(self, store):
+        store.create_node({"AS"}, {"asn": 1})
+        store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8"})
+        assert len(store.nodes_with_label("AS")) == 1
+        assert store.label_counts() == {"AS": 1, "Prefix": 1}
+
+    def test_multi_label_node(self, store):
+        node = store.create_node({"HostName", "AuthoritativeNameServer"}, {"name": "x"})
+        assert node in store.nodes_with_label("HostName")
+        assert node in store.nodes_with_label("AuthoritativeNameServer")
+
+    def test_none_properties_dropped(self, store):
+        node = store.create_node({"AS"}, {"asn": 1, "name": None})
+        assert "name" not in node.properties
+
+    def test_unsupported_property_type_raises(self, store):
+        with pytest.raises(TypeError):
+            store.create_node({"AS"}, {"asn": object()})
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(NoSuchNodeError):
+            store.get_node(99)
+
+    def test_add_label(self, store):
+        node = store.create_node({"HostName"}, {"name": "ns1.example.com"})
+        store.add_label(node.id, "AuthoritativeNameServer")
+        assert node.has_label("AuthoritativeNameServer")
+        assert node in store.nodes_with_label("AuthoritativeNameServer")
+
+    def test_update_node_merges_and_deletes(self, store):
+        node = store.create_node({"AS"}, {"asn": 1, "name": "a"})
+        store.update_node(node.id, {"name": None, "rank": 5})
+        assert node.properties == {"asn": 1, "rank": 5}
+
+    def test_delete_node_requires_detach(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8"})
+        store.create_relationship(a.id, "ORIGINATE", b.id)
+        with pytest.raises(ConstraintViolationError):
+            store.delete_node(a.id)
+        store.delete_node(a.id, detach=True)
+        assert store.node_count == 1
+        assert store.relationship_count == 0
+
+
+class TestIndexes:
+    def test_find_via_index(self, store):
+        store.create_index("AS", "asn")
+        store.create_node({"AS"}, {"asn": 2914})
+        store.create_node({"AS"}, {"asn": 7018})
+        found = store.find_nodes("AS", "asn", 2914)
+        assert len(found) == 1 and found[0].properties["asn"] == 2914
+
+    def test_find_without_index_scans(self, store):
+        store.create_node({"AS"}, {"asn": 2914})
+        assert len(store.find_nodes("AS", "asn", 2914)) == 1
+
+    def test_index_created_after_data(self, store):
+        store.create_node({"AS"}, {"asn": 2914})
+        store.create_index("AS", "asn")
+        assert store.has_index("AS", "asn")
+        assert len(store.find_nodes("AS", "asn", 2914)) == 1
+
+    def test_index_follows_updates(self, store):
+        store.create_index("AS", "asn")
+        node = store.create_node({"AS"}, {"asn": 1})
+        store.update_node(node.id, {"asn": 2})
+        assert store.find_nodes("AS", "asn", 1) == []
+        assert len(store.find_nodes("AS", "asn", 2)) == 1
+
+    def test_index_follows_delete(self, store):
+        store.create_index("AS", "asn")
+        node = store.create_node({"AS"}, {"asn": 1})
+        store.delete_node(node.id)
+        assert store.find_nodes("AS", "asn", 1) == []
+
+
+class TestConstraints:
+    def test_unique_constraint_blocks_duplicates(self, store):
+        store.create_unique_constraint("AS", "asn")
+        store.create_node({"AS"}, {"asn": 1})
+        with pytest.raises(ConstraintViolationError):
+            store.create_node({"AS"}, {"asn": 1})
+
+    def test_constraint_on_existing_duplicates_fails(self, store):
+        store.create_node({"AS"}, {"asn": 1})
+        store.create_node({"AS"}, {"asn": 1})
+        with pytest.raises(ConstraintViolationError):
+            store.create_unique_constraint("AS", "asn")
+
+    def test_update_respects_constraint(self, store):
+        store.create_unique_constraint("AS", "asn")
+        store.create_node({"AS"}, {"asn": 1})
+        other = store.create_node({"AS"}, {"asn": 2})
+        with pytest.raises(ConstraintViolationError):
+            store.update_node(other.id, {"asn": 1})
+
+    def test_self_update_allowed(self, store):
+        store.create_unique_constraint("AS", "asn")
+        node = store.create_node({"AS"}, {"asn": 1})
+        store.update_node(node.id, {"asn": 1})  # no-op, no violation
+
+
+class TestMergeNode:
+    def test_merge_creates_then_reuses(self, store):
+        first = store.merge_node("AS", "asn", 2914)
+        second = store.merge_node("AS", "asn", 2914, {"name": "NTT"})
+        assert first.id == second.id
+        assert first.properties["name"] == "NTT"
+        assert store.node_count == 1
+
+    def test_merge_adds_extra_labels(self, store):
+        node = store.merge_node("HostName", "name", "ns1.example.com")
+        store.merge_node(
+            "HostName", "name", "ns1.example.com",
+            extra_labels=["AuthoritativeNameServer"],
+        )
+        assert node.has_label("AuthoritativeNameServer")
+
+
+class TestRelationships:
+    def test_create_and_adjacency(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        p = store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8"})
+        rel = store.create_relationship(a.id, "ORIGINATE", p.id, {"count": 3})
+        assert rel.properties["count"] == 3
+        assert store.relationships_of(a.id, Direction.OUT) == [rel]
+        assert store.relationships_of(p.id, Direction.IN) == [rel]
+        assert store.relationships_of(p.id, Direction.OUT) == []
+        assert store.degree(a.id) == 1
+
+    def test_endpoints_must_exist(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        with pytest.raises(NoSuchNodeError):
+            store.create_relationship(a.id, "ORIGINATE", 999)
+
+    def test_type_filter(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        store.create_relationship(a.id, "PEERS_WITH", b.id)
+        store.create_relationship(a.id, "SIBLING_OF", b.id)
+        assert len(store.relationships_of(a.id, rel_type="PEERS_WITH")) == 1
+
+    def test_self_loop_counted_once_for_both(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        store.create_relationship(a.id, "PEERS_WITH", a.id)
+        assert len(store.relationships_of(a.id, Direction.BOTH)) == 1
+
+    def test_parallel_edges_allowed(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        p = store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8"})
+        store.create_relationship(a.id, "ORIGINATE", p.id, {"reference_name": "x"})
+        store.create_relationship(a.id, "ORIGINATE", p.id, {"reference_name": "y"})
+        assert len(store.relationships_between(a.id, p.id, "ORIGINATE")) == 2
+
+    def test_merge_relationship_by_match_props(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        p = store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8"})
+        first = store.merge_relationship(
+            a.id, "ORIGINATE", p.id, match_props={"reference_name": "x"}
+        )
+        again = store.merge_relationship(
+            a.id, "ORIGINATE", p.id, match_props={"reference_name": "x"}
+        )
+        other = store.merge_relationship(
+            a.id, "ORIGINATE", p.id, match_props={"reference_name": "y"}
+        )
+        assert first.id == again.id
+        assert other.id != first.id
+
+    def test_delete_relationship(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        rel = store.create_relationship(a.id, "PEERS_WITH", b.id)
+        store.delete_relationship(rel.id)
+        assert store.relationship_count == 0
+        assert store.relationships_of(a.id) == []
+        with pytest.raises(NoSuchRelationshipError):
+            store.get_relationship(rel.id)
+
+    def test_relationship_type_counts(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        store.create_relationship(a.id, "PEERS_WITH", b.id)
+        assert store.relationship_type_counts() == {"PEERS_WITH": 1}
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=50
+    )
+)
+def test_property_adjacency_is_consistent(edges):
+    """For any random multigraph, out/in adjacency and the global
+    relationship count agree."""
+    store = GraphStore()
+    nodes = [store.create_node({"N"}, {"i": i}) for i in range(10)]
+    for start, end in edges:
+        store.create_relationship(nodes[start].id, "E", nodes[end].id)
+    assert store.relationship_count == len(edges)
+    out_total = sum(
+        len(store.relationships_of(n.id, Direction.OUT)) for n in nodes
+    )
+    in_total = sum(len(store.relationships_of(n.id, Direction.IN)) for n in nodes)
+    assert out_total == len(edges)
+    assert in_total == len(edges)

@@ -1,0 +1,123 @@
+"""Longitudinal series and snapshot diffing."""
+
+import pytest
+
+from repro.core import IYP, Reference
+from repro.core.diff import node_identity, snapshot_diff
+from repro.studies.longitudinal import SnapshotSeries
+
+
+def _mini_iyp(with_extra: bool = False) -> IYP:
+    iyp = IYP()
+    ref = Reference("T", "test.bgp")
+    a = iyp.get_node("AS", asn=1)
+    p = iyp.get_node("Prefix", prefix="10.0.0.0/8")
+    iyp.add_link(a, "ORIGINATE", p, reference=ref)
+    if with_extra:
+        b = iyp.get_node("AS", asn=2)
+        iyp.add_link(b, "ORIGINATE", p, reference=ref)
+    return iyp
+
+
+class TestSnapshotDiff:
+    def test_identical_snapshots_unchanged(self):
+        diff = snapshot_diff(_mini_iyp().store, _mini_iyp().store)
+        assert diff.unchanged
+
+    def test_added_node_and_link(self):
+        diff = snapshot_diff(_mini_iyp().store, _mini_iyp(with_extra=True).store)
+        assert diff.nodes_added == [("AS", 2)]
+        assert not diff.nodes_removed
+        assert len(diff.relationships_added) == 1
+        start, rel_type, end, dataset = diff.relationships_added[0]
+        assert start == ("AS", 2) and rel_type == "ORIGINATE"
+        assert end == ("Prefix", "10.0.0.0/8") and dataset == "test.bgp"
+
+    def test_removed_is_symmetric(self):
+        diff = snapshot_diff(_mini_iyp(with_extra=True).store, _mini_iyp().store)
+        assert diff.nodes_removed == [("AS", 2)]
+        assert len(diff.relationships_removed) == 1
+
+    def test_identity_ignores_internal_ids(self):
+        # Build the same content in a different insertion order.
+        iyp = IYP()
+        ref = Reference("T", "test.bgp")
+        p = iyp.get_node("Prefix", prefix="10.0.0.0/8")
+        a = iyp.get_node("AS", asn=1)
+        iyp.add_link(a, "ORIGINATE", p, reference=ref)
+        diff = snapshot_diff(_mini_iyp().store, iyp.store)
+        assert diff.unchanged
+
+    def test_same_link_different_dataset_counts_as_change(self):
+        left = _mini_iyp()
+        right = _mini_iyp()
+        a = right.store.find_nodes("AS", "asn", 1)[0]
+        p = right.store.find_nodes("Prefix", "prefix", "10.0.0.0/8")[0]
+        right.add_link(a, "ORIGINATE", p, reference=Reference("U", "other.bgp"))
+        diff = snapshot_diff(left.store, right.store)
+        assert len(diff.relationships_added) == 1
+        assert diff.relationships_added[0][3] == "other.bgp"
+
+    def test_summary_counts(self):
+        diff = snapshot_diff(_mini_iyp().store, _mini_iyp(with_extra=True).store)
+        summary = diff.summary()
+        assert summary["nodes_added"] == {"AS": 1}
+        assert summary["relationships_added"] == {"ORIGINATE": 1}
+
+    def test_node_identity(self):
+        iyp = _mini_iyp()
+        node = iyp.store.find_nodes("AS", "asn", 1)[0]
+        assert node_identity(node) == ("AS", 1)
+
+
+class TestLongitudinal:
+    @pytest.fixture(scope="class")
+    def series(self):
+        series = SnapshotSeries()
+        series.add("t0", _mini_iyp())
+        series.add("t1", _mini_iyp(with_extra=True))
+        return series
+
+    def test_metric_series(self, series):
+        counts = series.metric("MATCH (a:AS) RETURN count(a)")
+        assert counts == {"t0": 1, "t1": 2}
+
+    def test_trend_preserves_order(self, series):
+        trend = series.trend("MATCH (a:AS) RETURN count(a)")
+        assert trend == [("t0", 1), ("t1", 2)]
+
+    def test_run_full_results(self, series):
+        results = series.run("MATCH (a:AS) RETURN a.asn ORDER BY a.asn")
+        assert results["t1"].column() == [1, 2]
+
+    def test_study_runner(self, series):
+        sizes = series.study(lambda iyp: iyp.store.node_count)
+        assert sizes["t1"] == sizes["t0"] + 1
+
+    def test_paper_arc_2015_to_2024(self):
+        # The Limitations-section workflow on the era presets: RPKI
+        # coverage of all announced prefixes across two eras.
+        from repro.pipeline import build_iyp
+        from repro.simnet import WorldConfig, build_world
+
+        series = SnapshotSeries()
+        for label, config in (
+            ("2015", WorldConfig.year2015(scale=0.1, n_domains=500, n_ases=150)),
+            ("2024", WorldConfig(seed=20240501, scale=0.1, n_domains=500,
+                                 n_ases=150)),
+        ):
+            iyp, _report = build_iyp(
+                build_world(config), dataset_names=["ihr.rov"], postprocess=False
+            )
+            series.add(label, iyp)
+        coverage = series.metric(
+            """
+            MATCH (p:Prefix)
+            OPTIONAL MATCH (p)-[:CATEGORIZED]-(t:Tag)
+            WHERE t.label IN ['RPKI Valid', 'RPKI Invalid',
+                              'RPKI Invalid,more-specific']
+            WITH p, count(t) AS tags
+            RETURN 100.0 * sum(CASE WHEN tags > 0 THEN 1 ELSE 0 END) / count(p)
+            """
+        )
+        assert coverage["2024"] > 4 * coverage["2015"]

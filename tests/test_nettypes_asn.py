@@ -1,0 +1,63 @@
+"""ASN parsing and classification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nettypes import (
+    ASN_MAX,
+    InvalidASNError,
+    is_documentation_asn,
+    is_private_asn,
+    parse_asn,
+)
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (2914, 2914),
+            ("2914", 2914),
+            ("AS2914", 2914),
+            ("as2914", 2914),
+            (" AS2914 ", 2914),
+            ("0", 0),
+            ("1.10", 65546),  # asdot
+            ("0.1", 1),
+            (str(ASN_MAX), ASN_MAX),
+        ],
+    )
+    def test_valid_spellings(self, value, expected):
+        assert parse_asn(value) == expected
+
+    @pytest.mark.parametrize("bad", ["", "ASX", "-5", -5, ASN_MAX + 1, "1.2.3", True])
+    def test_invalid_values_raise(self, bad):
+        with pytest.raises(InvalidASNError):
+            parse_asn(bad)
+
+
+class TestRanges:
+    def test_private_16bit(self):
+        assert is_private_asn(64512)
+        assert not is_private_asn(64511)
+
+    def test_private_32bit(self):
+        assert is_private_asn(4200000000)
+
+    def test_documentation(self):
+        assert is_documentation_asn(64496)
+        assert is_documentation_asn(65536)
+        assert not is_documentation_asn(2914)
+
+
+@given(st.integers(min_value=0, max_value=ASN_MAX))
+def test_property_roundtrip_plain_and_prefixed(asn):
+    assert parse_asn(str(asn)) == asn
+    assert parse_asn(f"AS{asn}") == asn
+
+
+@given(st.integers(min_value=0, max_value=ASN_MAX))
+def test_property_asdot_roundtrip(asn):
+    high, low = divmod(asn, 65536)
+    assert parse_asn(f"{high}.{low}") == asn

@@ -1,0 +1,61 @@
+"""ISO 3166 registry used by the Country refinement step."""
+
+import pytest
+
+from repro.nettypes import (
+    UnknownCountryError,
+    alpha2_to_alpha3,
+    alpha3_to_alpha2,
+    country_name,
+    is_valid_alpha2,
+    iter_countries,
+)
+from repro.nettypes.countries import lookup
+
+
+class TestLookups:
+    def test_alpha2_to_alpha3(self):
+        assert alpha2_to_alpha3("US") == "USA"
+        assert alpha2_to_alpha3("jp") == "JPN"  # case-insensitive
+
+    def test_alpha3_to_alpha2(self):
+        assert alpha3_to_alpha2("GBR") == "GB"
+
+    def test_roundtrip_all(self):
+        for country in iter_countries():
+            assert alpha3_to_alpha2(alpha2_to_alpha3(country.alpha2)) == country.alpha2
+
+    def test_country_name(self):
+        assert country_name("NL") == "Netherlands"
+        assert country_name("NLD") == "Netherlands"
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownCountryError):
+            lookup("XX")
+        with pytest.raises(UnknownCountryError):
+            lookup("XXX")
+
+    def test_is_valid_alpha2(self):
+        assert is_valid_alpha2("de")
+        assert not is_valid_alpha2("ZZ")
+
+
+class TestRegistryIntegrity:
+    def test_codes_unique(self):
+        entries = list(iter_countries())
+        assert len({c.alpha2 for c in entries}) == len(entries)
+        assert len({c.alpha3 for c in entries}) == len(entries)
+
+    def test_code_shapes(self):
+        for country in iter_countries():
+            assert len(country.alpha2) == 2 and country.alpha2.isupper()
+            assert len(country.alpha3) == 3 and country.alpha3.isupper()
+            assert country.name
+            assert country.region in {
+                "Americas", "Europe", "Asia", "Africa", "Oceania",
+            }
+
+    def test_paper_relevant_countries_present(self):
+        # Countries named in the SPoF discussion must be resolvable.
+        for code in ("US", "RU", "CN", "GB"):
+            assert is_valid_alpha2(code)

@@ -1,0 +1,118 @@
+"""DNS name handling: normalization, suffixes, zone hierarchy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nettypes import (
+    InvalidNameError,
+    is_valid_hostname,
+    normalize_name,
+    parent_zones,
+    public_suffix,
+    registered_domain,
+    tld,
+)
+from repro.nettypes.dns import is_subdomain_of, second_level_label
+
+
+class TestNormalize:
+    def test_lowercase(self):
+        assert normalize_name("WWW.Example.COM") == "www.example.com"
+
+    def test_trailing_dot_stripped(self):
+        assert normalize_name("example.com.") == "example.com"
+
+    def test_both_spellings_collide(self):
+        assert normalize_name("Example.COM.") == normalize_name("example.com")
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidNameError):
+            normalize_name("  ")
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "name", ["example.com", "a.b.c.d", "xn--80ak6aa92e.com", "ns_1.example.org"]
+    )
+    def test_valid(self, name):
+        assert is_valid_hostname(name)
+
+    @pytest.mark.parametrize("name", ["-bad.com", "bad-.com", "a" * 64 + ".com"])
+    def test_invalid(self, name):
+        assert not is_valid_hostname(name)
+
+    def test_too_long_overall(self):
+        assert not is_valid_hostname(".".join(["abc"] * 80))
+
+
+class TestSuffixes:
+    def test_tld(self):
+        assert tld("www.example.com") == "com"
+
+    def test_single_label_suffix(self):
+        assert public_suffix("example.com") == "com"
+
+    def test_two_label_suffix(self):
+        assert public_suffix("shop.example.co.uk") == "co.uk"
+
+    def test_registered_domain_simple(self):
+        assert registered_domain("www.example.com") == "example.com"
+
+    def test_registered_domain_two_label_suffix(self):
+        assert registered_domain("www.example.co.uk") == "example.co.uk"
+
+    def test_registered_domain_of_suffix_is_none(self):
+        assert registered_domain("com") is None
+        assert registered_domain("co.uk") is None
+
+    def test_registered_domain_of_apex_is_itself(self):
+        assert registered_domain("example.com") == "example.com"
+
+    def test_second_level_label(self):
+        assert second_level_label("www.example.com") == "example"
+        assert second_level_label("com") is None
+
+    def test_unknown_tld_treated_as_suffix(self):
+        assert public_suffix("foo.unknowntld") == "unknowntld"
+        assert registered_domain("foo.unknowntld") == "foo.unknowntld"
+
+
+class TestHierarchy:
+    def test_parent_zones(self):
+        assert parent_zones("a.b.example.com") == [
+            "b.example.com",
+            "example.com",
+            "com",
+        ]
+
+    def test_parent_zones_of_tld(self):
+        assert parent_zones("com") == []
+
+    def test_is_subdomain_of(self):
+        assert is_subdomain_of("www.example.com", "example.com")
+        assert is_subdomain_of("www.example.com", "com")
+        assert not is_subdomain_of("example.com", "example.com")
+        assert not is_subdomain_of("badexample.com", "example.com")
+
+
+_labels = st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=8)
+
+
+@given(st.lists(_labels, min_size=2, max_size=5))
+def test_property_registered_domain_is_suffix_of_name(labels):
+    name = ".".join(labels)
+    registrable = registered_domain(name)
+    if registrable is not None:
+        assert name == registrable or name.endswith("." + registrable)
+        # The registrable domain has exactly one label above its suffix.
+        suffix = public_suffix(name)
+        assert registrable.endswith(suffix)
+        extra = registrable[: -(len(suffix) + 1)]
+        assert "." not in extra
+
+
+@given(st.lists(_labels, min_size=1, max_size=6))
+def test_property_normalize_idempotent(labels):
+    name = ".".join(labels)
+    assert normalize_name(normalize_name(name)) == normalize_name(name)

@@ -1,0 +1,136 @@
+"""Canonical IP/prefix handling (the Section 2.3 dedup rule)."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nettypes import (
+    InvalidAddressError,
+    InvalidPrefixError,
+    address_family,
+    canonical_ip,
+    canonical_prefix,
+    ip_in_prefix,
+    prefix_af,
+    prefix_contains,
+    slash24_of,
+)
+from repro.nettypes.ip import ip_bits, prefix_bits, prefix_key
+
+
+class TestCanonicalIP:
+    def test_ipv6_case_and_zeros(self):
+        assert canonical_ip("2001:DB8:0:0:0:0:0:1") == "2001:db8::1"
+
+    def test_paper_example_prefix_pair(self):
+        # The exact pair from Section 2.3 of the paper.
+        assert canonical_prefix("2001:DB8::/32") == canonical_prefix("2001:0db8::/32")
+
+    def test_ipv4_leading_zeros(self):
+        assert canonical_ip("192.000.002.001") == "192.0.2.1"
+
+    def test_whitespace_stripped(self):
+        assert canonical_ip("  10.0.0.1 ") == "10.0.0.1"
+
+    def test_already_canonical_is_identity(self):
+        assert canonical_ip("203.0.113.7") == "203.0.113.7"
+
+    @pytest.mark.parametrize("bad", ["", "hello", "1.2.3", "1.2.3.4.5", "::g"])
+    def test_invalid_addresses_raise(self, bad):
+        with pytest.raises(InvalidAddressError):
+            canonical_ip(bad)
+
+    def test_canonicalization_is_idempotent(self):
+        value = canonical_ip("2001:0DB8:0000::0001")
+        assert canonical_ip(value) == value
+
+
+class TestCanonicalPrefix:
+    def test_host_bits_zeroed(self):
+        assert canonical_prefix("10.0.0.1/8") == "10.0.0.0/8"
+
+    def test_ipv6_compression(self):
+        assert canonical_prefix("2001:0db8:0000::/32") == "2001:db8::/32"
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "/24", "x/8"])
+    def test_invalid_prefixes_raise(self, bad):
+        with pytest.raises(InvalidPrefixError):
+            canonical_prefix(bad)
+
+    def test_full_length_prefixes(self):
+        assert canonical_prefix("192.0.2.1/32") == "192.0.2.1/32"
+        assert canonical_prefix("2001:db8::1/128") == "2001:db8::1/128"
+
+
+class TestFamilyAndContainment:
+    def test_address_family(self):
+        assert address_family("192.0.2.1") == 4
+        assert address_family("2001:db8::1") == 6
+
+    def test_prefix_af(self):
+        assert prefix_af("10.0.0.0/8") == 4
+        assert prefix_af("2001:db8::/32") == 6
+
+    def test_ip_in_prefix(self):
+        assert ip_in_prefix("10.1.2.3", "10.0.0.0/8")
+        assert not ip_in_prefix("11.1.2.3", "10.0.0.0/8")
+
+    def test_cross_family_containment_is_false(self):
+        assert not ip_in_prefix("10.0.0.1", "2001:db8::/32")
+        assert not prefix_contains("10.0.0.0/8", "2001:db8::/32")
+
+    def test_prefix_contains_self(self):
+        assert prefix_contains("10.0.0.0/8", "10.0.0.0/8")
+
+    def test_prefix_contains_subnet(self):
+        assert prefix_contains("10.0.0.0/8", "10.1.0.0/16")
+        assert not prefix_contains("10.1.0.0/16", "10.0.0.0/8")
+
+
+class TestSlash24:
+    def test_ipv4(self):
+        assert slash24_of("192.0.2.77") == "192.0.2.0/24"
+
+    def test_ipv6_uses_slash48(self):
+        assert slash24_of("2001:db8:1:2::3") == "2001:db8:1::/48"
+
+
+class TestBitHelpers:
+    def test_prefix_bits_length(self):
+        af, bits = prefix_bits("10.0.0.0/8")
+        assert af == 4 and len(bits) == 8 and bits == "00001010"
+
+    def test_ip_bits_full_width(self):
+        af, bits = ip_bits("255.255.255.255")
+        assert af == 4 and bits == "1" * 32
+        af6, bits6 = ip_bits("::")
+        assert af6 == 6 and bits6 == "0" * 128
+
+    def test_prefix_key_sortable(self):
+        assert prefix_key("10.0.0.0/8") < prefix_key("11.0.0.0/8")
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_canonical_ipv4_roundtrip(value):
+    """Any IPv4 integer survives the canonical round-trip."""
+    text = str(ipaddress.ip_address(value))
+    assert canonical_ip(text) == text
+
+
+@given(
+    st.integers(min_value=0, max_value=2**128 - 1),
+    st.integers(min_value=0, max_value=128),
+)
+def test_property_canonical_prefix_idempotent(value, length):
+    """canonical_prefix is idempotent over arbitrary v6 inputs."""
+    network = ipaddress.ip_network((value, length), strict=False)
+    canonical = canonical_prefix(str(network))
+    assert canonical_prefix(canonical) == canonical
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_slash24_contains_address(value):
+    ip = str(ipaddress.ip_address(value))
+    assert ip_in_prefix(ip, slash24_of(ip))

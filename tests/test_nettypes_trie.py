@@ -1,0 +1,138 @@
+"""The radix trie backing the refinement pass's LPM lookups."""
+
+import ipaddress
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nettypes import PrefixTrie, ip_in_prefix, prefix_contains
+
+
+class TestBasics:
+    def test_empty_trie(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert trie.longest_match_ip("10.0.0.1") is None
+
+    def test_insert_and_exact_get(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "payload")
+        assert trie.get("10.0.0.0/8") == "payload"
+        assert "10.0.0.0/8" in trie
+        assert trie.get("10.0.0.0/9") is None
+
+    def test_insert_replaces(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", 1)
+        trie.insert("10.0.0.0/8", 2)
+        assert len(trie) == 1
+        assert trie.get("10.0.0.0/8") == 2
+
+    def test_non_canonical_input_normalized(self):
+        trie = PrefixTrie()
+        trie.insert("2001:0DB8::/32", "x")
+        assert trie.get("2001:db8::/32") == "x"
+
+    def test_families_do_not_collide(self):
+        trie = PrefixTrie()
+        trie.insert("0.0.0.0/0", "v4-default")
+        assert trie.longest_match_ip("2001:db8::1") is None
+
+
+class TestLongestMatch:
+    def test_prefers_more_specific(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "coarse")
+        trie.insert("10.1.0.0/16", "fine")
+        assert trie.longest_match_ip("10.1.2.3") == ("10.1.0.0/16", "fine")
+        assert trie.longest_match_ip("10.9.9.9") == ("10.0.0.0/8", "coarse")
+
+    def test_no_match_outside(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", None)
+        assert trie.longest_match_ip("11.0.0.1") is None
+
+    def test_match_prefix_includes_self(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "a")
+        assert trie.longest_match_prefix("10.0.0.0/8") == ("10.0.0.0/8", "a")
+
+    def test_ipv6(self):
+        trie = PrefixTrie()
+        trie.insert("2001:db8::/32", "alloc")
+        trie.insert("2001:db8:1::/48", "announce")
+        assert trie.longest_match_ip("2001:db8:1::5")[0] == "2001:db8:1::/48"
+        assert trie.longest_match_ip("2001:db8:2::5")[0] == "2001:db8::/32"
+
+
+class TestCoveringPrefix:
+    def test_excludes_self(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "a")
+        assert trie.covering_prefix("10.0.0.0/8") is None
+
+    def test_finds_parent(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "alloc")
+        trie.insert("10.1.0.0/16", "announce")
+        assert trie.covering_prefix("10.1.0.0/16") == ("10.0.0.0/8", "alloc")
+
+    def test_finds_closest_parent(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "l8")
+        trie.insert("10.1.0.0/16", "l16")
+        trie.insert("10.1.2.0/24", "l24")
+        assert trie.covering_prefix("10.1.2.0/24") == ("10.1.0.0/16", "l16")
+
+    def test_default_route_covers_everything_else(self):
+        trie = PrefixTrie()
+        trie.insert("0.0.0.0/0", "default")
+        trie.insert("203.0.113.0/24", "x")
+        assert trie.covering_prefix("203.0.113.0/24") == ("0.0.0.0/0", "default")
+
+
+class TestIteration:
+    def test_items_yields_all(self):
+        trie = PrefixTrie()
+        prefixes = {"10.0.0.0/8", "10.1.0.0/16", "2001:db8::/32"}
+        for prefix in prefixes:
+            trie.insert(prefix, prefix)
+        assert {prefix for prefix, _ in trie.items()} == prefixes
+
+
+_prefixes = st.builds(
+    lambda value, length: str(ipaddress.ip_network((value, length), strict=False)),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=1, max_value=32),
+)
+
+
+@given(st.lists(_prefixes, min_size=1, max_size=40), st.integers(0, 2**32 - 1))
+def test_property_lpm_matches_brute_force(prefixes, ip_int):
+    """Trie LPM always agrees with a brute-force scan."""
+    trie = PrefixTrie()
+    for prefix in prefixes:
+        trie.insert(prefix, prefix)
+    ip = str(ipaddress.ip_address(ip_int))
+    expected = None
+    for prefix in set(prefixes):
+        if ip_in_prefix(ip, prefix):
+            if expected is None or int(prefix.split("/")[1]) > int(
+                expected.split("/")[1]
+            ):
+                expected = prefix
+    match = trie.longest_match_ip(ip)
+    assert (match[0] if match else None) == expected
+
+
+@given(st.lists(_prefixes, min_size=2, max_size=40))
+def test_property_covering_prefix_is_strict_superset(prefixes):
+    """covering_prefix returns a strict covering prefix or None."""
+    trie = PrefixTrie()
+    for prefix in prefixes:
+        trie.insert(prefix, None)
+    for prefix in set(prefixes):
+        covering = trie.covering_prefix(prefix)
+        if covering is not None:
+            assert covering[0] != prefix
+            assert prefix_contains(covering[0], prefix)

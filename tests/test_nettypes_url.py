@@ -1,0 +1,40 @@
+"""URL normalization for the URL -> HostName refinement."""
+
+import pytest
+
+from repro.nettypes import InvalidURLError, hostname_of_url, normalize_url
+
+
+class TestNormalize:
+    def test_lowercases_scheme_and_host(self):
+        assert normalize_url("HTTPS://Example.COM/Path") == "https://example.com/Path"
+
+    def test_default_port_stripped(self):
+        assert normalize_url("https://example.com:443/") == "https://example.com/"
+        assert normalize_url("http://example.com:80/") == "http://example.com/"
+
+    def test_nondefault_port_kept(self):
+        assert normalize_url("http://example.com:8080/") == "http://example.com:8080/"
+
+    def test_query_kept_fragment_dropped(self):
+        assert (
+            normalize_url("https://example.com/a?q=1#frag")
+            == "https://example.com/a?q=1"
+        )
+
+    @pytest.mark.parametrize("bad", ["ftp://example.com/", "not a url", "https://"])
+    def test_invalid_raise(self, bad):
+        with pytest.raises(InvalidURLError):
+            normalize_url(bad)
+
+
+class TestHostname:
+    def test_extracts_host(self):
+        assert hostname_of_url("https://WWW.Example.com/x") == "www.example.com"
+
+    def test_trailing_dot(self):
+        assert hostname_of_url("http://example.com./") == "example.com"
+
+    def test_missing_host_raises(self):
+        with pytest.raises(InvalidURLError):
+            hostname_of_url("mailto:foo@example.com")

@@ -1,0 +1,134 @@
+"""The ontology (Tables 6 and 7) and the schema validator."""
+
+import pytest
+
+from repro.graphdb import GraphStore
+from repro.ontology import (
+    ENTITIES,
+    RELATIONSHIPS,
+    SchemaValidator,
+    entity,
+    relationship,
+)
+
+
+class TestTables:
+    def test_24_entities_as_in_table6(self):
+        assert len(ENTITIES) == 24
+
+    def test_24_relationships_as_in_table7(self):
+        assert len(RELATIONSHIPS) == 24
+
+    def test_paper_entities_present(self):
+        for label in (
+            "AS", "Prefix", "IP", "HostName", "DomainName", "Country",
+            "Organization", "IXP", "Tag", "Ranking", "AtlasProbe",
+            "AtlasMeasurement", "OpaqueID", "URL",
+        ):
+            assert label in ENTITIES
+
+    def test_paper_relationships_present(self):
+        for rel_type in (
+            "ORIGINATE", "RESOLVES_TO", "MANAGED_BY", "PART_OF", "RANK",
+            "CATEGORIZED", "COUNTRY", "ROUTE_ORIGIN_AUTHORIZATION",
+            "PEERS_WITH", "DEPENDS_ON", "QUERIED_FROM", "MEMBER_OF",
+            "SIBLING_OF", "TARGET", "EXTERNAL_ID", "ALIAS_OF",
+        ):
+            assert rel_type in RELATIONSHIPS
+
+    def test_every_entity_has_key_and_description(self):
+        for definition in ENTITIES.values():
+            assert definition.key_properties
+            assert definition.description
+
+    def test_every_relationship_has_endpoints_and_description(self):
+        for definition in RELATIONSHIPS.values():
+            assert definition.endpoints
+            assert definition.description
+
+    def test_endpoint_labels_are_known_entities(self):
+        for definition in RELATIONSHIPS.values():
+            for start, end in definition.endpoints:
+                assert start == "*" or start in ENTITIES
+                assert end == "*" or end in ENTITIES
+
+    def test_lookup_helpers(self):
+        assert entity("AS").key_properties == ("asn",)
+        assert relationship("ORIGINATE").endpoints == (("AS", "Prefix"),)
+        with pytest.raises(KeyError):
+            entity("Nope")
+
+
+class TestValidator:
+    def _valid_store(self):
+        store = GraphStore()
+        a = store.create_node({"AS"}, {"asn": 1})
+        p = store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8"})
+        store.create_relationship(
+            a.id, "ORIGINATE", p.id, {"reference_name": "bgpkit.pfx2as"}
+        )
+        return store
+
+    def test_valid_graph_passes(self):
+        report = SchemaValidator().validate(self._valid_store())
+        assert report.ok
+        assert report.nodes_checked == 2
+        assert report.relationships_checked == 1
+
+    def test_unknown_label_flagged(self):
+        store = GraphStore()
+        store.create_node({"Mystery"}, {"x": 1})
+        report = SchemaValidator().validate(store)
+        assert not report.ok
+        assert "no ontology label" in str(report.violations[0])
+
+    def test_missing_key_property_flagged(self):
+        store = GraphStore()
+        store.create_node({"AS"}, {"name": "no asn"})
+        report = SchemaValidator().validate(store)
+        assert any("missing identifying" in str(v) for v in report.violations)
+
+    def test_unknown_relationship_flagged(self):
+        store = self._valid_store()
+        a = store.nodes_with_label("AS")[0]
+        p = store.nodes_with_label("Prefix")[0]
+        store.create_relationship(a.id, "FROBNICATES", p.id, {"reference_name": "x"})
+        report = SchemaValidator().validate(store)
+        assert any("unknown relationship" in str(v) for v in report.violations)
+
+    def test_bad_endpoints_flagged(self):
+        store = GraphStore()
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        store.create_relationship(a.id, "RESOLVES_TO", b.id, {"reference_name": "x"})
+        report = SchemaValidator().validate(store)
+        assert any("not permitted" in str(v) for v in report.violations)
+
+    def test_reverse_orientation_accepted(self):
+        # IYP stores links directed but queries them undirected.
+        store = GraphStore()
+        a = store.create_node({"AS"}, {"asn": 1})
+        p = store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8"})
+        store.create_relationship(
+            p.id, "ORIGINATE", a.id, {"reference_name": "x"}
+        )
+        assert SchemaValidator().validate(store).ok
+
+    def test_missing_provenance_flagged(self):
+        store = GraphStore()
+        a = store.create_node({"AS"}, {"asn": 1})
+        p = store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8"})
+        store.create_relationship(a.id, "ORIGINATE", p.id)
+        strict = SchemaValidator(require_reference=True).validate(store)
+        assert any("provenance" in str(v) for v in strict.violations)
+        lenient = SchemaValidator(require_reference=False).validate(store)
+        assert lenient.ok
+
+    def test_wildcard_endpoint(self):
+        store = GraphStore()
+        ixp = store.create_node({"IXP"}, {"name": "X-IX"})
+        country = store.create_node({"Country"}, {"country_code": "NL"})
+        store.create_relationship(
+            ixp.id, "COUNTRY", country.id, {"reference_name": "x"}
+        )
+        assert SchemaValidator().validate(store).ok

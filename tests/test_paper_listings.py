@@ -1,0 +1,115 @@
+"""The paper's published queries (Listings 1-6, Figure 3) must run
+verbatim on the full knowledge graph and return sensible data."""
+
+import pytest
+
+from repro.studies import queries
+
+
+class TestListing1:
+    def test_all_originating_ases(self, small_iyp, small_world):
+        result = small_iyp.run(queries.LISTING_1)
+        asns = set(result.column())
+        # Every AS in the world originates at least one prefix.
+        assert asns == set(small_world.ases)
+
+
+class TestListing2:
+    def test_moas_prefixes(self, small_iyp, small_world):
+        result = small_iyp.run(queries.LISTING_2)
+        found = set(result.column())
+        expected = {
+            info.prefix
+            for info in small_world.prefixes.values()
+            if len(info.origins) > 1
+        }
+        # All genuine MOAS prefixes are found.  The graph may contain a
+        # few more from the injected BGPKIT IPv6 error (wrong origin =
+        # second origin in the fused graph) - exactly the paper's point
+        # about dataset comparison.
+        assert expected <= found
+        injected = found - expected
+        for prefix in injected:
+            assert small_world.prefixes[prefix].af == 6
+
+    def test_moas_requires_distinct_asn(self, small_iyp):
+        # No prefix may be reported MOAS because of two parallel links
+        # from the same AS (bgpkit + pch import the same origination).
+        result = small_iyp.run(queries.LISTING_2)
+        for prefix in result.column():
+            origins = small_iyp.run(
+                "MATCH (a:AS)-[:ORIGINATE]-(p:Prefix {prefix: $p}) "
+                "RETURN collect(DISTINCT a.asn)",
+                {"p": prefix},
+            ).value()
+            assert len(origins) > 1
+
+
+class TestListing3:
+    def test_org_hostnames(self, small_iyp, small_world):
+        # Pick an org whose AS hosts Tranco content on an RPKI-valid
+        # prefix, then the query must return at least one hostname.
+        candidates = {}
+        for name, domain in small_world.domains.items():
+            info = small_world.prefixes.get(
+                small_world.prefix_of_ip(domain.ips[0]) if domain.ips else ""
+            )
+            if info is not None and info.rov_status == "Valid":
+                org = small_world.ases[domain.hosting_asn].org_name
+                candidates[org] = name
+        org_name, expected_domain = next(iter(candidates.items()))
+        result = small_iyp.run(queries.LISTING_3, {"org_name": org_name})
+        assert expected_domain in set(result.column())
+
+
+class TestListing4:
+    def test_invalid_prefix_count(self, small_iyp, small_world):
+        result = small_iyp.run(queries.LISTING_4)
+        count = result.value()
+        invalid_world = sum(
+            1
+            for info in small_world.prefixes.values()
+            if info.rov_status.startswith("Invalid")
+        )
+        # Only invalid prefixes that actually host ranked content are
+        # counted, so the graph count is bounded by the world count.
+        assert 0 <= count <= invalid_world
+
+
+class TestListing5:
+    def test_cno_nameserver_ips(self, small_iyp):
+        result = small_iyp.run(queries.LISTING_5)
+        assert len(result) > 0
+        for row in result.records:
+            assert row["domain"].endswith((".com", ".net", ".org"))
+            assert row["ips"]
+            assert all("." in ip and ":" not in ip for ip in row["ips"])
+
+
+class TestListing6:
+    def test_all_tranco_prefixes(self, small_iyp):
+        result = small_iyp.run(queries.LISTING_6)
+        assert len(result) > 0
+        for row in result.records[:50]:
+            assert row["prefixes"]
+
+
+class TestFigure3Searches:
+    def test_pattern_search_without_lexical_elements(self, small_iyp):
+        # Search 1 and 2 of Figure 3 are purely structural; they must
+        # not require any keyword, only ontology terms.
+        originating = small_iyp.run(
+            "MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN count(DISTINCT x)"
+        ).value()
+        assert originating > 0
+
+    def test_specific_node_search(self, small_iyp, small_world):
+        # Search 3 anchors on a specific node (semantic, not literal).
+        asn = next(iter(small_world.ases))
+        result = small_iyp.run(
+            "MATCH (a:AS {asn: $asn}) RETURN a.asn", {"asn": asn}
+        )
+        assert result.value() == asn
+        # Radically different from looking for the literal string:
+        # no other node type matches.
+        assert len(result) == 1

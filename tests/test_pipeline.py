@@ -1,0 +1,183 @@
+"""The build pipeline and the refinement pass over the small world."""
+
+import pytest
+
+from repro.core import IYP, Reference
+from repro.ontology import SchemaValidator
+from repro.pipeline import build_iyp, run_postprocessing
+from repro.pipeline.postprocess import (
+    add_address_families,
+    complete_country_codes,
+    link_covering_prefixes,
+    link_ips_to_prefixes,
+    link_name_hierarchy,
+    link_urls_to_hostnames,
+)
+from repro.simnet import WorldConfig, build_world
+
+
+class TestBuild:
+    def test_report_is_clean(self, small_world):
+        iyp, report = build_iyp(small_world)
+        assert report.ok
+        assert report.nodes > 1000
+        assert report.relationships > report.nodes
+        assert set(report.crawler_seconds) == {
+            spec.name for spec in __import__(
+                "repro.datasets.registry", fromlist=["DATASETS"]
+            ).DATASETS
+        }
+
+    def test_subset_build(self, small_world):
+        iyp, report = build_iyp(
+            small_world, dataset_names=["bgpkit.pfx2as"], postprocess=False
+        )
+        assert set(report.crawler_seconds) == {"bgpkit.pfx2as"}
+        assert iyp.store.relationship_type_counts().keys() == {"ORIGINATE"}
+
+    def test_schema_valid(self, small_iyp):
+        report = SchemaValidator().validate(small_iyp.store)
+        assert report.ok, [str(v) for v in report.violations[:10]]
+
+    def test_no_duplicate_identity_nodes(self, small_iyp):
+        from repro.ontology import ENTITIES
+
+        for definition in ENTITIES.values():
+            key = definition.key_properties[0]
+            seen = set()
+            for node in small_iyp.store.nodes_with_label(definition.label):
+                value = node.properties.get(key)
+                assert (definition.label, value) not in seen
+                seen.add((definition.label, value))
+
+    def test_build_errors_can_be_collected(self, small_world, monkeypatch):
+        from repro.datasets.crawlers import tranco as tranco_module
+
+        def boom(self):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(tranco_module.TrancoCrawler, "run", boom)
+        iyp, report = build_iyp(
+            small_world, dataset_names=["tranco.top1m"], raise_on_error=False
+        )
+        assert not report.ok
+        assert "synthetic failure" in report.crawler_errors["tranco.top1m"]
+
+    def test_build_errors_raise_by_default(self, small_world, monkeypatch):
+        from repro.datasets.crawlers import tranco as tranco_module
+
+        def boom(self):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(tranco_module.TrancoCrawler, "run", boom)
+        with pytest.raises(RuntimeError):
+            build_iyp(small_world, dataset_names=["tranco.top1m"])
+
+
+class TestRefinementSteps:
+    def test_af_properties(self):
+        iyp = IYP()
+        iyp.get_node("IP", ip="10.0.0.1")
+        iyp.get_node("Prefix", prefix="2001:db8::/32")
+        count = add_address_families(iyp)
+        assert count == 2
+        assert iyp.run("MATCH (i:IP) RETURN i.af").value() == 4
+        assert iyp.run("MATCH (p:Prefix) RETURN p.af").value() == 6
+
+    def test_ip_lpm_link(self):
+        iyp = IYP()
+        iyp.get_node("Prefix", prefix="10.0.0.0/8")
+        iyp.get_node("Prefix", prefix="10.1.0.0/16")
+        iyp.get_node("IP", ip="10.1.2.3")
+        link_ips_to_prefixes(iyp)
+        assert iyp.run(
+            "MATCH (:IP {ip:'10.1.2.3'})-[:PART_OF]->(p:Prefix) RETURN p.prefix"
+        ).value() == "10.1.0.0/16"
+
+    def test_covering_prefix_link(self):
+        iyp = IYP()
+        iyp.get_node("Prefix", prefix="10.0.0.0/8")
+        iyp.get_node("Prefix", prefix="10.1.0.0/16")
+        link_covering_prefixes(iyp)
+        assert iyp.run(
+            "MATCH (:Prefix {prefix:'10.1.0.0/16'})-[:PART_OF]->(p:Prefix) "
+            "RETURN p.prefix"
+        ).value() == "10.0.0.0/8"
+
+    def test_url_to_hostname(self):
+        iyp = IYP()
+        iyp.get_node("URL", url="https://www.example.com/page")
+        link_urls_to_hostnames(iyp)
+        assert iyp.run(
+            "MATCH (:URL)-[:PART_OF]->(h:HostName) RETURN h.name"
+        ).value() == "www.example.com"
+
+    def test_name_hierarchy(self):
+        iyp = IYP()
+        iyp.get_node("HostName", name="a.b.example.com")
+        link_name_hierarchy(iyp)
+        assert iyp.run(
+            "MATCH (:HostName)-[:PART_OF]->(d:DomainName) RETURN d.name"
+        ).value() == "example.com"
+        assert iyp.run(
+            "MATCH (p:DomainName {name:'com'})-[:PARENT]->(d:DomainName) "
+            "RETURN d.name"
+        ).value() == "example.com"
+
+    def test_country_completion(self):
+        iyp = IYP()
+        iyp.get_node("Country", country_code="NL")
+        complete_country_codes(iyp)
+        row = iyp.run(
+            "MATCH (c:Country) RETURN c.alpha3 AS a3, c.name AS name"
+        ).single()
+        assert row == {"a3": "NLD", "name": "Netherlands"}
+
+    def test_postprocess_idempotent(self):
+        iyp = IYP()
+        iyp.get_node("Prefix", prefix="10.0.0.0/8")
+        iyp.get_node("IP", ip="10.1.2.3")
+        run_postprocessing(iyp)
+        rels = iyp.store.relationship_count
+        run_postprocessing(iyp)
+        assert iyp.store.relationship_count == rels
+
+    def test_refinement_links_carry_provenance(self, small_iyp):
+        refinement_links = [
+            rel
+            for rel in small_iyp.store.iter_relationships()
+            if rel.properties.get("reference_name") == "iyp.refinement"
+        ]
+        assert refinement_links
+        for rel in refinement_links[:20]:
+            assert rel.properties["reference_org"] == "IYP"
+
+
+class TestRefinedGraphInvariants:
+    def test_every_ip_has_af_and_prefix(self, small_iyp):
+        rows = small_iyp.run(
+            "MATCH (i:IP) OPTIONAL MATCH (i)-[p:PART_OF]->(:Prefix) "
+            "RETURN i.af AS af, count(p) AS links"
+        ).records
+        for row in rows:
+            assert row["af"] in (4, 6)
+
+    def test_sampled_lpm_correct(self, small_iyp, small_world):
+        rows = small_iyp.run(
+            "MATCH (i:IP)-[:PART_OF]->(p:Prefix) RETURN i.ip AS ip, p.prefix AS prefix "
+            "LIMIT 100"
+        ).records
+        from repro.nettypes import ip_in_prefix
+
+        assert rows
+        for row in rows:
+            assert ip_in_prefix(row["ip"], row["prefix"])
+
+    def test_countries_complete(self, small_iyp):
+        rows = small_iyp.run(
+            "MATCH (c:Country) RETURN c.country_code AS cc, c.alpha3 AS a3, "
+            "c.name AS name"
+        ).records
+        assert rows
+        for row in rows:
+            assert row["a3"] and row["name"]

@@ -1,0 +1,149 @@
+"""The Gao-Rexford route-propagation simulator."""
+
+import pytest
+
+from repro.simnet import WorldConfig, build_world
+from repro.simnet.bgpsim import _best_paths, is_valley_free, propagate
+
+
+@pytest.fixture(scope="module")
+def routed_world():
+    return build_world(WorldConfig.small())
+
+
+def _adjacency(world):
+    providers_of = {a: set(i.providers) for a, i in world.ases.items()}
+    peers_of = {a: set(i.peers) for a, i in world.ases.items()}
+    customers_of = {a: set(i.customers) for a, i in world.ases.items()}
+    return providers_of, peers_of, customers_of
+
+
+class TestToyTopology:
+    """A hand-built topology where every selected route is checkable.
+
+        T1 --- T2          (tier-1 peering)
+        |       |
+        M1     M2          (mid providers, customers of the tier-1s)
+        |       |
+        E1     E2          (edges; E1 also peers with E2)
+    """
+
+    @pytest.fixture()
+    def adjacency(self):
+        providers_of = {"T1": [], "T2": [], "M1": ["T1"], "M2": ["T2"],
+                        "E1": ["M1"], "E2": ["M2"]}
+        peers_of = {"T1": ["T2"], "T2": ["T1"], "M1": [], "M2": [],
+                    "E1": ["E2"], "E2": ["E1"]}
+        customers_of = {"T1": ["M1"], "T2": ["M2"], "M1": ["E1"],
+                        "M2": ["E2"], "E1": [], "E2": []}
+        return providers_of, customers_of, peers_of
+
+    def test_customer_route_preferred_over_peer(self, adjacency):
+        providers_of, customers_of, peers_of = adjacency
+        best = _best_paths("E2", providers_of, customers_of, peers_of)
+        # E1 reaches E2 directly via its peer link (peer > provider).
+        assert best["E1"] == ("E1", "E2")
+
+    def test_provider_path_via_hierarchy(self, adjacency):
+        providers_of, customers_of, peers_of = adjacency
+        best = _best_paths("E1", providers_of, customers_of, peers_of)
+        # M2 has no customer/peer route to E1; it must go through its
+        # provider T2, across the tier-1 peering, and down.
+        assert best["M2"] == ("M2", "T2", "T1", "M1", "E1")
+
+    def test_origin_path_is_itself(self, adjacency):
+        providers_of, customers_of, peers_of = adjacency
+        best = _best_paths("E1", providers_of, customers_of, peers_of)
+        assert best["E1"] == ("E1",)
+
+    def test_all_reachable_in_connected_topology(self, adjacency):
+        providers_of, customers_of, peers_of = adjacency
+        best = _best_paths("E1", providers_of, customers_of, peers_of)
+        assert set(best) == set(providers_of)
+
+
+class TestWorldPropagation:
+    def test_routing_state_attached(self, routed_world):
+        assert routed_world.routing is not None
+        assert routed_world.routing.collector_paths
+
+    def test_paths_end_at_origin_and_start_at_source(self, routed_world):
+        for (source, origin), path in list(
+            routed_world.routing.collector_paths.items()
+        )[:500]:
+            assert path[0] == source
+            assert path[-1] == origin
+
+    def test_paths_follow_real_adjacencies(self, routed_world):
+        providers_of, peers_of, customers_of = _adjacency(routed_world)
+        for path in list(routed_world.routing.collector_paths.values())[:500]:
+            for first, second in zip(path, path[1:]):
+                assert (
+                    second in providers_of[first]
+                    or second in peers_of[first]
+                    or second in customers_of[first]
+                ), f"non-adjacent hop {first}->{second}"
+
+    def test_paths_are_valley_free(self, routed_world):
+        providers_of = {
+            a: sorted(i.providers) for a, i in routed_world.ases.items()
+        }
+        peers_of = {a: sorted(i.peers) for a, i in routed_world.ases.items()}
+        for path in list(routed_world.routing.collector_paths.values())[:500]:
+            assert is_valley_free(path, providers_of, peers_of), path
+
+    def test_no_loops(self, routed_world):
+        for path in routed_world.routing.collector_paths.values():
+            assert len(path) == len(set(path))
+
+    def test_hegemony_bounds(self, routed_world):
+        for scores in routed_world.routing.hegemony.values():
+            for value in scores.values():
+                assert 0.0 < value <= 1.0
+
+    def test_tier1s_have_high_mean_hegemony(self, routed_world):
+        tier1 = {
+            asn
+            for asn, info in routed_world.ases.items()
+            if info.category == "Tier1"
+        }
+        mean_scores: dict[int, list[float]] = {}
+        for scores in routed_world.routing.hegemony.values():
+            for transit, value in scores.items():
+                mean_scores.setdefault(transit, []).append(value)
+        averages = {
+            transit: sum(values) / len(routed_world.routing.hegemony)
+            for transit, values in mean_scores.items()
+        }
+        top10 = sorted(averages, key=lambda t: -averages[t])[:10]
+        assert tier1 & set(top10), "no tier-1 among the top transit ASes"
+
+    def test_deterministic(self):
+        first = build_world(WorldConfig.small(seed=55))
+        second = build_world(WorldConfig.small(seed=55))
+        assert first.routing.collector_paths == second.routing.collector_paths
+
+
+class TestDatasetIntegration:
+    def test_pch_paths_parse_and_load(self, routed_world):
+        from repro.datasets.crawlers.pch import generate_routing_snapshot
+
+        content = generate_routing_snapshot(routed_world)
+        multi_hop = [
+            line for line in content.splitlines() if " " in line.split("|")[1]
+        ]
+        assert multi_hop, "expected multi-hop AS paths in the PCH dump"
+
+    def test_hegemony_from_routing(self, routed_world):
+        import csv
+        import io
+
+        from repro.datasets.crawlers.ihr import generate_hegemony
+
+        reader = csv.DictReader(io.StringIO(generate_hegemony(routed_world)))
+        rows = list(reader)
+        assert rows
+        for row in rows[:200]:
+            origin = int(row["originasn"])
+            transit = int(row["asn"])
+            assert transit in routed_world.routing.hegemony[origin]

@@ -1,0 +1,113 @@
+"""The simulated iterative resolver: the world's delegations must work."""
+
+import pytest
+
+from repro.simnet import WorldConfig, build_world
+from repro.simnet.resolver import SimResolver, resolution_report
+from repro.simnet.world import NameServerInfo
+
+
+@pytest.fixture(scope="module")
+def resolver(small_world):
+    return SimResolver(small_world)
+
+
+class TestHappyPath:
+    def test_every_ranked_domain_resolves(self, small_world):
+        outcomes = resolution_report(small_world)
+        assert outcomes["ok"] == len(small_world.tranco), outcomes
+
+    def test_answers_match_world(self, resolver, small_world):
+        name = small_world.tranco[0]
+        result = resolver.resolve(name)
+        assert result.ok
+        assert result.ips == small_world.domains[name].ips
+
+    def test_walks_tld_then_zone(self, resolver, small_world):
+        name = small_world.tranco[0]
+        result = resolver.resolve(name)
+        domain = small_world.domains[name]
+        assert result.zones_visited[0] == domain.tld
+        assert result.zones_visited[-1] == name
+
+    def test_nameserver_hostnames_resolve_too(self, resolver, small_world):
+        ns_name = next(iter(small_world.nameservers))
+        result = resolver.resolve(ns_name)
+        assert result.ok
+        assert result.ips == small_world.nameservers[ns_name].ips
+
+    def test_provider_chain_resolution(self, resolver, small_world):
+        # A domain whose NS is under a provider zone exercises the
+        # out-of-bailiwick path: the provider's NS name gets resolved.
+        for name, domain in small_world.domains.items():
+            if not domain.ns_provider.startswith("self:"):
+                result = resolver.resolve(name)
+                assert result.ok
+                assert result.nameservers_used
+                return
+        pytest.skip("no provider-managed domain in this world")
+
+
+class TestFailureInjection:
+    def test_unknown_name_is_nxdomain(self, resolver):
+        result = resolver.resolve("definitely-not-registered.com")
+        assert result.failure == "nxdomain"
+
+    def test_unknown_tld_is_nxdomain(self, resolver):
+        result = resolver.resolve("foo.invalidtld")
+        assert result.failure == "nxdomain"
+
+    def test_cycle_detected(self):
+        # Two provider domains outsourcing to each other: resolving one
+        # NS requires the other, endlessly.
+        world = build_world(WorldConfig.small(seed=31))
+        keys = [
+            key for key, provider in world.dns_providers.items()
+            if provider.outsourced_to is not None
+        ][:2]
+        if len(keys) < 2:
+            pytest.skip("not enough outsourcing providers")
+        a, b = (world.dns_providers[k] for k in keys)
+        # Rewire: a's control domain served by b's pool and vice versa,
+        # and remove the glue knowledge for both pools so resolution
+        # must recurse.
+        a.outsourced_to, b.outsourced_to = keys[1], keys[0]
+        for provider in (a, b):
+            for ns_name in provider.ns_pool:
+                info = world.nameservers[ns_name]
+                world.nameservers[ns_name] = NameServerInfo(
+                    name=info.name, ips=info.ips, asn=info.asn,
+                    provider=info.provider,
+                )
+        resolver = SimResolver(world)
+        # The essential property: resolution terminates with a clean
+        # failure instead of recursing forever.  The inner cycle guard
+        # surfaces as an unreachable nameserver set ('no-glue') or as a
+        # direct cycle/depth report, depending on which side is asked.
+        looped = resolver.resolve(a.domain)
+        assert looped.failure in ("cycle", "depth", "no-glue") or looped.ok
+
+    def test_missing_glue_fails_cleanly(self, small_world):
+        world = build_world(WorldConfig.small(seed=32))
+        resolver = SimResolver(world)
+        # Strip the addresses of one domain's nameservers.
+        victim = next(
+            d for d in world.domains.values()
+            if d.ns_provider.startswith("self:")
+        )
+        for ns_name in victim.nameservers:
+            world.nameservers[ns_name].ips.clear()
+        result = resolver.resolve(victim.name)
+        assert result.failure == "no-glue"
+
+    def test_depth_limit(self, small_world):
+        resolver = SimResolver(small_world, max_depth=0)
+        provider_managed = next(
+            d for d in small_world.domains.values()
+            if not d.ns_provider.startswith("self:")
+        )
+        result = resolver.resolve(provider_managed.name)
+        # With zero recursion budget, out-of-bailiwick NS cannot be
+        # chased; resolution either still works via glue-known pools or
+        # fails with a clean reason.
+        assert result.ok or result.failure in ("no-glue", "depth")

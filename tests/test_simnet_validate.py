@@ -1,0 +1,52 @@
+"""The world self-check."""
+
+import pytest
+
+from repro.simnet import WorldConfig, build_world
+from repro.simnet.validate import validate_world
+
+
+class TestSelfCheck:
+    def test_default_world_is_consistent(self, small_world):
+        report = validate_world(small_world, resolve_sample=150)
+        assert report.ok, report.problems
+        assert report.checks_run >= 10
+
+    def test_2015_world_is_consistent(self):
+        world = build_world(
+            WorldConfig.year2015(scale=0.1, n_domains=600, n_ases=150)
+        )
+        report = validate_world(world, resolve_sample=100)
+        assert report.ok, report.problems
+
+    def test_detects_injected_inconsistency(self, small_world):
+        # Sabotage one domain's IP so it falls outside the hosting AS.
+        import copy
+
+        world = build_world(WorldConfig.small(seed=404))
+        victim = world.domains[world.tranco[0]]
+        victim.ips = ["203.0.113.99"]  # not announced by anyone
+        report = validate_world(world, resolve_sample=10)
+        assert not report.ok
+        assert any("hosting AS" in problem for problem in report.problems)
+
+    def test_detects_dangling_nameserver(self):
+        world = build_world(WorldConfig.small(seed=405))
+        victim = world.domains[world.tranco[0]]
+        victim.nameservers = ["ns1.does-not-exist.example"]
+        report = validate_world(world, resolve_sample=10)
+        assert any("dangling" in problem for problem in report.problems)
+
+    def test_detects_bad_rov_state(self):
+        world = build_world(WorldConfig.small(seed=406))
+        info = next(iter(world.prefixes.values()))
+        info.rov_status = "Valid"
+        info.roas = []  # Valid without a ROA is inconsistent
+        report = validate_world(world, resolve_sample=10)
+        assert any("ROV" in problem for problem in report.problems)
+
+    def test_cli_selfcheck(self, capsys):
+        from repro.cli import main
+
+        assert main(["selfcheck", "--scale", "small", "--seed", "7"]) == 0
+        assert "world is consistent" in capsys.readouterr().out

@@ -1,0 +1,49 @@
+"""Dataset comparison (Section 6.1): finding the injected BGPKIT bug."""
+
+import pytest
+
+from repro.pipeline import build_iyp
+from repro.simnet import WorldConfig, build_world
+from repro.studies import compare_origin_datasets
+
+
+class TestInjectedBugFound:
+    def test_disagreements_are_ipv6_dominated(self, small_iyp):
+        result = compare_origin_datasets(small_iyp)
+        assert result.total > 0, "the injected error must be visible"
+        assert result.ipv6_dominated
+        assert result.ipv4_count == 0
+
+    def test_disagreements_match_injection(self, small_iyp, small_world):
+        result = compare_origin_datasets(small_iyp)
+        wrong_origin = min(small_world.ases)
+        for entry in result.disagreements:
+            assert entry["af"] == 6
+            assert wrong_origin in entry["bgpkit_origins"]
+            true_origins = set(small_world.prefixes[entry["prefix"]].origins)
+            assert set(entry["ihr_origins"]) == true_origins
+
+    def test_expected_injection_rate(self, small_iyp, small_world):
+        result = compare_origin_datasets(small_iyp)
+        v6_prefixes = sum(
+            len(p.origins)
+            for p in small_world.prefixes.values()
+            if p.af == 6
+        )
+        expected = v6_prefixes * small_world.config.bgpkit_ipv6_error_fraction
+        assert result.total == pytest.approx(expected, abs=max(3, expected))
+
+
+class TestCleanWorldHasNoFindings:
+    def test_no_error_no_disagreement(self):
+        config = WorldConfig.small(seed=99)
+        config.bgpkit_ipv6_error_fraction = 0.0
+        # MOAS disabled too: with both datasets complete and identical
+        # there must be zero disagreements.
+        world = build_world(config)
+        iyp, _report = build_iyp(
+            world, dataset_names=["bgpkit.pfx2as", "ihr.rov"], postprocess=False
+        )
+        result = compare_origin_datasets(iyp)
+        assert result.total == 0
+        assert result.prefixes_compared == len(world.prefixes)

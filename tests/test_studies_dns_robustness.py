@@ -1,0 +1,80 @@
+"""The DNS Robustness reproduction: Tables 3-5 shapes."""
+
+import pytest
+
+from repro.studies import run_dns_robustness_study
+from repro.studies.dns_robustness import _is_cno_sld
+
+
+@pytest.fixture(scope="module")
+def results(small_iyp):
+    return run_dns_robustness_study(small_iyp)
+
+
+class TestSLDFilter:
+    def test_accepts_cno_slds(self):
+        assert _is_cno_sld("example.com")
+        assert _is_cno_sld("foo.org")
+
+    def test_rejects_subdomains_and_other_tlds(self):
+        assert not _is_cno_sld("a.example.com")
+        assert not _is_cno_sld("example.ru")
+        assert not _is_cno_sld("com")
+
+
+class TestTable3Shape:
+    def test_coverage_near_half(self, results):
+        # Paper: 49% of Tranco is .com/.net/.org SLDs.
+        assert 35.0 < results.coverage_pct < 60.0
+
+    def test_discarded_fraction(self, results):
+        # Paper: ~10% discarded for lack of glue data.
+        assert 4.0 < results.discarded_pct < 18.0
+
+    def test_2024_regime_exceed_dominates(self, results):
+        # 2024 row of Table 3: exceed (67%) >> meet (18%) >> not meet (4%).
+        assert results.exceed_pct > results.meet_pct > results.not_meet_pct
+        assert results.exceed_pct > 50.0
+        assert results.not_meet_pct < 12.0
+
+    def test_categories_account_for_kept_domains(self, results):
+        total = (
+            results.meet_pct + results.exceed_pct + results.not_meet_pct
+            + results.discarded_pct
+        )
+        assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_in_zone_glue_majority(self, results):
+        # Paper: 76%.
+        assert 55.0 < results.in_zone_glue_pct <= 100.0
+
+
+class TestTable4Shape:
+    def test_slash24_groups_much_larger_than_ns_groups(self, results):
+        # Paper: /24 median 3.9k vs NS median 9; max 114k vs 6k.
+        assert results.cno_by_slash24.median > results.cno_by_ns.median * 5
+        assert results.cno_by_slash24.maximum > results.cno_by_ns.maximum
+
+    def test_ns_median_small(self, results):
+        assert results.cno_by_ns.median <= 20
+
+
+class TestTable5Shape:
+    def test_bgp_prefix_grouping_close_to_slash24(self, results):
+        # Paper: "almost identical" (3.9k vs 4.1k median, same max).
+        assert results.cno_by_prefix.maximum == pytest.approx(
+            results.cno_by_slash24.maximum, rel=0.35
+        )
+
+    def test_all_tranco_groups_larger_than_cno(self, results):
+        # Doubling the studied population grows the groups.
+        assert results.all_by_prefix.maximum >= results.cno_by_prefix.maximum
+        assert results.all_by_ns.maximum >= results.cno_by_ns.maximum
+        assert results.all_by_ns.median >= results.cno_by_ns.median
+
+
+class TestEmptyGraph:
+    def test_empty_graph_is_safe(self, empty_iyp):
+        results = run_dns_robustness_study(empty_iyp)
+        assert results.coverage_pct == 0.0
+        assert results.cno_by_ns.maximum == 0

@@ -1,0 +1,61 @@
+"""The RiPKI reproduction: Table 2 shapes and the Section 5.1.2
+domain-weighting extension."""
+
+import pytest
+
+from repro.studies import run_ripki_study
+
+
+@pytest.fixture(scope="module")
+def results(small_iyp):
+    return run_ripki_study(small_iyp)
+
+
+class TestTable2Shape:
+    def test_row_complete(self, results):
+        row = results.table2_row()
+        assert set(row) == {
+            "RPKI Invalid", "RPKI covered", "Top 100k", "Bottom 100k", "CDN",
+        }
+
+    def test_invalid_fraction_tiny(self, results):
+        # Paper 2024: 0.12%.  Anything under 2% preserves the story.
+        assert 0.0 <= results.invalid_pct < 2.0
+
+    def test_majority_covered_2024_regime(self, results):
+        # Paper 2024: 52.2% covered (vs 6% in 2015).
+        assert results.covered_pct > 40.0
+
+    def test_cdn_coverage_highest(self, results):
+        assert results.cdn_pct > results.covered_pct
+        assert results.cdn_pct > results.top_band_pct
+
+    def test_academic_and_government_lowest(self, results):
+        # Section 4.1.4: Academic 16%, Government 21%, DDoS 76%.
+        by_tag = results.coverage_by_tag
+        assert by_tag["Academic"] < by_tag["DDoS Mitigation"]
+        assert by_tag["Government"] < by_tag["DDoS Mitigation"]
+        assert by_tag["Academic"] < results.covered_pct
+        assert by_tag["Content Delivery Network"] > 50.0
+
+    def test_percentages_bounded(self, results):
+        for value in results.table2_row().values():
+            assert 0.0 <= value <= 100.0
+
+
+class TestDomainWeighting:
+    def test_domains_exceed_prefix_coverage(self, results):
+        # Section 5.1.2: domains concentrate on covered prefixes
+        # (78.8% of domains vs 52.2% of prefixes in the paper).
+        assert results.domains_covered_pct > results.covered_pct
+
+    def test_cdn_domains_nearly_all_covered(self, results):
+        # Paper: 96% of CDN-hosted domains on covered prefixes.
+        assert results.cdn_domains_covered_pct > 80.0
+
+
+class TestEmptyGraph:
+    def test_empty_graph_returns_zeroes(self, empty_iyp):
+        results = run_ripki_study(empty_iyp)
+        assert results.total_prefixes == 0
+        assert results.covered_pct == 0.0

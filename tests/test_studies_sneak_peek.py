@@ -1,0 +1,62 @@
+"""The Figure 4 sneak-peek walk: one domain, many datasets."""
+
+import pytest
+
+from repro.studies import sneak_peek
+
+
+@pytest.fixture(scope="module")
+def peek(small_iyp, small_world):
+    # A top-ranked domain is in both rankings and the Cloudflare data,
+    # maximizing the number of datasets its neighbourhood touches.
+    return sneak_peek(small_iyp, small_world.tranco[0])
+
+
+class TestSneakPeek:
+    def test_neighbourhood_nonempty(self, peek):
+        assert peek.relationships
+
+    def test_many_datasets_contribute(self, peek):
+        # The paper's example fuses 13 datasets; a popular node in the
+        # small world must still touch a good handful.
+        assert peek.dataset_count >= 5
+
+    def test_resolution_chain_reaches_origin_as(self, peek):
+        assert peek.resolution
+        assert any(row["origins"] for row in peek.resolution)
+
+    def test_nameserver_branch(self, peek):
+        assert peek.nameservers
+        assert any(row["hosting_ases"] for row in peek.nameservers)
+
+    def test_unknown_domain_is_empty(self, small_iyp):
+        result = sneak_peek(small_iyp, "definitely-not-a-domain.example")
+        assert not result.relationships
+        assert result.dataset_count == 0
+
+
+class TestDotExport:
+    def test_dot_is_well_formed(self, small_iyp, small_world):
+        from repro.studies.sneak_peek import sneak_peek_dot
+
+        dot = sneak_peek_dot(small_iyp, small_world.tranco[0])
+        assert dot.startswith("graph sneak_peek {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("--") > 3  # edges exist
+        assert 'fillcolor="gold"' in dot  # the DomainName node
+
+    def test_dot_edges_reference_declared_nodes(self, small_iyp, small_world):
+        import re
+
+        from repro.studies.sneak_peek import sneak_peek_dot
+
+        dot = sneak_peek_dot(small_iyp, small_world.tranco[0])
+        declared = set(re.findall(r"^  (n\d+) \[", dot, re.MULTILINE))
+        for left, right in re.findall(r"(n\d+) -- (n\d+)", dot):
+            assert left in declared and right in declared
+
+    def test_dot_for_unknown_domain_is_empty_graph(self, small_iyp):
+        from repro.studies.sneak_peek import sneak_peek_dot
+
+        dot = sneak_peek_dot(small_iyp, "nope.example")
+        assert "--" not in dot

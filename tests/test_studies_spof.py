@@ -1,0 +1,92 @@
+"""The SPoF-in-DNS-chain analysis: Figure 5/6 shapes."""
+
+import pytest
+
+from repro.studies import run_combined_study, run_spof_study
+
+
+@pytest.fixture(scope="module")
+def results(small_iyp):
+    return run_spof_study(small_iyp)
+
+
+class TestCoverage:
+    def test_most_ranked_domains_analyzed(self, results, small_world):
+        assert results.domains_analyzed >= len(small_world.tranco) * 0.95
+
+    def test_counts_bounded_by_domains(self, results):
+        for counts in results.by_country.values():
+            for value in counts.values():
+                assert 0 <= value <= results.domains_analyzed
+
+
+class TestFigure5CountryShape:
+    def test_us_dominates_third_party(self, results):
+        # Paper: "a significant extent of third-party dependency
+        # towards the US".
+        third = {
+            country: counts["third_party"]
+            for country, counts in results.by_country.items()
+        }
+        assert third, "no third-party dependencies found"
+        assert max(third, key=third.get) == "US"
+
+    def test_cctld_countries_hierarchical_heavy(self, results):
+        # Paper: "a large hierarchical dependency on Russia, China, and
+        # the UK" - for those countries the hierarchical component
+        # dominates their direct one.
+        seen = 0
+        for country in ("RU", "CN", "GB"):
+            counts = results.by_country.get(country)
+            if counts is None:
+                continue
+            seen += 1
+            assert counts["hierarchical"] > counts["direct"]
+        assert seen >= 2
+
+    def test_direct_dependencies_dominate_overall(self, results):
+        # Paper: "direct dependencies dominate the DNS ecosystem":
+        # every analyzed domain has a direct dependency, only the
+        # provider-managed subset has third-party ones.
+        assert results.domains_with["direct"] == results.domains_analyzed
+        assert (
+            results.domains_with["direct"] > results.domains_with["third_party"]
+        )
+
+
+class TestFigure6ASShape:
+    def test_akamai_shaped_as_exists(self, results):
+        # Some AS serves mostly providers (third-party >> direct).
+        assert any(
+            counts["third_party"] > 3 * max(counts["direct"], 1)
+            and counts["third_party"] > 20
+            for counts in results.by_as.values()
+        )
+
+    def test_godaddy_shaped_as_exists(self, results):
+        # Some AS serves mostly end customers (direct >> third-party).
+        assert any(
+            counts["direct"] > 3 * max(counts["third_party"], 1)
+            and counts["direct"] > 20
+            for counts in results.by_as.values()
+        )
+
+    def test_as_names_resolvable(self, results):
+        for asn, _counts in results.top_ases(5):
+            assert asn in results.as_names
+
+
+class TestCombinedStudy:
+    def test_concentration_effect(self, small_iyp):
+        # Section 5.1.1: domain-level coverage exceeds prefix-level
+        # (84% of domains vs 48% of prefixes in the paper).
+        combined = run_combined_study(small_iyp)
+        assert combined.ns_prefixes_total > 0
+        assert (
+            combined.domains_on_covered_ns_pct
+            > combined.ns_prefixes_covered_pct
+        )
+
+    def test_empty_graph_safe(self, empty_iyp):
+        combined = run_combined_study(empty_iyp)
+        assert combined.ns_prefixes_total == 0
