@@ -1,0 +1,142 @@
+"""Server throughput: parallel readers, cold vs warm cache.
+
+Runs a real HTTP server over a small built graph and measures a cold
+phase (8 client threads, distinct parameter sets, so every request
+misses the cache) against a warm phase (every thread repeats one query,
+so the version-keyed cache answers).  Emits ``BENCH_server.json`` with
+qps, latency percentiles, hit rate, and observed concurrency.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import record_comparison
+from repro.pipeline import build_iyp
+from repro.server import QueryService, create_server
+from repro.simnet import WorldConfig, build_world
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 12
+# One query shape for both phases, so qps is comparable: the cold phase
+# sweeps distinct $asn values (every request misses the cache), the warm
+# phase repeats a single value (every request after the first hits).
+QUERY = (
+    "MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) WHERE a.asn >= $asn "
+    "RETURN count(DISTINCT p) AS n"
+)
+
+
+@pytest.fixture(scope="module")
+def served_iyp():
+    """A server over the *small* world — build cost stays in seconds."""
+    iyp, report = build_iyp(build_world(WorldConfig.small()))
+    assert report.ok, report.crawler_errors
+    service = QueryService(iyp.store, max_concurrent=CLIENTS)
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield base, service, iyp
+    server.shutdown()
+    server.server_close()
+
+
+def _post(base: str, query: str, parameters: dict | None = None) -> float:
+    """One POST /query; returns client-observed latency in seconds."""
+    body = json.dumps({"query": query, "parameters": parameters or {}})
+    request = urllib.request.Request(
+        f"{base}/query", data=body.encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    started = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert response.status == 200
+        json.loads(response.read())
+    return time.perf_counter() - started
+
+
+def _drive(base: str, asns: list[int]):
+    """CLIENTS threads, each issuing REQUESTS_PER_CLIENT queries."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def client(worker: int):
+        mine: list[float] = []
+        for i in range(REQUESTS_PER_CLIENT):
+            asn = asns[(worker * REQUESTS_PER_CLIENT + i) % len(asns)]
+            mine.append(_post(base, QUERY, {"asn": asn}))
+        with lock:
+            latencies.extend(mine)
+
+    threads = [threading.Thread(target=client, args=(w,)) for w in range(CLIENTS)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return latencies, elapsed
+
+
+def _percentile(values: list[float], pct: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(pct / 100 * len(ordered)) - 1))
+    return ordered[index]
+
+
+def test_server_throughput(served_iyp):
+    base, service, iyp = served_iyp
+    asns = iyp.run("MATCH (a:AS) RETURN a.asn ORDER BY a.asn").column()
+
+    # Cold: distinct parameters per request defeat the result cache.
+    cold_latencies, cold_elapsed = _drive(base, asns)
+    # Warm: one fixed parameter; after the first miss everything hits.
+    warm_latencies, warm_elapsed = _drive(base, [asns[0]])
+
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    cache = service.cache.info()
+    peak = service.admission.peak_active
+    result = {
+        "clients": CLIENTS,
+        "requests_per_phase": total,
+        "cold_qps": round(total / cold_elapsed, 1),
+        "warm_qps": round(total / warm_elapsed, 1),
+        "cold_p50_ms": round(_percentile(cold_latencies, 50) * 1000, 3),
+        "cold_p95_ms": round(_percentile(cold_latencies, 95) * 1000, 3),
+        "warm_p50_ms": round(_percentile(warm_latencies, 50) * 1000, 3),
+        "warm_p95_ms": round(_percentile(warm_latencies, 95) * 1000, 3),
+        "cache_hit_rate": round(cache["hit_rate"], 4),
+        "peak_concurrent": peak,
+        "store_version": iyp.store.version,
+    }
+    out = Path(__file__).parent / "BENCH_server.json"
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    record_comparison(
+        "Server throughput (8 HTTP clients, small world)",
+        ["phase", "qps", "p50 ms", "p95 ms"],
+        [
+            ["cold (parameter sweep)", result["cold_qps"],
+             result["cold_p50_ms"], result["cold_p95_ms"]],
+            ["warm (cached)", result["warm_qps"],
+             result["warm_p50_ms"], result["warm_p95_ms"]],
+            ["", ""],
+            ["cache hit rate", f"{cache['hit_rate']:.1%}"],
+            ["peak concurrent queries", peak],
+        ],
+    )
+
+    # More than one reader actually ran inside the store at once.
+    assert peak >= 2, f"no parallelism observed (peak={peak})"
+    # The warm phase must demonstrate the cache working.
+    assert cache["hit_rate"] > 0
+    assert statistics.median(warm_latencies) <= statistics.median(cold_latencies)
+    assert result["warm_qps"] >= result["cold_qps"]

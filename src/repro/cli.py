@@ -5,10 +5,15 @@ The offline analogue of the IYP project's operational scripts::
     python -m repro build --scale small --output iyp.json.gz
     python -m repro query --snapshot iyp.json.gz \
         "MATCH (a:AS) RETURN count(a)"
+    python -m repro serve --snapshot iyp.json.gz --port 8734
     python -m repro inventory
     python -m repro ontology
     python -m repro studies --scale small
     python -m repro info --snapshot iyp.json.gz
+
+``query`` and ``serve`` share one admission-control path
+(:mod:`repro.server.admission`): ``--timeout`` and ``--limit`` on the
+interactive command enforce the same budgets a served query gets.
 """
 
 from __future__ import annotations
@@ -53,10 +58,28 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    """Run a Cypher query against a snapshot."""
+    """Run a Cypher query against a snapshot.
+
+    ``--timeout`` and ``--limit`` reuse the query service's admission
+    control: the query runs under the same cooperative guard a served
+    request gets, and aborts are reported the same way.
+    """
+    from repro.cypher.errors import QueryAbortedError
+    from repro.server.admission import AdmissionController
+
     iyp = _load_iyp(args.snapshot)
-    result = iyp.run(args.query)
-    print(result.to_table(max_rows=args.limit))
+    controller = AdmissionController(
+        max_concurrent=1,
+        default_timeout=args.timeout,
+        default_max_rows=args.limit,
+    )
+    try:
+        with controller.slot():
+            result = iyp.engine.run(args.query, guard=controller.guard())
+    except QueryAbortedError as exc:
+        print(f"query aborted: {exc}", file=sys.stderr)
+        return 1
+    print(result.to_table(max_rows=args.limit or 50))
     if result.stats:
         stats = result.stats
         print(
@@ -212,6 +235,45 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a knowledge graph over HTTP (the public-instance analogue)."""
+    from repro.server import QueryService, create_server
+
+    if args.snapshot:
+        print(f"Loading snapshot {args.snapshot}...")
+        store = load_snapshot(args.snapshot)
+    else:
+        print(f"Building synthetic world (scale={args.scale}, seed={args.seed})...")
+        world = build_world(_SCALES[args.scale](seed=args.seed))
+        iyp, report = build_iyp(world)
+        print(
+            f"Built {report.nodes:,} nodes / {report.relationships:,} "
+            f"relationships in {report.total_seconds:.1f}s"
+        )
+        store = iyp.store
+    service = QueryService(
+        store,
+        max_concurrent=args.max_concurrent,
+        default_timeout=args.timeout,
+        default_max_rows=args.max_rows,
+        cache_size=args.cache_size,
+    )
+    server = create_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"Serving {store.node_count:,} nodes / "
+        f"{store.relationship_count:,} relationships on http://{host}:{port}"
+    )
+    print("Endpoints: POST /query; GET /explain /ontology /stats /healthz /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_docs(args: argparse.Namespace) -> int:
     """Generate the documentation pages from registry and ontology."""
     from repro.docs import write_docs
@@ -237,8 +299,40 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="run a Cypher query on a snapshot")
     query.add_argument("query")
     query.add_argument("--snapshot", default="iyp.json.gz")
-    query.add_argument("--limit", type=int, default=50)
+    query.add_argument(
+        "--limit", type=int, default=None,
+        help="abort when the query returns more rows than this "
+             "(default: unlimited; display still truncates at 50)",
+    )
+    query.add_argument(
+        "--timeout", type=float, default=None,
+        help="abort the query after this many seconds",
+    )
     query.set_defaults(func=cmd_query)
+
+    serve = sub.add_parser("serve", help="serve a snapshot over HTTP")
+    serve.add_argument("--snapshot", help="snapshot to serve (default: build a world)")
+    serve.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    serve.add_argument("--seed", type=int, default=20240501)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8734)
+    serve.add_argument(
+        "--max-concurrent", type=int, default=8,
+        help="admission control: maximum concurrent queries",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="default per-query time budget in seconds",
+    )
+    serve.add_argument(
+        "--max-rows", type=int, default=100_000,
+        help="default per-query result row limit",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result cache capacity (entries)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     explain = sub.add_parser("explain", help="show a query's execution plan")
     explain.add_argument("query")

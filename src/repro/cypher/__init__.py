@@ -25,7 +25,16 @@ Typical use::
 """
 
 from repro.cypher.engine import CypherEngine
-from repro.cypher.errors import CypherError, CypherRuntimeError, CypherSyntaxError
+from repro.cypher.errors import (
+    CypherError,
+    CypherRuntimeError,
+    CypherSyntaxError,
+    QueryAbortedError,
+    QueryTimeoutError,
+    RowLimitError,
+)
+from repro.cypher.guard import QueryGuard
+from repro.cypher.lru import LRUCache
 from repro.cypher.result import QueryResult
 
 __all__ = [
@@ -33,5 +42,10 @@ __all__ = [
     "CypherError",
     "CypherRuntimeError",
     "CypherSyntaxError",
+    "LRUCache",
+    "QueryAbortedError",
+    "QueryGuard",
     "QueryResult",
+    "QueryTimeoutError",
+    "RowLimitError",
 ]

@@ -10,13 +10,19 @@ lists).  Each clause consumes the rows from the previous clause:
                   DISTINCT, ORDER BY, SKIP, LIMIT
     CREATE/MERGE/SET/REMOVE/DELETE -> mutations, rows pass through
 
-Parsed queries are cached per engine, so re-running the paper's study
-queries on fresh snapshots costs no re-parsing.
+Parsed queries are cached per engine in a bounded LRU, so re-running the
+paper's study queries on fresh snapshots costs no re-parsing while an
+adversarial stream of distinct queries cannot grow memory without bound.
+
+The engine is safe for concurrent *read* queries: per-run state
+(parameters, the active guard) lives in thread-local storage, and the
+query service serializes write queries through the store's write lock.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from typing import Any, Iterable
 
 from repro.cypher import ast
@@ -34,6 +40,8 @@ from repro.cypher.functions import (
     agg_stdev,
     agg_sum,
 )
+from repro.cypher.guard import QueryGuard
+from repro.cypher.lru import LRUCache
 from repro.cypher.matcher import PatternMatcher
 from repro.cypher.parser import parse
 from repro.cypher.result import QueryResult, WriteStats
@@ -55,25 +63,83 @@ from repro.graphdb.store import GraphStore
 Row = dict[str, Any]
 
 
+#: Clause types that mutate the store; used to route queries to the
+#: store's write lock (everything else can run under a shared read lock).
+_WRITE_CLAUSES = (
+    ast.CreateClause,
+    ast.MergeClause,
+    ast.SetClause,
+    ast.RemoveClause,
+    ast.DeleteClause,
+)
+
+#: Parse-cache bound: generous for study workloads (dozens of distinct
+#: queries) while keeping an adversarial query stream in check.
+DEFAULT_PARSE_CACHE_SIZE = 512
+
+
 class CypherEngine:
     """Executes Cypher-subset queries against a :class:`GraphStore`."""
 
-    def __init__(self, store: GraphStore):
+    def __init__(
+        self, store: GraphStore, parse_cache_size: int = DEFAULT_PARSE_CACHE_SIZE
+    ):
         self.store = store
-        self._matcher = PatternMatcher(store, self._evaluate)
-        self._parse_cache: dict[str, ast.Query] = {}
+        self._matcher = PatternMatcher(store, self._evaluate, self._tick)
+        self._parse_cache: LRUCache = LRUCache(parse_cache_size)
+        self._tls = threading.local()
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
-    def run(self, query: str, parameters: dict[str, Any] | None = None) -> QueryResult:
-        """Parse (with caching) and execute a query."""
+    def run(
+        self,
+        query: str,
+        parameters: dict[str, Any] | None = None,
+        guard: QueryGuard | None = None,
+    ) -> QueryResult:
+        """Parse (with caching) and execute a query.
+
+        ``guard`` imposes a cooperative time budget and a result row
+        limit; see :class:`repro.cypher.guard.QueryGuard`.
+        """
+        tree = self._parsed(query)
+        self._tls.guard = guard
+        try:
+            result = self._execute(tree, parameters or {})
+        finally:
+            self._tls.guard = None
+            self._tls.parameters = {}
+        if guard is not None:
+            guard.check_rows(len(result.records))
+        return result
+
+    def is_write_query(self, query: str) -> bool:
+        """True when the query contains any mutating clause.
+
+        The query service uses this to decide between the store's shared
+        read lock and its exclusive write lock, and to bypass the result
+        cache for writes.
+        """
+        tree = self._parsed(query)
+        parts = (tree, *tree.union_parts)
+        return any(
+            isinstance(clause, _WRITE_CLAUSES)
+            for part in parts
+            for clause in part.clauses
+        )
+
+    def parse_cache_info(self) -> dict[str, Any]:
+        """Size and hit-rate of the bounded parse cache (for /metrics)."""
+        return self._parse_cache.info()
+
+    def _parsed(self, query: str) -> ast.Query:
         tree = self._parse_cache.get(query)
         if tree is None:
             tree = parse(query)
-            self._parse_cache[query] = tree
-        return self._execute(tree, parameters or {})
+            self._parse_cache.put(query, tree)
+        return tree
 
     def explain(self, query: str) -> list[str]:
         """Describe how each MATCH would be executed (plan introspection).
@@ -83,10 +149,7 @@ class CypherEngine:
         scan), with its estimated cardinality — the information behind
         the ablation benchmarks.
         """
-        tree = self._parse_cache.get(query)
-        if tree is None:
-            tree = parse(query)
-            self._parse_cache[query] = tree
+        tree = self._parsed(query)
         plan: list[str] = []
         for clause in tree.clauses:
             if not isinstance(clause, ast.MatchClause):
@@ -120,7 +183,7 @@ class CypherEngine:
     # ------------------------------------------------------------------
 
     def _execute(self, query: ast.Query, parameters: dict[str, Any]) -> QueryResult:
-        self._parameters = parameters
+        self._tls.parameters = parameters
         result = self._execute_part(query.clauses, parameters)
         for part in query.union_parts:
             other = self._execute_part(part.clauses, parameters)
@@ -187,6 +250,7 @@ class CypherEngine:
             context.row = row
             matched = False
             for binding in self._matcher.match_patterns(clause.patterns, row):
+                self._tick()
                 if clause.where is not None:
                     context.row = binding
                     if not is_truthy(self._evaluate(clause.where, binding)):
@@ -278,6 +342,7 @@ class CypherEngine:
         else:
             projected = []
             for row in rows:
+                self._tick()
                 out: Row = {}
                 for item in items:
                     out[item.alias] = self._evaluate(item.expression, row)
@@ -552,7 +617,7 @@ class CypherEngine:
             return expression.value
         if isinstance(expression, ast.Parameter):
             try:
-                return self._parameters[expression.name]
+                return getattr(self._tls, "parameters", {})[expression.name]
             except KeyError:
                 raise CypherRuntimeError(f"missing parameter ${expression.name}")
         if isinstance(expression, ast.Variable):
@@ -646,8 +711,11 @@ class CypherEngine:
             accumulator = self._evaluate(expression.expression, scope, group_rows)
         return accumulator
 
-    # Set per run() call; the engine is single-threaded by design.
-    _parameters: dict[str, Any] = {}
+    def _tick(self) -> None:
+        """Cooperative cancellation point, called from inner loops."""
+        guard = getattr(self._tls, "guard", None)
+        if guard is not None:
+            guard.tick()
 
     def _evaluate_call(
         self, call: ast.FunctionCall, row: Row, group_rows: list[Row] | None

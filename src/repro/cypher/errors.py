@@ -19,3 +19,32 @@ class CypherSyntaxError(CypherError):
 
 class CypherRuntimeError(CypherError):
     """Raised when a well-formed query fails during execution."""
+
+
+class QueryAbortedError(CypherError):
+    """Base class for admission-control aborts (timeout, row limit).
+
+    These are not query bugs: the query was valid but exceeded a resource
+    limit imposed by the caller.  The query service maps them to
+    structured JSON errors; the store itself is left untouched (aborts
+    are only raised on the read path or before any mutation applies).
+    """
+
+
+class QueryTimeoutError(QueryAbortedError):
+    """Raised cooperatively when a query exceeds its time budget."""
+
+    def __init__(self, timeout: float):
+        self.timeout = timeout
+        super().__init__(f"query exceeded its {timeout:g}s time budget")
+
+
+class RowLimitError(QueryAbortedError):
+    """Raised when a query produces more rows than the caller allows."""
+
+    def __init__(self, produced: int, limit: int):
+        self.produced = produced
+        self.limit = limit
+        super().__init__(
+            f"query produced {produced} rows, above the {limit}-row limit"
+        )

@@ -1,0 +1,80 @@
+"""A small thread-safe LRU cache with hit/miss accounting.
+
+Used to bound the engine's parse cache (previously an unbounded dict)
+and to back the query service's result cache.  Both caches expose their
+counters on the ``/metrics`` endpoint, so the cache keeps hit/miss
+statistics itself rather than leaving that to callers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used cache bounded to ``maxsize`` entries."""
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most recently used)."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the oldest if full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        with self._lock:
+            return iter(list(self._data))
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    def info(self) -> dict[str, Any]:
+        """Size and hit-rate statistics, for metrics endpoints."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }

@@ -20,16 +20,27 @@ from repro.graphdb.store import GraphStore
 
 Binding = dict[str, Any]
 Evaluator = Callable[[ast.Expression, Binding], Any]
+Tick = Callable[[], None]
 
 _DIRECTIONS = {"out": Direction.OUT, "in": Direction.IN, "both": Direction.BOTH}
 
 
-class PatternMatcher:
-    """Matches path patterns against a :class:`GraphStore`."""
+def _no_tick() -> None:
+    """Default cancellation hook: do nothing."""
 
-    def __init__(self, store: GraphStore, evaluate: Evaluator):
+
+class PatternMatcher:
+    """Matches path patterns against a :class:`GraphStore`.
+
+    ``tick`` is a cooperative-cancellation hook called from the matching
+    inner loops; the engine wires it to the active query's guard so a
+    runaway traversal can be aborted mid-match (admission control).
+    """
+
+    def __init__(self, store: GraphStore, evaluate: Evaluator, tick: Tick = _no_tick):
         self._store = store
         self._evaluate = evaluate
+        self._tick = tick
 
     # ------------------------------------------------------------------
     # Public API
@@ -86,6 +97,7 @@ class PatternMatcher:
             return
         anchor = self._choose_anchor(pattern, binding)
         for candidate in self._anchor_candidates(pattern.nodes[anchor], binding):
+            self._tick()
             start = dict(binding)
             if not self._bind_node(pattern.nodes[anchor], candidate, start):
                 continue
@@ -224,6 +236,7 @@ class PatternMatcher:
                     for rel in self._incident(
                         node, rel_pattern.direction, rel_pattern.types
                     ):
+                        self._tick()
                         if rel.id in used_rels:
                             continue
                         other = self._store.get_node(rel.other_end(node.id))
@@ -338,6 +351,7 @@ class PatternMatcher:
             return
         if not rel_pattern.is_variable_length:
             for rel in self._incident(current, direction, rel_pattern.types):
+                self._tick()
                 if rel.id in blocked:
                     continue
                 if not self._rel_properties_match(rel, rel_pattern, binding):
@@ -348,6 +362,7 @@ class PatternMatcher:
         limit = 10**9 if rel_pattern.max_hops == -1 else rel_pattern.max_hops
         stack: list[tuple[Node, list[Relationship]]] = [(current, [])]
         while stack:
+            self._tick()
             node, path = stack.pop()
             if len(path) >= rel_pattern.min_hops:
                 yield list(path), node

@@ -14,6 +14,7 @@ from repro.graphdb.errors import (
     NoSuchRelationshipError,
 )
 from repro.graphdb.model import Direction, Node, Relationship
+from repro.graphdb.rwlock import RWLock
 from repro.graphdb.snapshot import load_snapshot, save_snapshot
 from repro.graphdb.store import GraphStore
 
@@ -25,6 +26,7 @@ __all__ = [
     "NoSuchNodeError",
     "NoSuchRelationshipError",
     "Node",
+    "RWLock",
     "Relationship",
     "load_snapshot",
     "save_snapshot",

@@ -1,0 +1,120 @@
+"""A reentrant readers-writer lock for the graph store.
+
+Read queries dominate the serving workload, so the store lets any number
+of readers proceed in parallel while writers get exclusive access.  The
+lock is write-preferring (a waiting writer blocks new readers, so bulk
+loads are not starved by a stream of queries) and reentrant in both
+directions for a single thread:
+
+- a thread holding the write lock may re-acquire it (``merge_node``
+  calls ``create_node``) and may also take the read lock;
+- a thread holding the read lock may re-acquire the read lock even while
+  a writer is queued (refusing would deadlock the reader).
+
+Lock upgrades (read -> write by the same thread) are not supported; the
+query service classifies queries up front and takes the right lock for
+the whole execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """A write-preferring, per-thread-reentrant readers-writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers: dict[int, int] = {}  # thread ident -> hold count
+        self._writer: int | None = None
+        self._writer_holds = 0
+        self._waiting_writers = 0
+
+    # -- read side -------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            # Reentrant cases never wait: the thread already owns access.
+            if self._writer == me or self._readers.get(me):
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._cond.wait()
+            self._readers[me] = 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            count = self._readers.get(me, 0)
+            if count <= 0:
+                raise RuntimeError("release_read() without a matching acquire")
+            if count == 1:
+                del self._readers[me]
+                self._cond.notify_all()
+            else:
+                self._readers[me] = count - 1
+
+    # -- write side ------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_holds += 1
+                return
+            if self._readers.get(me):
+                raise RuntimeError("cannot upgrade a read lock to a write lock")
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._writer_holds = 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write() by a thread not holding it")
+            self._writer_holds -= 1
+            if self._writer_holds == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers ------------------------------------------------
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (for tests and metrics) ---------------------------
+
+    @property
+    def active_readers(self) -> int:
+        """Number of distinct threads currently holding the read lock."""
+        with self._cond:
+            return len(self._readers)
+
+    @property
+    def write_locked(self) -> bool:
+        """True when some thread holds the write lock."""
+        with self._cond:
+            return self._writer is not None

@@ -19,44 +19,62 @@ FORMAT_VERSION = 1
 
 
 def snapshot_dict(store: GraphStore) -> dict[str, Any]:
-    """Serialize a store to a plain dictionary."""
-    return {
-        "format_version": FORMAT_VERSION,
-        "nodes": [
-            {"id": node.id, "labels": sorted(node.labels), "properties": node.properties}
-            for node in store.iter_nodes()
-        ],
-        "relationships": [
-            {
-                "id": rel.id,
-                "type": rel.type,
-                "start": rel.start_id,
-                "end": rel.end_id,
-                "properties": rel.properties,
-            }
-            for rel in store.iter_relationships()
-        ],
-        "indexes": sorted(store._property_index),
-        "constraints": sorted(store._unique_constraints),
-    }
+    """Serialize a store to a plain dictionary.
+
+    Holds the store's read lock so a snapshot taken while a writer is
+    active (e.g. through the query service) is still consistent.
+    """
+    with store.read_lock():
+        return {
+            "format_version": FORMAT_VERSION,
+            "nodes": [
+                {
+                    "id": node.id,
+                    "labels": sorted(node.labels),
+                    "properties": node.properties,
+                }
+                for node in store.iter_nodes()
+            ],
+            "relationships": [
+                {
+                    "id": rel.id,
+                    "type": rel.type,
+                    "start": rel.start_id,
+                    "end": rel.end_id,
+                    "properties": rel.properties,
+                }
+                for rel in store.iter_relationships()
+            ],
+            "indexes": store.indexes(),
+            "constraints": store.constraints(),
+        }
 
 
 def store_from_dict(data: dict[str, Any]) -> GraphStore:
-    """Rebuild a store from :func:`snapshot_dict` output."""
+    """Rebuild a store from :func:`snapshot_dict` output.
+
+    Entity ids are preserved exactly — a store that has seen deletions
+    (and therefore has gaps in its id sequence) reloads with the same
+    ids, keeping the loaded instance observationally identical.  Indexes
+    and constraints are restored *before* nodes so a server answering
+    from a snapshot gets index-seek query plans from the first request.
+    """
     version = data.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported snapshot format version {version!r}")
     store = GraphStore()
-    id_map: dict[int, int] = {}
-    for entry in sorted(data["nodes"], key=lambda item: item["id"]):
-        node = store.create_node(entry["labels"], entry["properties"])
-        id_map[entry["id"]] = node.id
-    for entry in sorted(data["relationships"], key=lambda item: item["id"]):
-        store.create_relationship(
-            id_map[entry["start"]], entry["type"], id_map[entry["end"]], entry["properties"]
-        )
     for label, prop in data.get("indexes", ()):
         store.create_index(label, prop)
+    for entry in sorted(data["nodes"], key=lambda item: item["id"]):
+        store._next_node_id = entry["id"]
+        node = store.create_node(entry["labels"], entry["properties"])
+        assert node.id == entry["id"]
+    for entry in sorted(data["relationships"], key=lambda item: item["id"]):
+        store._next_rel_id = entry["id"]
+        rel = store.create_relationship(
+            entry["start"], entry["type"], entry["end"], entry["properties"]
+        )
+        assert rel.id == entry["id"]
     for label, prop in data.get("constraints", ()):
         store.create_unique_constraint(label, prop)
     return store

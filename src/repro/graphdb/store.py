@@ -10,13 +10,20 @@ Storage layout:
 - adjacency is kept as per-node lists of relationship ids, split by
   direction, with a per-node-pair-and-type index for MERGE.
 
-The store is deliberately single-threaded: the paper's workload is
-bulk-load-then-query, and snapshots provide durability.
+Concurrency: the store carries a readers-writer lock (see
+:mod:`repro.graphdb.rwlock`) and a monotonic mutation ``version``
+counter.  Every mutating method takes the write lock and bumps the
+version, so concurrent read queries can hold :meth:`GraphStore.read_lock`
+for their whole execution and observe a consistent graph, while caches
+keyed on ``(query, params, version)`` invalidate automatically on any
+write.  Read accessors themselves take no lock — callers that need
+isolation against writers wrap their work in ``read_lock()``.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import contextmanager
 from typing import Any, Iterable, Iterator, Mapping
 
 from repro.graphdb.errors import (
@@ -31,6 +38,7 @@ from repro.graphdb.model import (
     check_property_value,
     freeze_properties,
 )
+from repro.graphdb.rwlock import RWLock
 
 
 class GraphStore:
@@ -50,6 +58,32 @@ class GraphStore:
         # (start, type, end) -> list of relationship ids, for MERGE
         self._edge_index: dict[tuple[int, str, int], list[int]] = defaultdict(list)
         self._rel_type_index: dict[str, set[int]] = defaultdict(set)
+        self._rwlock = RWLock()
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Concurrency
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every write."""
+        return self._version
+
+    def read_lock(self):
+        """Shared lock: many readers, excluded while a writer runs."""
+        return self._rwlock.read()
+
+    def write_lock(self):
+        """Exclusive lock; reentrant for the owning thread."""
+        return self._rwlock.write()
+
+    @contextmanager
+    def _mutation(self):
+        """Write lock + version bump around one mutating operation."""
+        with self._rwlock.write():
+            yield
+            self._version += 1
 
     # ------------------------------------------------------------------
     # Statistics
@@ -89,29 +123,42 @@ class GraphStore:
     def create_index(self, label: str, prop: str) -> None:
         """Create (idempotently) a hash index on (label, property)."""
         key = (label, prop)
-        if key in self._property_index:
-            return
-        index: dict[Any, set[int]] = defaultdict(set)
-        for node_id in self._label_index.get(label, ()):
-            value = self._nodes[node_id].properties.get(prop)
-            if _indexable(value):
-                index[value].add(node_id)
-        self._property_index[key] = index
+        with self._rwlock.write():
+            if key in self._property_index:
+                return
+            index: dict[Any, set[int]] = defaultdict(set)
+            for node_id in self._label_index.get(label, ()):
+                value = self._nodes[node_id].properties.get(prop)
+                if _indexable(value):
+                    index[value].add(node_id)
+            self._property_index[key] = index
+            self._version += 1
 
     def create_unique_constraint(self, label: str, prop: str) -> None:
         """Create a uniqueness constraint (and backing index)."""
-        self.create_index(label, prop)
-        index = self._property_index[(label, prop)]
-        for value, ids in index.items():
-            if len(ids) > 1:
-                raise ConstraintViolationError(
-                    f"existing duplicates for :{label}({prop}={value!r})"
-                )
-        self._unique_constraints.add((label, prop))
+        with self._rwlock.write():
+            self.create_index(label, prop)
+            index = self._property_index[(label, prop)]
+            for value, ids in index.items():
+                if len(ids) > 1:
+                    raise ConstraintViolationError(
+                        f"existing duplicates for :{label}({prop}={value!r})"
+                    )
+            if (label, prop) not in self._unique_constraints:
+                self._unique_constraints.add((label, prop))
+                self._version += 1
 
     def has_index(self, label: str, prop: str) -> bool:
         """Return True when an index exists on (label, property)."""
         return (label, prop) in self._property_index
+
+    def indexes(self) -> list[tuple[str, str]]:
+        """All (label, property) pairs carrying a hash index, sorted."""
+        return sorted(self._property_index)
+
+    def constraints(self) -> list[tuple[str, str]]:
+        """All (label, property) uniqueness constraints, sorted."""
+        return sorted(self._unique_constraints)
 
     # ------------------------------------------------------------------
     # Node operations
@@ -121,16 +168,17 @@ class GraphStore:
         self, labels: Iterable[str], properties: Mapping[str, Any] | None = None
     ) -> Node:
         """Create a node with the given labels and properties."""
-        label_set = frozenset(labels)
-        props = freeze_properties(properties)
-        self._check_unique(label_set, props, exclude_id=None)
-        node = Node(self._next_node_id, label_set, props)
-        self._next_node_id += 1
-        self._nodes[node.id] = node
-        for label in label_set:
-            self._label_index[label].add(node.id)
-            self._index_node_property_updates(label, node.id, props)
-        return node
+        with self._mutation():
+            label_set = frozenset(labels)
+            props = freeze_properties(properties)
+            self._check_unique(label_set, props, exclude_id=None)
+            node = Node(self._next_node_id, label_set, props)
+            self._next_node_id += 1
+            self._nodes[node.id] = node
+            for label in label_set:
+                self._label_index[label].add(node.id)
+                self._index_node_property_updates(label, node.id, props)
+            return node
 
     def merge_node(
         self,
@@ -146,18 +194,21 @@ class GraphStore:
         caller creates the node, later callers receive the existing one
         (with ``properties`` merged in and ``extra_labels`` added).
         """
-        self.create_index(label, key_prop)
-        existing = self.find_nodes(label, key_prop, key_value)
-        if existing:
-            node = existing[0]
-            if properties:
-                self.update_node(node.id, properties)
-            for extra in extra_labels:
-                self.add_label(node.id, extra)
-            return node
-        props = dict(properties or {})
-        props[key_prop] = key_value
-        return self.create_node({label, *extra_labels}, props)
+        # Hold the write lock across find-then-create so two concurrent
+        # merges of the same identifier cannot both create the node.
+        with self._rwlock.write():
+            self.create_index(label, key_prop)
+            existing = self.find_nodes(label, key_prop, key_value)
+            if existing:
+                node = existing[0]
+                if properties:
+                    self.update_node(node.id, properties)
+                for extra in extra_labels:
+                    self.add_label(node.id, extra)
+                return node
+            props = dict(properties or {})
+            props[key_prop] = key_value
+            return self.create_node({label, *extra_labels}, props)
 
     def get_node(self, node_id: int) -> Node:
         """Return the node with the given id."""
@@ -191,15 +242,21 @@ class GraphStore:
 
     def add_label(self, node_id: int, label: str) -> None:
         """Add a label to an existing node."""
-        node = self._require_node(node_id)
-        if label in node.labels:
-            return
-        node.labels = node.labels | {label}
-        self._label_index[label].add(node_id)
-        self._index_node_property_updates(label, node_id, node.properties)
+        with self._rwlock.write():
+            node = self._require_node(node_id)
+            if label in node.labels:
+                return
+            node.labels = node.labels | {label}
+            self._label_index[label].add(node_id)
+            self._index_node_property_updates(label, node_id, node.properties)
+            self._version += 1
 
     def update_node(self, node_id: int, properties: Mapping[str, Any]) -> None:
         """Merge properties into a node (None values delete the key)."""
+        with self._mutation():
+            self._update_node_locked(node_id, properties)
+
+    def _update_node_locked(self, node_id: int, properties: Mapping[str, Any]) -> None:
         node = self._require_node(node_id)
         for key, value in properties.items():
             old = node.properties.get(key)
@@ -221,25 +278,26 @@ class GraphStore:
 
     def delete_node(self, node_id: int, detach: bool = False) -> None:
         """Delete a node; with ``detach`` also delete incident edges."""
-        node = self._require_node(node_id)
-        incident = list(self._outgoing.get(node_id, ())) + list(
-            self._incoming.get(node_id, ())
-        )
-        if incident and not detach:
-            raise ConstraintViolationError(
-                f"node {node_id} still has {len(incident)} relationship(s)"
+        with self._mutation():
+            node = self._require_node(node_id)
+            incident = list(self._outgoing.get(node_id, ())) + list(
+                self._incoming.get(node_id, ())
             )
-        for rel_id in set(incident):
-            self.delete_relationship(rel_id)
-        for label in node.labels:
-            self._label_index[label].discard(node_id)
-            for key, value in node.properties.items():
-                index = self._property_index.get((label, key))
-                if index is not None and _indexable(value):
-                    index.get(value, set()).discard(node_id)
-        self._outgoing.pop(node_id, None)
-        self._incoming.pop(node_id, None)
-        del self._nodes[node_id]
+            if incident and not detach:
+                raise ConstraintViolationError(
+                    f"node {node_id} still has {len(incident)} relationship(s)"
+                )
+            for rel_id in set(incident):
+                self.delete_relationship(rel_id)
+            for label in node.labels:
+                self._label_index[label].discard(node_id)
+                for key, value in node.properties.items():
+                    index = self._property_index.get((label, key))
+                    if index is not None and _indexable(value):
+                        index.get(value, set()).discard(node_id)
+            self._outgoing.pop(node_id, None)
+            self._incoming.pop(node_id, None)
+            del self._nodes[node_id]
 
     # ------------------------------------------------------------------
     # Relationship operations
@@ -253,18 +311,20 @@ class GraphStore:
         properties: Mapping[str, Any] | None = None,
     ) -> Relationship:
         """Create a directed relationship between two existing nodes."""
-        self._require_node(start_id)
-        self._require_node(end_id)
-        rel = Relationship(
-            self._next_rel_id, rel_type, start_id, end_id, freeze_properties(properties)
-        )
-        self._next_rel_id += 1
-        self._relationships[rel.id] = rel
-        self._outgoing[start_id].append(rel.id)
-        self._incoming[end_id].append(rel.id)
-        self._edge_index[(start_id, rel_type, end_id)].append(rel.id)
-        self._rel_type_index[rel_type].add(rel.id)
-        return rel
+        with self._mutation():
+            self._require_node(start_id)
+            self._require_node(end_id)
+            rel = Relationship(
+                self._next_rel_id, rel_type, start_id, end_id,
+                freeze_properties(properties),
+            )
+            self._next_rel_id += 1
+            self._relationships[rel.id] = rel
+            self._outgoing[start_id].append(rel.id)
+            self._incoming[end_id].append(rel.id)
+            self._edge_index[(start_id, rel_type, end_id)].append(rel.id)
+            self._rel_type_index[rel_type].add(rel.id)
+            return rel
 
     def merge_relationship(
         self,
@@ -280,6 +340,19 @@ class GraphStore:
         carries those exact property values — IYP uses ``reference_name``
         here so the same semantic link from two datasets stays distinct.
         """
+        with self._rwlock.write():
+            return self._merge_relationship_locked(
+                start_id, rel_type, end_id, properties, match_props
+            )
+
+    def _merge_relationship_locked(
+        self,
+        start_id: int,
+        rel_type: str,
+        end_id: int,
+        properties: Mapping[str, Any] | None,
+        match_props: Mapping[str, Any] | None,
+    ) -> Relationship:
         for rel_id in self._edge_index.get((start_id, rel_type, end_id), ()):
             rel = self._relationships[rel_id]
             if match_props and any(
@@ -350,22 +423,26 @@ class GraphStore:
 
     def update_relationship(self, rel_id: int, properties: Mapping[str, Any]) -> None:
         """Merge properties into a relationship (None deletes the key)."""
-        rel = self.get_relationship(rel_id)
-        for key, value in properties.items():
-            if value is None:
-                rel.properties.pop(key, None)
-                continue
-            check_property_value(value)
-            rel.properties[key] = list(value) if isinstance(value, tuple) else value
+        with self._mutation():
+            rel = self.get_relationship(rel_id)
+            for key, value in properties.items():
+                if value is None:
+                    rel.properties.pop(key, None)
+                    continue
+                check_property_value(value)
+                rel.properties[key] = (
+                    list(value) if isinstance(value, tuple) else value
+                )
 
     def delete_relationship(self, rel_id: int) -> None:
         """Delete a relationship."""
-        rel = self.get_relationship(rel_id)
-        self._outgoing[rel.start_id].remove(rel_id)
-        self._incoming[rel.end_id].remove(rel_id)
-        self._edge_index[(rel.start_id, rel.type, rel.end_id)].remove(rel_id)
-        self._rel_type_index[rel.type].discard(rel_id)
-        del self._relationships[rel_id]
+        with self._mutation():
+            rel = self.get_relationship(rel_id)
+            self._outgoing[rel.start_id].remove(rel_id)
+            self._incoming[rel.end_id].remove(rel_id)
+            self._edge_index[(rel.start_id, rel.type, rel.end_id)].remove(rel_id)
+            self._rel_type_index[rel.type].discard(rel_id)
+            del self._relationships[rel_id]
 
     # ------------------------------------------------------------------
     # Internals

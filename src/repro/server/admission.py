@@ -1,0 +1,106 @@
+"""Admission control: bounded concurrency plus per-query limits.
+
+The controller guards two resources:
+
+- **worker slots** — at most ``max_concurrent`` queries execute at once;
+  an over-capacity request is rejected immediately (HTTP 429) rather
+  than queued, so a burst cannot build an unbounded backlog of threads
+  all holding request state;
+- **per-query budgets** — every admitted query gets a
+  :class:`~repro.cypher.guard.QueryGuard` carrying the request's (or the
+  server's default) timeout and row limit, enforced cooperatively inside
+  the engine.
+
+The CLI's ``repro query --timeout/--limit`` goes through this same
+controller with a single slot, so interactive and served queries share
+one enforcement path.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.cypher.guard import QueryGuard
+
+
+class ServerBusyError(Exception):
+    """Raised when every worker slot is taken."""
+
+    def __init__(self, max_concurrent: int):
+        self.max_concurrent = max_concurrent
+        super().__init__(
+            f"server is at its concurrency limit ({max_concurrent} queries)"
+        )
+
+
+class AdmissionController:
+    """Caps concurrent queries and hands out per-query guards."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 8,
+        default_timeout: float | None = 30.0,
+        default_max_rows: int | None = 100_000,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.max_concurrent = max_concurrent
+        self.default_timeout = default_timeout
+        self.default_max_rows = default_max_rows
+        self._lock = threading.Lock()
+        self.active = 0
+        self.peak_active = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    @contextmanager
+    def slot(self) -> Iterator[None]:
+        """Occupy one worker slot; raises :class:`ServerBusyError` if full."""
+        with self._lock:
+            if self.active >= self.max_concurrent:
+                self.rejected += 1
+                raise ServerBusyError(self.max_concurrent)
+            self.active += 1
+            self.admitted += 1
+            self.peak_active = max(self.peak_active, self.active)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self.active -= 1
+
+    def guard(
+        self, timeout: float | None = None, max_rows: int | None = None
+    ) -> QueryGuard:
+        """Build the execution guard for one admitted query.
+
+        Explicit per-request limits override the server defaults but can
+        only tighten them, never exceed them — a client cannot opt out of
+        the operator's ceiling.
+        """
+        effective_timeout = _tightest(timeout, self.default_timeout)
+        effective_rows = _tightest(max_rows, self.default_max_rows)
+        return QueryGuard(timeout=effective_timeout, max_rows=effective_rows)
+
+    def info(self) -> dict[str, Any]:
+        """Occupancy counters for /stats and /metrics."""
+        with self._lock:
+            return {
+                "max_concurrent": self.max_concurrent,
+                "active": self.active,
+                "peak_active": self.peak_active,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "default_timeout": self.default_timeout,
+                "default_max_rows": self.default_max_rows,
+            }
+
+
+def _tightest(requested: float | None, ceiling: float | None) -> float | None:
+    if requested is None:
+        return ceiling
+    if ceiling is None:
+        return requested
+    return min(requested, ceiling)

@@ -1,0 +1,312 @@
+"""The query service: everything the HTTP layer needs, HTTP-free.
+
+:class:`QueryService` ties together the engine, the store's
+readers-writer lock, the result cache, admission control, and metrics.
+Keeping it transport-agnostic means tests (and the CLI) can exercise the
+full serving semantics — caching, invalidation, admission, structured
+errors — without opening a socket.
+
+Execution paths:
+
+- **read queries** run under the store's shared read lock, so any number
+  execute in parallel; results are memoized in the version-keyed cache;
+- **write queries** take the exclusive write lock for their whole
+  execution, bump ``store.version`` (invalidating every cached result),
+  and are never cached.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+from repro.cypher import CypherEngine
+from repro.cypher.errors import (
+    CypherError,
+    CypherSyntaxError,
+    QueryTimeoutError,
+    RowLimitError,
+)
+from repro.cypher.result import QueryResult
+from repro.graphdb.errors import ConstraintViolationError, GraphError
+from repro.graphdb.store import GraphStore
+from repro.ontology import ENTITIES, RELATIONSHIPS
+from repro.server.admission import AdmissionController, ServerBusyError
+from repro.server.cache import ResultCache
+from repro.server.metrics import Metrics
+
+
+class ServiceError(Exception):
+    """An error with an HTTP status and a structured JSON body."""
+
+    def __init__(self, status: int, code: str, message: str):
+        self.status = status
+        self.code = code
+        super().__init__(message)
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "error": {"code": self.code, "message": str(self), "status": self.status}
+        }
+
+
+def encode_value(value: Any) -> Any:
+    """Translate a query-result value into plain JSON-able data.
+
+    Nodes and relationships become tagged objects mirroring the Neo4j
+    HTTP API's shape; paths (alternating node/rel lists) encode
+    element-wise.
+    """
+    # Import here to avoid widening the module's public dependencies.
+    from repro.graphdb.model import Node, Relationship
+
+    if isinstance(value, Node):
+        return {
+            "_type": "node",
+            "id": value.id,
+            "labels": sorted(value.labels),
+            "properties": dict(value.properties),
+        }
+    if isinstance(value, Relationship):
+        return {
+            "_type": "relationship",
+            "id": value.id,
+            "type": value.type,
+            "start": value.start_id,
+            "end": value.end_id,
+            "properties": dict(value.properties),
+        }
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: encode_value(item) for key, item in value.items()}
+    return value
+
+
+def encode_result(result: QueryResult) -> dict[str, Any]:
+    """Encode a :class:`QueryResult` as the /query response body."""
+    payload: dict[str, Any] = {
+        "columns": list(result.columns),
+        "rows": [
+            [encode_value(record[column]) for column in result.columns]
+            for record in result.records
+        ],
+        "row_count": len(result.records),
+    }
+    if result.stats:
+        stats = result.stats
+        payload["stats"] = {
+            "nodes_created": stats.nodes_created,
+            "nodes_deleted": stats.nodes_deleted,
+            "relationships_created": stats.relationships_created,
+            "relationships_deleted": stats.relationships_deleted,
+            "properties_set": stats.properties_set,
+            "labels_added": stats.labels_added,
+        }
+    return payload
+
+
+class QueryService:
+    """Concurrent Cypher-over-JSON serving against one graph store."""
+
+    def __init__(
+        self,
+        store: GraphStore,
+        *,
+        max_concurrent: int = 8,
+        default_timeout: float | None = 30.0,
+        default_max_rows: int | None = 100_000,
+        cache_size: int = 256,
+        engine: CypherEngine | None = None,
+    ):
+        self.store = store
+        self.engine = engine or CypherEngine(store)
+        self.cache = ResultCache(cache_size)
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent,
+            default_timeout=default_timeout,
+            default_max_rows=default_max_rows,
+        )
+        self.metrics = Metrics()
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # POST /query
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str,
+        parameters: Mapping[str, Any] | None = None,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+    ) -> dict[str, Any]:
+        """Run one query with admission control and caching.
+
+        Returns the JSON-able response body; raises :class:`ServiceError`
+        with the right HTTP status for every failure mode.
+        """
+        if not isinstance(query, str) or not query.strip():
+            raise self._count_error(ServiceError(400, "bad_request", "empty query"))
+        params = dict(parameters or {})
+        started = time.monotonic()
+        try:
+            is_write = self.engine.is_write_query(query)
+        except CypherSyntaxError as exc:
+            raise self._count_error(ServiceError(400, "syntax_error", str(exc)))
+        try:
+            with self.admission.slot():
+                if is_write:
+                    body, cached = self._execute_write(query, params, timeout, max_rows)
+                else:
+                    body, cached = self._execute_read(query, params, timeout, max_rows)
+        except ServerBusyError as exc:
+            raise self._count_error(ServiceError(429, "busy", str(exc)))
+        except QueryTimeoutError as exc:
+            raise self._count_error(ServiceError(408, "timeout", str(exc)))
+        except RowLimitError as exc:
+            raise self._count_error(ServiceError(413, "row_limit", str(exc)))
+        except CypherSyntaxError as exc:
+            raise self._count_error(ServiceError(400, "syntax_error", str(exc)))
+        except ConstraintViolationError as exc:
+            raise self._count_error(ServiceError(409, "constraint_violation", str(exc)))
+        except (CypherError, GraphError) as exc:
+            raise self._count_error(ServiceError(400, "query_error", str(exc)))
+        elapsed = time.monotonic() - started
+        self.metrics.observe("query_latency_seconds", elapsed)
+        self.metrics.inc(
+            "queries_total",
+            labels={"kind": "write" if is_write else "read",
+                    "cache": "hit" if cached else "miss"},
+        )
+        return {
+            **body,
+            "meta": {
+                "cached": cached,
+                "elapsed_ms": round(elapsed * 1000, 3),
+                "store_version": self.store.version,
+            },
+        }
+
+    def _execute_read(
+        self,
+        query: str,
+        params: dict[str, Any],
+        timeout: float | None,
+        max_rows: int | None,
+    ) -> tuple[dict[str, Any], bool]:
+        # The read lock spans version read + cache lookup + execution, so
+        # the cached entry is guaranteed to describe the version it is
+        # keyed on — a writer cannot slip in halfway through.
+        with self.store.read_lock():
+            version = self.store.version
+            cached_body = self.cache.get(query, params, version)
+            if cached_body is not None:
+                return cached_body, True
+            guard = self.admission.guard(timeout, max_rows)
+            result = self.engine.run(query, params, guard=guard)
+            body = encode_result(result)
+            self.cache.put(query, params, version, body)
+            return body, False
+
+    def _execute_write(
+        self,
+        query: str,
+        params: dict[str, Any],
+        timeout: float | None,
+        max_rows: int | None,
+    ) -> tuple[dict[str, Any], bool]:
+        guard = self.admission.guard(timeout, max_rows)
+        with self.store.write_lock():
+            result = self.engine.run(query, params, guard=guard)
+            return encode_result(result), False
+
+    def _count_error(self, error: ServiceError) -> ServiceError:
+        self.metrics.inc("query_errors_total", labels={"code": error.code})
+        return error
+
+    # ------------------------------------------------------------------
+    # GET endpoints
+    # ------------------------------------------------------------------
+
+    def explain(self, query: str) -> dict[str, Any]:
+        """The engine's plan description for one query."""
+        try:
+            plan = self.engine.explain(query)
+        except CypherSyntaxError as exc:
+            raise ServiceError(400, "syntax_error", str(exc))
+        return {"query": query, "plan": plan}
+
+    def ontology(self) -> dict[str, Any]:
+        """The IYP schema: entities and relationships (Tables 6-7)."""
+        return {
+            "entities": [
+                {
+                    "label": definition.label,
+                    "key_properties": list(definition.key_properties),
+                    "description": definition.description,
+                    "loose": definition.loose,
+                }
+                for definition in ENTITIES.values()
+            ],
+            "relationships": [
+                {
+                    "type": definition.type,
+                    "endpoints": [list(pair) for pair in definition.endpoints],
+                    "description": definition.description,
+                }
+                for definition in RELATIONSHIPS.values()
+            ],
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Graph composition plus serving statistics."""
+        with self.store.read_lock():
+            graph = {
+                "nodes": self.store.node_count,
+                "relationships": self.store.relationship_count,
+                "labels": dict(sorted(self.store.label_counts().items())),
+                "relationship_types": dict(
+                    sorted(self.store.relationship_type_counts().items())
+                ),
+                "indexes": [list(pair) for pair in self.store.indexes()],
+                "constraints": [list(pair) for pair in self.store.constraints()],
+                "version": self.store.version,
+            }
+        return {
+            "graph": graph,
+            "result_cache": self.cache.info(),
+            "parse_cache": self.engine.parse_cache_info(),
+            "admission": self.admission.info(),
+            "metrics": self.metrics.snapshot(),
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+        }
+
+    def health(self) -> dict[str, Any]:
+        """Liveness: cheap, no locks beyond two dict length reads."""
+        return {
+            "status": "ok",
+            "nodes": self.store.node_count,
+            "relationships": self.store.relationship_count,
+            "store_version": self.store.version,
+        }
+
+    def metrics_text(self) -> str:
+        """The /metrics body in Prometheus text exposition format."""
+        result_cache = self.cache.info()
+        parse_cache = self.engine.parse_cache_info()
+        admission = self.admission.info()
+        gauges = {
+            "store_version": float(self.store.version),
+            "store_nodes": float(self.store.node_count),
+            "store_relationships": float(self.store.relationship_count),
+            "result_cache_size": float(result_cache["size"]),
+            "result_cache_hit_rate": result_cache["hit_rate"],
+            "parse_cache_size": float(parse_cache["size"]),
+            "parse_cache_hit_rate": parse_cache["hit_rate"],
+            "queries_active": float(admission["active"]),
+            "queries_peak_active": float(admission["peak_active"]),
+            "queries_rejected_total": float(admission["rejected"]),
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+        return self.metrics.render(extra_gauges=gauges)

@@ -1,0 +1,53 @@
+"""The result cache: memoized responses for read-only queries.
+
+Entries are keyed on ``(query text, canonical parameter JSON, store
+version)``.  Including the store's monotonic mutation version in the key
+makes invalidation automatic and exact: any write bumps the version, so
+every previously cached result simply stops being addressable and ages
+out of the LRU.  Write queries and failed queries are never cached, so
+an aborted or erroring request cannot poison the cache.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.cypher.lru import LRUCache
+
+
+def canonical_params(parameters: dict[str, Any] | None) -> str:
+    """A deterministic string form of a parameter map.
+
+    ``sort_keys`` makes ``{a:1, b:2}`` and ``{b:2, a:1}`` the same cache
+    entry; non-JSON-serializable parameters raise ``TypeError`` upstream
+    (they would fail query execution anyway).
+    """
+    return json.dumps(parameters or {}, sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """Version-aware LRU cache of encoded query responses."""
+
+    def __init__(self, maxsize: int = 256):
+        self._lru = LRUCache(maxsize)
+
+    def get(
+        self, query: str, parameters: dict[str, Any] | None, version: int
+    ) -> Any | None:
+        return self._lru.get((query, canonical_params(parameters), version))
+
+    def put(
+        self,
+        query: str,
+        parameters: dict[str, Any] | None,
+        version: int,
+        payload: Any,
+    ) -> None:
+        self._lru.put((query, canonical_params(parameters), version), payload)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def info(self) -> dict[str, Any]:
+        return self._lru.info()

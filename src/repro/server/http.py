@@ -1,0 +1,146 @@
+"""Threaded HTTP transport for the query service (stdlib only).
+
+``ThreadingHTTPServer`` gives one thread per in-flight request; actual
+query parallelism and backpressure are governed by the store's
+readers-writer lock and the admission controller inside
+:class:`~repro.server.app.QueryService`, so the transport stays dumb.
+
+Endpoints::
+
+    POST /query     {"query": "...", "parameters": {...},
+                     "timeout": 5.0, "max_rows": 1000}
+    GET  /explain?q=<cypher>
+    GET  /ontology
+    GET  /stats
+    GET  /healthz
+    GET  /metrics      (Prometheus text format)
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.server.app import QueryService, ServiceError
+
+log = logging.getLogger("repro.server")
+
+MAX_BODY_BYTES = 4 * 1024 * 1024  # a 4 MiB query is a client bug
+
+
+class IYPRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's QueryService."""
+
+    server_version = "repro-iyp/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- routing ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlsplit(self.path)
+        route = url.path.rstrip("/") or "/"
+        try:
+            if route == "/healthz":
+                self._send_json(200, self.service.health())
+            elif route == "/stats":
+                self._send_json(200, self.service.stats())
+            elif route == "/ontology":
+                self._send_json(200, self.service.ontology())
+            elif route == "/metrics":
+                self._send_text(200, self.service.metrics_text())
+            elif route == "/explain":
+                query = parse_qs(url.query).get("q", [""])[0]
+                if not query:
+                    raise ServiceError(400, "bad_request", "missing ?q=<query>")
+                self._send_json(200, self.service.explain(query))
+            else:
+                raise ServiceError(404, "not_found", f"no route {route!r}")
+        except ServiceError as exc:
+            self._send_json(exc.status, exc.payload())
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        route = urlsplit(self.path).path.rstrip("/")
+        try:
+            if route != "/query":
+                raise ServiceError(404, "not_found", f"no route {route!r}")
+            request = self._read_json_body()
+            response = self.service.execute(
+                request.get("query", ""),
+                parameters=request.get("parameters"),
+                timeout=request.get("timeout"),
+                max_rows=request.get("max_rows"),
+            )
+            self._send_json(200, response)
+        except ServiceError as exc:
+            self._send_json(exc.status, exc.payload())
+
+    # -- helpers ---------------------------------------------------------
+
+    def _read_json_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(413, "body_too_large", "request body above 4 MiB")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError(400, "bad_request", "missing JSON body")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(400, "bad_request", f"invalid JSON body: {exc}")
+        if not isinstance(body, dict):
+            raise ServiceError(400, "bad_request", "JSON body must be an object")
+        parameters = body.get("parameters")
+        if parameters is not None and not isinstance(parameters, dict):
+            raise ServiceError(400, "bad_request", "parameters must be an object")
+        return body
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        self._send_bytes(
+            status,
+            json.dumps(payload, separators=(",", ":")).encode("utf-8"),
+            "application/json; charset=utf-8",
+        )
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(
+            status, text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route access logs through ``logging`` instead of stderr."""
+        log.debug("%s - %s", self.address_string(), format % args)
+
+
+class IYPHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService):
+        super().__init__(address, IYPRequestHandler)
+        self.service = service
+
+
+def create_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8734
+) -> IYPHTTPServer:
+    """Bind (port 0 picks a free port) without starting the serve loop.
+
+    Callers run ``server.serve_forever()`` (blocking) or hand it to a
+    thread; the bound port is ``server.server_address[1]``.
+    """
+    return IYPHTTPServer((host, port), service)

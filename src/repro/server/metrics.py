@@ -1,0 +1,170 @@
+"""Service metrics: counters and latency histograms, Prometheus-style.
+
+Two complementary latency views are kept per metric name:
+
+- fixed-bound **histogram buckets** (cumulative, Prometheus
+  ``_bucket{le=...}`` semantics) — cheap, mergeable, unbounded history;
+- a bounded **reservoir** of recent raw samples, from which p50/p95/p99
+  are computed exactly for ``/stats`` and the throughput benchmark.
+
+Everything is guarded by one lock; observation cost is a dict update and
+a deque append, which is negligible next to query execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from typing import Any, Iterable, Mapping
+
+#: Histogram bucket upper bounds, in seconds (Prometheus convention;
+#: +Inf is implicit).
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Raw samples kept per metric for exact percentile computation.
+RESERVOIR_SIZE = 4096
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: Mapping[str, str] | None) -> LabelSet:
+    return tuple(sorted((labels or {}).items()))
+
+
+def _format_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+class Metrics:
+    """Thread-safe counter/histogram registry with a Prometheus view."""
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[LabelSet, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        self._bucket_counts: dict[str, list[int]] = {}
+        self._sums: dict[str, float] = defaultdict(float)
+        self._counts: dict[str, int] = defaultdict(int)
+        self._reservoirs: dict[str, deque[float]] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def inc(
+        self, name: str, amount: float = 1, labels: Mapping[str, str] | None = None
+    ) -> None:
+        """Increment a counter (optionally labelled)."""
+        with self._lock:
+            self._counters[name][_labels_key(labels)] += amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample into histogram and reservoir."""
+        with self._lock:
+            buckets = self._bucket_counts.get(name)
+            if buckets is None:
+                buckets = [0] * (len(LATENCY_BUCKETS) + 1)  # last = +Inf
+                self._bucket_counts[name] = buckets
+                self._reservoirs[name] = deque(maxlen=RESERVOIR_SIZE)
+            for index, bound in enumerate(LATENCY_BUCKETS):
+                if seconds <= bound:
+                    buckets[index] += 1
+                    break
+            else:
+                buckets[-1] += 1
+            self._sums[name] += seconds
+            self._counts[name] += 1
+            self._reservoirs[name].append(seconds)
+
+    # -- reading ---------------------------------------------------------
+
+    def counter_value(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> float:
+        with self._lock:
+            return self._counters.get(name, {}).get(_labels_key(labels), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        with self._lock:
+            return sum(self._counters.get(name, {}).values())
+
+    def percentiles(
+        self, name: str, quantiles: Iterable[float] = (50, 95, 99)
+    ) -> dict[str, float]:
+        """Exact percentiles (in seconds) over the sample reservoir."""
+        with self._lock:
+            samples = sorted(self._reservoirs.get(name, ()))
+        result: dict[str, float] = {}
+        for quantile in quantiles:
+            key = f"p{quantile:g}"
+            if not samples:
+                result[key] = 0.0
+                continue
+            rank = max(0, min(len(samples) - 1, round(quantile / 100 * len(samples)) - 1))
+            result[key] = samples[rank]
+        return result
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able summary for the /stats endpoint."""
+        with self._lock:
+            counters = {
+                name: {
+                    (_format_labels(labels) or "total"): value
+                    for labels, value in by_label.items()
+                }
+                for name, by_label in self._counters.items()
+            }
+            latencies = {
+                name: {"count": self._counts[name], "sum_seconds": self._sums[name]}
+                for name in self._bucket_counts
+            }
+        for name in latencies:
+            latencies[name].update(
+                {k: v * 1000 for k, v in self.percentiles(name).items()}
+            )  # milliseconds, for humans
+        return {"counters": counters, "latency_ms": latencies}
+
+    # -- Prometheus text format ------------------------------------------
+
+    def render(self, extra_gauges: Mapping[str, float] | None = None) -> str:
+        """Render every metric in the Prometheus text exposition format."""
+        ns = self.namespace
+        lines: list[str] = []
+        with self._lock:
+            for name in sorted(self._counters):
+                lines.append(f"# TYPE {ns}_{name} counter")
+                for labels, value in sorted(self._counters[name].items()):
+                    lines.append(f"{ns}_{name}{_format_labels(labels)} {value:g}")
+            histogram_names = sorted(self._bucket_counts)
+            bucket_data = {
+                name: (
+                    list(self._bucket_counts[name]),
+                    self._sums[name],
+                    self._counts[name],
+                )
+                for name in histogram_names
+            }
+        for name in histogram_names:
+            buckets, total_sum, total_count = bucket_data[name]
+            lines.append(f"# TYPE {ns}_{name} histogram")
+            cumulative = 0
+            for bound, count in zip(LATENCY_BUCKETS, buckets):
+                cumulative += count
+                lines.append(f'{ns}_{name}_bucket{{le="{bound:g}"}} {cumulative}')
+            cumulative += buckets[-1]
+            lines.append(f'{ns}_{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{ns}_{name}_sum {total_sum:.6f}")
+            lines.append(f"{ns}_{name}_count {total_count}")
+            for key, value in self.percentiles(name).items():
+                quantile = float(key[1:]) / 100
+                lines.append(f'{ns}_{name}{{quantile="{quantile:g}"}} {value:.6f}')
+        for gauge, value in sorted((extra_gauges or {}).items()):
+            lines.append(f"# TYPE {ns}_{gauge} gauge")
+            lines.append(f"{ns}_{gauge} {value:g}")
+        return "\n".join(lines) + "\n"

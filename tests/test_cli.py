@@ -68,6 +68,82 @@ class TestQuery:
         assert "anchor=:AS" in capsys.readouterr().out
 
 
+class TestQueryBudgets:
+    def test_row_limit_aborts(self, snapshot_path, capsys):
+        code = main(
+            [
+                "query", "MATCH (a:AS) RETURN a.asn",
+                "--snapshot", str(snapshot_path),
+                "--limit", "3",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "query aborted" in captured.err
+        assert "3-row limit" in captured.err
+
+    def test_within_row_limit_succeeds(self, snapshot_path, capsys):
+        code = main(
+            [
+                "query", "MATCH (a:AS) RETURN a.asn ORDER BY a.asn LIMIT 2",
+                "--snapshot", str(snapshot_path),
+                "--limit", "5",
+            ]
+        )
+        assert code == 0
+        assert "a.asn" in capsys.readouterr().out
+
+    def test_timeout_aborts(self, snapshot_path, capsys):
+        code = main(
+            [
+                "query",
+                "MATCH (a:AS)-[*1..4]-(b:AS) RETURN count(*)",
+                "--snapshot", str(snapshot_path),
+                "--timeout", "0.01",
+            ]
+        )
+        assert code == 1
+        assert "time budget" in capsys.readouterr().err
+
+    def test_generous_timeout_succeeds(self, snapshot_path, capsys):
+        code = main(
+            [
+                "query", "MATCH (a:AS) RETURN count(a) AS n",
+                "--snapshot", str(snapshot_path),
+                "--timeout", "60",
+            ]
+        )
+        assert code == 0
+        assert "250" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve", "--snapshot", "iyp.json.gz", "--port", "9000",
+                "--max-concurrent", "4", "--timeout", "5",
+                "--max-rows", "100", "--cache-size", "64",
+            ]
+        )
+        assert args.port == 9000
+        assert args.max_concurrent == 4
+        assert args.timeout == 5.0
+        assert args.max_rows == 100
+        assert args.cache_size == 64
+        assert args.func.__name__ == "cmd_serve"
+
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8734
+        assert args.snapshot is None
+
+
 class TestInspection:
     def test_info(self, snapshot_path, capsys):
         assert main(["info", "--snapshot", str(snapshot_path)]) == 0

@@ -63,6 +63,78 @@ class TestRoundtrip:
         assert len(payload["nodes"]) == 2
 
 
+class TestFidelityAfterDeletions:
+    """Ids and index behaviour must survive the round-trip exactly.
+
+    The serving layer caches results keyed by ``store.version`` and
+    returns node/relationship ids to clients, so a reload that compacts
+    or remaps ids would silently change what the server hands out.
+    """
+
+    def _store_with_holes(self) -> GraphStore:
+        store = GraphStore()
+        nodes = [store.create_node({"N"}, {"i": i}) for i in range(6)]
+        rels = [
+            store.create_relationship(nodes[i].id, "E", nodes[i + 1].id)
+            for i in range(5)
+        ]
+        # Punch holes in both id spaces.
+        store.delete_relationship(rels[1].id)
+        store.delete_node(nodes[2].id, detach=True)  # also removes a rel
+        return store
+
+    def test_ids_preserved_after_deletions(self):
+        store = self._store_with_holes()
+        restored = store_from_dict(snapshot_dict(store))
+        assert {n.id for n in restored.iter_nodes()} == {
+            n.id for n in store.iter_nodes()
+        }
+        assert {r.id for r in restored.iter_relationships()} == {
+            r.id for r in store.iter_relationships()
+        }
+        assert snapshot_dict(restored) == snapshot_dict(store)
+
+    def test_new_ids_do_not_collide_after_reload(self):
+        store = self._store_with_holes()
+        restored = store_from_dict(snapshot_dict(store))
+        existing = {n.id for n in restored.iter_nodes()}
+        fresh = restored.create_node({"N"}, {"i": 99})
+        assert fresh.id not in existing
+
+    def test_constraint_enforced_after_reload(self, tmp_path):
+        store = _sample_store()
+        path = tmp_path / "snapshot.json.gz"
+        save_snapshot(store, path)
+        loaded = load_snapshot(path)
+        from repro.graphdb.errors import ConstraintViolationError
+
+        try:
+            loaded.create_node({"AS"}, {"asn": 2914})
+        except ConstraintViolationError:
+            pass
+        else:
+            raise AssertionError("unique constraint not enforced after reload")
+
+    def test_index_used_by_engine_after_reload(self, tmp_path):
+        from repro.cypher import CypherEngine
+
+        store = _sample_store()
+        path = tmp_path / "snapshot.json.gz"
+        save_snapshot(store, path)
+        loaded = load_snapshot(path)
+        plan = CypherEngine(loaded).explain("MATCH (a:AS {asn: 2914}) RETURN a")
+        assert "index" in str(plan).lower()
+
+    def test_reload_starts_at_version_of_rebuild(self):
+        """The version counter restarts per process; caches key on the
+        (store object, version) pair, so only monotonicity matters."""
+        store = self._store_with_holes()
+        restored = store_from_dict(snapshot_dict(store))
+        before = restored.version
+        restored.create_node({"N"}, {"i": 100})
+        assert restored.version == before + 1
+
+
 _props = st.dictionaries(
     st.text(alphabet="abcxyz", min_size=1, max_size=5),
     st.one_of(st.integers(-5, 5), st.text(max_size=5), st.booleans()),

@@ -1,0 +1,337 @@
+"""End-to-end tests for the HTTP query service.
+
+A real ``IYPHTTPServer`` is bound to an ephemeral port and exercised
+over sockets — the same path a user's ``curl`` takes.  Two servers are
+used: a module-scoped one over the shared (read-only!) ``small_iyp``
+fixture, and a function-scoped one over a scratch store for everything
+that mutates, times out, or trips limits.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.graphdb import GraphStore
+from repro.server import QueryService, create_server
+from repro.studies.queries import LISTING_1, LISTING_2
+
+# ---------------------------------------------------------------------------
+# plumbing
+# ---------------------------------------------------------------------------
+
+
+def _request(method: str, url: str, body=None):
+    """Issue one HTTP request; returns (status, decoded JSON body)."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(url):
+    return _request("GET", url)
+
+
+def _post_query(base: str, query: str, **fields):
+    return _request("POST", f"{base}/query", {"query": query, **fields})
+
+
+def _serve(service: QueryService):
+    """Bind an ephemeral port and serve from a daemon thread."""
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+@pytest.fixture(scope="module")
+def iyp_server(small_iyp):
+    """An HTTP server over the session's built knowledge graph.
+
+    The underlying store is shared with every other test — the queries
+    sent here must all be reads.
+    """
+    service = QueryService(small_iyp.store)
+    server, base = _serve(service)
+    yield base, service, small_iyp
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture()
+def scratch_server():
+    """A private small store: safe to mutate, abort, and overload."""
+    store = GraphStore()
+    store.create_index("AS", "asn")
+    for asn in range(64500, 64520):
+        store.create_node({"AS"}, {"asn": asn})
+    # A dense 10-clique so variable-length queries can burn arbitrary
+    # CPU — the raw material for the timeout test.
+    dense = [store.create_node({"Dense"}, {"i": i}) for i in range(10)]
+    for a in dense:
+        for b in dense:
+            if a.id < b.id:
+                store.create_relationship(a.id, "LINK", b.id)
+    service = QueryService(store, max_concurrent=2, cache_size=32)
+    server, base = _serve(service)
+    yield base, service, store
+    server.shutdown()
+    server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# read-only endpoints over the built graph
+# ---------------------------------------------------------------------------
+
+
+class TestEndpoints:
+    def test_healthz(self, iyp_server):
+        base, _, iyp = iyp_server
+        status, body = _get(f"{base}/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["nodes"] == iyp.store.node_count
+        assert body["relationships"] == iyp.store.relationship_count
+
+    def test_stats(self, iyp_server):
+        base, _, iyp = iyp_server
+        status, body = _get(f"{base}/stats")
+        assert status == 200
+        assert body["graph"]["nodes"] == iyp.store.node_count
+        assert body["graph"]["labels"]["AS"] > 0
+        assert ["AS", "asn"] in body["graph"]["indexes"]
+        assert body["result_cache"]["maxsize"] > 0
+        assert body["admission"]["max_concurrent"] == 8
+        assert body["uptime_seconds"] >= 0
+
+    def test_ontology(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _get(f"{base}/ontology")
+        assert status == 200
+        labels = {entity["label"] for entity in body["entities"]}
+        assert "AS" in labels and "Prefix" in labels
+        assert len(body["entities"]) == 24  # Table 6 of the paper
+        types = {rel["type"] for rel in body["relationships"]}
+        assert "ORIGINATE" in types and "DEPENDS_ON" in types
+
+    def test_explain(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _get(
+            f"{base}/explain?q=MATCH%20(a:AS%20%7Basn:%202497%7D)%20RETURN%20a"
+        )
+        assert status == 200
+        assert "plan" in body and body["plan"]
+
+    def test_explain_requires_query(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _get(f"{base}/explain")
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_metrics_text_format(self, iyp_server):
+        base, _, _ = iyp_server
+        _post_query(base, "MATCH (a:AS) RETURN count(a)")
+        response = urllib.request.urlopen(f"{base}/metrics", timeout=30)
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        text = response.read().decode()
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_store_nodes " in text
+        assert "repro_query_latency_seconds_bucket" in text
+
+    def test_unknown_route_is_404(self, iyp_server):
+        base, _, _ = iyp_server
+        assert _get(f"{base}/nope")[0] == 404
+        assert _request("POST", f"{base}/nope", {"query": "RETURN 1"})[0] == 404
+
+    def test_malformed_body_is_400(self, iyp_server):
+        base, _, _ = iyp_server
+        request = urllib.request.Request(
+            f"{base}/query", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 400
+
+    def test_empty_query_is_400(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _post_query(base, "   ")
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_syntax_error_is_400(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _post_query(base, "MATCH (a:AS RETURN a")
+        assert status == 400
+        assert body["error"]["code"] == "syntax_error"
+        assert body["error"]["status"] == 400
+
+
+# ---------------------------------------------------------------------------
+# paper listings: the HTTP path must match the in-process engine
+# ---------------------------------------------------------------------------
+
+
+class TestListingEquivalence:
+    @pytest.mark.parametrize(
+        "listing", [LISTING_1, LISTING_2], ids=["listing1", "listing2"]
+    )
+    def test_listing_matches_in_process(self, iyp_server, listing):
+        base, _, iyp = iyp_server
+        status, body = _post_query(base, listing)
+        assert status == 200
+        local = iyp.run(listing)
+        assert body["columns"] == list(local.columns)
+        served = sorted(row[0] for row in body["rows"])
+        direct = sorted(record[local.columns[0]] for record in local.records)
+        assert served == direct
+        assert body["row_count"] == len(local.records)
+
+    def test_parameterized_query(self, iyp_server):
+        base, _, iyp = iyp_server
+        asn = iyp.run("MATCH (a:AS) RETURN a.asn ORDER BY a.asn LIMIT 1")[0]["a.asn"]
+        status, body = _post_query(
+            base,
+            "MATCH (a:AS {asn: $asn}) RETURN a.asn",
+            parameters={"asn": asn},
+        )
+        assert status == 200
+        assert body["rows"] == [[asn]]
+
+    def test_node_encoding(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _post_query(base, "MATCH (a:AS) RETURN a LIMIT 1")
+        assert status == 200
+        node = body["rows"][0][0]
+        assert node["_type"] == "node"
+        assert "AS" in node["labels"]
+        assert "asn" in node["properties"]
+
+
+# ---------------------------------------------------------------------------
+# caching, invalidation, and writes (scratch store only)
+# ---------------------------------------------------------------------------
+
+
+class TestCachingAndWrites:
+    QUERY = "MATCH (a:AS) RETURN count(a) AS n"
+
+    def test_repeat_query_is_cached(self, scratch_server):
+        base, _, _ = scratch_server
+        _, first = _post_query(base, self.QUERY)
+        _, second = _post_query(base, self.QUERY)
+        assert first["meta"]["cached"] is False
+        assert second["meta"]["cached"] is True
+        assert second["rows"] == first["rows"]
+
+    def test_write_bumps_version_and_invalidates(self, scratch_server):
+        base, service, store = scratch_server
+        _, before = _post_query(base, self.QUERY)
+        _post_query(base, self.QUERY)  # warm the cache
+        version_before = store.version
+
+        status, write = _post_query(base, "CREATE (a:AS {asn: 65000})")
+        assert status == 200
+        assert write["stats"]["nodes_created"] == 1
+        assert write["meta"]["cached"] is False
+        assert store.version > version_before
+
+        status, after = _post_query(base, self.QUERY)
+        assert status == 200
+        assert after["meta"]["cached"] is False  # old entry is dead
+        assert after["rows"][0][0] == before["rows"][0][0] + 1
+        assert after["meta"]["store_version"] > before["meta"]["store_version"]
+
+    def test_distinct_parameters_not_conflated(self, scratch_server):
+        base, _, _ = scratch_server
+        query = "MATCH (a:AS {asn: $asn}) RETURN a.asn"
+        _, one = _post_query(base, query, parameters={"asn": 64500})
+        _, two = _post_query(base, query, parameters={"asn": 64501})
+        assert one["rows"] == [[64500]]
+        assert two["rows"] == [[64501]]
+
+
+# ---------------------------------------------------------------------------
+# admission control: timeout, row limit, busy — and staying alive
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_timeout_returns_408(self, scratch_server):
+        base, _, _ = scratch_server
+        status, body = _post_query(
+            base,
+            "MATCH (a:Dense)-[:LINK*1..9]-(b:Dense) RETURN count(*)",
+            timeout=0.05,
+        )
+        assert status == 408
+        assert body["error"]["code"] == "timeout"
+        assert "time budget" in body["error"]["message"]
+
+    def test_row_limit_returns_413(self, scratch_server):
+        base, _, _ = scratch_server
+        status, body = _post_query(
+            base, "MATCH (a:AS) RETURN a.asn", max_rows=3
+        )
+        assert status == 413
+        assert body["error"]["code"] == "row_limit"
+
+    def test_limit_clause_within_budget_is_fine(self, scratch_server):
+        base, _, _ = scratch_server
+        status, body = _post_query(
+            base, "MATCH (a:AS) RETURN a.asn LIMIT 3", max_rows=3
+        )
+        assert status == 200
+        assert body["row_count"] == 3
+
+    def test_busy_returns_429(self, scratch_server):
+        base, service, _ = scratch_server
+        # Fill every admission slot from the outside, then knock.
+        with service.admission.slot(), service.admission.slot():
+            status, body = _post_query(base, "MATCH (a:AS) RETURN count(a)")
+        assert status == 429
+        assert body["error"]["code"] == "busy"
+        assert service.admission.rejected >= 1
+
+    def test_errors_do_not_poison_cache_or_server(self, scratch_server):
+        base, service, _ = scratch_server
+        query = "MATCH (a:AS) RETURN a.asn"
+        assert _post_query(base, query, max_rows=2)[0] == 413
+        assert _post_query(base, "MATCH (x:AS RETURN", timeout=1)[0] == 400
+        # Same query text, no limit: must execute fresh, not replay an error.
+        status, body = _post_query(base, query)
+        assert status == 200
+        assert body["meta"]["cached"] is False
+        assert body["row_count"] == 20
+        # And now it is cached like any healthy result.
+        assert _post_query(base, query)[1]["meta"]["cached"] is True
+        errors = service.metrics.counter_total("query_errors_total")
+        assert errors >= 2
+
+    def test_parallel_readers_all_succeed(self, iyp_server):
+        base, service, _ = iyp_server
+        results: list[int] = []
+
+        def hit():
+            status, _ = _post_query(
+                base, "MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) RETURN count(*)"
+            )
+            results.append(status)
+
+        threads = [threading.Thread(target=hit) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == [200] * 6
