@@ -40,6 +40,19 @@ def _load_iyp(snapshot: str) -> IYP:
     return IYP(load_snapshot(snapshot))
 
 
+def _print_crawler_runs(report) -> None:
+    """Per-crawler telemetry table (``build --verbose``)."""
+    print(f"{'crawler':<34} {'seconds':>8} {'n+':>7} {'n~':>7} {'r+':>8} {'r~':>8}")
+    print("-" * 76)
+    for run in report.crawler_runs:
+        flag = "  ERROR" if run.error else ""
+        print(
+            f"{run.name:<34} {run.seconds:>8.3f} {run.nodes_created:>7,} "
+            f"{run.nodes_merged:>7,} {run.relationships_created:>8,} "
+            f"{run.relationships_merged:>8,}{flag}"
+        )
+
+
 def cmd_build(args: argparse.Namespace) -> int:
     """Build the knowledge graph and write a snapshot."""
     config = _SCALES[args.scale](seed=args.seed)
@@ -51,10 +64,30 @@ def cmd_build(args: argparse.Namespace) -> int:
         f"Built {report.nodes:,} nodes / {report.relationships:,} "
         f"relationships in {report.total_seconds:.1f}s"
     )
+    if args.verbose:
+        _print_crawler_runs(report)
     save_snapshot(iyp.store, args.output)
     size_mb = Path(args.output).stat().st_size / 1e6
     print(f"Snapshot written to {args.output} ({size_mb:.1f} MB)")
     return 0
+
+
+def _parse_params(pairs: list[str] | None) -> dict[str, object]:
+    """``--param key=value`` pairs; values parse as JSON, falling back
+    to plain strings (so ``--param asn=2497`` is a number but
+    ``--param org_name=NTT`` needs no quoting)."""
+    import json
+
+    params: dict[str, object] = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -62,12 +95,15 @@ def cmd_query(args: argparse.Namespace) -> int:
 
     ``--timeout`` and ``--limit`` reuse the query service's admission
     control: the query runs under the same cooperative guard a served
-    request gets, and aborts are reported the same way.
+    request gets, and aborts are reported the same way.  ``--profile``
+    executes the query for real and prints the annotated operator tree
+    (rows, store hits, timings) above the results.
     """
     from repro.cypher.errors import QueryAbortedError
     from repro.server.admission import AdmissionController
 
     iyp = _load_iyp(args.snapshot)
+    params = _parse_params(args.param)
     controller = AdmissionController(
         max_concurrent=1,
         default_timeout=args.timeout,
@@ -75,7 +111,14 @@ def cmd_query(args: argparse.Namespace) -> int:
     )
     try:
         with controller.slot():
-            result = iyp.engine.run(args.query, guard=controller.guard())
+            if args.profile:
+                result, plan = iyp.engine.profile(
+                    args.query, params, guard=controller.guard()
+                )
+                print(plan.render())
+                print()
+            else:
+                result = iyp.engine.run(args.query, params, guard=controller.guard())
     except QueryAbortedError as exc:
         print(f"query aborted: {exc}", file=sys.stderr)
         return 1
@@ -238,14 +281,18 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a knowledge graph over HTTP (the public-instance analogue)."""
     from repro.server import QueryService, create_server
+    from repro.server.metrics import Metrics
 
+    # One registry across build and serving, so pipeline counters show
+    # up on the served /metrics endpoint.
+    metrics = Metrics()
     if args.snapshot:
         print(f"Loading snapshot {args.snapshot}...")
         store = load_snapshot(args.snapshot)
     else:
         print(f"Building synthetic world (scale={args.scale}, seed={args.seed})...")
         world = build_world(_SCALES[args.scale](seed=args.seed))
-        iyp, report = build_iyp(world)
+        iyp, report = build_iyp(world, metrics=metrics)
         print(
             f"Built {report.nodes:,} nodes / {report.relationships:,} "
             f"relationships in {report.total_seconds:.1f}s"
@@ -257,6 +304,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_timeout=args.timeout,
         default_max_rows=args.max_rows,
         cache_size=args.cache_size,
+        metrics=metrics,
+        tracing=not args.no_trace,
+        slow_query_seconds=args.slow_query_threshold,
     )
     server = create_server(service, args.host, args.port)
     host, port = server.server_address[:2]
@@ -264,13 +314,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"Serving {store.node_count:,} nodes / "
         f"{store.relationship_count:,} relationships on http://{host}:{port}"
     )
-    print("Endpoints: POST /query; GET /explain /ontology /stats /healthz /metrics")
+    print(
+        "Endpoints: POST /query /profile; GET /explain /ontology /stats "
+        "/healthz /metrics /debug/slowlog /debug/traces /debug/trace"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
         server.server_close()
+        dump = service.slowlog.format_text()
+        if dump:
+            print(dump)
     return 0
 
 
@@ -294,6 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=20240501)
     build.add_argument("--datasets", help="comma-separated dataset subset")
     build.add_argument("--output", default="iyp.json.gz")
+    build.add_argument(
+        "--verbose", action="store_true",
+        help="print per-crawler telemetry (timings, nodes/rels created vs merged)",
+    )
     build.set_defaults(func=cmd_build)
 
     query = sub.add_parser("query", help="run a Cypher query on a snapshot")
@@ -307,6 +367,16 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--timeout", type=float, default=None,
         help="abort the query after this many seconds",
+    )
+    query.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="query parameter (repeatable); values parse as JSON, "
+             "falling back to plain strings",
+    )
+    query.add_argument(
+        "--profile", action="store_true",
+        help="execute the query and print the annotated operator tree "
+             "(rows, store hits, timings) above the results",
     )
     query.set_defaults(func=cmd_query)
 
@@ -331,6 +401,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-size", type=int, default=256,
         help="result cache capacity (entries)",
+    )
+    serve.add_argument(
+        "--slow-query-threshold", type=float, default=1.0, metavar="SECONDS",
+        help="queries at or above this many seconds land in the slow-query log",
+    )
+    serve.add_argument(
+        "--no-trace", action="store_true",
+        help="disable span tracing and per-query profiling",
     )
     serve.set_defaults(func=cmd_serve)
 

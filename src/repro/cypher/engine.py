@@ -59,6 +59,7 @@ from repro.cypher.values import (
 )
 from repro.graphdb.model import Node, Relationship
 from repro.graphdb.store import GraphStore
+from repro.obs import NULL_TRACER, ProfileNode, Profiler, collecting
 
 Row = dict[str, Any]
 
@@ -88,6 +89,9 @@ class CypherEngine:
         self._matcher = PatternMatcher(store, self._evaluate, self._tick)
         self._parse_cache: LRUCache = LRUCache(parse_cache_size)
         self._tls = threading.local()
+        #: Span tracer; the query service swaps in its own so engine
+        #: spans (parse, execute) nest under the request's trace.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Public API
@@ -98,22 +102,49 @@ class CypherEngine:
         query: str,
         parameters: dict[str, Any] | None = None,
         guard: QueryGuard | None = None,
+        profiler: Profiler | None = None,
     ) -> QueryResult:
         """Parse (with caching) and execute a query.
 
         ``guard`` imposes a cooperative time budget and a result row
-        limit; see :class:`repro.cypher.guard.QueryGuard`.
+        limit; see :class:`repro.cypher.guard.QueryGuard`.  ``profiler``
+        collects the executed operator tree (rows, store hits, wall
+        time per clause) — see :meth:`profile` for the one-call form.
         """
-        tree = self._parsed(query)
+        with self.tracer.span("parse", query_chars=len(query)):
+            tree = self._parsed(query)
         self._tls.guard = guard
         try:
-            result = self._execute(tree, parameters or {})
+            with self.tracer.span("execute") as span:
+                if profiler is None:
+                    result = self._execute(tree, parameters or {})
+                else:
+                    with collecting(profiler.collector):
+                        result = self._execute(tree, parameters or {}, profiler)
+                    profiler.finish(len(result.records))
+                if span is not None:
+                    span.attributes["rows"] = len(result.records)
         finally:
             self._tls.guard = None
             self._tls.parameters = {}
         if guard is not None:
             guard.check_rows(len(result.records))
         return result
+
+    def profile(
+        self,
+        query: str,
+        parameters: dict[str, Any] | None = None,
+        guard: QueryGuard | None = None,
+    ) -> tuple[QueryResult, ProfileNode]:
+        """Execute a query under PROFILE: run it for real and return the
+        result together with the annotated operator tree — per executed
+        clause, the rows produced, the store hits broken down by access
+        path (index seek / label scan / full scan / expand), and the
+        wall time."""
+        profiler = Profiler()
+        result = self.run(query, parameters, guard, profiler=profiler)
+        return result, profiler.root
 
     def is_write_query(self, query: str) -> bool:
         """True when the query contains any mutating clause.
@@ -157,36 +188,23 @@ class CypherEngine:
                 continue
             kind = "OPTIONAL MATCH" if clause.optional else "MATCH"
             for pattern in clause.patterns:
-                anchor = self._matcher._choose_anchor(pattern, {})
-                node = pattern.nodes[anchor]
-                cost = self._matcher._node_cost(node, {})
-                label = f":{node.labels[0]}" if node.labels else "(any)"
-                indexed = any(
-                    node.labels
-                    and self.store.has_index(lbl, key)
-                    for lbl in node.labels
-                    for key, _ in node.properties
-                )
-                access = (
-                    "index seek"
-                    if indexed
-                    else ("label scan" if node.labels else "all-nodes scan")
-                )
-                plan.append(
-                    f"{kind} anchor={label} pos={anchor} access={access} "
-                    f"est={cost}"
-                )
+                plan.append(f"{kind} {self._matcher.describe_pattern(pattern, {})}")
         return plan
 
     # ------------------------------------------------------------------
     # Execution pipeline
     # ------------------------------------------------------------------
 
-    def _execute(self, query: ast.Query, parameters: dict[str, Any]) -> QueryResult:
+    def _execute(
+        self,
+        query: ast.Query,
+        parameters: dict[str, Any],
+        profiler: Profiler | None = None,
+    ) -> QueryResult:
         self._tls.parameters = parameters
-        result = self._execute_part(query.clauses, parameters)
-        for part in query.union_parts:
-            other = self._execute_part(part.clauses, parameters)
+        result = self._execute_union_part(query.clauses, parameters, profiler, 0, query)
+        for index, part in enumerate(query.union_parts, start=1):
+            other = self._execute_union_part(part.clauses, parameters, profiler, index, query)
             if other.columns != result.columns:
                 raise CypherRuntimeError(
                     f"UNION column mismatch: {result.columns} vs {other.columns}"
@@ -204,40 +222,96 @@ class CypherEngine:
             result.records = unique
         return result
 
+    def _execute_union_part(
+        self,
+        clauses: tuple[ast.Clause, ...],
+        parameters: dict[str, Any],
+        profiler: Profiler | None,
+        index: int,
+        query: ast.Query,
+    ) -> QueryResult:
+        """One UNION part, wrapped in its own profile operator when the
+        query actually has UNION parts."""
+        if profiler is None or not query.union_parts:
+            return self._execute_part(clauses, parameters, profiler)
+        total = len(query.union_parts) + 1
+        with profiler.operator("UnionPart", f"{index + 1}/{total}") as node:
+            result = self._execute_part(clauses, parameters, profiler)
+            node.rows = len(result.records)
+        return result
+
     def _execute_part(
-        self, clauses: tuple[ast.Clause, ...], parameters: dict[str, Any]
+        self,
+        clauses: tuple[ast.Clause, ...],
+        parameters: dict[str, Any],
+        profiler: Profiler | None = None,
     ) -> QueryResult:
         context = _Context(parameters)
         rows: list[Row] = [{}]
-        columns: list[str] = []
-        returned = False
+        columns: list[str] | None = None
         for clause in clauses:
-            if returned:
+            if columns is not None:
                 raise CypherRuntimeError("RETURN must be the final clause")
-            if isinstance(clause, ast.MatchClause):
-                rows = self._apply_match(clause, rows, context)
-            elif isinstance(clause, ast.UnwindClause):
-                rows = self._apply_unwind(clause, rows, context)
-            elif isinstance(clause, ast.WithClause):
-                rows = self._apply_with(clause, rows, context)
-            elif isinstance(clause, ast.ReturnClause):
-                rows, columns = self._apply_return(clause, rows, context)
-                returned = True
-            elif isinstance(clause, ast.CreateClause):
-                rows = self._apply_create(clause, rows, context)
-            elif isinstance(clause, ast.MergeClause):
-                rows = self._apply_merge(clause, rows, context)
-            elif isinstance(clause, ast.SetClause):
-                rows = self._apply_set(clause.items, rows, context)
-            elif isinstance(clause, ast.RemoveClause):
-                rows = self._apply_remove(clause, rows, context)
-            elif isinstance(clause, ast.DeleteClause):
-                rows = self._apply_delete(clause, rows, context)
+            if profiler is None:
+                rows, columns = self._apply_clause(clause, rows, context)
             else:
-                raise CypherRuntimeError(f"unsupported clause {clause!r}")
-        if not returned:
+                name = type(clause).__name__.replace("Clause", "")
+                with profiler.operator(name, self._clause_detail(clause)) as node:
+                    rows, columns = self._apply_clause(clause, rows, context)
+                    node.rows = len(rows)
+        if columns is None:
             return QueryResult([], [], context.stats)
         return QueryResult(columns, rows, context.stats)
+
+    def _apply_clause(
+        self, clause: ast.Clause, rows: list[Row], context: "_Context"
+    ) -> tuple[list[Row], list[str] | None]:
+        """Dispatch one clause; returns (rows, columns-if-RETURN)."""
+        if isinstance(clause, ast.MatchClause):
+            return self._apply_match(clause, rows, context), None
+        if isinstance(clause, ast.UnwindClause):
+            return self._apply_unwind(clause, rows, context), None
+        if isinstance(clause, ast.WithClause):
+            return self._apply_with(clause, rows, context), None
+        if isinstance(clause, ast.ReturnClause):
+            return self._apply_return(clause, rows, context)
+        if isinstance(clause, ast.CreateClause):
+            return self._apply_create(clause, rows, context), None
+        if isinstance(clause, ast.MergeClause):
+            return self._apply_merge(clause, rows, context), None
+        if isinstance(clause, ast.SetClause):
+            return self._apply_set(clause.items, rows, context), None
+        if isinstance(clause, ast.RemoveClause):
+            return self._apply_remove(clause, rows, context), None
+        if isinstance(clause, ast.DeleteClause):
+            return self._apply_delete(clause, rows, context), None
+        raise CypherRuntimeError(f"unsupported clause {clause!r}")
+
+    def _clause_detail(self, clause: ast.Clause) -> str:
+        """The planner annotation shown next to a profiled operator."""
+        if isinstance(clause, ast.MatchClause):
+            kind = "optional " if clause.optional else ""
+            described = "; ".join(
+                self._matcher.describe_pattern(pattern, {})
+                for pattern in clause.patterns
+            )
+            return f"{kind}{described}"
+        if isinstance(clause, ast.MergeClause):
+            return self._matcher.describe_pattern(clause.pattern, {})
+        if isinstance(clause, ast.UnwindClause):
+            return f"AS {clause.alias}"
+        if isinstance(clause, (ast.WithClause, ast.ReturnClause)):
+            flags = []
+            if clause.distinct:
+                flags.append("DISTINCT")
+            if clause.order_by:
+                flags.append("ORDER BY")
+            if clause.limit is not None:
+                flags.append("LIMIT")
+            if not clause.star:
+                flags.append(f"{len(clause.items)} items")
+            return " ".join(flags)
+        return ""
 
     # -- reading clauses -------------------------------------------------
 

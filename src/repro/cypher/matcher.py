@@ -272,6 +272,25 @@ class PatternMatcher:
     # Anchor selection
     # ------------------------------------------------------------------
 
+    def describe_pattern(self, pattern: ast.PathPattern, binding: Binding) -> str:
+        """The planner's choice for one pattern, for EXPLAIN and PROFILE:
+        anchor element, access path, and estimated cardinality."""
+        anchor = self._choose_anchor(pattern, binding)
+        node = pattern.nodes[anchor]
+        cost = self._node_cost(node, binding)
+        label = f":{node.labels[0]}" if node.labels else "(any)"
+        indexed = any(
+            node.labels and self._store.has_index(lbl, key)
+            for lbl in node.labels
+            for key, _ in node.properties
+        )
+        access = (
+            "index seek"
+            if indexed
+            else ("label scan" if node.labels else "all-nodes scan")
+        )
+        return f"anchor={label} pos={anchor} access={access} est={cost}"
+
     def _choose_anchor(self, pattern: ast.PathPattern, binding: Binding) -> int:
         best_index, best_cost = 0, None
         for index, node in enumerate(pattern.nodes):
@@ -286,7 +305,9 @@ class PatternMatcher:
         if node.labels:
             best = None
             for label in node.labels:
-                count = len(self._store.nodes_with_label(label))
+                # label_count probes the index size without materializing
+                # nodes (or counting as a label scan in profiles).
+                count = self._store.label_count(label)
                 for key, _ in node.properties:
                     if self._store.has_index(label, key):
                         count = min(count, 2)  # index seek: near-constant
@@ -308,9 +329,7 @@ class PatternMatcher:
             yield value
             return
         if node.labels:
-            label = min(
-                node.labels, key=lambda lbl: len(self._store.nodes_with_label(lbl))
-            )
+            label = min(node.labels, key=self._store.label_count)
             for key, value_expr in node.properties:
                 if self._store.has_index(label, key):
                     value = self._evaluate(value_expr, binding)

@@ -39,6 +39,7 @@ from repro.graphdb.model import (
     freeze_properties,
 )
 from repro.graphdb.rwlock import RWLock
+from repro.obs.record import record_access
 
 
 class GraphStore:
@@ -102,6 +103,15 @@ class GraphStore:
     def label_counts(self) -> dict[str, int]:
         """Return node counts per label."""
         return {label: len(ids) for label, ids in self._label_index.items() if ids}
+
+    def label_count(self, label: str) -> int:
+        """Number of nodes carrying ``label``, without materializing them.
+
+        The matcher's cost model probes label sizes constantly; this
+        avoids both building node lists for mere estimates and counting
+        those probes as label scans in profiles.
+        """
+        return len(self._label_index.get(label, ()))
 
     def relationship_type_counts(self) -> dict[str, int]:
         """Return relationship counts per type."""
@@ -172,6 +182,7 @@ class GraphStore:
             label_set = frozenset(labels)
             props = freeze_properties(properties)
             self._check_unique(label_set, props, exclude_id=None)
+            record_access("node_created")
             node = Node(self._next_node_id, label_set, props)
             self._next_node_id += 1
             self._nodes[node.id] = node
@@ -201,6 +212,7 @@ class GraphStore:
             existing = self.find_nodes(label, key_prop, key_value)
             if existing:
                 node = existing[0]
+                record_access("node_merged")
                 if properties:
                     self.update_node(node.id, properties)
                 for extra in extra_labels:
@@ -220,10 +232,12 @@ class GraphStore:
 
     def nodes_with_label(self, label: str) -> list[Node]:
         """Return all nodes carrying ``label``."""
+        record_access("label_scan")
         return [self._nodes[i] for i in self._label_index.get(label, ())]
 
     def iter_nodes(self) -> Iterator[Node]:
         """Yield every node in the store."""
+        record_access("full_scan")
         return iter(self._nodes.values())
 
     def find_nodes(self, label: str, prop: str, value: Any) -> list[Node]:
@@ -233,7 +247,9 @@ class GraphStore:
         """
         index = self._property_index.get((label, prop))
         if index is not None and _indexable(value):
+            record_access("index_seek")
             return [self._nodes[i] for i in index.get(value, ())]
+        record_access("label_scan")
         return [
             self._nodes[i]
             for i in self._label_index.get(label, ())
@@ -314,6 +330,7 @@ class GraphStore:
         with self._mutation():
             self._require_node(start_id)
             self._require_node(end_id)
+            record_access("rel_created")
             rel = Relationship(
                 self._next_rel_id, rel_type, start_id, end_id,
                 freeze_properties(properties),
@@ -359,6 +376,7 @@ class GraphStore:
                 rel.properties.get(k) != v for k, v in match_props.items()
             ):
                 continue
+            record_access("rel_merged")
             if properties:
                 self.update_relationship(rel_id, properties)
             return rel
@@ -389,6 +407,7 @@ class GraphStore:
         ``Direction.BOTH`` deduplicates self-loops (an edge from a node to
         itself is returned once).
         """
+        record_access("expand")
         self._require_node(node_id)
         rel_ids: list[int] = []
         if direction in (Direction.OUT, Direction.BOTH):

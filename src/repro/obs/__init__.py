@@ -1,0 +1,46 @@
+"""Observability: spans, store-access recording, PROFILE, slow-query log.
+
+The paper's public IYP instance leans on Neo4j's operational tooling —
+``PROFILE`` plans, the query log, per-crawler ingestion counters.  This
+package is the reproduction's equivalent, zero-dependency and threaded
+through every layer:
+
+- :mod:`repro.obs.trace` — a lightweight span tracer.  Spans nest via a
+  thread-local stack, completed traces live in a bounded ring, and trace
+  ids flow HTTP request → admission → engine → matcher → store.
+- :mod:`repro.obs.record` — thread-local store-access recording.  The
+  graph store reports each index seek / label scan / full scan / expand
+  to the collector installed for the current thread (a no-op otherwise),
+  which is what gives PROFILE its per-operator store-hit counts and the
+  pipeline its per-crawler created/merged counters.
+- :mod:`repro.obs.profile` — the operator tree built during a profiled
+  run: rows produced, store hits, and wall time per executed clause.
+- :mod:`repro.obs.slowlog` — a bounded ring of queries that blew a
+  latency threshold, each with its params hash, trace id, and plan.
+
+Nothing in here imports the engine, store, or server, so every layer can
+depend on it without cycles.
+"""
+
+from repro.obs.record import (
+    AccessCollector,
+    collecting,
+    current_collector,
+    record_access,
+)
+from repro.obs.profile import ProfileNode, Profiler
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "AccessCollector",
+    "NULL_TRACER",
+    "ProfileNode",
+    "Profiler",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "collecting",
+    "current_collector",
+    "record_access",
+]

@@ -1,0 +1,135 @@
+"""PROFILE support: the operator tree collected during one engine run.
+
+The engine opens one :meth:`Profiler.operator` per executed clause (and
+per UNION part); while an operator is open, every store access reported
+through :mod:`repro.obs.record` is attributed to it.  The result is an
+annotated plan tree — per operator: rows produced, store hits broken
+down by access path (index seek / label scan / full scan / expand), and
+wall time — the reproduction's answer to Neo4j's ``PROFILE``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+from repro.obs.record import AccessCollector
+
+
+class ProfileNode:
+    """One operator in a profiled plan."""
+
+    __slots__ = ("operator", "detail", "rows", "seconds", "hits", "children")
+
+    def __init__(self, operator: str, detail: str = ""):
+        self.operator = operator
+        self.detail = detail
+        self.rows = 0
+        self.seconds = 0.0
+        self.hits: dict[str, int] = {}
+        self.children: list[ProfileNode] = []
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "operator": self.operator,
+            "detail": self.detail,
+            "rows": self.rows,
+            "time_ms": round(self.seconds * 1000, 3),
+            "hits": dict(sorted(self.hits.items())),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self) -> str:
+        """The annotated plan tree as indented text (CLI / slow log)."""
+        lines: list[str] = []
+        self._render_into(lines, depth=0)
+        return "\n".join(lines)
+
+    def _render_into(self, lines: list[str], depth: int) -> None:
+        hits = " ".join(f"{k}={v}" for k, v in sorted(self.hits.items()))
+        parts = [f"{'|  ' * depth}+{self.operator}"]
+        if self.detail:
+            parts.append(f"({self.detail})")
+        parts.append(f" rows={self.rows}")
+        parts.append(f" time={self.seconds * 1000:.3f}ms")
+        if hits:
+            parts.append(f" hits{{{hits}}}")
+        lines.append("".join(parts))
+        for child in self.children:
+            child._render_into(lines, depth + 1)
+
+    def walk(self) -> Iterator["ProfileNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProfileNode {self.operator} rows={self.rows}>"
+
+
+class _OperatorContext:
+    """Times one operator and scopes store-hit attribution to it."""
+
+    __slots__ = ("_profiler", "_node", "_previous_bucket", "_start")
+
+    def __init__(self, profiler: "Profiler", node: ProfileNode):
+        self._profiler = profiler
+        self._node = node
+        self._previous_bucket: dict[str, int] | None = None
+        self._start = 0.0
+
+    def __enter__(self) -> ProfileNode:
+        self._profiler._stack.append(self._node)
+        self._previous_bucket = self._profiler.collector.set_operator(self._node.hits)
+        self._start = time.perf_counter()
+        return self._node
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self._node.seconds = time.perf_counter() - self._start
+        self._profiler.collector.set_operator(self._previous_bucket)
+        stack = self._profiler._stack
+        if stack and stack[-1] is self._node:
+            stack.pop()
+        return False
+
+
+class Profiler:
+    """Collects the operator tree for one query execution.
+
+    Not thread-safe by design: one profiler serves one run on one
+    thread (the engine creates one per profiled ``run()``).
+    """
+
+    def __init__(self) -> None:
+        self.collector = AccessCollector()
+        self.root = ProfileNode("Query")
+        self._stack: list[ProfileNode] = [self.root]
+
+    def operator(self, name: str, detail: str = "") -> _OperatorContext:
+        """Open a child operator of the currently executing one."""
+        node = ProfileNode(name, detail)
+        self._stack[-1].children.append(node)
+        return _OperatorContext(self, node)
+
+    def finish(self, rows: int) -> ProfileNode:
+        """Close the tree: total rows, total time, aggregate hits.
+
+        Each store event was attributed to exactly one operator bucket
+        (or to the collector's unbucketed ``hits``), so the root totals
+        are the disjoint union of all of them.
+        """
+        root = self.root
+        root.rows = rows
+        root.seconds = sum(child.seconds for child in root.children)
+        totals = dict(self.collector.hits)
+        for node in root.walk():
+            if node is root:
+                continue
+            for kind, count in node.hits.items():
+                totals[kind] = totals.get(kind, 0) + count
+        root.hits = totals
+        return root

@@ -1,0 +1,81 @@
+"""Thread-local store-access recording.
+
+The graph store calls :func:`record_access` from its read and merge
+paths.  When no collector is installed for the current thread — the
+overwhelmingly common case — the call is one thread-local attribute read
+and a ``None`` check, cheap enough to leave in the hot path permanently.
+When a collector *is* installed (a profiled query, a crawler run under
+pipeline telemetry), every event lands in its counters, bucketed by
+whatever operator the profiler currently has open.
+
+The collector is deliberately not shared across threads: each profiled
+query or crawler run installs its own via :func:`collecting`, so
+concurrent queries never contend on a counter lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+_tls = threading.local()
+
+#: Access kinds reported by the graph store's read path.
+READ_KINDS = ("index_seek", "label_scan", "full_scan", "expand")
+
+#: Event kinds reported by the store's merge/create path (pipeline
+#: telemetry: what each crawler contributed).
+WRITE_KINDS = ("node_created", "node_merged", "rel_created", "rel_merged")
+
+
+class AccessCollector:
+    """Counts store events for one thread's unit of work.
+
+    Every event lands in exactly one bucket: the active operator bucket
+    when one is set (by the profiler, at clause boundaries), otherwise
+    the collector's own ``hits``.  Whole-run totals are aggregated once
+    at the end (:meth:`Profiler.finish`) rather than on every record,
+    keeping the per-event cost to a single dict update.
+    """
+
+    __slots__ = ("hits", "_operator")
+
+    def __init__(self) -> None:
+        self.hits: dict[str, int] = {}
+        self._operator: dict[str, int] | None = None
+
+    def record(self, kind: str, count: int = 1) -> None:
+        bucket = self._operator
+        if bucket is None:
+            bucket = self.hits
+        bucket[kind] = bucket.get(kind, 0) + count
+
+    def set_operator(self, bucket: dict[str, int] | None) -> dict[str, int] | None:
+        """Swap the active attribution bucket; returns the previous one."""
+        previous = self._operator
+        self._operator = bucket
+        return previous
+
+
+def current_collector() -> AccessCollector | None:
+    """The collector installed for this thread, if any."""
+    return getattr(_tls, "collector", None)
+
+
+def record_access(kind: str, count: int = 1) -> None:
+    """Report one store event to this thread's collector (no-op without)."""
+    collector = getattr(_tls, "collector", None)
+    if collector is not None:
+        collector.record(kind, count)
+
+
+@contextmanager
+def collecting(collector: AccessCollector) -> Iterator[AccessCollector]:
+    """Install ``collector`` for this thread for the duration of the block."""
+    previous = getattr(_tls, "collector", None)
+    _tls.collector = collector
+    try:
+        yield collector
+    finally:
+        _tls.collector = previous

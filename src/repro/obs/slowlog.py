@@ -1,0 +1,115 @@
+"""The slow-query log: a bounded ring of queries that blew a threshold.
+
+Every entry records what an operator needs to act on a slow query
+without re-running it: the query text, a stable hash of its parameters
+(the parameters themselves may be large or sensitive), the trace id (to
+pull the span tree while it is still buffered), the elapsed time, and —
+when the query ran under a profiler — the annotated plan.
+
+Aborted queries (timeout, row limit) are logged too, flagged with the
+error code: the queries that *couldn't* finish are exactly the ones an
+operator most wants to see.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import deque
+from typing import Any
+
+#: Query text is truncated in log entries beyond this many characters.
+MAX_QUERY_CHARS = 2000
+
+
+def params_hash(parameters: dict[str, Any] | None) -> str:
+    """A short stable hash of a parameter map."""
+    if not parameters:
+        return "-"
+    try:
+        canonical = json.dumps(parameters, sort_keys=True, default=repr)
+    except (TypeError, ValueError):
+        canonical = repr(sorted(parameters.items(), key=lambda kv: kv[0]))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class SlowQueryLog:
+    """Thread-safe bounded ring of slow-query records."""
+
+    def __init__(self, threshold_seconds: float = 1.0, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold_seconds = threshold_seconds
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.recorded_total = 0
+
+    def should_record(self, elapsed_seconds: float) -> bool:
+        return elapsed_seconds >= self.threshold_seconds
+
+    def record(
+        self,
+        query: str,
+        elapsed_seconds: float,
+        parameters: dict[str, Any] | None = None,
+        trace_id: str | None = None,
+        plan: dict[str, Any] | None = None,
+        error: str | None = None,
+    ) -> dict[str, Any]:
+        """Append one slow-query entry (evicting the oldest when full)."""
+        entry = {
+            "time": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "query": query[:MAX_QUERY_CHARS],
+            "params_hash": params_hash(parameters),
+            "trace_id": trace_id,
+            "elapsed_ms": round(elapsed_seconds * 1000, 3),
+            "plan": plan,
+            "error": error,
+        }
+        with self._lock:
+            self._entries.append(entry)
+            self.recorded_total += 1
+        return entry
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able view for ``GET /debug/slowlog``."""
+        with self._lock:
+            entries = list(self._entries)
+        return {
+            "threshold_seconds": self.threshold_seconds,
+            "capacity": self.capacity,
+            "recorded_total": self.recorded_total,
+            "entries": entries,
+        }
+
+    def format_text(self) -> str:
+        """Human-readable dump (printed on server shutdown)."""
+        with self._lock:
+            entries = list(self._entries)
+        if not entries:
+            return ""
+        lines = [
+            f"{len(entries)} slow quer{'y' if len(entries) == 1 else 'ies'} "
+            f"(threshold {self.threshold_seconds:g}s, "
+            f"{self.recorded_total} recorded in total):"
+        ]
+        for entry in entries:
+            flag = f" [{entry['error']}]" if entry["error"] else ""
+            lines.append(
+                f"  {entry['time']} {entry['elapsed_ms']:.1f}ms{flag} "
+                f"trace={entry['trace_id'] or '-'} "
+                f"params={entry['params_hash']} "
+                f"query={' '.join(entry['query'].split())}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

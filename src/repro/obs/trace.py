@@ -1,0 +1,242 @@
+"""A lightweight span tracer: context managers, thread-local nesting,
+ring-buffered storage, zero dependencies.
+
+One *trace* is the tree of spans produced while handling one unit of
+work (an HTTP request, a pipeline build).  Spans nest through a
+thread-local stack: ``tracer.span("parse")`` opened while a ``request``
+span is active becomes its child, so the layers don't need to pass span
+handles around — the trace id propagates implicitly from the HTTP
+handler through admission, the engine, the matcher, and down to store
+index lookups, all of which run on the request's thread.
+
+Completed spans are appended to a bounded ring of traces (oldest trace
+evicted whole), so a long-running server holds a constant amount of
+trace memory no matter how many requests it serves.  A disabled tracer
+(``Tracer(enabled=False)`` or the shared :data:`NULL_TRACER`) hands out
+a reusable null context manager: the instrumentation stays in place at
+near-zero cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from typing import Any, Iterator
+
+#: Spans kept per trace; a runaway instrumented loop cannot grow one
+#: trace without bound.
+MAX_SPANS_PER_TRACE = 512
+
+
+class Span:
+    """One timed operation inside a trace."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "started_at",
+        "duration",
+        "attributes",
+        "status",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        name: str,
+        attributes: dict[str, Any],
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.started_at = time.time()
+        self.duration = 0.0
+        self.attributes = attributes
+        self.status = "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration_ms": round(self.duration * 1000, 3),
+            "attributes": dict(self.attributes),
+            "status": self.status,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.name} {self.duration * 1000:.2f}ms {self.trace_id}>"
+
+
+class _NullContext:
+    """Reusable no-op context manager for a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and records it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attributes)
+        self._start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        span = self._span
+        assert span is not None
+        span.duration = time.perf_counter() - self._start
+        if exc is not None:
+            span.status = "error"
+            span.attributes.setdefault("error", f"{type(exc).__name__}: {exc}")
+        self._tracer._close(span)
+        return False
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+class Tracer:
+    """Thread-safe span tracer with a bounded ring of completed traces."""
+
+    def __init__(self, max_traces: int = 512, enabled: bool = True):
+        self.enabled = enabled
+        self.max_traces = max_traces
+        self._lock = threading.Lock()
+        self._traces: OrderedDict[str, list[Span]] = OrderedDict()
+        self._tls = threading.local()
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span as a child of this thread's current span.
+
+        With no span active, a new trace is started (the span becomes
+        its root).  Disabled tracers return a shared no-op context.
+        """
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, name, attributes)
+
+    def trace(self, name: str, trace_id: str | None = None, **attributes: Any):
+        """Open a root span, optionally under a caller-chosen trace id."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        if trace_id is not None:
+            attributes["__trace_id__"] = trace_id
+        return _SpanContext(self, name, attributes)
+
+    def _open(self, name: str, attributes: dict[str, Any]) -> Span:
+        stack: list[Span] = getattr(self._tls, "stack", None) or []
+        forced_id = attributes.pop("__trace_id__", None)
+        if stack:
+            parent = stack[-1]
+            span = Span(parent.trace_id, new_trace_id(), parent.span_id, name, attributes)
+        else:
+            trace_id = forced_id or new_trace_id()
+            span = Span(trace_id, new_trace_id(), None, name, attributes)
+            with self._lock:
+                self._traces[trace_id] = []
+                while len(self._traces) > self.max_traces:
+                    self._traces.popitem(last=False)
+        stack.append(span)
+        self._tls.stack = stack
+        return span
+
+    def _close(self, span: Span) -> None:
+        stack: list[Span] = getattr(self._tls, "stack", [])
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            spans = self._traces.get(span.trace_id)
+            if spans is not None and len(spans) < MAX_SPANS_PER_TRACE:
+                spans.append(span)
+
+    def current_trace_id(self) -> str | None:
+        """The trace id active on this thread, if any."""
+        stack: list[Span] = getattr(self._tls, "stack", [])
+        return stack[-1].trace_id if stack else None
+
+    # -- reading ---------------------------------------------------------
+
+    def get_trace(self, trace_id: str) -> list[Span] | None:
+        """All completed spans of one trace (flat, completion order)."""
+        with self._lock:
+            spans = self._traces.get(trace_id)
+            return list(spans) if spans is not None else None
+
+    def trace_tree(self, trace_id: str) -> dict[str, Any] | None:
+        """One trace as a nested span tree (root span outermost)."""
+        spans = self.get_trace(trace_id)
+        if not spans:
+            return None
+        children: dict[str | None, list[Span]] = {}
+        for span in spans:
+            children.setdefault(span.parent_id, []).append(span)
+
+        def build(span: Span) -> dict[str, Any]:
+            node = span.to_dict()
+            kids = children.get(span.span_id, ())
+            node["children"] = [
+                build(child) for child in sorted(kids, key=lambda s: s.started_at)
+            ]
+            return node
+
+        roots = children.get(None, [])
+        if not roots:  # root still open (partial trace): pick the eldest
+            roots = [min(spans, key=lambda s: s.started_at)]
+        return build(roots[0])
+
+    def trace_ids(self) -> list[str]:
+        """Buffered trace ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def info(self) -> dict[str, Any]:
+        """Summary for /stats and /metrics."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "traces_buffered": len(self._traces),
+                "max_traces": self.max_traces,
+            }
+
+    def spans_named(self, trace_id: str, name: str) -> Iterator[Span]:
+        """Convenience for tests: completed spans of a trace by name."""
+        for span in self.get_trace(trace_id) or ():
+            if span.name == name:
+                yield span
+
+
+#: Shared disabled tracer: instrumented code paths default to this, so
+#: un-traced execution pays only a ``self.enabled`` check per span.
+NULL_TRACER = Tracer(enabled=False)

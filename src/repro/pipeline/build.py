@@ -4,17 +4,55 @@
 simulated datasets (Knowledge Extraction), lets the shared IYP facade
 fuse identical entities (Fusion), and finishes with the refinement pass
 — the three columns of the paper's Figure 2.
+
+Each crawler runs under its own telemetry scope: a tracer span, a
+thread-local :class:`~repro.obs.record.AccessCollector` counting the
+store mutations it caused (nodes/relationships created vs merged), a
+structured JSON log line on ``repro.pipeline``, and — when a metrics
+registry is passed — Prometheus counters.  The per-crawler numbers land
+in :class:`BuildReport.crawler_runs`.
 """
 
 from __future__ import annotations
 
+import json
+import logging
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core import IYP
 from repro.datasets.registry import crawlers_for, make_fetcher
+from repro.obs import NULL_TRACER, AccessCollector, Tracer, collecting
 from repro.pipeline.postprocess import run_postprocessing
+from repro.server.metrics import Metrics
 from repro.simnet.world import World
+
+log = logging.getLogger("repro.pipeline")
+
+
+@dataclass
+class CrawlerRun:
+    """Telemetry for one crawler execution."""
+
+    name: str
+    seconds: float = 0.0
+    nodes_created: int = 0
+    nodes_merged: int = 0
+    relationships_created: int = 0
+    relationships_merged: int = 0
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+            "nodes_created": self.nodes_created,
+            "nodes_merged": self.nodes_merged,
+            "relationships_created": self.relationships_created,
+            "relationships_merged": self.relationships_merged,
+            "error": self.error,
+        }
 
 
 @dataclass
@@ -23,14 +61,26 @@ class BuildReport:
 
     crawler_seconds: dict[str, float] = field(default_factory=dict)
     crawler_errors: dict[str, str] = field(default_factory=dict)
+    crawler_runs: list[CrawlerRun] = field(default_factory=list)
     refinement_counts: dict[str, int] = field(default_factory=dict)
     total_seconds: float = 0.0
     nodes: int = 0
     relationships: int = 0
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:
         return not self.crawler_errors
+
+
+def _record_crawler_metrics(metrics: Metrics, run: CrawlerRun) -> None:
+    status = "error" if run.error else "ok"
+    metrics.inc("crawler_runs_total", labels={"crawler": run.name, "status": status})
+    metrics.inc("crawler_seconds_total", run.seconds)
+    metrics.inc("crawler_nodes_created_total", run.nodes_created)
+    metrics.inc("crawler_nodes_merged_total", run.nodes_merged)
+    metrics.inc("crawler_relationships_created_total", run.relationships_created)
+    metrics.inc("crawler_relationships_merged_total", run.relationships_merged)
 
 
 def build_iyp(
@@ -39,28 +89,54 @@ def build_iyp(
     postprocess: bool = True,
     iyp: IYP | None = None,
     raise_on_error: bool = True,
+    metrics: Metrics | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[IYP, BuildReport]:
     """Build the knowledge graph from a synthetic world.
 
     ``dataset_names`` restricts the import to a subset (useful for
     focused tests and the dataset-comparison study); by default every
-    dataset in the registry is imported.
+    dataset in the registry is imported.  Pass ``metrics`` to accumulate
+    per-crawler Prometheus counters into an existing registry (e.g. the
+    one a co-located query service will expose), and ``tracer`` to hang
+    the build's span tree off a live tracer.
     """
     started = time.perf_counter()
     iyp = iyp or IYP()
     fetcher = make_fetcher(world)
+    tracer = tracer or NULL_TRACER
     report = BuildReport()
-    for crawler in crawlers_for(iyp, fetcher, dataset_names):
-        crawl_start = time.perf_counter()
-        try:
-            crawler.run()
-        except Exception as exc:  # noqa: BLE001 - report which dataset failed
-            if raise_on_error:
-                raise
-            report.crawler_errors[crawler.name] = f"{type(exc).__name__}: {exc}"
-        report.crawler_seconds[crawler.name] = time.perf_counter() - crawl_start
-    if postprocess:
-        report.refinement_counts = run_postprocessing(iyp)
+    with tracer.trace("build") as build_span:
+        if build_span is not None:
+            report.trace_id = build_span.trace_id
+        for crawler in crawlers_for(iyp, fetcher, dataset_names):
+            run = CrawlerRun(name=crawler.name)
+            collector = AccessCollector()
+            crawl_start = time.perf_counter()
+            try:
+                with tracer.span("crawler", crawler=crawler.name):
+                    with collecting(collector):
+                        crawler.run()
+            except Exception as exc:  # noqa: BLE001 - report which dataset failed
+                run.error = f"{type(exc).__name__}: {exc}"
+                if raise_on_error:
+                    raise
+                report.crawler_errors[crawler.name] = run.error
+            finally:
+                run.seconds = time.perf_counter() - crawl_start
+                hits = collector.hits
+                run.nodes_created = hits.get("node_created", 0)
+                run.nodes_merged = hits.get("node_merged", 0)
+                run.relationships_created = hits.get("rel_created", 0)
+                run.relationships_merged = hits.get("rel_merged", 0)
+                report.crawler_runs.append(run)
+                report.crawler_seconds[crawler.name] = run.seconds
+                if metrics is not None:
+                    _record_crawler_metrics(metrics, run)
+                log.info("crawler %s", json.dumps(run.to_dict(), sort_keys=True))
+        if postprocess:
+            with tracer.span("postprocess"):
+                report.refinement_counts = run_postprocessing(iyp)
     report.total_seconds = time.perf_counter() - started
     report.nodes = iyp.store.node_count
     report.relationships = iyp.store.relationship_count

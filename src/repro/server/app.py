@@ -18,6 +18,7 @@ Execution paths:
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from typing import Any, Mapping
 
 from repro.cypher import CypherEngine
@@ -30,6 +31,7 @@ from repro.cypher.errors import (
 from repro.cypher.result import QueryResult
 from repro.graphdb.errors import ConstraintViolationError, GraphError
 from repro.graphdb.store import GraphStore
+from repro.obs import Profiler, SlowQueryLog, Tracer
 from repro.ontology import ENTITIES, RELATIONSHIPS
 from repro.server.admission import AdmissionController, ServerBusyError
 from repro.server.cache import ResultCache
@@ -118,6 +120,10 @@ class QueryService:
         default_max_rows: int | None = 100_000,
         cache_size: int = 256,
         engine: CypherEngine | None = None,
+        metrics: Metrics | None = None,
+        tracing: bool = True,
+        slow_query_seconds: float = 1.0,
+        slowlog_capacity: int = 128,
     ):
         self.store = store
         self.engine = engine or CypherEngine(store)
@@ -127,7 +133,21 @@ class QueryService:
             default_timeout=default_timeout,
             default_max_rows=default_max_rows,
         )
-        self.metrics = Metrics()
+        #: One registry for everything — query serving, pipeline
+        #: telemetry, observability gauges — so /metrics and /stats stay
+        #: single-sourced.  Callers may pass a pre-populated registry
+        #: (e.g. one the build pipeline already wrote crawler counters
+        #: into).
+        self.metrics = metrics or Metrics()
+        #: With ``tracing`` off, spans and per-query profiling are both
+        #: disabled — the comparison baseline for the overhead guard in
+        #: ``benchmarks/test_server_throughput.py``.
+        self.tracing = tracing
+        self.tracer = Tracer(enabled=tracing)
+        self.engine.tracer = self.tracer
+        self.slowlog = SlowQueryLog(
+            threshold_seconds=slow_query_seconds, capacity=slowlog_capacity
+        )
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -140,46 +160,71 @@ class QueryService:
         parameters: Mapping[str, Any] | None = None,
         timeout: float | None = None,
         max_rows: int | None = None,
+        profile: bool = False,
     ) -> dict[str, Any]:
         """Run one query with admission control and caching.
 
         Returns the JSON-able response body; raises :class:`ServiceError`
-        with the right HTTP status for every failure mode.
+        with the right HTTP status for every failure mode.  With
+        ``profile`` the result cache is bypassed in both directions and
+        the response carries the executed operator tree (``POST
+        /profile``).
         """
         if not isinstance(query, str) or not query.strip():
             raise self._count_error(ServiceError(400, "bad_request", "empty query"))
         params = dict(parameters or {})
-        started = time.monotonic()
-        try:
-            is_write = self.engine.is_write_query(query)
-        except CypherSyntaxError as exc:
-            raise self._count_error(ServiceError(400, "syntax_error", str(exc)))
-        try:
-            with self.admission.slot():
-                if is_write:
-                    body, cached = self._execute_write(query, params, timeout, max_rows)
-                else:
-                    body, cached = self._execute_read(query, params, timeout, max_rows)
-        except ServerBusyError as exc:
-            raise self._count_error(ServiceError(429, "busy", str(exc)))
-        except QueryTimeoutError as exc:
-            raise self._count_error(ServiceError(408, "timeout", str(exc)))
-        except RowLimitError as exc:
-            raise self._count_error(ServiceError(413, "row_limit", str(exc)))
-        except CypherSyntaxError as exc:
-            raise self._count_error(ServiceError(400, "syntax_error", str(exc)))
-        except ConstraintViolationError as exc:
-            raise self._count_error(ServiceError(409, "constraint_violation", str(exc)))
-        except (CypherError, GraphError) as exc:
-            raise self._count_error(ServiceError(400, "query_error", str(exc)))
-        elapsed = time.monotonic() - started
+        with self.tracer.trace("request", profile=profile) as root:
+            trace_id = root.trace_id if root is not None else None
+            started = time.monotonic()
+            try:
+                is_write = self.engine.is_write_query(query)
+            except CypherSyntaxError as exc:
+                raise self._count_error(ServiceError(400, "syntax_error", str(exc)))
+            try:
+                with ExitStack() as stack:
+                    with self.tracer.span("admission"):
+                        stack.enter_context(self.admission.slot())
+                    if is_write:
+                        body, cached, plan = self._execute_write(
+                            query, params, timeout, max_rows, profile
+                        )
+                    else:
+                        body, cached, plan = self._execute_read(
+                            query, params, timeout, max_rows, profile
+                        )
+            except ServerBusyError as exc:
+                raise self._count_error(ServiceError(429, "busy", str(exc)))
+            except QueryTimeoutError as exc:
+                self._log_aborted(query, params, trace_id, started, "timeout")
+                raise self._count_error(ServiceError(408, "timeout", str(exc)))
+            except RowLimitError as exc:
+                self._log_aborted(query, params, trace_id, started, "row_limit")
+                raise self._count_error(ServiceError(413, "row_limit", str(exc)))
+            except CypherSyntaxError as exc:
+                raise self._count_error(ServiceError(400, "syntax_error", str(exc)))
+            except ConstraintViolationError as exc:
+                raise self._count_error(
+                    ServiceError(409, "constraint_violation", str(exc))
+                )
+            except (CypherError, GraphError) as exc:
+                raise self._count_error(ServiceError(400, "query_error", str(exc)))
+            elapsed = time.monotonic() - started
         self.metrics.observe("query_latency_seconds", elapsed)
         self.metrics.inc(
             "queries_total",
             labels={"kind": "write" if is_write else "read",
                     "cache": "hit" if cached else "miss"},
         )
-        return {
+        if plan is not None and self.slowlog.should_record(elapsed):
+            self.metrics.inc("slow_queries_total")
+            self.slowlog.record(
+                query,
+                elapsed,
+                parameters=params,
+                trace_id=trace_id,
+                plan=plan.to_dict(),
+            )
+        response = {
             **body,
             "meta": {
                 "cached": cached,
@@ -187,6 +232,32 @@ class QueryService:
                 "store_version": self.store.version,
             },
         }
+        if trace_id is not None:
+            response["meta"]["trace_id"] = trace_id
+        if profile and plan is not None:
+            response["profile"] = {
+                "plan": plan.to_dict(),
+                "render": plan.render().splitlines(),
+            }
+        return response
+
+    def profile(
+        self,
+        query: str,
+        parameters: Mapping[str, Any] | None = None,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+    ) -> dict[str, Any]:
+        """``POST /profile``: execute for real, return rows + plan tree."""
+        return self.execute(query, parameters, timeout, max_rows, profile=True)
+
+    def _profiler(self, profile: bool) -> Profiler | None:
+        """Per-query profiler: always on while tracing is enabled (the
+        slow-query log wants a plan for any query that turns out slow),
+        and forced for explicit PROFILE requests."""
+        if profile or self.tracing:
+            return Profiler()
+        return None
 
     def _execute_read(
         self,
@@ -194,20 +265,25 @@ class QueryService:
         params: dict[str, Any],
         timeout: float | None,
         max_rows: int | None,
-    ) -> tuple[dict[str, Any], bool]:
+        profile: bool,
+    ) -> tuple[dict[str, Any], bool, Any]:
         # The read lock spans version read + cache lookup + execution, so
         # the cached entry is guaranteed to describe the version it is
         # keyed on — a writer cannot slip in halfway through.
         with self.store.read_lock():
             version = self.store.version
-            cached_body = self.cache.get(query, params, version)
-            if cached_body is not None:
-                return cached_body, True
+            if not profile:
+                with self.tracer.span("cache_lookup"):
+                    cached_body = self.cache.get(query, params, version)
+                if cached_body is not None:
+                    return cached_body, True, None
             guard = self.admission.guard(timeout, max_rows)
-            result = self.engine.run(query, params, guard=guard)
+            profiler = self._profiler(profile)
+            result = self.engine.run(query, params, guard=guard, profiler=profiler)
             body = encode_result(result)
-            self.cache.put(query, params, version, body)
-            return body, False
+            if not profile:
+                self.cache.put(query, params, version, body)
+            return body, False, profiler.root if profiler else None
 
     def _execute_write(
         self,
@@ -215,11 +291,32 @@ class QueryService:
         params: dict[str, Any],
         timeout: float | None,
         max_rows: int | None,
-    ) -> tuple[dict[str, Any], bool]:
+        profile: bool,
+    ) -> tuple[dict[str, Any], bool, Any]:
         guard = self.admission.guard(timeout, max_rows)
+        profiler = self._profiler(profile)
         with self.store.write_lock():
-            result = self.engine.run(query, params, guard=guard)
-            return encode_result(result), False
+            result = self.engine.run(query, params, guard=guard, profiler=profiler)
+            body = encode_result(result)
+        return body, False, profiler.root if profiler else None
+
+    def _log_aborted(
+        self,
+        query: str,
+        params: dict[str, Any],
+        trace_id: str | None,
+        started: float,
+        error: str,
+    ) -> None:
+        """Aborted queries go to the slow log with their error code."""
+        self.metrics.inc("slow_queries_total")
+        self.slowlog.record(
+            query,
+            time.monotonic() - started,
+            parameters=params,
+            trace_id=trace_id,
+            error=error,
+        )
 
     def _count_error(self, error: ServiceError) -> ServiceError:
         self.metrics.inc("query_errors_total", labels={"code": error.code})
@@ -259,6 +356,21 @@ class QueryService:
             ],
         }
 
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """``GET /debug/trace?id=...``: one buffered trace as a span tree."""
+        tree = self.tracer.trace_tree(trace_id)
+        if tree is None:
+            raise ServiceError(404, "unknown_trace", f"no trace {trace_id!r} buffered")
+        return {"trace_id": trace_id, "spans": tree}
+
+    def traces(self) -> dict[str, Any]:
+        """``GET /debug/traces``: ids of every buffered trace, oldest first."""
+        return {"trace_ids": self.tracer.trace_ids(), **self.tracer.info()}
+
+    def slowlog_snapshot(self) -> dict[str, Any]:
+        """``GET /debug/slowlog``: the slow-query ring, oldest first."""
+        return self.slowlog.snapshot()
+
     def stats(self) -> dict[str, Any]:
         """Graph composition plus serving statistics."""
         with self.store.read_lock():
@@ -278,6 +390,12 @@ class QueryService:
             "result_cache": self.cache.info(),
             "parse_cache": self.engine.parse_cache_info(),
             "admission": self.admission.info(),
+            "tracer": self.tracer.info(),
+            "slowlog": {
+                "threshold_seconds": self.slowlog.threshold_seconds,
+                "entries": len(self.slowlog),
+                "recorded_total": self.slowlog.recorded_total,
+            },
             "metrics": self.metrics.snapshot(),
             "uptime_seconds": round(time.monotonic() - self._started, 3),
         }
@@ -302,11 +420,19 @@ class QueryService:
             "store_relationships": float(self.store.relationship_count),
             "result_cache_size": float(result_cache["size"]),
             "result_cache_hit_rate": result_cache["hit_rate"],
+            "result_cache_hits_total": float(result_cache["hits"]),
+            "result_cache_misses_total": float(result_cache["misses"]),
+            "result_cache_evictions_total": float(result_cache["evictions"]),
             "parse_cache_size": float(parse_cache["size"]),
             "parse_cache_hit_rate": parse_cache["hit_rate"],
+            "parse_cache_hits_total": float(parse_cache["hits"]),
+            "parse_cache_misses_total": float(parse_cache["misses"]),
             "queries_active": float(admission["active"]),
             "queries_peak_active": float(admission["peak_active"]),
             "queries_rejected_total": float(admission["rejected"]),
+            "slowlog_entries": float(len(self.slowlog)),
+            "slowlog_recorded_total": float(self.slowlog.recorded_total),
+            "traces_buffered": float(self.tracer.info()["traces_buffered"]),
             "uptime_seconds": time.monotonic() - self._started,
         }
         return self.metrics.render(extra_gauges=gauges)

@@ -9,11 +9,16 @@ Endpoints::
 
     POST /query     {"query": "...", "parameters": {...},
                      "timeout": 5.0, "max_rows": 1000}
+    POST /profile      (same body; bypasses the cache, returns the
+                        executed operator tree alongside the rows)
     GET  /explain?q=<cypher>
     GET  /ontology
     GET  /stats
     GET  /healthz
     GET  /metrics      (Prometheus text format)
+    GET  /debug/slowlog
+    GET  /debug/traces
+    GET  /debug/trace?id=<trace_id>
 """
 
 from __future__ import annotations
@@ -60,6 +65,15 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
                 if not query:
                     raise ServiceError(400, "bad_request", "missing ?q=<query>")
                 self._send_json(200, self.service.explain(query))
+            elif route == "/debug/slowlog":
+                self._send_json(200, self.service.slowlog_snapshot())
+            elif route == "/debug/traces":
+                self._send_json(200, self.service.traces())
+            elif route == "/debug/trace":
+                trace_id = parse_qs(url.query).get("id", [""])[0]
+                if not trace_id:
+                    raise ServiceError(400, "bad_request", "missing ?id=<trace_id>")
+                self._send_json(200, self.service.trace(trace_id))
             else:
                 raise ServiceError(404, "not_found", f"no route {route!r}")
         except ServiceError as exc:
@@ -68,7 +82,7 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         route = urlsplit(self.path).path.rstrip("/")
         try:
-            if route != "/query":
+            if route not in ("/query", "/profile"):
                 raise ServiceError(404, "not_found", f"no route {route!r}")
             request = self._read_json_body()
             response = self.service.execute(
@@ -76,6 +90,7 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
                 parameters=request.get("parameters"),
                 timeout=request.get("timeout"),
                 max_rows=request.get("max_rows"),
+                profile=(route == "/profile"),
             )
             self._send_json(200, response)
         except ServiceError as exc:
@@ -133,6 +148,13 @@ class IYPHTTPServer(ThreadingHTTPServer):
     def __init__(self, address: tuple[str, int], service: QueryService):
         super().__init__(address, IYPRequestHandler)
         self.service = service
+
+    def server_close(self) -> None:
+        """On shutdown, leave the slow-query ring in the server log."""
+        dump = self.service.slowlog.format_text()
+        if dump:
+            log.info("slow-query log at shutdown:\n%s", dump)
+        super().server_close()
 
 
 def create_server(

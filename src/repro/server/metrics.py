@@ -21,6 +21,7 @@ from typing import Any, Iterable, Mapping
 #: +Inf is implicit).
 LATENCY_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0,
 )
 
 #: Raw samples kept per metric for exact percentile computation.
@@ -33,10 +34,18 @@ def _labels_key(labels: Mapping[str, str] | None) -> LabelSet:
     return tuple(sorted((labels or {}).items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double quote, and line feed must be escaped."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _format_labels(labels: LabelSet) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in labels
+    )
     return "{" + body + "}"
 
 

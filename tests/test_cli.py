@@ -165,3 +165,66 @@ class TestInspection:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestProfileAndParams:
+    def test_query_profile_prints_plan(self, snapshot_path, capsys):
+        code = main(
+            [
+                "query", "MATCH (a:AS) RETURN count(a) AS ases",
+                "--snapshot", str(snapshot_path),
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "+Query" in out
+        assert "+Match" in out and "rows=" in out and "time=" in out
+        assert "ases" in out  # results still printed below the plan
+
+    def test_query_param_json_and_string(self, snapshot_path, capsys):
+        code = main(
+            [
+                "query", "MATCH (a:AS {asn: $asn}) RETURN a.asn",
+                "--snapshot", str(snapshot_path),
+                "--param", "asn=1",
+            ]
+        )
+        assert code == 0
+        assert "a.asn" in capsys.readouterr().out
+
+    def test_query_param_rejects_malformed(self, snapshot_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query", "RETURN 1",
+                    "--snapshot", str(snapshot_path),
+                    "--param", "no-equals-sign",
+                ]
+            )
+
+    def test_build_verbose_prints_crawler_table(self, tmp_path, capsys):
+        out = tmp_path / "verbose.json.gz"
+        code = main(
+            [
+                "build", "--scale", "small", "--seed", "7",
+                "--datasets", "bgpkit.pfx2as",
+                "--output", str(out), "--verbose",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "crawler" in captured
+        assert "bgpkit.pfx2as" in captured
+
+    def test_serve_observability_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--slow-query-threshold", "0.25", "--no-trace"]
+        )
+        assert args.slow_query_threshold == 0.25
+        assert args.no_trace is True
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.slow_query_threshold == 1.0
+        assert defaults.no_trace is False

@@ -1,0 +1,154 @@
+"""The span tracer: nesting, propagation, ring bounds, null cost."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, Span, Tracer
+from repro.obs.trace import MAX_SPANS_PER_TRACE, new_trace_id
+
+
+class TestSpanBasics:
+    def test_root_span_starts_a_trace(self):
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            assert root.parent_id is None
+            assert tracer.current_trace_id() == root.trace_id
+        assert tracer.current_trace_id() is None
+        spans = tracer.get_trace(root.trace_id)
+        assert [span.name for span in spans] == ["request"]
+
+    def test_children_nest_implicitly(self):
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            with tracer.span("parse") as parse:
+                assert parse.parent_id == root.span_id
+                assert parse.trace_id == root.trace_id
+                with tracer.span("execute") as execute:
+                    assert execute.parent_id == parse.span_id
+        spans = tracer.get_trace(root.trace_id)
+        # Completion order: innermost closes first.
+        assert [span.name for span in spans] == ["execute", "parse", "request"]
+
+    def test_forced_trace_id(self):
+        tracer = Tracer()
+        forced = new_trace_id()
+        with tracer.trace("request", trace_id=forced) as root:
+            assert root.trace_id == forced
+        assert tracer.get_trace(forced) is not None
+
+    def test_attributes_and_duration(self):
+        tracer = Tracer()
+        with tracer.trace("request", profile=True) as root:
+            pass
+        assert root.attributes == {"profile": True}
+        assert root.duration >= 0
+        assert root.to_dict()["duration_ms"] >= 0
+
+    def test_exception_marks_span_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.trace("request") as root:
+                raise ValueError("boom")
+        (span,) = tracer.get_trace(root.trace_id)
+        assert span.status == "error"
+        assert "ValueError" in span.attributes["error"]
+
+
+class TestTraceTree:
+    def test_tree_nests_by_parent(self):
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            with tracer.span("admission"):
+                pass
+            with tracer.span("execute"):
+                with tracer.span("scan"):
+                    pass
+        tree = tracer.trace_tree(root.trace_id)
+        assert tree["name"] == "request"
+        names = [child["name"] for child in tree["children"]]
+        assert names == ["admission", "execute"]
+        assert tree["children"][1]["children"][0]["name"] == "scan"
+
+    def test_unknown_trace_is_none(self):
+        assert Tracer().trace_tree("deadbeef") is None
+
+    def test_spans_named(self):
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            with tracer.span("parse"):
+                pass
+        assert [s.name for s in tracer.spans_named(root.trace_id, "parse")] == ["parse"]
+
+
+class TestBounds:
+    def test_trace_ring_evicts_oldest(self):
+        tracer = Tracer(max_traces=3)
+        ids = []
+        for _ in range(5):
+            with tracer.trace("request") as root:
+                ids.append(root.trace_id)
+        assert tracer.trace_ids() == ids[-3:]
+        assert tracer.get_trace(ids[0]) is None
+        assert tracer.info()["traces_buffered"] == 3
+
+    def test_span_cap_per_trace(self):
+        tracer = Tracer()
+        with tracer.trace("request") as root:
+            for _ in range(MAX_SPANS_PER_TRACE + 10):
+                with tracer.span("tick"):
+                    pass
+        assert len(tracer.get_trace(root.trace_id)) == MAX_SPANS_PER_TRACE
+
+
+class TestDisabled:
+    def test_null_tracer_yields_none(self):
+        with NULL_TRACER.trace("request") as root:
+            assert root is None
+        with NULL_TRACER.span("parse") as span:
+            assert span is None
+        assert NULL_TRACER.trace_ids() == []
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.trace("request"):
+            with tracer.span("child"):
+                pass
+        assert tracer.info()["traces_buffered"] == 0
+
+
+class TestThreading:
+    def test_threads_get_independent_traces(self):
+        tracer = Tracer()
+        ids: dict[str, str] = {}
+        barrier = threading.Barrier(4)
+
+        def work(tag: str) -> None:
+            barrier.wait()
+            with tracer.trace("request") as root:
+                with tracer.span("inner"):
+                    pass
+                ids[tag] = root.trace_id
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(ids.values())) == 4
+        for trace_id in ids.values():
+            assert [s.name for s in tracer.get_trace(trace_id)] == [
+                "inner", "request",
+            ]
+
+
+class TestSpanDict:
+    def test_span_to_dict_shape(self):
+        span = Span("t" * 16, "s" * 16, None, "request", {"k": 1})
+        data = span.to_dict()
+        assert data["trace_id"] == "t" * 16
+        assert data["parent_id"] is None
+        assert data["attributes"] == {"k": 1}
+        assert data["status"] == "ok"

@@ -113,3 +113,40 @@ class TestFigure3Searches:
         # Radically different from looking for the literal string:
         # no other node type matches.
         assert len(result) == 1
+
+
+class TestListingsUnderProfile:
+    """Every published listing must produce an operator-level PROFILE
+    tree: rows, store hits, and wall time per executed clause."""
+
+    LISTINGS = {
+        "listing1": (queries.LISTING_1, None),
+        "listing2": (queries.LISTING_2, None),
+        "listing3": (queries.LISTING_3, "org"),  # needs $org_name
+        "listing4": (queries.LISTING_4, None),
+        "listing5": (queries.LISTING_5, None),
+        "listing6": (queries.LISTING_6, None),
+    }
+
+    @pytest.mark.parametrize("name", sorted(LISTINGS))
+    def test_profile_tree(self, small_iyp, small_world, name):
+        listing, needs_org = self.LISTINGS[name]
+        params = None
+        if needs_org:
+            org = next(iter(small_world.ases.values())).org_name
+            params = {"org_name": org}
+        result, plan = small_iyp.engine.profile(listing, params)
+        assert plan.operator == "Query"
+        assert plan.rows == len(result)
+        assert plan.children, "profiled plan must contain executed clauses"
+        match_nodes = [n for n in plan.walk() if n.operator == "Match"]
+        assert match_nodes, "every listing starts from a MATCH"
+        for node in plan.walk():
+            assert node.seconds >= 0
+            assert node.rows >= 0
+        # The listings all traverse relationships, so the store must
+        # have reported hits attributed somewhere in the tree.
+        assert plan.total_hits > 0
+        assert any(n.hits for n in match_nodes)
+        # Rendered form is line-per-operator.
+        assert len(plan.render().splitlines()) == sum(1 for _ in plan.walk())

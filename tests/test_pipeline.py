@@ -181,3 +181,95 @@ class TestRefinedGraphInvariants:
         assert rows
         for row in rows:
             assert row["a3"] and row["name"]
+
+
+class TestPipelineTelemetry:
+    def test_crawler_runs_recorded(self, small_world):
+        iyp, report = build_iyp(
+            small_world, dataset_names=["bgpkit.pfx2as"], postprocess=False
+        )
+        (run,) = report.crawler_runs
+        assert run.name == "bgpkit.pfx2as"
+        assert run.error is None
+        assert run.seconds >= 0
+        assert run.nodes_created > 0
+        assert run.relationships_created > 0
+        created = run.nodes_created
+        assert created <= iyp.store.node_count
+
+    def test_second_import_merges_instead_of_creating(self, small_world):
+        iyp, report = build_iyp(
+            small_world,
+            dataset_names=["bgpkit.pfx2as", "pch.routing_snapshot"],
+            postprocess=False,
+        )
+        second = report.crawler_runs[1]
+        # The second origin dataset re-imports overlapping entities: the
+        # fusion layer must merge its nodes, not duplicate them.
+        assert second.nodes_merged > 0
+        assert second.nodes_created == 0
+
+    def test_metrics_counters_accumulate(self, small_world):
+        from repro.server.metrics import Metrics
+
+        metrics = Metrics()
+        _, report = build_iyp(
+            small_world,
+            dataset_names=["bgpkit.pfx2as", "tranco.top1m"],
+            postprocess=False,
+            metrics=metrics,
+        )
+        assert metrics.counter_total("crawler_runs_total") == 2
+        assert metrics.counter_value(
+            "crawler_runs_total", {"crawler": "bgpkit.pfx2as", "status": "ok"}
+        ) == 1
+        total_created = sum(r.nodes_created for r in report.crawler_runs)
+        assert metrics.counter_total("crawler_nodes_created_total") == total_created
+        assert metrics.counter_total("crawler_seconds_total") > 0
+
+    def test_failed_crawler_reports_error_run(self, small_world, monkeypatch):
+        from repro.datasets.crawlers import tranco as tranco_module
+        from repro.server.metrics import Metrics
+
+        def boom(self):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(tranco_module.TrancoCrawler, "run", boom)
+        metrics = Metrics()
+        _, report = build_iyp(
+            small_world, dataset_names=["tranco.top1m"],
+            raise_on_error=False, metrics=metrics,
+        )
+        (run,) = report.crawler_runs
+        assert run.error is not None and "synthetic failure" in run.error
+        assert metrics.counter_value(
+            "crawler_runs_total", {"crawler": "tranco.top1m", "status": "error"}
+        ) == 1
+
+    def test_build_trace_spans(self, small_world):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        _, report = build_iyp(
+            small_world, dataset_names=["bgpkit.pfx2as"], tracer=tracer
+        )
+        assert report.trace_id is not None
+        spans = tracer.get_trace(report.trace_id)
+        names = [span.name for span in spans]
+        assert names.count("crawler") == 1
+        assert "postprocess" in names
+        assert names[-1] == "build"
+        crawler_span = next(s for s in spans if s.name == "crawler")
+        assert crawler_span.attributes["crawler"] == "bgpkit.pfx2as"
+
+    def test_structured_log_line(self, small_world, caplog):
+        import json as json_module
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.pipeline"):
+            build_iyp(small_world, dataset_names=["bgpkit.pfx2as"], postprocess=False)
+        records = [r for r in caplog.records if r.name == "repro.pipeline"]
+        assert records
+        payload = json_module.loads(records[0].message.split(" ", 1)[1])
+        assert payload["name"] == "bgpkit.pfx2as"
+        assert payload["error"] is None

@@ -319,6 +319,15 @@ class TestAdmission:
         errors = service.metrics.counter_total("query_errors_total")
         assert errors >= 2
 
+    def test_aborted_queries_land_in_slowlog(self, scratch_server):
+        base, service, _ = scratch_server
+        service.slowlog.clear()
+        status, _ = _post_query(base, "MATCH (a:AS) RETURN a.asn", max_rows=3)
+        assert status == 413
+        entries = service.slowlog.snapshot()["entries"]
+        assert entries[-1]["error"] == "row_limit"
+        assert entries[-1]["query"] == "MATCH (a:AS) RETURN a.asn"
+
     def test_parallel_readers_all_succeed(self, iyp_server):
         base, service, _ = iyp_server
         results: list[int] = []
@@ -335,3 +344,144 @@ class TestAdmission:
         for thread in threads:
             thread.join()
         assert results == [200] * 6
+
+
+# ---------------------------------------------------------------------------
+# observability: tracing, PROFILE, slow-query log
+# ---------------------------------------------------------------------------
+
+
+def _span_names(tree):
+    yield tree["name"]
+    for child in tree["children"]:
+        yield from _span_names(child)
+
+
+class TestTracing:
+    def test_query_returns_resolvable_trace_id(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _post_query(base, "MATCH (a:AS) RETURN count(a) AS n")
+        assert status == 200
+        trace_id = body["meta"]["trace_id"]
+        status, trace = _get(f"{base}/debug/trace?id={trace_id}")
+        assert status == 200
+        assert trace["trace_id"] == trace_id
+        names = set(_span_names(trace["spans"]))
+        assert {"request", "admission", "parse", "execute"} <= names
+
+    def test_cached_hit_still_traced(self, iyp_server):
+        base, service, _ = iyp_server
+        query = "MATCH (p:Prefix) RETURN count(p) AS n"
+        _post_query(base, query)
+        status, body = _post_query(base, query)
+        assert body["meta"]["cached"] is True
+        _, trace = _get(f"{base}/debug/trace?id={body['meta']['trace_id']}")
+        names = set(_span_names(trace["spans"]))
+        assert "cache_lookup" in names
+        assert "execute" not in names  # served from the cache
+
+    def test_traces_listing(self, iyp_server):
+        base, _, _ = iyp_server
+        _, body = _post_query(base, "MATCH (a:AS) RETURN count(a)")
+        status, listing = _get(f"{base}/debug/traces")
+        assert status == 200
+        assert listing["enabled"] is True
+        assert body["meta"]["trace_id"] in listing["trace_ids"]
+
+    def test_unknown_trace_is_404(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _get(f"{base}/debug/trace?id=0000000000000000")
+        assert status == 404
+        assert body["error"]["code"] == "unknown_trace"
+
+    def test_tracing_disabled_omits_trace_id(self, small_iyp):
+        service = QueryService(small_iyp.store, tracing=False)
+        body = service.execute("MATCH (a:AS) RETURN count(a)")
+        assert "trace_id" not in body["meta"]
+        assert service.tracer.trace_ids() == []
+
+
+class TestProfileEndpoint:
+    @pytest.mark.parametrize(
+        "listing", [LISTING_1, LISTING_2], ids=["listing1", "listing2"]
+    )
+    def test_profile_returns_operator_tree(self, iyp_server, listing):
+        base, _, _ = iyp_server
+        status, body = _request("POST", f"{base}/profile", {"query": listing})
+        assert status == 200
+        plan = body["profile"]["plan"]
+        assert plan["operator"] == "Query"
+        assert plan["rows"] == body["row_count"]
+        operators = {child["operator"] for child in plan["children"]}
+        assert "Match" in operators
+        for child in plan["children"]:
+            assert child["time_ms"] >= 0
+        match = next(c for c in plan["children"] if c["operator"] == "Match")
+        assert match["hits"]  # store hits recorded and attributed
+        assert body["profile"]["render"][0].startswith("+Query")
+
+    def test_profile_bypasses_cache(self, iyp_server):
+        base, _, _ = iyp_server
+        query = "MATCH (a:AS) RETURN count(a) AS n"
+        _post_query(base, query)  # warm the result cache
+        status, body = _request("POST", f"{base}/profile", {"query": query})
+        assert status == 200
+        assert body["meta"]["cached"] is False
+        assert "profile" in body
+
+    def test_plain_query_has_no_profile_section(self, iyp_server):
+        base, _, _ = iyp_server
+        _, body = _post_query(base, "MATCH (a:AS) RETURN count(a) AS n2")
+        assert "profile" not in body
+
+
+class TestSlowlogEndpoint:
+    def test_slow_query_is_recorded_with_plan(self, small_iyp):
+        service = QueryService(small_iyp.store, slow_query_seconds=0.0)
+        body = service.execute("MATCH (a:AS) RETURN count(a)")
+        snapshot = service.slowlog_snapshot()
+        assert snapshot["threshold_seconds"] == 0.0
+        entry = snapshot["entries"][-1]
+        assert entry["query"] == "MATCH (a:AS) RETURN count(a)"
+        assert entry["trace_id"] == body["meta"]["trace_id"]
+        assert entry["plan"]["operator"] == "Query"
+        assert service.metrics.counter_total("slow_queries_total") >= 1
+
+    def test_fast_queries_not_recorded(self, iyp_server):
+        base, service, _ = iyp_server
+        before = service.slowlog.recorded_total
+        _post_query(base, "MATCH (a:AS) RETURN count(a) AS n3")
+        assert service.slowlog.recorded_total == before  # threshold is 1s
+
+    def test_slowlog_endpoint_shape(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _get(f"{base}/debug/slowlog")
+        assert status == 200
+        assert set(body) == {
+            "threshold_seconds", "capacity", "recorded_total", "entries",
+        }
+
+
+class TestObservabilityMetrics:
+    def test_new_gauges_exposed(self, iyp_server):
+        base, _, _ = iyp_server
+        _post_query(base, "MATCH (a:AS) RETURN count(a)")
+        text = urllib.request.urlopen(f"{base}/metrics", timeout=30).read().decode()
+        for gauge in (
+            "repro_parse_cache_hits_total",
+            "repro_parse_cache_misses_total",
+            "repro_result_cache_hits_total",
+            "repro_result_cache_misses_total",
+            "repro_result_cache_evictions_total",
+            "repro_slowlog_entries",
+            "repro_slowlog_recorded_total",
+            "repro_traces_buffered",
+        ):
+            assert f"# TYPE {gauge} gauge" in text
+
+    def test_stats_include_tracer_and_slowlog(self, iyp_server):
+        base, _, _ = iyp_server
+        _, body = _get(f"{base}/stats")
+        assert body["tracer"]["enabled"] is True
+        assert body["tracer"]["traces_buffered"] >= 1
+        assert body["slowlog"]["threshold_seconds"] == 1.0

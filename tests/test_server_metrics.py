@@ -1,0 +1,135 @@
+"""The metrics registry under scrutiny: exact percentile math, histogram
+bucket semantics, label escaping, and concurrent recording."""
+
+import threading
+
+from repro.server.metrics import (
+    LATENCY_BUCKETS,
+    Metrics,
+    _format_labels,
+    _labels_key,
+)
+
+
+class TestPercentiles:
+    def test_known_set_1_to_100(self):
+        metrics = Metrics()
+        for ms in range(1, 101):
+            metrics.observe("lat", ms / 1000)
+        pct = metrics.percentiles("lat")
+        assert pct["p50"] == 0.050
+        assert pct["p95"] == 0.095
+        assert pct["p99"] == 0.099
+
+    def test_single_sample(self):
+        metrics = Metrics()
+        metrics.observe("lat", 0.25)
+        pct = metrics.percentiles("lat", (50, 95, 99))
+        assert pct == {"p50": 0.25, "p95": 0.25, "p99": 0.25}
+
+    def test_order_independent(self):
+        ordered, shuffled = Metrics(), Metrics()
+        samples = [0.001 * i for i in range(1, 51)]
+        for s in samples:
+            ordered.observe("lat", s)
+        for s in reversed(samples):
+            shuffled.observe("lat", s)
+        assert ordered.percentiles("lat") == shuffled.percentiles("lat")
+
+    def test_custom_quantiles(self):
+        metrics = Metrics()
+        for ms in range(1, 11):
+            metrics.observe("lat", ms / 1000)
+        assert metrics.percentiles("lat", (100,))["p100"] == 0.010
+        assert metrics.percentiles("lat", (10,))["p10"] == 0.001
+
+    def test_empty_reservoir(self):
+        assert Metrics().percentiles("nothing") == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+
+class TestHistogram:
+    def test_buckets_include_long_tail_bounds(self):
+        assert 10.0 in LATENCY_BUCKETS
+        assert 30.0 in LATENCY_BUCKETS
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+    def test_rendered_buckets_are_monotonic(self):
+        metrics = Metrics()
+        for seconds in (0.0005, 0.003, 0.02, 0.3, 4.0, 20.0, 100.0):
+            metrics.observe("lat", seconds)
+        counts = []
+        for line in metrics.render().splitlines():
+            if line.startswith("repro_lat_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        # One line per bound plus +Inf, cumulative and non-decreasing.
+        assert len(counts) == len(LATENCY_BUCKETS) + 1
+        assert counts == sorted(counts)
+        assert counts[-1] == 7  # +Inf sees every sample
+
+    def test_inf_bucket_catches_over_max(self):
+        metrics = Metrics()
+        metrics.observe("lat", max(LATENCY_BUCKETS) + 1)
+        lines = [
+            line for line in metrics.render().splitlines()
+            if line.startswith("repro_lat_bucket")
+        ]
+        *finite, inf = lines
+        assert all(line.endswith(" 0") for line in finite)
+        assert inf == 'repro_lat_bucket{le="+Inf"} 1'
+
+    def test_sum_and_count(self):
+        metrics = Metrics()
+        metrics.observe("lat", 0.1)
+        metrics.observe("lat", 0.3)
+        text = metrics.render()
+        assert "repro_lat_sum 0.400000" in text
+        assert "repro_lat_count 2" in text
+
+
+class TestLabelEscaping:
+    def test_plain_labels(self):
+        key = _labels_key({"kind": "read", "cache": "hit"})
+        assert _format_labels(key) == '{cache="hit",kind="read"}'
+
+    def test_quotes_backslashes_newlines_escaped(self):
+        key = _labels_key({"q": 'say "hi"', "p": "a\\b", "n": "x\ny"})
+        rendered = _format_labels(key)
+        assert '\\"hi\\"' in rendered
+        assert "a\\\\b" in rendered
+        assert "x\\ny" in rendered
+        assert "\n" not in rendered
+
+    def test_escaped_labels_render_one_line_each(self):
+        metrics = Metrics()
+        metrics.inc("query_errors_total", labels={"detail": 'bad "MATCH\n('})
+        lines = metrics.render().splitlines()
+        (sample,) = [l for l in lines if l.startswith("repro_query_errors_total{")]
+        assert sample.endswith(" 1")
+        assert 'detail="bad \\"MATCH\\n("' in sample
+
+
+class TestConcurrency:
+    def test_concurrent_inc_and_observe(self):
+        metrics = Metrics()
+        threads_n, per_thread = 8, 500
+        barrier = threading.Barrier(threads_n)
+
+        def work(i: int) -> None:
+            barrier.wait()
+            for j in range(per_thread):
+                metrics.inc("ops_total", labels={"worker": str(i % 2)})
+                metrics.observe("lat", 0.001 * (j % 10 + 1))
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = threads_n * per_thread
+        assert metrics.counter_total("ops_total") == total
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_ms"]["lat"]["count"] == total
+        text = metrics.render()
+        assert f"repro_lat_count {total}" in text
