@@ -14,8 +14,6 @@ one off and measures the difference:
 
 import random
 
-import pytest
-
 from benchmarks.conftest import record_comparison
 from repro.core import IYP, Reference
 from repro.cypher.parser import parse

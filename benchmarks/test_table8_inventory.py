@@ -1,7 +1,6 @@
 """Tables 1 & 8 — the dataset inventory: 46 datasets, ~23 organizations,
 and per-crawler import throughput."""
 
-import time
 
 from benchmarks.conftest import record_comparison
 from repro.core import IYP

@@ -21,7 +21,6 @@ imported data:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.core import IYP, Reference
 

@@ -103,6 +103,12 @@ def cmd_query(args: argparse.Namespace) -> int:
     from repro.server.admission import AdmissionController
 
     iyp = _load_iyp(args.snapshot)
+    if args.explain:
+        explanation = iyp.engine.explain(args.query)
+        for step in explanation.plan:
+            print(step)
+        _print_warnings(explanation.warnings)
+        return 0
     params = _parse_params(args.param)
     controller = AdmissionController(
         max_concurrent=1,
@@ -133,12 +139,92 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_warnings(warnings, source: str | None = None) -> None:
+    for finding in warnings:
+        print(finding.format(source))
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
-    """Show the execution plan of a query."""
+    """Show the execution plan of a query, with lint warnings."""
     iyp = _load_iyp(args.snapshot)
-    for step in iyp.engine.explain(args.query):
+    explanation = iyp.engine.explain(args.query)
+    for step in explanation.plan:
         print(step)
+    _print_warnings(explanation.warnings)
     return 0
+
+
+def _lint_sources(args: argparse.Namespace) -> list[tuple[str, str]]:
+    """Resolve ``repro lint`` inputs to (source name, query) pairs.
+
+    Each positional source is a file (queries extracted by extension),
+    ``-`` for stdin, or — failing both — inline query text.
+    """
+    from repro.lint import extract_queries
+
+    pairs: list[tuple[str, str]] = []
+    for source in args.sources:
+        if source == "-":
+            pairs.append(("<stdin>", sys.stdin.read()))
+        elif Path(source).is_file():
+            pairs.extend(extract_queries(source))
+        else:
+            pairs.append(("<query>", source))
+    return pairs
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Statically check Cypher queries against the ontology.
+
+    Without ``--strict`` the exit code reflects errors only; with it,
+    warnings fail too (info-level notes never do).  ``--snapshot``
+    additionally enables the index-aware checks (LNT008).
+    """
+    from repro.lint import QueryLinter, fails_strict
+
+    store = load_snapshot(args.snapshot) if args.snapshot else None
+    linter = QueryLinter(store)
+    pairs = _lint_sources(args)
+    if not pairs:
+        print("nothing to lint", file=sys.stderr)
+        return 2
+    failed = False
+    total = 0
+    for source, query in pairs:
+        findings = linter.lint(query)
+        total += len(findings)
+        _print_warnings(findings, source)
+        if args.strict:
+            failed = failed or fails_strict(findings)
+        else:
+            failed = failed or any(f.severity == "error" for f in findings)
+    queries = len(pairs)
+    print(f"linted {queries} quer{'y' if queries == 1 else 'ies'}: "
+          f"{total} diagnostic{'' if total == 1 else 's'}")
+    return 1 if failed else 0
+
+
+def cmd_validate_graph(args: argparse.Namespace) -> int:
+    """Sweep a snapshot for ontology schema violations, per crawler."""
+    from repro.lint import SCHEMA_CODES, GraphValidator
+
+    store = load_snapshot(args.snapshot)
+    report = GraphValidator().validate(store)
+    print(
+        f"checked {report.nodes_checked:,} nodes / "
+        f"{report.relationships_checked:,} relationships"
+    )
+    if report.ok:
+        print("no schema violations")
+        return 0
+    for code, count in report.by_code().items():
+        print(f"  {code} ({SCHEMA_CODES[code]}): {count}")
+    print("violations by crawler:")
+    for crawler, items in report.by_crawler().items():
+        print(f"  {crawler:<34} {len(items):>6,}")
+        for violation in items[: args.show]:
+            print(f"    {violation}")
+    return 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -315,7 +401,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{store.relationship_count:,} relationships on http://{host}:{port}"
     )
     print(
-        "Endpoints: POST /query /profile; GET /explain /ontology /stats "
+        "Endpoints: POST /query /profile /lint; GET /explain /ontology /stats "
         "/healthz /metrics /debug/slowlog /debug/traces /debug/trace"
     )
     try:
@@ -378,6 +464,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute the query and print the annotated operator tree "
              "(rows, store hits, timings) above the results",
     )
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print the execution plan and lint warnings without "
+             "running the query",
+    )
     query.set_defaults(func=cmd_query)
 
     serve = sub.add_parser("serve", help="serve a snapshot over HTTP")
@@ -416,6 +507,33 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("query")
     explain.add_argument("--snapshot", default="iyp.json.gz")
     explain.set_defaults(func=cmd_explain)
+
+    lint = sub.add_parser(
+        "lint", help="statically check Cypher queries against the ontology"
+    )
+    lint.add_argument(
+        "sources", nargs="+", metavar="SOURCE",
+        help="a .py/.md/.cypher file, '-' for stdin, or an inline query",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    lint.add_argument(
+        "--snapshot",
+        help="lint against this snapshot's indexes too (enables LNT008)",
+    )
+    lint.set_defaults(func=cmd_lint)
+
+    validate = sub.add_parser(
+        "validate-graph", help="sweep a snapshot for ontology violations"
+    )
+    validate.add_argument("--snapshot", default="iyp.json.gz")
+    validate.add_argument(
+        "--show", type=int, default=3, metavar="N",
+        help="violations to print per crawler (default 3)",
+    )
+    validate.set_defaults(func=cmd_validate_graph)
 
     info = sub.add_parser("info", help="summarize a snapshot")
     info.add_argument("--snapshot", default="iyp.json.gz")

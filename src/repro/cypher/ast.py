@@ -11,6 +11,28 @@ from dataclasses import dataclass, field
 from typing import Any
 
 # ---------------------------------------------------------------------------
+# Source spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """Location of a token in the query text (1-based line/column).
+
+    Spans are attached to AST nodes with ``compare=False`` so two parses
+    of equivalent queries still compare equal and remain cacheable.
+    """
+
+    offset: int
+    line: int
+    column: int
+    length: int = 1
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+# ---------------------------------------------------------------------------
 # Expressions
 # ---------------------------------------------------------------------------
 
@@ -24,6 +46,7 @@ class Expression:
 @dataclass(frozen=True)
 class Literal(Expression):
     value: Any
+    span: Span | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -34,12 +57,14 @@ class Parameter(Expression):
 @dataclass(frozen=True)
 class Variable(Expression):
     name: str
+    span: Span | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
 class PropertyAccess(Expression):
     subject: Expression
     key: str
+    key_span: Span | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -148,6 +173,9 @@ class NodePattern:
     variable: str | None
     labels: tuple[str, ...]
     properties: tuple[tuple[str, Expression], ...] = ()
+    span: Span | None = field(default=None, compare=False)
+    label_spans: tuple[Span, ...] = field(default=(), compare=False)
+    property_spans: tuple[Span, ...] = field(default=(), compare=False)
 
 
 @dataclass(frozen=True)
@@ -158,6 +186,9 @@ class RelPattern:
     direction: str = "both"  # 'out', 'in', 'both'
     min_hops: int = 1
     max_hops: int = 1  # -1 means unbounded
+    span: Span | None = field(default=None, compare=False)
+    type_spans: tuple[Span, ...] = field(default=(), compare=False)
+    property_spans: tuple[Span, ...] = field(default=(), compare=False)
 
     @property
     def is_variable_length(self) -> bool:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import re
 import threading
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.cypher import ast
@@ -77,6 +78,17 @@ _WRITE_CLAUSES = (
 #: Parse-cache bound: generous for study workloads (dozens of distinct
 #: queries) while keeping an adversarial query stream in check.
 DEFAULT_PARSE_CACHE_SIZE = 512
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """EXPLAIN output: the plan lines plus static lint diagnostics."""
+
+    plan: list[str]
+    warnings: list  # list[repro.lint.Diagnostic]
+
+    def __iter__(self):
+        return iter(self.plan)
 
 
 class CypherEngine:
@@ -172,14 +184,22 @@ class CypherEngine:
             self._parse_cache.put(query, tree)
         return tree
 
-    def explain(self, query: str) -> list[str]:
+    def explain(self, query: str) -> "Explanation":
         """Describe how each MATCH would be executed (plan introspection).
 
         For every path pattern, reports the anchor element the planner
         picks and the access path (index seek, label scan, or full
         scan), with its estimated cardinality — the information behind
-        the ablation benchmarks.
+        the ablation benchmarks.  The result also carries the static
+        lint diagnostics for the query (see :mod:`repro.lint`), so
+        every EXPLAIN surfaces ontology mistakes before execution;
+        iterating an :class:`Explanation` yields the plan lines, which
+        keeps ``for line in engine.explain(q)`` working.
         """
+        # Imported lazily: repro.lint depends on the cypher parser, so a
+        # module-level import would be circular.
+        from repro.lint import QueryLinter
+
         tree = self._parsed(query)
         plan: list[str] = []
         for clause in tree.clauses:
@@ -189,7 +209,8 @@ class CypherEngine:
             kind = "OPTIONAL MATCH" if clause.optional else "MATCH"
             for pattern in clause.patterns:
                 plan.append(f"{kind} {self._matcher.describe_pattern(pattern, {})}")
-        return plan
+        warnings = QueryLinter(self.store).lint_tree(tree)
+        return Explanation(plan, warnings)
 
     # ------------------------------------------------------------------
     # Execution pipeline

@@ -8,11 +8,27 @@ class CypherError(Exception):
 
 
 class CypherSyntaxError(CypherError):
-    """Raised when a query cannot be tokenized or parsed."""
+    """Raised when a query cannot be tokenized or parsed.
 
-    def __init__(self, message: str, position: int | None = None):
+    ``position`` is the character offset into the query text; ``line``
+    and ``column`` are the corresponding 1-based source coordinates when
+    the failing token is known, so error messages (and the linter's
+    LNT000 diagnostics) can point at the exact spot.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        line: int | None = None,
+        column: int | None = None,
+    ):
         self.position = position
-        if position is not None:
+        self.line = line
+        self.column = column
+        if line is not None and column is not None:
+            message = f"{message} (line {line}, column {column})"
+        elif position is not None:
             message = f"{message} (at offset {position})"
         super().__init__(message)
 

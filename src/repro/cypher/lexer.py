@@ -47,13 +47,17 @@ class Token:
 
     ``raw`` preserves the original spelling; keywords are upper-cased in
     ``value`` but may be used as labels or property keys (e.g. the IYP
-    label ``:AS``), where the original case matters.
+    label ``:AS``), where the original case matters.  ``line`` and
+    ``column`` are 1-based source coordinates derived from ``position``
+    so parse errors and lint diagnostics can point at the exact token.
     """
 
     type: TokenType
     value: str
     position: int
     raw: str = ""
+    line: int = 1
+    column: int = 1
 
     def __post_init__(self) -> None:
         if not self.raw:
@@ -66,8 +70,35 @@ class Token:
         return self.type is TokenType.PUNCT and self.value in values
 
 
+class LineMap:
+    """Maps character offsets in a query to 1-based (line, column)."""
+
+    def __init__(self, text: str):
+        self._starts = [0]
+        index = text.find("\n")
+        while index != -1:
+            self._starts.append(index + 1)
+            index = text.find("\n", index + 1)
+
+    def locate(self, offset: int) -> tuple[int, int]:
+        from bisect import bisect_right
+
+        line = bisect_right(self._starts, offset)
+        return line, offset - self._starts[line - 1] + 1
+
+
 def tokenize(text: str) -> list[Token]:
     """Tokenize a query string; raises CypherSyntaxError on bad input."""
+    lines = LineMap(text)
+
+    def make(kind: TokenType, value: str, position: int, raw: str = "") -> Token:
+        line, column = lines.locate(position)
+        return Token(kind, value, position, raw, line, column)
+
+    def error(message: str, position: int) -> CypherSyntaxError:
+        line, column = lines.locate(position)
+        return CypherSyntaxError(message, position, line, column)
+
     tokens: list[Token] = []
     i = 0
     length = len(text)
@@ -81,14 +112,18 @@ def tokenize(text: str) -> list[Token]:
             i = length if newline == -1 else newline + 1
             continue
         if char in "'\"":
-            value, i = _read_string(text, i)
-            tokens.append(Token(TokenType.STRING, value, i))
+            start = i
+            try:
+                value, i = _read_string(text, i)
+            except CypherSyntaxError as exc:
+                raise error(str(exc).partition(" (")[0], exc.position or start)
+            tokens.append(make(TokenType.STRING, value, start))
             continue
         if char == "`":
             end = text.find("`", i + 1)
             if end == -1:
-                raise CypherSyntaxError("unterminated backtick identifier", i)
-            tokens.append(Token(TokenType.IDENT, text[i + 1 : end], i))
+                raise error("unterminated backtick identifier", i)
+            tokens.append(make(TokenType.IDENT, text[i + 1 : end], i))
             i = end + 1
             continue
         if char == "$":
@@ -97,13 +132,16 @@ def tokenize(text: str) -> list[Token]:
             while j < length and (text[j].isalnum() or text[j] == "_"):
                 j += 1
             if j == start:
-                raise CypherSyntaxError("empty parameter name", i)
-            tokens.append(Token(TokenType.PARAMETER, text[start:j], i))
+                raise error("empty parameter name", i)
+            tokens.append(make(TokenType.PARAMETER, text[start:j], i))
             i = j
             continue
         if char.isdigit() or (char == "." and i + 1 < length and text[i + 1].isdigit()):
             token, i = _read_number(text, i)
-            tokens.append(token)
+            line, column = lines.locate(token.position)
+            tokens.append(
+                Token(token.type, token.value, token.position, "", line, column)
+            )
             continue
         if char.isalpha() or char == "_":
             j = i
@@ -112,22 +150,22 @@ def tokenize(text: str) -> list[Token]:
             word = text[i:j]
             upper = word.upper()
             if upper in KEYWORDS:
-                tokens.append(Token(TokenType.KEYWORD, upper, i, word))
+                tokens.append(make(TokenType.KEYWORD, upper, i, word))
             else:
-                tokens.append(Token(TokenType.IDENT, word, i))
+                tokens.append(make(TokenType.IDENT, word, i))
             i = j
             continue
         pair = text[i : i + 2]
         if pair in _MULTI_PUNCT:
-            tokens.append(Token(TokenType.PUNCT, pair, i))
+            tokens.append(make(TokenType.PUNCT, pair, i))
             i += 2
             continue
         if char in _SINGLE_PUNCT:
-            tokens.append(Token(TokenType.PUNCT, char, i))
+            tokens.append(make(TokenType.PUNCT, char, i))
             i += 1
             continue
-        raise CypherSyntaxError(f"unexpected character {char!r}", i)
-    tokens.append(Token(TokenType.EOF, "", length))
+        raise error(f"unexpected character {char!r}", i)
+    tokens.append(make(TokenType.EOF, "", length))
     return tokens
 
 

@@ -45,6 +45,15 @@ class _Parser:
     def _current(self) -> Token:
         return self._tokens[self._pos]
 
+    def _fail(self, message: str, token: Token | None = None) -> CypherSyntaxError:
+        token = token if token is not None else self._current
+        return CypherSyntaxError(message, token.position, token.line, token.column)
+
+    @staticmethod
+    def _span(token: Token) -> ast.Span:
+        length = max(len(token.raw or token.value), 1)
+        return ast.Span(token.position, token.line, token.column, length)
+
     def _peek(self, offset: int = 1) -> Token:
         index = min(self._pos + offset, len(self._tokens) - 1)
         return self._tokens[index]
@@ -63,9 +72,7 @@ class _Parser:
 
     def _expect_keyword(self, name: str) -> None:
         if not self._accept_keyword(name):
-            raise CypherSyntaxError(
-                f"expected {name}, found {self._current.value!r}", self._current.position
-            )
+            raise self._fail(f"expected {name}, found {self._current.value!r}")
 
     def _accept_punct(self, *values: str) -> bool:
         if self._current.is_punct(*values):
@@ -75,10 +82,7 @@ class _Parser:
 
     def _expect_punct(self, value: str) -> None:
         if not self._accept_punct(value):
-            raise CypherSyntaxError(
-                f"expected {value!r}, found {self._current.value!r}",
-                self._current.position,
-            )
+            raise self._fail(f"expected {value!r}, found {self._current.value!r}")
 
     def _expect_ident(self) -> str:
         token = self._current
@@ -88,9 +92,7 @@ class _Parser:
         if token.type in (TokenType.IDENT,):
             self._advance()
             return token.value
-        raise CypherSyntaxError(
-            f"expected identifier, found {token.value!r}", token.position
-        )
+        raise self._fail(f"expected identifier, found {token.value!r}", token)
 
     def _expect_name(self) -> str:
         """Accept an identifier *or* a keyword used as a name.
@@ -103,9 +105,16 @@ class _Parser:
         if token.type in (TokenType.IDENT, TokenType.KEYWORD):
             self._advance()
             return token.raw
-        raise CypherSyntaxError(
-            f"expected name, found {token.value!r}", token.position
-        )
+        raise self._fail(f"expected name, found {token.value!r}", token)
+
+    def _expect_name_token(self) -> Token:
+        """Like :meth:`_expect_name` but returns the whole token so the
+        caller can attach a source span (labels, relationship types)."""
+        token = self._current
+        if token.type in (TokenType.IDENT, TokenType.KEYWORD):
+            self._advance()
+            return token
+        raise self._fail(f"expected name, found {token.value!r}", token)
 
     # -- top level -------------------------------------------------------
 
@@ -117,9 +126,7 @@ class _Parser:
             union_all = self._accept_keyword("ALL")
             parts.append(self._parse_part())
         if self._current.type is not TokenType.EOF:
-            raise CypherSyntaxError(
-                f"unexpected input {self._current.value!r}", self._current.position
-            )
+            raise self._fail(f"unexpected input {self._current.value!r}")
         if parts:
             return ast.Query(first.clauses, tuple(parts), union_all)
         return first
@@ -150,7 +157,7 @@ class _Parser:
             else:
                 break
         if not clauses:
-            raise CypherSyntaxError("empty query", self._current.position)
+            raise self._fail("empty query")
         return ast.Query(tuple(clauses))
 
     # -- clauses ---------------------------------------------------------
@@ -235,9 +242,7 @@ class _Parser:
                 self._expect_keyword("SET")
                 on_match = on_match + tuple(self._parse_set_items())
             else:
-                raise CypherSyntaxError(
-                    "expected CREATE or MATCH after ON", self._current.position
-                )
+                raise self._fail("expected CREATE or MATCH after ON")
         return ast.MergeClause(pattern, on_create, on_match)
 
     def _parse_set_items(self) -> list[ast.SetItem]:
@@ -263,7 +268,7 @@ class _Parser:
             if self._accept_punct("="):
                 return ast.SetItem("property", subject, key=key, value=self._parse_expression())
             subject = ast.PropertyAccess(subject, key)
-        raise CypherSyntaxError("malformed SET item", self._current.position)
+        raise self._fail("malformed SET item")
 
     def _parse_remove(self) -> ast.RemoveClause:
         self._expect_keyword("REMOVE")
@@ -315,10 +320,7 @@ class _Parser:
             inner = self._parse_pattern()
             self._expect_punct(")")
             if len(inner.nodes) != 2:
-                raise CypherSyntaxError(
-                    "shortestPath() requires a two-node pattern",
-                    self._current.position,
-                )
+                raise self._fail("shortestPath() requires a two-node pattern")
             return ast.PathPattern(
                 inner.nodes, inner.relationships, path_variable, shortest=True
             )
@@ -330,20 +332,30 @@ class _Parser:
         return ast.PathPattern(tuple(nodes), tuple(relationships), path_variable)
 
     def _parse_node_pattern(self) -> ast.NodePattern:
+        span = self._span(self._current)
         self._expect_punct("(")
         variable = None
         if self._current.type is TokenType.IDENT and not self._current.is_punct(":"):
+            span = self._span(self._current)
             variable = self._advance().value
         labels: list[str] = []
+        label_spans: list[ast.Span] = []
         while self._accept_punct(":"):
-            labels.append(self._expect_name())
+            token = self._expect_name_token()
+            labels.append(token.raw)
+            label_spans.append(self._span(token))
         properties: tuple[tuple[str, ast.Expression], ...] = ()
+        property_spans: tuple[ast.Span, ...] = ()
         if self._current.is_punct("{"):
-            properties = self._parse_property_map()
+            properties, property_spans = self._parse_property_map_spanned()
         self._expect_punct(")")
-        return ast.NodePattern(variable, tuple(labels), properties)
+        return ast.NodePattern(
+            variable, tuple(labels), properties,
+            span, tuple(label_spans), property_spans,
+        )
 
     def _parse_rel_pattern(self) -> ast.RelPattern:
+        span = self._span(self._current)
         direction = "both"
         if self._accept_punct("<"):
             direction = "in"
@@ -352,37 +364,41 @@ class _Parser:
             self._expect_punct("-")
         variable = None
         types: list[str] = []
+        type_spans: list[ast.Span] = []
         properties: tuple[tuple[str, ast.Expression], ...] = ()
+        property_spans: tuple[ast.Span, ...] = ()
         min_hops, max_hops = 1, 1
         if self._accept_punct("["):
             if self._current.type is TokenType.IDENT:
+                span = self._span(self._current)
                 variable = self._advance().value
             if self._accept_punct(":"):
-                types.append(self._expect_name())
+                token = self._expect_name_token()
+                types.append(token.raw)
+                type_spans.append(self._span(token))
                 while self._accept_punct("|"):
                     self._accept_punct(":")  # legacy ':TYPE1|:TYPE2' spelling
-                    types.append(self._expect_name())
+                    token = self._expect_name_token()
+                    types.append(token.raw)
+                    type_spans.append(self._span(token))
             if self._accept_punct("*"):
                 min_hops, max_hops = self._parse_hop_range()
             if self._current.is_punct("{"):
-                properties = self._parse_property_map()
+                properties, property_spans = self._parse_property_map_spanned()
             self._expect_punct("]")
         if self._accept_punct(">"):
             if direction == "in":
-                raise CypherSyntaxError(
-                    "relationship cannot point both ways", self._current.position
-                )
+                raise self._fail("relationship cannot point both ways")
             direction = "out"
         else:
             self._expect_punct("-")
             if self._accept_punct(">"):
                 if direction == "in":
-                    raise CypherSyntaxError(
-                        "relationship cannot point both ways", self._current.position
-                    )
+                    raise self._fail("relationship cannot point both ways")
                 direction = "out"
         return ast.RelPattern(
-            variable, tuple(types), properties, direction, min_hops, max_hops
+            variable, tuple(types), properties, direction, min_hops, max_hops,
+            span, tuple(type_spans), property_spans,
         )
 
     def _parse_hop_range(self) -> tuple[int, int]:
@@ -398,17 +414,25 @@ class _Parser:
         return min_hops, max_hops
 
     def _parse_property_map(self) -> tuple[tuple[str, ast.Expression], ...]:
+        return self._parse_property_map_spanned()[0]
+
+    def _parse_property_map_spanned(
+        self,
+    ) -> tuple[tuple[tuple[str, ast.Expression], ...], tuple[ast.Span, ...]]:
         self._expect_punct("{")
         items: list[tuple[str, ast.Expression]] = []
+        spans: list[ast.Span] = []
         if not self._current.is_punct("}"):
             while True:
+                key_token = self._current
                 key = self._parse_map_key()
+                spans.append(self._span(key_token))
                 self._expect_punct(":")
                 items.append((key, self._parse_expression()))
                 if not self._accept_punct(","):
                     break
         self._expect_punct("}")
-        return tuple(items)
+        return tuple(items), tuple(spans)
 
     def _parse_map_key(self) -> str:
         token = self._current
@@ -418,7 +442,7 @@ class _Parser:
         if token.type is TokenType.KEYWORD:
             self._advance()
             return token.raw
-        raise CypherSyntaxError(f"expected map key, found {token.value!r}", token.position)
+        raise self._fail(f"expected map key, found {token.value!r}", token)
 
     # -- expressions -------------------------------------------------------
 
@@ -522,9 +546,11 @@ class _Parser:
                 TokenType.KEYWORD,
             ):
                 self._advance()
-                key = self._current.raw
+                key_token = self._current
                 self._advance()
-                expression = ast.PropertyAccess(expression, key)
+                expression = ast.PropertyAccess(
+                    expression, key_token.raw, self._span(key_token)
+                )
                 continue
             if self._current.is_punct("["):
                 self._advance()
@@ -543,25 +569,25 @@ class _Parser:
         token = self._current
         if token.type is TokenType.STRING:
             self._advance()
-            return ast.Literal(token.value)
+            return ast.Literal(token.value, self._span(token))
         if token.type is TokenType.INTEGER:
             self._advance()
-            return ast.Literal(int(token.value))
+            return ast.Literal(int(token.value), self._span(token))
         if token.type is TokenType.FLOAT:
             self._advance()
-            return ast.Literal(float(token.value))
+            return ast.Literal(float(token.value), self._span(token))
         if token.type is TokenType.PARAMETER:
             self._advance()
             return ast.Parameter(token.value)
         if token.is_keyword("TRUE"):
             self._advance()
-            return ast.Literal(True)
+            return ast.Literal(True, self._span(token))
         if token.is_keyword("FALSE"):
             self._advance()
-            return ast.Literal(False)
+            return ast.Literal(False, self._span(token))
         if token.is_keyword("NULL"):
             self._advance()
-            return ast.Literal(None)
+            return ast.Literal(None, self._span(token))
         if token.is_keyword("CASE"):
             return self._parse_case()
         if token.is_keyword("EXISTS"):
@@ -582,14 +608,12 @@ class _Parser:
             if self._peek().is_punct("("):
                 return self._parse_function_call()
             self._advance()
-            return ast.Variable(token.value)
+            return ast.Variable(token.value, self._span(token))
         # count(...) is lexed as IDENT but COUNT may appear as keyword in
         # other dialects; treat remaining keywords followed by '(' as calls.
         if token.type is TokenType.KEYWORD and self._peek().is_punct("("):
             return self._parse_function_call()
-        raise CypherSyntaxError(
-            f"unexpected token {token.value!r} in expression", token.position
-        )
+        raise self._fail(f"unexpected token {token.value!r} in expression", token)
 
     def _looks_like_pattern(self) -> bool:
         """Disambiguate ``(expr)`` from ``(n)-[...]-(m)`` predicates."""
@@ -668,7 +692,7 @@ class _Parser:
             self._expect_keyword("THEN")
             whens.append((condition, self._parse_expression()))
         if not whens:
-            raise CypherSyntaxError("CASE without WHEN", self._current.position)
+            raise self._fail("CASE without WHEN")
         default = self._parse_expression() if self._accept_keyword("ELSE") else None
         self._expect_keyword("END")
         return ast.CaseExpression(operand, tuple(whens), default)

@@ -12,7 +12,22 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.datasets.registry import DATASETS, organizations
-from repro.ontology import ENTITIES, RELATIONSHIPS
+from repro.ontology import (
+    ENTITIES,
+    NODE_PROPERTIES,
+    REFERENCE_PROPERTIES,
+    RELATIONSHIP_PROPERTIES,
+    RELATIONSHIPS,
+)
+
+
+def _property_cell(catalog: dict[str, str], exclude: tuple[str, ...] = ()) -> str:
+    cells = [
+        f"`{name}` ({kind})"
+        for name, kind in sorted(catalog.items())
+        if name not in exclude
+    ]
+    return ", ".join(cells) if cells else "—"
 
 
 def render_data_sources() -> str:
@@ -41,14 +56,19 @@ def render_node_types() -> str:
         "",
         f"{len(ENTITIES)} entity types.",
         "",
-        "| Entity | Key properties | Description |",
-        "|---|---|---|",
+        "| Entity | Key properties | Other properties | Description |",
+        "|---|---|---|---|",
     ]
     for definition in ENTITIES.values():
         keys = ", ".join(f"`{k}`" for k in definition.key_properties)
         loose = " *(loosely identified)*" if definition.loose else ""
+        extras = _property_cell(
+            NODE_PROPERTIES.get(definition.label, {}),
+            exclude=definition.key_properties,
+        )
         lines.append(
-            f"| `:{definition.label}` | {keys} | {definition.description}{loose} |"
+            f"| `:{definition.label}` | {keys} | {extras} "
+            f"| {definition.description}{loose} |"
         )
     lines.append("")
     return "\n".join(lines)
@@ -61,15 +81,23 @@ def render_relationship_types() -> str:
         "",
         f"{len(RELATIONSHIPS)} relationship types.",
         "",
-        "| Relationship | Endpoints | Description |",
-        "|---|---|---|",
+        "All relationships additionally carry the `reference_*` provenance "
+        "properties; the table lists only type-specific ones.",
+        "",
+        "| Relationship | Endpoints | Properties | Description |",
+        "|---|---|---|---|",
     ]
     for definition in RELATIONSHIPS.values():
         endpoints = "; ".join(
             f"`{start}` → `{end}`" for start, end in definition.endpoints
         )
+        extras = _property_cell(
+            RELATIONSHIP_PROPERTIES.get(definition.type, {}),
+            exclude=REFERENCE_PROPERTIES,
+        )
         lines.append(
-            f"| `:{definition.type}` | {endpoints} | {definition.description} |"
+            f"| `:{definition.type}` | {endpoints} | {extras} "
+            f"| {definition.description} |"
         )
     lines.append("")
     return "\n".join(lines)

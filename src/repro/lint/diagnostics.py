@@ -1,0 +1,83 @@
+"""Structured diagnostics shared by the query linter and the CLI.
+
+Every check in :mod:`repro.lint.linter` emits :class:`Diagnostic`
+instances with a stable code (``LNT000``-``LNT009``), a severity, a
+human-readable message and, when known, the source span of the offending
+token.  Codes and severities are documented in
+``documentation/linting.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cypher.ast import Span
+
+#: Severities, most severe first.  ``--strict`` fails on error and
+#: warning; ``info`` diagnostics (style-level, e.g. an unused variable)
+#: never fail a lint run.
+SEVERITIES = ("error", "warning", "info")
+
+#: code -> (severity, short title)
+CODES: dict[str, tuple[str, str]] = {
+    "LNT000": ("error", "syntax error"),
+    "LNT001": ("error", "unknown node label"),
+    "LNT002": ("error", "unknown relationship type"),
+    "LNT003": ("error", "impossible relationship endpoints"),
+    "LNT004": ("warning", "unknown property name"),
+    "LNT005": ("warning", "cartesian product"),
+    "LNT006": ("info", "variable bound but never used"),
+    "LNT007": ("error", "variable used but never bound"),
+    "LNT008": ("warning", "property lookup without index"),
+    "LNT009": ("warning", "suspicious type comparison"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, pointing at a source location when known."""
+
+    code: str
+    severity: str
+    message: str
+    span: Span | None = None
+
+    def format(self, source: str | None = None) -> str:
+        """Render as ``source:line:col: severity CODE: message``."""
+        location = ""
+        if self.span is not None:
+            location = f"{self.span.line}:{self.span.column}: "
+        prefix = f"{source}:" if source else ""
+        return f"{prefix}{location}{self.severity} {self.code}: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            payload["line"] = self.span.line
+            payload["column"] = self.span.column
+            payload["offset"] = self.span.offset
+        return payload
+
+
+def diagnostic(code: str, message: str, span: Span | None = None) -> Diagnostic:
+    """Build a diagnostic with the registered severity for ``code``."""
+    severity = CODES[code][0]
+    return Diagnostic(code, severity, message, span)
+
+
+def worst_severity(diagnostics: list[Diagnostic]) -> str | None:
+    """The most severe level present, or None for a clean result."""
+    for severity in SEVERITIES:
+        if any(d.severity == severity for d in diagnostics):
+            return severity
+    return None
+
+
+def fails_strict(diagnostics: list[Diagnostic]) -> bool:
+    """Strict mode fails on errors and warnings, but not info notes."""
+    return any(d.severity in ("error", "warning") for d in diagnostics)

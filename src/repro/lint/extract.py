@@ -1,0 +1,80 @@
+"""Pull Cypher queries out of files for batch linting.
+
+``repro lint`` accepts three source shapes:
+
+- ``.py`` modules: module-level string constants that look like Cypher
+  (contain a MATCH/CREATE/MERGE/UNWIND/RETURN keyword) — this is how
+  ``src/repro/studies/queries.py`` stores the paper listings;
+- ``.md`` documents: fenced code blocks tagged ``cypher`` — the
+  listings embedded in EXPERIMENTS.md;
+- anything else (``.cypher``, ``.cql``, stdin): the whole text is one
+  query.
+
+Each extracted query keeps a name (constant name or block ordinal) so
+diagnostics can cite their origin.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+import re
+from pathlib import Path
+
+_QUERY_KEYWORD = re.compile(
+    r"\b(MATCH|CREATE|MERGE|UNWIND|RETURN)\b", re.IGNORECASE
+)
+_CYPHER_FENCE = re.compile(
+    r"^```\s*cypher\s*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
+)
+
+
+def looks_like_cypher(text: str) -> bool:
+    """Heuristic used to pick query constants out of Python modules."""
+    return bool(_QUERY_KEYWORD.search(text))
+
+
+def extract_from_python(source: str) -> list[tuple[str, str]]:
+    """(name, query) for each module-level Cypher string constant."""
+    module = python_ast.parse(source)
+    queries: list[tuple[str, str]] = []
+    for statement in module.body:
+        targets: list[str] = []
+        value = None
+        if isinstance(statement, python_ast.Assign):
+            targets = [
+                t.id for t in statement.targets if isinstance(t, python_ast.Name)
+            ]
+            value = statement.value
+        elif isinstance(statement, python_ast.AnnAssign) and isinstance(
+            statement.target, python_ast.Name
+        ):
+            targets = [statement.target.id]
+            value = statement.value
+        if (
+            targets
+            and isinstance(value, python_ast.Constant)
+            and isinstance(value.value, str)
+            and looks_like_cypher(value.value)
+        ):
+            for name in targets:
+                queries.append((name, value.value))
+    return queries
+
+
+def extract_from_markdown(source: str) -> list[tuple[str, str]]:
+    """(name, query) for each ```cypher fenced block, in order."""
+    return [
+        (f"cypher block {index}", match.group(1))
+        for index, match in enumerate(_CYPHER_FENCE.finditer(source), start=1)
+    ]
+
+
+def extract_queries(path: str | Path) -> list[tuple[str, str]]:
+    """Extract (name, query) pairs from a file, by extension."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".py":
+        return [(f"{path}:{name}", query) for name, query in extract_from_python(text)]
+    if path.suffix in (".md", ".markdown"):
+        return [(f"{path}:{name}", query) for name, query in extract_from_markdown(text)]
+    return [(str(path), text)]

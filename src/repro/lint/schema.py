@@ -1,0 +1,238 @@
+"""Store-level schema validation — the "data sanitizer".
+
+Where :class:`repro.ontology.SchemaValidator` reports free-form
+messages, this validator sweeps a loaded graph and reports *coded*
+violations grouped per crawler (via each relationship's
+``reference_name`` provenance), so the pipeline can attach the outcome
+to :class:`~repro.pipeline.build.BuildReport` and the metrics registry
+can count violations by code:
+
+``SCH001``  node carries no ontology label
+``SCH002``  node is missing an identifying (uniqueness-key) property
+``SCH003``  relationship type is not defined by the ontology
+``SCH004``  relationship endpoints violate the ontology (either
+            orientation is accepted: IYP stores links directed but
+            queries them undirected)
+``SCH005``  relationship lacks provenance (no ``reference_name``)
+``SCH006``  dangling Reference metadata: provenance present but
+            incomplete (``reference_org`` missing) or carrying
+            ``reference_*`` properties the Reference model does not
+            define
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.ontology import ENTITIES, REFERENCE_PROPERTIES, RELATIONSHIPS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphdb.model import Node
+    from repro.graphdb.store import GraphStore
+
+#: Crawler bucket for node-level violations (nodes carry no provenance).
+GRAPH_BUCKET = "(graph)"
+#: Crawler bucket for relationships without a usable reference_name.
+UNKNOWN_BUCKET = "(unknown)"
+
+SCHEMA_CODES: dict[str, str] = {
+    "SCH001": "non-ontology node label",
+    "SCH002": "missing uniqueness-key property",
+    "SCH003": "unknown relationship type",
+    "SCH004": "endpoint labels violate the ontology",
+    "SCH005": "missing provenance (reference_name)",
+    "SCH006": "dangling Reference metadata",
+}
+
+
+@dataclass(frozen=True)
+class SchemaViolation:
+    """One coded violation, attributed to the crawler that produced it."""
+
+    code: str
+    kind: str  # 'node' | 'relationship'
+    element_id: int
+    crawler: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.code} [{self.crawler}] {self.kind} "
+            f"{self.element_id}: {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "kind": self.kind,
+            "element_id": self.element_id,
+            "crawler": self.crawler,
+            "message": self.message,
+        }
+
+
+@dataclass
+class GraphValidationReport:
+    """Aggregated sweep outcome, with per-crawler and per-code views."""
+
+    violations: list[SchemaViolation] = field(default_factory=list)
+    nodes_checked: int = 0
+    relationships_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_crawler(self) -> dict[str, list[SchemaViolation]]:
+        grouped: dict[str, list[SchemaViolation]] = {}
+        for violation in self.violations:
+            grouped.setdefault(violation.crawler, []).append(violation)
+        return dict(sorted(grouped.items()))
+
+    def by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self, limit: int = 20) -> dict[str, Any]:
+        """JSON-friendly summary; detail is capped at ``limit`` entries."""
+        return {
+            "ok": self.ok,
+            "nodes_checked": self.nodes_checked,
+            "relationships_checked": self.relationships_checked,
+            "violation_count": len(self.violations),
+            "by_code": self.by_code(),
+            "by_crawler": {
+                crawler: len(items) for crawler, items in self.by_crawler().items()
+            },
+            "violations": [v.to_dict() for v in self.violations[:limit]],
+        }
+
+
+class GraphValidator:
+    """Sweeps a :class:`GraphStore` for coded ontology violations."""
+
+    def validate(self, store: "GraphStore") -> GraphValidationReport:
+        report = GraphValidationReport()
+        for node in store.iter_nodes():
+            report.nodes_checked += 1
+            self._check_node(node, report)
+        for rel in store.iter_relationships():
+            report.relationships_checked += 1
+            self._check_relationship(store, rel, report)
+        return report
+
+    def _check_node(self, node: "Node", report: GraphValidationReport) -> None:
+        known = [label for label in node.labels if label in ENTITIES]
+        if not known:
+            report.violations.append(
+                SchemaViolation(
+                    "SCH001",
+                    "node",
+                    node.id,
+                    GRAPH_BUCKET,
+                    f"no ontology label among {sorted(node.labels)}",
+                )
+            )
+            return
+        for label in known:
+            missing = [
+                key
+                for key in ENTITIES[label].key_properties
+                if key not in node.properties
+            ]
+            if missing:
+                report.violations.append(
+                    SchemaViolation(
+                        "SCH002",
+                        "node",
+                        node.id,
+                        GRAPH_BUCKET,
+                        f":{label} missing identifying properties {missing}",
+                    )
+                )
+
+    def _check_relationship(
+        self, store: "GraphStore", rel, report: GraphValidationReport
+    ) -> None:
+        crawler = rel.properties.get("reference_name") or UNKNOWN_BUCKET
+        definition = RELATIONSHIPS.get(rel.type)
+        if definition is None:
+            report.violations.append(
+                SchemaViolation(
+                    "SCH003",
+                    "relationship",
+                    rel.id,
+                    crawler,
+                    f"unknown relationship type :{rel.type}",
+                )
+            )
+            return
+        start = store.get_node(rel.start_id)
+        end = store.get_node(rel.end_id)
+        if not self._endpoints_permitted(definition.endpoints, start, end):
+            report.violations.append(
+                SchemaViolation(
+                    "SCH004",
+                    "relationship",
+                    rel.id,
+                    crawler,
+                    f":{rel.type} between {sorted(start.labels)} and "
+                    f"{sorted(end.labels)} violates the ontology",
+                )
+            )
+        self._check_reference(rel, crawler, report)
+
+    def _check_reference(
+        self, rel, crawler: str, report: GraphValidationReport
+    ) -> None:
+        props = rel.properties
+        if "reference_name" not in props:
+            report.violations.append(
+                SchemaViolation(
+                    "SCH005",
+                    "relationship",
+                    rel.id,
+                    crawler,
+                    f":{rel.type} lacks provenance (reference_name)",
+                )
+            )
+            return
+        problems = []
+        if "reference_org" not in props:
+            problems.append("reference_org missing")
+        stray = sorted(
+            key
+            for key in props
+            if key.startswith("reference_") and key not in REFERENCE_PROPERTIES
+        )
+        if stray:
+            problems.append(f"undefined reference properties {stray}")
+        if problems:
+            report.violations.append(
+                SchemaViolation(
+                    "SCH006",
+                    "relationship",
+                    rel.id,
+                    crawler,
+                    f":{rel.type} has dangling Reference metadata: "
+                    + "; ".join(problems),
+                )
+            )
+
+    @staticmethod
+    def _endpoints_permitted(
+        endpoints: tuple[tuple[str, str], ...], start: "Node", end: "Node"
+    ) -> bool:
+        for start_label, end_label in endpoints:
+            if (start_label == "*" or start_label in start.labels) and (
+                end_label == "*" or end_label in end.labels
+            ):
+                return True
+            if (end_label == "*" or end_label in start.labels) and (
+                start_label == "*" or start_label in end.labels
+            ):
+                return True
+        return False

@@ -7,6 +7,12 @@ against this schema, and the studies use it for documentation.
 """
 
 from repro.ontology.entities import ENTITIES, EntityDef, entity
+from repro.ontology.properties import (
+    NODE_PROPERTIES,
+    RELATIONSHIP_PROPERTIES,
+    node_property_kind,
+    relationship_property_kind,
+)
 from repro.ontology.relationships import RELATIONSHIPS, RelationshipDef, relationship
 from repro.ontology.schema import (
     REFERENCE_PROPERTIES,
@@ -17,11 +23,15 @@ from repro.ontology.schema import (
 __all__ = [
     "ENTITIES",
     "EntityDef",
+    "NODE_PROPERTIES",
     "OntologyViolation",
     "REFERENCE_PROPERTIES",
     "RELATIONSHIPS",
+    "RELATIONSHIP_PROPERTIES",
     "RelationshipDef",
     "SchemaValidator",
     "entity",
+    "node_property_kind",
     "relationship",
+    "relationship_property_kind",
 ]

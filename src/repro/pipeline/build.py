@@ -23,6 +23,7 @@ from typing import Any
 
 from repro.core import IYP
 from repro.datasets.registry import crawlers_for, make_fetcher
+from repro.lint import GraphValidationReport, GraphValidator
 from repro.obs import NULL_TRACER, AccessCollector, Tracer, collecting
 from repro.pipeline.postprocess import run_postprocessing
 from repro.server.metrics import Metrics
@@ -67,10 +68,13 @@ class BuildReport:
     nodes: int = 0
     relationships: int = 0
     trace_id: str | None = None
+    schema_report: GraphValidationReport | None = None
 
     @property
     def ok(self) -> bool:
-        return not self.crawler_errors
+        if self.crawler_errors:
+            return False
+        return self.schema_report is None or self.schema_report.ok
 
 
 def _record_crawler_metrics(metrics: Metrics, run: CrawlerRun) -> None:
@@ -91,6 +95,7 @@ def build_iyp(
     raise_on_error: bool = True,
     metrics: Metrics | None = None,
     tracer: Tracer | None = None,
+    validate: bool = True,
 ) -> tuple[IYP, BuildReport]:
     """Build the knowledge graph from a synthetic world.
 
@@ -100,6 +105,10 @@ def build_iyp(
     per-crawler Prometheus counters into an existing registry (e.g. the
     one a co-located query service will expose), and ``tracer`` to hang
     the build's span tree off a live tracer.
+
+    With ``validate`` (the default) the finished graph is swept by the
+    ontology schema validator; the per-crawler violation report lands in
+    ``report.schema_report`` and any violations flip ``report.ok``.
     """
     started = time.perf_counter()
     iyp = iyp or IYP()
@@ -137,6 +146,20 @@ def build_iyp(
         if postprocess:
             with tracer.span("postprocess"):
                 report.refinement_counts = run_postprocessing(iyp)
+        if validate:
+            with tracer.span("validate_schema"):
+                report.schema_report = GraphValidator().validate(iyp.store)
+            if metrics is not None:
+                for code, count in report.schema_report.by_code().items():
+                    metrics.inc(
+                        "schema_violations_total", count, labels={"code": code}
+                    )
+            if not report.schema_report.ok:
+                log.warning(
+                    "schema validation: %d violation(s) %s",
+                    len(report.schema_report.violations),
+                    json.dumps(report.schema_report.by_code(), sort_keys=True),
+                )
     report.total_seconds = time.perf_counter() - started
     report.nodes = iyp.store.node_count
     report.relationships = iyp.store.relationship_count

@@ -29,8 +29,10 @@ from repro.cypher.errors import (
     RowLimitError,
 )
 from repro.cypher.result import QueryResult
+from repro.cypher.lru import LRUCache
 from repro.graphdb.errors import ConstraintViolationError, GraphError
 from repro.graphdb.store import GraphStore
+from repro.lint import QueryLinter, fails_strict
 from repro.obs import Profiler, SlowQueryLog, Tracer
 from repro.ontology import ENTITIES, RELATIONSHIPS
 from repro.server.admission import AdmissionController, ServerBusyError
@@ -148,6 +150,11 @@ class QueryService:
         self.slowlog = SlowQueryLog(
             threshold_seconds=slow_query_seconds, capacity=slowlog_capacity
         )
+        self.linter = QueryLinter(store)
+        #: Lint results per query text, so /query's meta.warnings does
+        #: not re-analyze a hot query on every request.  Counters are
+        #: bumped on the miss path only — once per distinct query.
+        self._lint_cache: LRUCache = LRUCache(256)
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -232,6 +239,9 @@ class QueryService:
                 "store_version": self.store.version,
             },
         }
+        warnings = self._lint_warnings(query)
+        if warnings:
+            response["meta"]["warnings"] = warnings
         if trace_id is not None:
             response["meta"]["trace_id"] = trace_id
         if profile and plan is not None:
@@ -326,13 +336,50 @@ class QueryService:
     # GET endpoints
     # ------------------------------------------------------------------
 
-    def explain(self, query: str) -> dict[str, Any]:
-        """The engine's plan description for one query."""
+    def _lint_warnings(self, query: str) -> list[dict[str, Any]]:
+        """Cached lint diagnostics for ``meta.warnings`` on /query."""
+        cached = self._lint_cache.get(query)
+        if cached is not None:
+            return cached
         try:
-            plan = self.engine.explain(query)
+            findings = self.linter.lint(query)
+        except Exception:  # pragma: no cover - linting must never 500 a query
+            findings = []
+        encoded = [finding.to_dict() for finding in findings]
+        for finding in findings:
+            self.metrics.inc(
+                "lint_diagnostics_total", labels={"severity": finding.severity}
+            )
+        self._lint_cache.put(query, encoded)
+        return encoded
+
+    def lint(self, query: str) -> dict[str, Any]:
+        """``POST /lint``: static diagnostics for a query, no execution."""
+        if not isinstance(query, str) or not query.strip():
+            raise self._count_error(ServiceError(400, "bad_request", "empty query"))
+        findings = self.linter.lint(query)
+        for finding in findings:
+            self.metrics.inc(
+                "lint_diagnostics_total", labels={"severity": finding.severity}
+            )
+        return {
+            "query": query,
+            "diagnostics": [finding.to_dict() for finding in findings],
+            "ok": not any(f.severity == "error" for f in findings),
+            "strict_ok": not fails_strict(findings),
+        }
+
+    def explain(self, query: str) -> dict[str, Any]:
+        """The engine's plan description for one query, plus lint warnings."""
+        try:
+            explanation = self.engine.explain(query)
         except CypherSyntaxError as exc:
             raise ServiceError(400, "syntax_error", str(exc))
-        return {"query": query, "plan": plan}
+        return {
+            "query": query,
+            "plan": explanation.plan,
+            "warnings": [finding.to_dict() for finding in explanation.warnings],
+        }
 
     def ontology(self) -> dict[str, Any]:
         """The IYP schema: entities and relationships (Tables 6-7)."""

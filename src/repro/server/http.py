@@ -11,6 +11,7 @@ Endpoints::
                      "timeout": 5.0, "max_rows": 1000}
     POST /profile      (same body; bypasses the cache, returns the
                         executed operator tree alongside the rows)
+    POST /lint      {"query": "..."}   (static diagnostics, no execution)
     GET  /explain?q=<cypher>
     GET  /ontology
     GET  /stats
@@ -82,6 +83,10 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         route = urlsplit(self.path).path.rstrip("/")
         try:
+            if route == "/lint":
+                request = self._read_json_body()
+                self._send_json(200, self.service.lint(request.get("query", "")))
+                return
             if route not in ("/query", "/profile"):
                 raise ServiceError(404, "not_found", f"no route {route!r}")
             request = self._read_json_body()

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import random
 
-from repro.nettypes.dns import registered_domain
 from repro.simnet.addressing import host_ip
 from repro.simnet.topology import COUNTRY_WEIGHTS, weighted_choice
 from repro.simnet.world import DNSProvider, DomainInfo, NameServerInfo, TLDInfo, World
@@ -284,7 +283,7 @@ def _build_domains(world: World, rng: random.Random) -> None:
     used_names: set[str] = set()
 
     for rank in range(1, n_domains + 1):
-        name = self_name = _domain_name(rng, used_names)
+        name = _domain_name(rng, used_names)
         if rng.random() < config.com_net_org_fraction:
             tld = weighted_choice(rng, GTLDS)
         else:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.nettypes import ip_in_prefix, prefix_contains
+from repro.nettypes import prefix_contains
 from repro.simnet.resolver import resolution_report
 from repro.simnet.world import World
 

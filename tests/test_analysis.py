@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import (
-    DEFAULT_RULES,
     InferenceRule,
     as_pagerank,
     rank_agreement,

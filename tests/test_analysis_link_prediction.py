@@ -5,7 +5,6 @@ import pytest
 from repro.analysis.embeddings import (
     TransEConfig,
     evaluate_link_prediction,
-    extract_triples,
     train_transe,
 )
 from repro.graphdb import GraphStore

@@ -228,3 +228,86 @@ class TestProfileAndParams:
         defaults = build_parser().parse_args(["serve"])
         assert defaults.slow_query_threshold == 1.0
         assert defaults.no_trace is False
+
+
+class TestLint:
+    def test_paper_listings_lint_clean_strict(self, capsys):
+        code = main(["lint", "--strict", "src/repro/studies/queries.py"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "linted 6 queries" in out
+
+    def test_inline_error_fails(self, capsys):
+        code = main(["lint", "MATCH (a:ASN) RETURN a"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "LNT001" in out and ":ASN" in out
+
+    def test_warning_passes_default_fails_strict(self, capsys):
+        query = "MATCH (a:AS), (p:Prefix) RETURN a, p"  # LNT005 warning
+        assert main(["lint", query]) == 0
+        assert main(["lint", "--strict", query]) == 1
+        assert "LNT005" in capsys.readouterr().out
+
+    def test_stdin_source(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("MATCH (a:AS) RETURN a"))
+        assert main(["lint", "-"]) == 0
+        assert "0 diagnostics" in capsys.readouterr().out
+
+    def test_markdown_extraction(self, tmp_path, capsys):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# Title\n\n```cypher\nMATCH (a:Prefx) RETURN a\n```\n"
+        )
+        assert main(["lint", str(doc)]) == 1
+        out = capsys.readouterr().out
+        assert "cypher block 1" in out and "LNT001" in out
+
+    def test_snapshot_enables_index_checks(self, snapshot_path, capsys):
+        # `af` is not an indexed property, so the lookup needs a scan.
+        code = main(
+            [
+                "lint", "--strict", "MATCH (i:IP {af: 4}) RETURN i.ip",
+                "--snapshot", str(snapshot_path),
+            ]
+        )
+        assert code == 1
+        assert "LNT008" in capsys.readouterr().out
+
+
+class TestValidateGraph:
+    def test_fresh_snapshot_is_clean(self, snapshot_path, capsys):
+        code = main(["validate-graph", "--snapshot", str(snapshot_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no schema violations" in out
+        assert "checked" in out
+
+
+class TestQueryExplain:
+    def test_query_explain_prints_plan_and_warnings(self, snapshot_path, capsys):
+        code = main(
+            [
+                "query", "MATCH (a:ASN) RETURN a",
+                "--snapshot", str(snapshot_path),
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "anchor=" in out or "MATCH" in out
+        assert "LNT001" in out
+
+    def test_explain_command_prints_warnings(self, snapshot_path, capsys):
+        code = main(
+            [
+                "explain", "MATCH (a:AS) RETURN b.asn",
+                "--snapshot", str(snapshot_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "anchor=:AS" in out
+        assert "LNT007" in out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import IYP, Reference
+from repro.core import Reference
 
 
 class TestCanonicalization:

@@ -178,3 +178,69 @@ def test_property_distinct_never_exceeds_total(graph):
     distinct = engine.run("MATCH (a)--(b) RETURN DISTINCT a.i AS x")
     assert len(distinct) <= len(total)
     assert set(distinct.column("x")) == set(total.column("x"))
+
+
+# ---------------------------------------------------------------------------
+# Linter robustness: any query the generator produces — valid ontology
+# vocabulary or not, parsable or not — must lint without crashing.
+# ---------------------------------------------------------------------------
+
+ONTOLOGY_LABELS = ["AS", "Prefix", "IP", "ASN", "Widget"]
+ONTOLOGY_TYPES = ["ORIGINATE", "DEPENDS_ON", "FROBNICATES", "X"]
+
+
+@st.composite
+def random_queries(draw):
+    """Random one/two-hop queries mixing real and bogus vocabulary."""
+    label_a = draw(st.sampled_from(ONTOLOGY_LABELS))
+    label_b = draw(st.sampled_from(ONTOLOGY_LABELS))
+    rel_type = draw(st.sampled_from(ONTOLOGY_TYPES))
+    direction = draw(st.sampled_from(["out", "in", "both"]))
+    where = draw(
+        st.sampled_from(
+            [
+                "",
+                " WHERE a.asn = 1",
+                " WHERE a.asn = 'one'",
+                " WHERE a.bogus CONTAINS 'x'",
+                " WHERE b.prefix STARTS WITH '10.'",
+            ]
+        )
+    )
+    tail = draw(st.sampled_from(["RETURN a", "RETURN a, b", "RETURN *",
+                                 "RETURN count(*)", "RETURN missing.x"]))
+    return (
+        f"MATCH (a:{label_a}){_arrow(rel_type, direction)}(b:{label_b})"
+        f"{where} {tail}"
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_queries())
+def test_property_linter_never_crashes(query):
+    from repro.lint import SEVERITIES, lint_query
+
+    for finding in lint_query(query):
+        assert finding.code.startswith("LNT")
+        assert finding.severity in SEVERITIES
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=60))
+def test_property_linter_handles_arbitrary_text(text):
+    from repro.lint import lint_query
+
+    findings = lint_query(text)
+    # Unparsable inputs must degrade to a single LNT000, never raise.
+    if findings and findings[0].code == "LNT000":
+        assert findings[0].severity == "error"
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), random_queries())
+def test_property_linter_with_store_never_crashes(graph, query):
+    from repro.lint import QueryLinter
+
+    node_labels, edges = graph
+    store, _nodes, _rels = _build(node_labels, edges)
+    QueryLinter(store).lint(query)

@@ -218,3 +218,57 @@ class TestErrors:
     def test_union_column_structures_parse(self):
         query = parse("RETURN 1 AS x UNION RETURN 2 AS x")
         assert len(query.union_parts) == 1
+
+
+class TestErrorPositions:
+    """Parse errors and AST nodes carry line/column source positions."""
+
+    def test_error_points_at_offending_token(self):
+        with pytest.raises(CypherSyntaxError) as err:
+            parse("MATCH (a:AS RETURN a")
+        assert err.value.line == 1
+        assert err.value.column == 13  # the RETURN that should be ')'
+        assert "line 1, column 13" in str(err.value)
+
+    def test_error_position_on_later_line(self):
+        with pytest.raises(CypherSyntaxError) as err:
+            parse("MATCH (a:AS)\nWHERE a.asn = = 1\nRETURN a")
+        assert err.value.line == 2
+        assert err.value.column == 15
+
+    def test_lexer_error_carries_position(self):
+        with pytest.raises(CypherSyntaxError) as err:
+            parse("MATCH (a:AS)\nWHERE a.name = 'unterminated")
+        assert err.value.line == 2
+        assert err.value.column == 16
+
+    def test_node_pattern_spans(self):
+        clause = parse("MATCH (a:AS {asn: 1}) RETURN a").clauses[0]
+        node = clause.patterns[0].nodes[0]
+        assert (node.span.line, node.span.column) == (1, 8)
+        assert (node.label_spans[0].line, node.label_spans[0].column) == (1, 10)
+        assert (
+            node.property_spans[0].line,
+            node.property_spans[0].column,
+        ) == (1, 14)
+
+    def test_relationship_type_spans(self):
+        clause = parse("MATCH (a)-[:ORIGINATE|DEPENDS_ON]-(b) RETURN a").clauses[0]
+        rel = clause.patterns[0].relationships[0]
+        columns = [span.column for span in rel.type_spans]
+        assert [span.line for span in rel.type_spans] == [1, 1]
+        assert columns == [13, 23]
+
+    def test_expression_spans(self):
+        query = parse("MATCH (a:AS)\nRETURN a.asn")
+        item = query.clauses[-1].items[0]
+        access = item.expression
+        assert (access.subject.span.line, access.subject.span.column) == (2, 8)
+        assert (access.key_span.line, access.key_span.column) == (2, 10)
+
+    def test_spans_do_not_affect_equality(self):
+        # Spans are compare=False: the parse cache and tests comparing
+        # AST fragments built by hand must not see them.
+        left = parse("MATCH (a:AS) RETURN a")
+        right = parse("MATCH  (a:AS)  RETURN  a".replace("  ", " "))
+        assert left == right

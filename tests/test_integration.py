@@ -1,8 +1,6 @@
 """End-to-end integration: world -> crawl -> fuse -> refine -> query ->
 snapshot -> reload -> same answers."""
 
-import pytest
-
 from repro.cypher import CypherEngine
 from repro.graphdb import load_snapshot, save_snapshot
 from repro.pipeline import build_iyp

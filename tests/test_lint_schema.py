@@ -1,0 +1,152 @@
+"""The graph schema validator (data sanitizer): coded store violations."""
+
+import pytest
+
+from repro.graphdb import GraphStore
+from repro.lint import GRAPH_BUCKET, SCHEMA_CODES, GraphValidator
+from repro.pipeline import build_iyp
+from repro.simnet import WorldConfig, build_world
+
+REF = {
+    "reference_org": "BGPKIT",
+    "reference_name": "bgpkit.pfx2as",
+    "reference_url_data": "https://example.test",
+}
+
+
+@pytest.fixture()
+def store():
+    return GraphStore()
+
+
+def validate(store):
+    return GraphValidator().validate(store)
+
+
+class TestCleanStore:
+    def test_empty_store_is_clean(self, store):
+        report = validate(store)
+        assert report.ok
+        assert report.nodes_checked == 0
+        assert report.relationships_checked == 0
+
+    def test_well_formed_link_is_clean(self, store):
+        a = store.create_node({"AS"}, {"asn": 2497})
+        p = store.create_node({"Prefix"}, {"prefix": "192.0.2.0/24", "af": 4})
+        store.create_relationship(a.id, "ORIGINATE", p.id, dict(REF))
+        report = validate(store)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.nodes_checked == 2
+        assert report.relationships_checked == 1
+
+
+class TestNodeChecks:
+    def test_non_ontology_label_is_sch001(self, store):
+        store.create_node({"Widget"}, {"id": 1})
+        report = validate(store)
+        assert report.by_code() == {"SCH001": 1}
+        assert report.violations[0].crawler == GRAPH_BUCKET
+
+    def test_missing_key_property_is_sch002(self, store):
+        store.create_node({"AS"}, {"name": "IIJ"})  # no asn
+        report = validate(store)
+        assert report.by_code() == {"SCH002": 1}
+        assert "asn" in report.violations[0].message
+
+
+class TestRelationshipChecks:
+    def test_unknown_type_is_sch003(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        store.create_relationship(a.id, "FROBNICATES", b.id, dict(REF))
+        report = validate(store)
+        assert report.by_code() == {"SCH003": 1}
+
+    def test_endpoint_violation_is_sch004(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        c = store.create_node({"Country"}, {"country_code": "JP"})
+        store.create_relationship(a.id, "ORIGINATE", c.id, dict(REF))
+        report = validate(store)
+        assert "SCH004" in report.by_code()
+
+    def test_reversed_orientation_is_accepted(self, store):
+        # IYP stores links directed but queries them undirected, so a
+        # reversed stored direction is not an endpoint violation.
+        a = store.create_node({"AS"}, {"asn": 1})
+        p = store.create_node({"Prefix"}, {"prefix": "192.0.2.0/24", "af": 4})
+        store.create_relationship(p.id, "ORIGINATE", a.id, dict(REF))
+        assert validate(store).ok
+
+    def test_missing_provenance_is_sch005(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        p = store.create_node({"Prefix"}, {"prefix": "192.0.2.0/24", "af": 4})
+        store.create_relationship(a.id, "ORIGINATE", p.id, {})
+        report = validate(store)
+        assert report.by_code() == {"SCH005": 1}
+        assert report.violations[0].crawler == "(unknown)"
+
+    def test_incomplete_reference_is_sch006(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        p = store.create_node({"Prefix"}, {"prefix": "192.0.2.0/24", "af": 4})
+        store.create_relationship(
+            a.id, "ORIGINATE", p.id, {"reference_name": "bgpkit.pfx2as"}
+        )
+        report = validate(store)
+        assert report.by_code() == {"SCH006": 1}
+
+    def test_stray_reference_property_is_sch006(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        p = store.create_node({"Prefix"}, {"prefix": "192.0.2.0/24", "af": 4})
+        store.create_relationship(
+            a.id, "ORIGINATE", p.id, {**REF, "reference_flavor": "vanilla"}
+        )
+        report = validate(store)
+        assert report.by_code() == {"SCH006": 1}
+        assert "reference_flavor" in report.violations[0].message
+
+
+class TestReport:
+    def test_violations_attributed_per_crawler(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        c = store.create_node({"Country"}, {"country_code": "JP"})
+        store.create_relationship(a.id, "ORIGINATE", c.id, dict(REF))
+        store.create_relationship(
+            a.id, "FROBNICATES", b.id, {**REF, "reference_name": "ihr.rov"}
+        )
+        grouped = validate(store).by_crawler()
+        assert set(grouped) == {"bgpkit.pfx2as", "ihr.rov"}
+
+    def test_to_dict_caps_detail(self, store):
+        for index in range(5):
+            store.create_node({"Widget"}, {"id": index})
+        payload = validate(store).to_dict(limit=2)
+        assert payload["ok"] is False
+        assert payload["violation_count"] == 5
+        assert len(payload["violations"]) == 2
+        assert payload["by_code"] == {"SCH001": 5}
+
+    def test_schema_codes_documented(self):
+        assert set(SCHEMA_CODES) == {
+            "SCH001", "SCH002", "SCH003", "SCH004", "SCH005", "SCH006"
+        }
+
+
+class TestFreshBuild:
+    def test_fresh_build_has_zero_violations(self):
+        iyp, report = build_iyp(build_world(WorldConfig.small(seed=11)))
+        assert report.schema_report is not None
+        assert report.schema_report.ok, report.schema_report.by_code()
+        assert report.schema_report.nodes_checked == iyp.store.node_count
+        assert report.ok
+
+    def test_corrupted_store_flips_report(self):
+        iyp, _ = build_iyp(
+            build_world(WorldConfig.small(seed=11)),
+            dataset_names=["bgpkit.pfx2as"],
+        )
+        node = iyp.store.create_node({"Gremlin"}, {"id": 1})
+        report = GraphValidator().validate(iyp.store)
+        assert not report.ok
+        assert report.by_code().get("SCH001") == 1
+        assert report.violations[0].element_id == node.id

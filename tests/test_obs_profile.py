@@ -5,7 +5,7 @@ import pytest
 
 from repro.cypher import CypherEngine
 from repro.graphdb import GraphStore
-from repro.obs import AccessCollector, Profiler, collecting, current_collector, record_access
+from repro.obs import AccessCollector, collecting, current_collector, record_access
 from repro.obs.slowlog import MAX_QUERY_CHARS, SlowQueryLog, params_hash
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import IYP, Reference
+from repro.core import IYP
 from repro.ontology import SchemaValidator
 from repro.pipeline import build_iyp, run_postprocessing
 from repro.pipeline.postprocess import (
@@ -13,7 +13,6 @@ from repro.pipeline.postprocess import (
     link_name_hierarchy,
     link_urls_to_hostnames,
 )
-from repro.simnet import WorldConfig, build_world
 
 
 class TestBuild:
@@ -273,3 +272,41 @@ class TestPipelineTelemetry:
         payload = json_module.loads(records[0].message.split(" ", 1)[1])
         assert payload["name"] == "bgpkit.pfx2as"
         assert payload["error"] is None
+
+
+class TestSchemaValidation:
+    def test_build_attaches_schema_report(self, small_world):
+        _, report = build_iyp(small_world, dataset_names=["bgpkit.pfx2as"])
+        assert report.schema_report is not None
+        assert report.schema_report.ok
+        assert report.schema_report.nodes_checked > 0
+        assert report.schema_report.relationships_checked > 0
+
+    def test_validate_can_be_disabled(self, small_world):
+        _, report = build_iyp(
+            small_world, dataset_names=["bgpkit.pfx2as"], validate=False
+        )
+        assert report.schema_report is None
+        assert report.ok  # ok falls back to crawler errors only
+
+    def test_schema_violations_counted_in_metrics(self, small_world, monkeypatch):
+        from repro.datasets.crawlers import bgpkit as bgpkit_module
+        from repro.server.metrics import Metrics
+
+        original = bgpkit_module.PrefixToASNCrawler.run
+
+        def sabotage(self):
+            original(self)
+            self.iyp.store.create_node({"Gremlin"}, {"id": 1})
+
+        monkeypatch.setattr(bgpkit_module.PrefixToASNCrawler, "run", sabotage)
+        metrics = Metrics()
+        _, report = build_iyp(
+            small_world, dataset_names=["bgpkit.pfx2as"],
+            postprocess=False, metrics=metrics,
+        )
+        assert not report.ok
+        assert report.schema_report.by_code() == {"SCH001": 1}
+        assert metrics.counter_value(
+            "schema_violations_total", {"code": "SCH001"}
+        ) == 1

@@ -485,3 +485,81 @@ class TestObservabilityMetrics:
         assert body["tracer"]["enabled"] is True
         assert body["tracer"]["traces_buffered"] >= 1
         assert body["slowlog"]["threshold_seconds"] == 1.0
+
+
+class TestLintEndpoint:
+    def test_lint_reports_diagnostics(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _request(
+            "POST", f"{base}/lint", {"query": "MATCH (a:ASN) RETURN a"}
+        )
+        assert status == 200
+        assert body["ok"] is False and body["strict_ok"] is False
+        (finding,) = body["diagnostics"]
+        assert finding["code"] == "LNT001"
+        assert finding["severity"] == "error"
+        assert finding["line"] == 1 and finding["column"] == 10
+
+    def test_lint_clean_query(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _request("POST", f"{base}/lint", {"query": LISTING_1})
+        assert status == 200
+        assert body["ok"] is True and body["strict_ok"] is True
+        assert body["diagnostics"] == []
+
+    def test_lint_never_executes(self, iyp_server):
+        base, service, iyp = iyp_server
+        before = iyp.store.node_count
+        status, body = _request(
+            "POST", f"{base}/lint",
+            {"query": "CREATE (t:Tag {label: 'lint-side-effect'}) RETURN t"},
+        )
+        assert status == 200
+        assert iyp.store.node_count == before
+
+    def test_lint_empty_query_is_400(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _request("POST", f"{base}/lint", {"query": "  "})
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_lint_counts_metrics(self, iyp_server):
+        base, service, _ = iyp_server
+        _request("POST", f"{base}/lint", {"query": "MATCH (a:ASN) RETURN a"})
+        text = service.metrics_text()
+        assert 'repro_lint_diagnostics_total{severity="error"}' in text
+
+
+class TestQueryWarnings:
+    def test_meta_warnings_on_suspicious_query(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _post_query(
+            base, "MATCH (a:AS) WHERE a.asn = '2497' RETURN a.asn"
+        )
+        assert status == 200
+        warnings = body["meta"]["warnings"]
+        assert any(w["code"] == "LNT009" for w in warnings)
+
+    def test_no_warnings_key_on_clean_query(self, iyp_server):
+        base, _, _ = iyp_server
+        status, body = _post_query(base, LISTING_2)
+        assert status == 200
+        assert "warnings" not in body["meta"]
+
+    def test_explain_carries_warnings(self, iyp_server):
+        base, _, _ = iyp_server
+        from urllib.parse import quote
+
+        query = "MATCH (a:AS) RETURN b.asn"
+        status, body = _get(f"{base}/explain?q={quote(query)}")
+        assert status == 200
+        assert isinstance(body["plan"], list) and body["plan"]
+        assert any(w["code"] == "LNT007" for w in body["warnings"])
+
+    def test_explain_clean_query_has_empty_warnings(self, iyp_server):
+        base, _, _ = iyp_server
+        from urllib.parse import quote
+
+        status, body = _get(f"{base}/explain?q={quote(LISTING_1)}")
+        assert status == 200
+        assert body["warnings"] == []

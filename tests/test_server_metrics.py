@@ -105,7 +105,7 @@ class TestLabelEscaping:
         metrics = Metrics()
         metrics.inc("query_errors_total", labels={"detail": 'bad "MATCH\n('})
         lines = metrics.render().splitlines()
-        (sample,) = [l for l in lines if l.startswith("repro_query_errors_total{")]
+        (sample,) = [s for s in lines if s.startswith("repro_query_errors_total{")]
         assert sample.endswith(" 1")
         assert 'detail="bad \\"MATCH\\n("' in sample
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simnet import WorldConfig, build_world
-from repro.simnet.bgpsim import _best_paths, is_valley_free, propagate
+from repro.simnet.bgpsim import _best_paths, is_valley_free
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,5 @@
 """The world self-check."""
 
-import pytest
-
 from repro.simnet import WorldConfig, build_world
 from repro.simnet.validate import validate_world
 
@@ -21,8 +19,6 @@ class TestSelfCheck:
 
     def test_detects_injected_inconsistency(self, small_world):
         # Sabotage one domain's IP so it falls outside the hosting AS.
-        import copy
-
         world = build_world(WorldConfig.small(seed=404))
         victim = world.domains[world.tranco[0]]
         victim.ips = ["203.0.113.99"]  # not announced by anyone
