@@ -1,0 +1,84 @@
+"""Snapshot I/O: v1 gzip-JSON vs the v2 framed binary format.
+
+Saves the session's benchmark graph in both formats and measures save
+and load wall-time (best of three) plus file size.  The v2 loader goes
+through :meth:`GraphStore.from_records` bulk construction instead of
+replaying the locked mutation API, which is where the bulk of its
+speedup comes from; the assertion at the bottom pins the format's
+headline claim — loading at least twice as fast as v1 — so a
+serialization regression fails the benchmark suite, not just a
+dashboard.  Emits ``BENCH_snapshot.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import record_comparison
+from repro.archive import save_snapshot_v2
+from repro.graphdb import load_snapshot, save_snapshot
+from repro.graphdb.snapshot import snapshot_dict
+
+RUNS = 3
+
+
+def _best(fn) -> float:
+    times = []
+    for _ in range(RUNS):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def test_snapshot_io_v1_vs_v2(bench_iyp, tmp_path):
+    store = bench_iyp.store
+    v1_path = tmp_path / "bench.json.gz"
+    v2_path = tmp_path / "bench.iyp2"
+
+    v1_save = _best(lambda: save_snapshot(store, v1_path))
+    v2_save = _best(lambda: save_snapshot_v2(store, v2_path))
+    v1_size = v1_path.stat().st_size
+    v2_size = v2_path.stat().st_size
+
+    loaded = {}
+    v1_load = _best(lambda: loaded.__setitem__(1, load_snapshot(v1_path)))
+    v2_load = _best(lambda: loaded.__setitem__(2, load_snapshot(v2_path)))
+
+    # Fidelity first: both formats must reproduce the store exactly,
+    # otherwise the timing comparison is meaningless.
+    reference = snapshot_dict(store)
+    assert snapshot_dict(loaded[1]) == reference
+    assert snapshot_dict(loaded[2]) == reference
+
+    result = {
+        "nodes": store.node_count,
+        "relationships": store.relationship_count,
+        "v1": {"save_s": v1_save, "load_s": v1_load, "bytes": v1_size},
+        "v2": {"save_s": v2_save, "load_s": v2_load, "bytes": v2_size},
+        "load_speedup": v1_load / v2_load,
+        "size_ratio": v2_size / v1_size,
+        "runs": RUNS,
+    }
+    out = Path(__file__).parent / "BENCH_snapshot.json"
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    record_comparison(
+        "Snapshot I/O: v1 gzip-JSON vs v2 framed binary "
+        f"({store.node_count:,} nodes / {store.relationship_count:,} rels)",
+        ["format", "save (s)", "load (s)", "size (MB)"],
+        [
+            ["v1", f"{v1_save:.3f}", f"{v1_load:.3f}", f"{v1_size / 1e6:.2f}"],
+            ["v2", f"{v2_save:.3f}", f"{v2_load:.3f}", f"{v2_size / 1e6:.2f}"],
+            ["v2/v1", f"{v2_save / v1_save:.2f}x",
+             f"{v2_load / v1_load:.2f}x", f"{v2_size / v1_size:.2f}x"],
+        ],
+    )
+
+    # The format's contract: archived dumps load at least 2x faster.
+    assert v2_load * 2 <= v1_load, (
+        f"v2 load {v2_load:.3f}s must be at least 2x faster than "
+        f"v1 load {v1_load:.3f}s"
+    )

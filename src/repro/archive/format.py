@@ -1,0 +1,353 @@
+"""Binary snapshot format v2: framed sections, interned strings, checksums.
+
+The v1 gzip-JSON dump is simple but slow to load: every node and
+relationship is replayed through the store's locked mutation API, and
+labels and property keys are spelled out in full for every entity.  The
+v2 format exists to make archived dumps cheap to serve:
+
+- the file is a sequence of **framed sections** — a fixed header per
+  section carries its kind, flags, payload length, and CRC-32, so a
+  reader can stream section by section, verify integrity before
+  decoding, and skip kinds it does not know (forward compatibility);
+- **string interning**: labels, property keys, relationship types, and
+  index/constraint names are written once in a sorted string table and
+  referenced by integer everywhere else;
+- node and relationship rows are split into bounded **chunks** (their
+  own sections), so the streaming reader never materializes more than
+  one chunk of undecoded payload at a time;
+- loading rebuilds the store through
+  :meth:`repro.graphdb.store.GraphStore.from_records` — internal maps
+  are populated in bulk and hash indexes built in one pass, instead of
+  one locked ``create_node`` call per entity.
+
+Section payloads are compact JSON (optionally zlib-compressed), which
+keeps the hot decode loop inside the C JSON parser; the framing,
+interning, and checksumming around it are what the format adds.  Files
+are byte-deterministic: the string table is sorted, rows are ordered by
+id, property keys are sorted within each shape, and nothing
+time-dependent is embedded — two saves of an identical store produce
+identical bytes.
+
+Layout::
+
+    MAGIC "IYP2"  |  u16 format version (2)
+    section*      |  u8 kind  u8 flags  u32 crc32  u64 length  payload
+    END section   |  empty payload, marks a complete file
+
+Entity sections are **columnar**.  Nodes of one label set almost always
+carry the same property keys, so the SHAPES section holds the distinct
+label sets and property-key sets (as string-table index lists, in first
+use order over id-sorted rows), and each entity row is spread across
+parallel arrays that reference a shape by position:
+
+- NODES payload: ``[ids, label_shape, key_shape, values]``
+- RELS payload: ``[ids, types, starts, ends, key_shape, values]``
+
+where ``values[i]`` lists row *i*'s property values in its key shape's
+order.  One JSON array per column instead of one per row keeps decode
+inside the C parser's fast path, and the loader resolves each shape
+through the string table exactly once.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, BinaryIO, Iterator
+
+from repro.graphdb.store import GraphStore
+
+MAGIC = b"IYP2"
+FORMAT_VERSION = 2
+
+#: Section kinds (u8).  Unknown kinds are skipped by the reader.
+SECTION_META = 1
+SECTION_STRINGS = 2
+SECTION_INDEXES = 3
+SECTION_CONSTRAINTS = 4
+SECTION_NODES = 5
+SECTION_RELS = 6
+SECTION_END = 7
+SECTION_SHAPES = 8
+
+#: Flag bits (u8).
+FLAG_ZLIB = 1
+
+#: Rows per NODES/RELS section; bounds the reader's per-chunk memory.
+CHUNK_ROWS = 65536
+
+#: Payloads below this size are stored raw — compression cannot win.
+_COMPRESS_THRESHOLD = 128
+
+_HEADER = struct.Struct("<4sH")
+_FRAME = struct.Struct("<BBIQ")
+
+
+class SnapshotFormatError(ValueError):
+    """A malformed, truncated, or corrupted snapshot file."""
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _write_section(
+    handle: BinaryIO, kind: int, payload_obj: Any, compress: bool
+) -> None:
+    payload = json.dumps(
+        payload_obj, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    flags = 0
+    if compress and len(payload) >= _COMPRESS_THRESHOLD:
+        # Level 1: deterministic output, near-best decode speed, and the
+        # bulk of the size win over raw JSON.
+        payload = zlib.compress(payload, 1)
+        flags |= FLAG_ZLIB
+    handle.write(_FRAME.pack(kind, flags, zlib.crc32(payload), len(payload)))
+    handle.write(payload)
+
+
+def _chunked_columns(columns: list[list], size: int) -> Iterator[list[list]]:
+    """Slice parallel column arrays into row-range chunks."""
+    total = len(columns[0])
+    for start in range(0, total, size):
+        yield [column[start : start + size] for column in columns]
+
+
+def save_snapshot_v2(
+    store: GraphStore, path: str | Path, compress: bool = True
+) -> None:
+    """Write a v2 binary snapshot of the store to ``path``.
+
+    Holds the store's read lock for the whole save so a snapshot taken
+    while writers are active is still consistent (same guarantee as the
+    v1 path).
+    """
+    with store.read_lock():
+        nodes = sorted(store.iter_nodes(), key=lambda n: n.id)
+        rels = sorted(store.iter_relationships(), key=lambda r: r.id)
+        indexes = store.indexes()
+        constraints = store.constraints()
+
+        table: set[str] = set()
+        for node in nodes:
+            table.update(node.labels)
+            table.update(node.properties)
+        for rel in rels:
+            table.add(rel.type)
+            table.update(rel.properties)
+        for label, prop in indexes:
+            table.update((label, prop))
+        for label, prop in constraints:
+            table.update((label, prop))
+        strings = sorted(table)
+        intern = {string: index for index, string in enumerate(strings)}
+
+        # Shape tables: distinct label sets / property-key sets, numbered
+        # in first use order over the id-sorted rows (deterministic).
+        label_shapes: dict[tuple[int, ...], int] = {}
+        key_shapes: dict[tuple[int, ...], int] = {}
+
+        node_columns: list[list] = [[], [], [], []]
+        n_ids, n_label_shape, n_key_shape, n_values = node_columns
+        for node in nodes:
+            labels = tuple(sorted(intern[label] for label in node.labels))
+            keys = sorted(node.properties)
+            key_ids = tuple(intern[key] for key in keys)
+            n_ids.append(node.id)
+            n_label_shape.append(
+                label_shapes.setdefault(labels, len(label_shapes))
+            )
+            n_key_shape.append(key_shapes.setdefault(key_ids, len(key_shapes)))
+            n_values.append([node.properties[key] for key in keys])
+
+        rel_columns: list[list] = [[], [], [], [], [], []]
+        r_ids, r_types, r_starts, r_ends, r_key_shape, r_values = rel_columns
+        for rel in rels:
+            keys = sorted(rel.properties)
+            key_ids = tuple(intern[key] for key in keys)
+            r_ids.append(rel.id)
+            r_types.append(intern[rel.type])
+            r_starts.append(rel.start_id)
+            r_ends.append(rel.end_id)
+            r_key_shape.append(key_shapes.setdefault(key_ids, len(key_shapes)))
+            r_values.append([rel.properties[key] for key in keys])
+
+        meta = {
+            "format_version": FORMAT_VERSION,
+            "nodes": len(n_ids),
+            "relationships": len(r_ids),
+            "indexes": len(indexes),
+            "constraints": len(constraints),
+            "strings": len(strings),
+        }
+        shapes = [
+            [list(shape) for shape in label_shapes],
+            [list(shape) for shape in key_shapes],
+        ]
+        with open(Path(path), "wb") as handle:
+            handle.write(_HEADER.pack(MAGIC, FORMAT_VERSION))
+            _write_section(handle, SECTION_META, meta, compress)
+            _write_section(handle, SECTION_STRINGS, strings, compress)
+            _write_section(handle, SECTION_SHAPES, shapes, compress)
+            _write_section(
+                handle, SECTION_INDEXES,
+                [[intern[label], intern[prop]] for label, prop in indexes],
+                compress,
+            )
+            _write_section(
+                handle, SECTION_CONSTRAINTS,
+                [[intern[label], intern[prop]] for label, prop in constraints],
+                compress,
+            )
+            if n_ids:
+                for chunk in _chunked_columns(node_columns, CHUNK_ROWS):
+                    _write_section(handle, SECTION_NODES, chunk, compress)
+            if r_ids:
+                for chunk in _chunked_columns(rel_columns, CHUNK_ROWS):
+                    _write_section(handle, SECTION_RELS, chunk, compress)
+            _write_section(handle, SECTION_END, [], compress)
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+def _check_header(handle: BinaryIO, path: Path) -> None:
+    header = handle.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        raise SnapshotFormatError(f"{path}: truncated before the header")
+    magic, version = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise SnapshotFormatError(f"{path}: not a v2 snapshot (bad magic)")
+    if version != FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"{path}: unsupported v2 format version {version}"
+        )
+
+
+def read_sections(path: str | Path) -> Iterator[tuple[int, Any]]:
+    """Stream ``(kind, decoded payload)`` pairs from a v2 snapshot.
+
+    Each section's CRC is verified before its payload is decompressed
+    and decoded; a missing END section (a partially written file) raises
+    :class:`SnapshotFormatError`.  Unknown section kinds are yielded
+    as-is so callers may skip them.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        _check_header(handle, path)
+        while True:
+            frame = handle.read(_FRAME.size)
+            if len(frame) < _FRAME.size:
+                raise SnapshotFormatError(f"{path}: truncated (no END section)")
+            kind, flags, crc, length = _FRAME.unpack(frame)
+            payload = handle.read(length)
+            if len(payload) < length:
+                raise SnapshotFormatError(
+                    f"{path}: truncated inside section kind={kind}"
+                )
+            if zlib.crc32(payload) != crc:
+                raise SnapshotFormatError(
+                    f"{path}: checksum mismatch in section kind={kind}"
+                )
+            if flags & FLAG_ZLIB:
+                payload = zlib.decompress(payload)
+            yield kind, json.loads(payload)
+            if kind == SECTION_END:
+                return
+
+
+def read_meta(path: str | Path) -> dict[str, Any]:
+    """The META section (counts) without loading the graph."""
+    for kind, payload in read_sections(path):
+        if kind == SECTION_META:
+            return payload
+    raise SnapshotFormatError(f"{path}: no META section")
+
+
+def load_snapshot_v2(path: str | Path) -> GraphStore:
+    """Load a v2 snapshot into a store via the bulk-construction path.
+
+    Each shape resolves through the string table exactly once (one
+    frozenset per distinct label set, one key tuple per distinct
+    property-key set); the per-row work is a single ``dict(zip(...))``
+    in a comprehension over the section's parallel columns.  The cyclic
+    GC is paused for the duration — decoding allocates one dict per
+    entity and none of them form cycles, so gen-2 rescans of the growing
+    heap would otherwise dominate the load (see also
+    :meth:`GraphStore.from_records`, whose own pause nests inside this
+    one).
+    """
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return _load_snapshot_v2(path)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _load_snapshot_v2(path: str | Path) -> GraphStore:
+    strings: list[str] = []
+    label_sets: list[frozenset[str]] = []
+    key_tuples: list[tuple[str, ...]] = []
+    indexes: list[tuple[str, str]] = []
+    constraints: list[tuple[str, str]] = []
+    node_records: list = []
+    rel_records: list = []
+    for kind, payload in read_sections(path):
+        if kind == SECTION_STRINGS:
+            strings = payload
+        elif kind == SECTION_SHAPES:
+            label_shapes, key_shapes = payload
+            label_sets = [
+                frozenset(strings[i] for i in shape) for shape in label_shapes
+            ]
+            key_tuples = [
+                tuple(strings[i] for i in shape) for shape in key_shapes
+            ]
+        elif kind == SECTION_INDEXES:
+            indexes = [(strings[label], strings[prop]) for label, prop in payload]
+        elif kind == SECTION_CONSTRAINTS:
+            constraints = [
+                (strings[label], strings[prop]) for label, prop in payload
+            ]
+        elif kind == SECTION_NODES:
+            ids, label_shape, key_shape, values = payload
+            node_records += [
+                (node_id, label_sets[lid], dict(zip(key_tuples[kid], row)))
+                for node_id, lid, kid, row in zip(ids, label_shape, key_shape, values)
+            ]
+        elif kind == SECTION_RELS:
+            ids, types, starts, ends, key_shape, values = payload
+            rel_records += [
+                (
+                    rel_id,
+                    strings[type_id],
+                    start_id,
+                    end_id,
+                    dict(zip(key_tuples[kid], row)),
+                )
+                for rel_id, type_id, start_id, end_id, kid, row in zip(
+                    ids, types, starts, ends, key_shape, values
+                )
+            ]
+
+    return GraphStore.from_records(
+        node_records, rel_records, indexes=indexes, constraints=constraints
+    )
+
+
+def is_v2_snapshot(path: str | Path) -> bool:
+    """True when the file starts with the v2 magic bytes."""
+    try:
+        with open(Path(path), "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False

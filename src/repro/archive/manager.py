@@ -1,0 +1,331 @@
+"""The snapshot archive: a managed directory of dated graph dumps.
+
+The paper distributes IYP as weekly Neo4j dumps that users download and
+run locally; its Limitations section calls longitudinal work across
+those dumps a manual, multi-instance chore.  :class:`SnapshotArchive`
+is the missing management layer: a directory of snapshots plus a JSON
+manifest recording, per entry, the format version, a SHA-256 checksum,
+node/relationship counts, build metadata from the pipeline's
+``BuildReport``, and the identity-level delta against the previous
+entry (computed with :mod:`repro.core.diff`).
+
+Because snapshot bytes are deterministic, the archive deduplicates by
+checksum: archiving a store whose bytes match an existing entry records
+a new manifest entry pointing at the existing file instead of writing a
+second copy.  ``prune`` respects that sharing — a file is only deleted
+once no remaining entry references it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.archive.format import (
+    SnapshotFormatError,
+    is_v2_snapshot,
+    read_meta,
+)
+from repro.core.diff import snapshot_diff
+from repro.graphdb.snapshot import load_snapshot, save_snapshot
+from repro.graphdb.store import GraphStore
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+@dataclass
+class ArchiveEntry:
+    """One archived snapshot, as recorded in the manifest."""
+
+    label: str
+    filename: str
+    format: int
+    checksum: str
+    nodes: int
+    relationships: int
+    created_at: str = ""
+    build: dict[str, Any] | None = None
+    delta: dict[str, Any] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "filename": self.filename,
+            "format": self.format,
+            "checksum": self.checksum,
+            "nodes": self.nodes,
+            "relationships": self.relationships,
+            "created_at": self.created_at,
+            "build": self.build,
+            "delta": self.delta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArchiveEntry":
+        return cls(
+            label=data["label"],
+            filename=data["filename"],
+            format=int(data["format"]),
+            checksum=data["checksum"],
+            nodes=int(data["nodes"]),
+            relationships=int(data["relationships"]),
+            created_at=data.get("created_at", ""),
+            build=data.get("build"),
+            delta=data.get("delta"),
+        )
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :meth:`SnapshotArchive.verify`."""
+
+    entries_checked: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+class SnapshotArchive:
+    """A directory of snapshots governed by a JSON manifest."""
+
+    def __init__(self, root: str | Path, retention: int | None = None):
+        """``retention`` keeps only the newest N entries after each add."""
+        self.root = Path(root)
+        self.retention = retention
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- manifest ---------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def entries(self) -> list[ArchiveEntry]:
+        """All entries, oldest first (manifest order is chronological)."""
+        if not self.manifest_path.exists():
+            return []
+        data = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        return [ArchiveEntry.from_dict(item) for item in data.get("snapshots", ())]
+
+    def labels(self) -> list[str]:
+        return [entry.label for entry in self.entries()]
+
+    def _write_manifest(self, entries: list[ArchiveEntry]) -> None:
+        payload = {
+            "manifest_version": MANIFEST_VERSION,
+            "snapshots": [entry.to_dict() for entry in entries],
+        }
+        tmp = self.manifest_path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        tmp.replace(self.manifest_path)
+
+    # -- adding -----------------------------------------------------------
+
+    def add(
+        self,
+        store: GraphStore,
+        label: str,
+        *,
+        format: int = 2,
+        build: Mapping[str, Any] | None = None,
+        created_at: str = "",
+        delta: bool = True,
+    ) -> ArchiveEntry:
+        """Archive a store under ``label``; returns the manifest entry.
+
+        The snapshot is written to a temporary file first; if its
+        checksum matches an existing entry the new entry shares that
+        file (checksum dedup).  With ``delta`` (the default) the
+        identity-level diff summary against the current latest entry is
+        computed and stored on the new entry.
+        """
+        entries = self.entries()
+        if any(entry.label == label for entry in entries):
+            raise ValueError(f"archive already has a snapshot labelled {label!r}")
+        suffix = ".iyp2" if format == 2 else ".json.gz"
+        tmp = self.root / f".{label}{suffix}.tmp"
+        save_snapshot(store, tmp, format=format)
+        checksum = _sha256(tmp)
+        existing = next((e for e in entries if e.checksum == checksum), None)
+        if existing is not None:
+            tmp.unlink()
+            filename = existing.filename
+        else:
+            filename = f"{label}{suffix}"
+            tmp.replace(self.root / filename)
+        delta_record = None
+        if delta and entries:
+            previous = entries[-1]
+            if previous.checksum == checksum:
+                delta_record = {"vs": previous.label, "identical": True}
+            else:
+                diff = snapshot_diff(self.load(previous.label), store)
+                delta_record = {
+                    "vs": previous.label,
+                    "identical": diff.unchanged,
+                    **diff.summary(),
+                }
+        entry = ArchiveEntry(
+            label=label,
+            filename=filename,
+            format=format,
+            checksum=checksum,
+            nodes=store.node_count,
+            relationships=store.relationship_count,
+            created_at=created_at,
+            build=dict(build) if build is not None else None,
+            delta=delta_record,
+        )
+        entries.append(entry)
+        self._write_manifest(entries)
+        if self.retention is not None:
+            self.prune(self.retention)
+        return entry
+
+    # -- resolving and loading --------------------------------------------
+
+    def resolve(self, selector: str) -> ArchiveEntry:
+        """Resolve a selector to an entry.
+
+        ``latest`` picks the newest entry; otherwise an exact label
+        match wins, then a unique label prefix.  Raises ``KeyError``
+        when nothing (or more than one prefix candidate) matches.
+        """
+        entries = self.entries()
+        if not entries:
+            raise KeyError("archive is empty")
+        if selector == "latest":
+            return entries[-1]
+        for entry in entries:
+            if entry.label == selector:
+                return entry
+        candidates = [e for e in entries if e.label.startswith(selector)]
+        if len(candidates) == 1:
+            return candidates[0]
+        if candidates:
+            names = ", ".join(e.label for e in candidates)
+            raise KeyError(f"ambiguous snapshot selector {selector!r}: {names}")
+        raise KeyError(f"no archived snapshot matches {selector!r}")
+
+    def path(self, entry: ArchiveEntry) -> Path:
+        return self.root / entry.filename
+
+    def load(self, selector: str | ArchiveEntry) -> GraphStore:
+        """Load an archived snapshot into a fresh store."""
+        entry = selector if isinstance(selector, ArchiveEntry) else self.resolve(selector)
+        return load_snapshot(self.path(entry))
+
+    def info(self, selector: str) -> dict[str, Any]:
+        """One entry's manifest record plus its on-disk size."""
+        entry = self.resolve(selector)
+        path = self.path(entry)
+        record = entry.to_dict()
+        record["bytes"] = path.stat().st_size if path.exists() else None
+        return record
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify(self, deep: bool = False) -> VerificationReport:
+        """Check every entry: file present, checksum intact, counts sane.
+
+        The shallow pass re-hashes each file and, for v2 snapshots,
+        cross-checks the manifest counts against the file's META section.
+        ``deep`` additionally loads every snapshot and re-counts the
+        graph — catching decode regressions, not just bit rot.
+        """
+        report = VerificationReport()
+        for entry in self.entries():
+            report.entries_checked += 1
+            path = self.path(entry)
+            if not path.exists():
+                report.problems.append(f"{entry.label}: missing file {entry.filename}")
+                continue
+            checksum = _sha256(path)
+            if checksum != entry.checksum:
+                report.problems.append(
+                    f"{entry.label}: checksum mismatch "
+                    f"(manifest {entry.checksum[:12]}…, file {checksum[:12]}…)"
+                )
+                continue
+            if entry.format == 2:
+                try:
+                    meta = read_meta(path)
+                except SnapshotFormatError as exc:
+                    report.problems.append(f"{entry.label}: {exc}")
+                    continue
+                if (meta["nodes"], meta["relationships"]) != (
+                    entry.nodes, entry.relationships
+                ):
+                    report.problems.append(
+                        f"{entry.label}: META counts {meta['nodes']}/"
+                        f"{meta['relationships']} disagree with manifest "
+                        f"{entry.nodes}/{entry.relationships}"
+                    )
+                    continue
+            if deep:
+                try:
+                    store = self.load(entry)
+                except Exception as exc:  # noqa: BLE001 - report, keep checking
+                    report.problems.append(
+                        f"{entry.label}: load failed: {type(exc).__name__}: {exc}"
+                    )
+                    continue
+                if (store.node_count, store.relationship_count) != (
+                    entry.nodes, entry.relationships
+                ):
+                    report.problems.append(
+                        f"{entry.label}: loaded {store.node_count}/"
+                        f"{store.relationship_count} entities, manifest says "
+                        f"{entry.nodes}/{entry.relationships}"
+                    )
+        return report
+
+    # -- retention ---------------------------------------------------------
+
+    def prune(self, keep: int) -> list[ArchiveEntry]:
+        """Drop all but the newest ``keep`` entries; returns the removed.
+
+        Snapshot files are deleted only when no surviving entry still
+        references them (entries deduplicated by checksum share files).
+        """
+        if keep < 1:
+            raise ValueError("prune keeps at least one snapshot")
+        entries = self.entries()
+        if len(entries) <= keep:
+            return []
+        removed, kept = entries[:-keep], entries[-keep:]
+        surviving_files = {entry.filename for entry in kept}
+        for entry in removed:
+            if entry.filename not in surviving_files:
+                path = self.path(entry)
+                if path.exists():
+                    path.unlink()
+        self._write_manifest(kept)
+        return removed
+
+    # -- diffing -----------------------------------------------------------
+
+    def diff(self, old_selector: str, new_selector: str):
+        """Identity-level :class:`~repro.core.diff.GraphDiff` of two entries."""
+        old = self.load(old_selector)
+        new = self.load(new_selector)
+        return snapshot_diff(old, new)
+
+    def is_v2(self, entry: ArchiveEntry) -> bool:
+        return entry.format == 2 and is_v2_snapshot(self.path(entry))

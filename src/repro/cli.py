@@ -6,6 +6,8 @@ The offline analogue of the IYP project's operational scripts::
     python -m repro query --snapshot iyp.json.gz \
         "MATCH (a:AS) RETURN count(a)"
     python -m repro serve --snapshot iyp.json.gz --port 8734
+    python -m repro serve --archive archive --watch 5
+    python -m repro archive list --dir archive
     python -m repro inventory
     python -m repro ontology
     python -m repro studies --scale small
@@ -54,19 +56,35 @@ def _print_crawler_runs(report) -> None:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    """Build the knowledge graph and write a snapshot."""
+    """Build the knowledge graph and write (and optionally archive) a snapshot."""
     config = _SCALES[args.scale](seed=args.seed)
     print(f"Building synthetic world (scale={args.scale}, seed={args.seed})...")
     world = build_world(config)
     datasets = args.datasets.split(",") if args.datasets else None
-    iyp, report = build_iyp(world, dataset_names=datasets)
+    archive = None
+    if args.archive:
+        from repro.archive import SnapshotArchive
+
+        archive = SnapshotArchive(args.archive)
+    iyp, report = build_iyp(
+        world,
+        dataset_names=datasets,
+        archive=archive,
+        archive_label=args.archive_label,
+    )
     print(
         f"Built {report.nodes:,} nodes / {report.relationships:,} "
         f"relationships in {report.total_seconds:.1f}s"
     )
     if args.verbose:
         _print_crawler_runs(report)
-    save_snapshot(iyp.store, args.output)
+    if report.archived_as:
+        entry = archive.resolve(report.archived_as)
+        print(
+            f"Archived as {entry.label} in {args.archive}/ "
+            f"(checksum {entry.checksum[:12]})"
+        )
+    save_snapshot(iyp.store, args.output, format=2 if args.format == "v2" else 1)
     size_mb = Path(args.output).stat().st_size / 1e6
     print(f"Snapshot written to {args.output} ({size_mb:.1f} MB)")
     return 0
@@ -242,8 +260,36 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_diff(diff, verbose: bool) -> None:
+    """Shared rendering for ``repro diff`` and ``repro archive diff``."""
+    summary = diff.summary()
+    for section, counts in summary.items():
+        if not counts:
+            continue
+        print(f"{section}:")
+        for token, count in counts.items():
+            print(f"  {token:<30} {count:>8,}")
+    if verbose:
+        for key in diff.nodes_added[:20]:
+            print(f"+ node {key}")
+        for key in diff.nodes_removed[:20]:
+            print(f"- node {key}")
+        for key, changes in diff.nodes_modified[:20]:
+            print(f"~ node {key}")
+            for prop, (before, after) in sorted(changes.items()):
+                print(f"    .{prop}: {before!r} -> {after!r}")
+        for key, changes in diff.relationships_modified[:20]:
+            print(f"~ rel {key}")
+            for prop, (before, after) in sorted(changes.items()):
+                print(f"    .{prop}: {before!r} -> {after!r}")
+
+
 def cmd_diff(args: argparse.Namespace) -> int:
-    """Diff two snapshots by entity identity (longitudinal workflow)."""
+    """Diff two snapshots by entity identity (longitudinal workflow).
+
+    With ``--exit-code`` the command exits 1 when the snapshots differ,
+    so CI can use it as a serialization-regression tripwire.
+    """
     from repro.core.diff import snapshot_diff
 
     old = load_snapshot(args.old)
@@ -252,19 +298,8 @@ def cmd_diff(args: argparse.Namespace) -> int:
     if diff.unchanged:
         print("snapshots are identical (by entity identity)")
         return 0
-    summary = diff.summary()
-    for section, counts in summary.items():
-        if not counts:
-            continue
-        print(f"{section}:")
-        for token, count in counts.items():
-            print(f"  {token:<30} {count:>8,}")
-    if args.verbose:
-        for key in diff.nodes_added[:20]:
-            print(f"+ node {key}")
-        for key in diff.nodes_removed[:20]:
-            print(f"- node {key}")
-    return 0
+    _print_diff(diff, args.verbose)
+    return 1 if args.exit_code else 0
 
 
 def cmd_inventory(_args: argparse.Namespace) -> int:
@@ -365,14 +400,35 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Serve a knowledge graph over HTTP (the public-instance analogue)."""
+    """Serve a knowledge graph over HTTP (the public-instance analogue).
+
+    With ``--archive`` the served store comes out of a snapshot archive
+    (``--snapshot`` is then an archive selector, default ``latest``),
+    ``/query`` accepts ``snapshot=`` for time travel, ``POST /admin/swap``
+    hot-swaps the live store, and ``--watch`` polls the archive so new
+    builds go live without a restart.
+    """
     from repro.server import QueryService, create_server
     from repro.server.metrics import Metrics
 
     # One registry across build and serving, so pipeline counters show
     # up on the served /metrics endpoint.
     metrics = Metrics()
-    if args.snapshot:
+    archive = None
+    snapshot_label = None
+    if args.archive:
+        from repro.archive import SnapshotArchive
+
+        archive = SnapshotArchive(args.archive)
+        if not archive.entries():
+            print(f"archive {args.archive}/ has no snapshots", file=sys.stderr)
+            return 1
+        selector = args.snapshot or "latest"
+        entry = archive.resolve(selector)
+        print(f"Loading archived snapshot {entry.label} ({entry.filename})...")
+        store = archive.load(entry)
+        snapshot_label = entry.label
+    elif args.snapshot:
         print(f"Loading snapshot {args.snapshot}...")
         store = load_snapshot(args.snapshot)
     else:
@@ -393,7 +449,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         metrics=metrics,
         tracing=not args.no_trace,
         slow_query_seconds=args.slow_query_threshold,
+        archive=archive,
+        snapshot_label=snapshot_label,
     )
+    watcher = None
+    if args.watch is not None:
+        if archive is None:
+            print("--watch requires --archive", file=sys.stderr)
+            return 1
+        from repro.archive import ArchiveWatcher
+
+        watcher = ArchiveWatcher(service, archive, interval=args.watch)
+        watcher.start()
+        print(f"Watching {args.archive}/ every {args.watch:g}s for new snapshots")
     server = create_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(
@@ -401,18 +469,112 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{store.relationship_count:,} relationships on http://{host}:{port}"
     )
     print(
-        "Endpoints: POST /query /profile /lint; GET /explain /ontology /stats "
-        "/healthz /metrics /debug/slowlog /debug/traces /debug/trace"
+        "Endpoints: POST /query /profile /lint /admin/swap; GET /explain "
+        "/ontology /archive /archive/info /stats /healthz /metrics "
+        "/debug/slowlog /debug/traces /debug/trace"
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        if watcher is not None:
+            watcher.stop()
         server.server_close()
         dump = service.slowlog.format_text()
         if dump:
             print(dump)
+    return 0
+
+
+def _open_archive(args: argparse.Namespace):
+    from repro.archive import SnapshotArchive
+
+    return SnapshotArchive(args.dir)
+
+
+def cmd_archive_list(args: argparse.Namespace) -> int:
+    """List a snapshot archive's manifest, oldest first."""
+    archive = _open_archive(args)
+    entries = archive.entries()
+    if not entries:
+        print(f"archive {args.dir}/ is empty")
+        return 0
+    print(f"{'label':<22} {'fmt':>3} {'nodes':>10} {'rels':>10} created")
+    print("-" * 70)
+    for entry in entries:
+        print(
+            f"{entry.label:<22} {'v' + str(entry.format):>3} {entry.nodes:>10,} "
+            f"{entry.relationships:>10,} {entry.created_at}"
+        )
+    return 0
+
+
+def cmd_archive_info(args: argparse.Namespace) -> int:
+    """Show one archive entry's manifest record in full."""
+    import json
+
+    archive = _open_archive(args)
+    try:
+        info = archive.info(args.snapshot)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    print(json.dumps(info, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_archive_verify(args: argparse.Namespace) -> int:
+    """Check every archived snapshot against its manifest record."""
+    archive = _open_archive(args)
+    report = archive.verify(deep=args.deep)
+    mode = "deep" if args.deep else "checksum"
+    print(f"verified {report.entries_checked} snapshot(s) ({mode})")
+    if report.ok:
+        print("archive is consistent")
+        return 0
+    for problem in report.problems:
+        print(f"PROBLEM: {problem}")
+    return 1
+
+
+def cmd_archive_diff(args: argparse.Namespace) -> int:
+    """Diff two archived snapshots by entity identity."""
+    archive = _open_archive(args)
+    try:
+        diff = archive.diff(args.old, args.new)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if diff.unchanged:
+        print(f"{args.old} and {args.new} are identical (by entity identity)")
+        return 0
+    _print_diff(diff, args.verbose)
+    return 1 if args.exit_code else 0
+
+
+def cmd_archive_prune(args: argparse.Namespace) -> int:
+    """Delete all but the newest N snapshots."""
+    archive = _open_archive(args)
+    removed = archive.prune(args.keep)
+    if not removed:
+        print("nothing to prune")
+        return 0
+    for entry in removed:
+        print(f"pruned {entry.label} ({entry.filename})")
+    return 0
+
+
+def cmd_archive_add(args: argparse.Namespace) -> int:
+    """Import an existing snapshot file into the archive."""
+    archive = _open_archive(args)
+    store = load_snapshot(args.snapshot)
+    label = args.label or Path(args.snapshot).name.split(".")[0]
+    entry = archive.add(store, label)
+    print(
+        f"archived {entry.label} ({entry.filename}, "
+        f"{entry.nodes:,} nodes / {entry.relationships:,} rels)"
+    )
     return 0
 
 
@@ -439,6 +601,19 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--verbose", action="store_true",
         help="print per-crawler telemetry (timings, nodes/rels created vs merged)",
+    )
+    build.add_argument(
+        "--format", choices=("v1", "v2"), default="v1",
+        help="snapshot format for --output: v1 gzip-JSON (default) or "
+             "the v2 framed binary format",
+    )
+    build.add_argument(
+        "--archive", metavar="DIR",
+        help="also archive the built graph into this snapshot archive",
+    )
+    build.add_argument(
+        "--archive-label", metavar="LABEL",
+        help="label for the archived snapshot (default: build-NNNN)",
     )
     build.set_defaults(func=cmd_build)
 
@@ -472,7 +647,21 @@ def build_parser() -> argparse.ArgumentParser:
     query.set_defaults(func=cmd_query)
 
     serve = sub.add_parser("serve", help="serve a snapshot over HTTP")
-    serve.add_argument("--snapshot", help="snapshot to serve (default: build a world)")
+    serve.add_argument(
+        "--snapshot",
+        help="snapshot to serve (default: build a world); with --archive "
+             "this is an archive selector instead of a file path",
+    )
+    serve.add_argument(
+        "--archive", metavar="DIR",
+        help="serve out of this snapshot archive (enables time travel "
+             "via snapshot= and hot swapping via POST /admin/swap)",
+    )
+    serve.add_argument(
+        "--watch", type=float, metavar="SECONDS",
+        help="poll the archive at this interval and hot-swap to new "
+             "snapshots as they appear (requires --archive)",
+    )
     serve.add_argument("--scale", choices=sorted(_SCALES), default="small")
     serve.add_argument("--seed", type=int, default=20240501)
     serve.add_argument("--host", default="127.0.0.1")
@@ -542,8 +731,66 @@ def build_parser() -> argparse.ArgumentParser:
     diff = sub.add_parser("diff", help="diff two snapshots by identity")
     diff.add_argument("old")
     diff.add_argument("new")
-    diff.add_argument("--verbose", action="store_true")
+    diff.add_argument(
+        "--verbose", action="store_true",
+        help="list changed entities, including per-property before/after",
+    )
+    diff.add_argument(
+        "--exit-code", action="store_true",
+        help="exit 1 when the snapshots differ (CI tripwire)",
+    )
     diff.set_defaults(func=cmd_diff)
+
+    archive = sub.add_parser(
+        "archive", help="manage a directory of archived snapshots"
+    )
+    archive_sub = archive.add_subparsers(dest="archive_command", required=True)
+
+    def _archive_parser(name: str, help_text: str) -> argparse.ArgumentParser:
+        sub_parser = archive_sub.add_parser(name, help=help_text)
+        sub_parser.add_argument(
+            "--dir", default="archive", metavar="DIR",
+            help="archive directory (default: archive/)",
+        )
+        return sub_parser
+
+    archive_list = _archive_parser("list", "list archived snapshots")
+    archive_list.set_defaults(func=cmd_archive_list)
+
+    archive_info = _archive_parser("info", "show one entry's manifest record")
+    archive_info.add_argument("snapshot", help="label, unique prefix, or 'latest'")
+    archive_info.set_defaults(func=cmd_archive_info)
+
+    archive_verify = _archive_parser(
+        "verify", "check snapshots against the manifest"
+    )
+    archive_verify.add_argument(
+        "--deep", action="store_true",
+        help="also load each snapshot and recount nodes/relationships",
+    )
+    archive_verify.set_defaults(func=cmd_archive_verify)
+
+    archive_diff = _archive_parser("diff", "diff two archived snapshots")
+    archive_diff.add_argument("old", help="label, unique prefix, or 'latest'")
+    archive_diff.add_argument("new", help="label, unique prefix, or 'latest'")
+    archive_diff.add_argument(
+        "--verbose", action="store_true",
+        help="list changed entities, including per-property before/after",
+    )
+    archive_diff.add_argument(
+        "--exit-code", action="store_true",
+        help="exit 1 when the snapshots differ (CI tripwire)",
+    )
+    archive_diff.set_defaults(func=cmd_archive_diff)
+
+    archive_prune = _archive_parser("prune", "delete all but the newest N")
+    archive_prune.add_argument("--keep", type=int, required=True, metavar="N")
+    archive_prune.set_defaults(func=cmd_archive_prune)
+
+    archive_add = _archive_parser("add", "import a snapshot file")
+    archive_add.add_argument("snapshot", help="snapshot file (v1 or v2)")
+    archive_add.add_argument("--label", help="entry label (default: file stem)")
+    archive_add.set_defaults(func=cmd_archive_add)
 
     inventory = sub.add_parser("inventory", help="list the dataset registry")
     inventory.set_defaults(func=cmd_inventory)

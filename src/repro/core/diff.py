@@ -5,6 +5,12 @@ running multiple IYP instances and merging by hand.  A structural diff
 is the first tool that workflow needs: it compares two stores by
 *identity* (the ontology's key properties), not by internal node ids,
 so two independently built snapshots are comparable.
+
+Three kinds of change are reported: entities present on only one side
+(added/removed), and entities present on both sides whose *properties*
+changed (modified) — each modification carries the per-property
+``(before, after)`` pairs, so a longitudinal run can tell "this AS got
+renamed" from "this AS appeared".
 """
 
 from __future__ import annotations
@@ -19,6 +25,9 @@ from repro.ontology import ENTITIES
 NodeKey = tuple[str, Any]  # (label, identifying value)
 RelKey = tuple[NodeKey, str, NodeKey, str]  # start, type, end, dataset
 
+#: property name -> (before, after); absent sides are None.
+PropChanges = dict[str, tuple[Any, Any]]
+
 
 @dataclass
 class GraphDiff:
@@ -28,6 +37,10 @@ class GraphDiff:
     nodes_removed: list[NodeKey] = field(default_factory=list)
     relationships_added: list[RelKey] = field(default_factory=list)
     relationships_removed: list[RelKey] = field(default_factory=list)
+    nodes_modified: list[tuple[NodeKey, PropChanges]] = field(default_factory=list)
+    relationships_modified: list[tuple[RelKey, PropChanges]] = field(
+        default_factory=list
+    )
 
     @property
     def unchanged(self) -> bool:
@@ -36,6 +49,8 @@ class GraphDiff:
             or self.nodes_removed
             or self.relationships_added
             or self.relationships_removed
+            or self.nodes_modified
+            or self.relationships_modified
         )
 
     def summary(self) -> dict[str, dict[str, int]]:
@@ -51,11 +66,17 @@ class GraphDiff:
         return {
             "nodes_added": count_by(self.nodes_added, 0),
             "nodes_removed": count_by(self.nodes_removed, 0),
+            "nodes_modified": count_by(
+                [key for key, _ in self.nodes_modified], 0
+            ),
             "relationships_added": count_by(
                 [key[1] for key in self.relationships_added], None
             ),
             "relationships_removed": count_by(
                 [key[1] for key in self.relationships_removed], None
+            ),
+            "relationships_modified": count_by(
+                [key[1] for key, _ in self.relationships_modified], None
             ),
         }
 
@@ -72,6 +93,23 @@ def node_identity(node: Node) -> NodeKey | None:
     return None
 
 
+def property_changes(
+    old: dict[str, Any], new: dict[str, Any]
+) -> PropChanges:
+    """Per-key differences between two property maps.
+
+    Mirrors the store's update semantics: a value counts as changed when
+    it differs by equality *or* by type (``True`` vs ``1`` is a change).
+    Keys present on one side only report ``None`` for the other.
+    """
+    changes: PropChanges = {}
+    for key in old.keys() | new.keys():
+        before, after = old.get(key), new.get(key)
+        if before != after or type(before) is not type(after):
+            changes[key] = (before, after)
+    return changes
+
+
 def _node_keys(store: GraphStore) -> dict[int, NodeKey]:
     keys: dict[int, NodeKey] = {}
     for node in store.iter_nodes():
@@ -81,15 +119,26 @@ def _node_keys(store: GraphStore) -> dict[int, NodeKey]:
     return keys
 
 
-def _rel_keys(store: GraphStore, node_keys: dict[int, NodeKey]) -> set[RelKey]:
-    keys: set[RelKey] = set()
+def _nodes_by_key(store: GraphStore, node_keys: dict[int, NodeKey]
+                  ) -> dict[NodeKey, Node]:
+    by_key: dict[NodeKey, Node] = {}
+    for node in store.iter_nodes():
+        key = node_keys.get(node.id)
+        if key is not None and key not in by_key:
+            by_key[key] = node
+    return by_key
+
+
+def _rel_keys(store: GraphStore, node_keys: dict[int, NodeKey]
+              ) -> dict[RelKey, dict[str, Any]]:
+    keys: dict[RelKey, dict[str, Any]] = {}
     for rel in store.iter_relationships():
         start = node_keys.get(rel.start_id)
         end = node_keys.get(rel.end_id)
         if start is None or end is None:
             continue
         dataset = rel.properties.get("reference_name", "")
-        keys.add((start, rel.type, end, dataset))
+        keys.setdefault((start, rel.type, end, dataset), rel.properties)
     return keys
 
 
@@ -103,8 +152,20 @@ def snapshot_diff(old: GraphStore, new: GraphStore) -> GraphDiff:
         nodes_added=sorted(new_set - old_set, key=repr),
         nodes_removed=sorted(old_set - new_set, key=repr),
     )
+    old_by_key = _nodes_by_key(old, old_nodes)
+    new_by_key = _nodes_by_key(new, new_nodes)
+    for key in sorted(old_set & new_set, key=repr):
+        changes = property_changes(
+            old_by_key[key].properties, new_by_key[key].properties
+        )
+        if changes:
+            diff.nodes_modified.append((key, changes))
     old_rels = _rel_keys(old, old_nodes)
     new_rels = _rel_keys(new, new_nodes)
-    diff.relationships_added = sorted(new_rels - old_rels, key=repr)
-    diff.relationships_removed = sorted(old_rels - new_rels, key=repr)
+    diff.relationships_added = sorted(new_rels.keys() - old_rels.keys(), key=repr)
+    diff.relationships_removed = sorted(old_rels.keys() - new_rels.keys(), key=repr)
+    for key in sorted(old_rels.keys() & new_rels.keys(), key=repr):
+        changes = property_changes(old_rels[key], new_rels[key])
+        if changes:
+            diff.relationships_modified.append((key, changes))
     return diff

@@ -1,9 +1,23 @@
 """Graph snapshots: the reproduction's analogue of IYP's weekly dumps.
 
-A snapshot is a gzip-compressed JSON document containing every node,
-relationship, index definition, and constraint.  Loading a snapshot
-reconstructs a store that is observationally identical (ids included),
-mirroring how IYP users download a dump and run a local instance.
+Two on-disk formats exist:
+
+- **v1** — a gzip-compressed JSON document containing every node,
+  relationship, index definition, and constraint (this module);
+- **v2** — a framed binary format with interned strings, per-section
+  checksums, and a streaming reader (:mod:`repro.archive.format`),
+  which loads several times faster at identical fidelity.
+
+:func:`load_snapshot` sniffs the leading magic bytes and reads either
+format transparently, so every CLI command and the archive manager
+accept old and new dumps alike.  Loading a snapshot reconstructs a
+store that is observationally identical (ids included), mirroring how
+IYP users download a dump and run a local instance.
+
+Snapshot bytes are deterministic: the gzip header is written with
+``mtime=0`` (and no filename field) and JSON keys are sorted, so two
+saves of an identical store produce byte-identical files.  The archive
+manager relies on this for checksum-based deduplication.
 """
 
 from __future__ import annotations
@@ -16,6 +30,9 @@ from typing import Any
 from repro.graphdb.store import GraphStore
 
 FORMAT_VERSION = 1
+
+#: Leading bytes of a gzip stream (a v1 snapshot).
+GZIP_MAGIC = b"\x1f\x8b"
 
 
 def snapshot_dict(store: GraphStore) -> dict[str, Any]:
@@ -80,14 +97,45 @@ def store_from_dict(data: dict[str, Any]) -> GraphStore:
     return store
 
 
-def save_snapshot(store: GraphStore, path: str | Path) -> None:
-    """Write a gzip-JSON snapshot of the store to ``path``."""
-    payload = json.dumps(snapshot_dict(store), separators=(",", ":"))
-    with gzip.open(Path(path), "wt", encoding="utf-8") as handle:
-        handle.write(payload)
+def save_snapshot(store: GraphStore, path: str | Path, format: int = 1) -> None:
+    """Write a snapshot of the store to ``path``.
+
+    ``format=1`` (the default) writes the gzip-JSON dump; ``format=2``
+    writes the framed binary format of :mod:`repro.archive.format`.
+    Either way the bytes are deterministic for a given store state.
+    """
+    if format == 2:
+        from repro.archive.format import save_snapshot_v2
+
+        save_snapshot_v2(store, path)
+        return
+    if format != 1:
+        raise ValueError(f"unsupported snapshot format {format!r}")
+    payload = json.dumps(
+        snapshot_dict(store), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    # filename="" keeps the path out of the gzip FNAME header field and
+    # mtime=0 keeps the save time out — either would break the byte
+    # determinism the archive's checksum dedup relies on.
+    with open(Path(path), "wb") as raw:
+        with gzip.GzipFile(
+            filename="", fileobj=raw, mode="wb", mtime=0
+        ) as handle:
+            handle.write(payload)
 
 
 def load_snapshot(path: str | Path) -> GraphStore:
-    """Load a snapshot previously written by :func:`save_snapshot`."""
-    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
-        return store_from_dict(json.load(handle))
+    """Load a snapshot written in either format, sniffing the magic."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+    if magic[:2] == GZIP_MAGIC:
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return store_from_dict(json.load(handle))
+    from repro.archive.format import MAGIC, SnapshotFormatError, load_snapshot_v2
+
+    if magic == MAGIC:
+        return load_snapshot_v2(path)
+    raise SnapshotFormatError(
+        f"{path}: neither a gzip-JSON (v1) nor a binary (v2) snapshot"
+    )

@@ -69,12 +69,25 @@ class BuildReport:
     relationships: int = 0
     trace_id: str | None = None
     schema_report: GraphValidationReport | None = None
+    archived_as: str | None = None
 
     @property
     def ok(self) -> bool:
         if self.crawler_errors:
             return False
         return self.schema_report is None or self.schema_report.ok
+
+    def build_metadata(self) -> dict[str, Any]:
+        """The build facts an archive manifest entry records."""
+        return {
+            "total_seconds": round(self.total_seconds, 3),
+            "nodes": self.nodes,
+            "relationships": self.relationships,
+            "crawlers": len(self.crawler_runs),
+            "crawler_errors": dict(self.crawler_errors),
+            "schema_ok": self.schema_report is None or self.schema_report.ok,
+            "trace_id": self.trace_id,
+        }
 
 
 def _record_crawler_metrics(metrics: Metrics, run: CrawlerRun) -> None:
@@ -96,6 +109,8 @@ def build_iyp(
     metrics: Metrics | None = None,
     tracer: Tracer | None = None,
     validate: bool = True,
+    archive: Any | None = None,
+    archive_label: str | None = None,
 ) -> tuple[IYP, BuildReport]:
     """Build the knowledge graph from a synthetic world.
 
@@ -109,6 +124,11 @@ def build_iyp(
     With ``validate`` (the default) the finished graph is swept by the
     ontology schema validator; the per-crawler violation report lands in
     ``report.schema_report`` and any violations flip ``report.ok``.
+
+    Pass ``archive`` (a :class:`repro.archive.SnapshotArchive`) to
+    archive the finished graph in one step: the snapshot lands in the
+    archive under ``archive_label`` with this report's build metadata on
+    its manifest entry, and ``report.archived_as`` records the label.
     """
     started = time.perf_counter()
     iyp = iyp or IYP()
@@ -163,4 +183,15 @@ def build_iyp(
     report.total_seconds = time.perf_counter() - started
     report.nodes = iyp.store.node_count
     report.relationships = iyp.store.relationship_count
+    if archive is not None:
+        label = archive_label or f"build-{len(archive.entries()) + 1:04d}"
+        with tracer.span("archive", label=label):
+            entry = archive.add(
+                iyp.store, label, build=report.build_metadata()
+            )
+        report.archived_as = entry.label
+        log.info(
+            "archived snapshot %s (%s, checksum %s)",
+            entry.label, entry.filename, entry.checksum[:12],
+        )
     return iyp, report

@@ -23,7 +23,13 @@ See ``documentation/serving.md`` for the endpoint reference.
 """
 
 from repro.server.admission import AdmissionController, ServerBusyError
-from repro.server.app import QueryService, ServiceError, encode_result, encode_value
+from repro.server.app import (
+    QueryService,
+    ServiceError,
+    ServingState,
+    encode_result,
+    encode_value,
+)
 from repro.server.cache import ResultCache
 from repro.server.http import IYPHTTPServer, create_server
 from repro.server.metrics import Metrics
@@ -36,6 +42,7 @@ __all__ = [
     "ResultCache",
     "ServerBusyError",
     "ServiceError",
+    "ServingState",
     "create_server",
     "encode_result",
     "encode_value",

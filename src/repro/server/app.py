@@ -13,6 +13,18 @@ Execution paths:
 - **write queries** take the exclusive write lock for their whole
   execution, bump ``store.version`` (invalidating every cached result),
   and are never cached.
+
+Hot swap and time travel: the store, engine, and linter live together
+in one immutable :class:`ServingState` that every request captures once
+up front.  :meth:`QueryService.swap_store` builds a fresh state around
+a new store and installs it under the *old* store's write lock — in-
+flight readers finish on the state they captured, new requests see the
+new one, and nothing fails mid-swap.  Each state carries a generation
+token that participates in every cache key, so results computed against
+one store can never answer for another even when version counters
+collide.  With an archive attached, ``snapshot=`` on ``/query`` resolves
+a named historical dump into a read-only serving state (LRU-cached) and
+runs the query there instead.
 """
 
 from __future__ import annotations
@@ -110,6 +122,34 @@ def encode_result(result: QueryResult) -> dict[str, Any]:
     return payload
 
 
+class ServingState:
+    """Everything bound to one served store, swapped as a unit.
+
+    Instances are immutable after construction; requests capture one
+    reference and use it throughout, so a concurrent hot swap can never
+    hand a request the engine of one store and the lock of another.
+    ``generation`` is part of every result-cache key: live states carry
+    a monotonically increasing integer, historical (time-travel) states
+    carry their archive label.
+    """
+
+    __slots__ = ("store", "engine", "linter", "generation", "label")
+
+    def __init__(
+        self,
+        store: GraphStore,
+        engine: CypherEngine,
+        linter: QueryLinter,
+        generation: Any,
+        label: str | None = None,
+    ):
+        self.store = store
+        self.engine = engine
+        self.linter = linter
+        self.generation = generation
+        self.label = label
+
+
 class QueryService:
     """Concurrent Cypher-over-JSON serving against one graph store."""
 
@@ -126,9 +166,23 @@ class QueryService:
         tracing: bool = True,
         slow_query_seconds: float = 1.0,
         slowlog_capacity: int = 128,
+        archive: Any | None = None,
+        snapshot_label: str | None = None,
+        historical_stores: int = 4,
     ):
-        self.store = store
-        self.engine = engine or CypherEngine(store)
+        self._state = ServingState(
+            store,
+            engine or CypherEngine(store),
+            QueryLinter(store),
+            generation=0,
+            label=snapshot_label,
+        )
+        #: Optional :class:`repro.archive.SnapshotArchive` backing the
+        #: time-travel (``snapshot=``) selector and ``/admin/swap``.
+        self.archive = archive
+        #: label -> ServingState for loaded historical snapshots.
+        self._historical: LRUCache = LRUCache(historical_stores)
+        self._swap_count = 0
         self.cache = ResultCache(cache_size)
         self.admission = AdmissionController(
             max_concurrent=max_concurrent,
@@ -150,12 +204,136 @@ class QueryService:
         self.slowlog = SlowQueryLog(
             threshold_seconds=slow_query_seconds, capacity=slowlog_capacity
         )
-        self.linter = QueryLinter(store)
         #: Lint results per query text, so /query's meta.warnings does
         #: not re-analyze a hot query on every request.  Counters are
         #: bumped on the miss path only — once per distinct query.
+        #: Cleared on hot swap (index-aware checks depend on the store).
         self._lint_cache: LRUCache = LRUCache(256)
         self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Serving state (hot swap + time travel)
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> GraphStore:
+        """The currently served store (changes on hot swap)."""
+        return self._state.store
+
+    @property
+    def engine(self) -> CypherEngine:
+        """The engine bound to the currently served store."""
+        return self._state.engine
+
+    @property
+    def linter(self) -> QueryLinter:
+        """The linter bound to the currently served store."""
+        return self._state.linter
+
+    @property
+    def generation(self) -> int:
+        """How many hot swaps this service has performed."""
+        return self._state.generation
+
+    @property
+    def snapshot_label(self) -> str | None:
+        """Archive label of the served snapshot, when known."""
+        return self._state.label
+
+    def _build_state(
+        self, store: GraphStore, generation: Any, label: str | None
+    ) -> ServingState:
+        engine = CypherEngine(store)
+        engine.tracer = self.tracer
+        return ServingState(store, engine, QueryLinter(store), generation, label)
+
+    def swap_store(self, store: GraphStore, label: str | None = None) -> dict[str, Any]:
+        """Atomically replace the served store with ``store``.
+
+        The new serving state is built first (no locks held); the
+        pointer swap happens under the *old* store's write lock, so it
+        serializes with in-flight queries: readers that captured the old
+        state finish against the old store, requests arriving after the
+        swap see the new one, and none fail.  The result and lint caches
+        are cleared — the new state's generation also keys every cache
+        entry, so a reader racing the swap cannot poison the cache for
+        the new store.
+        """
+        with self.tracer.trace("store_swap", label=label or ""):
+            old = self._state
+            state = self._build_state(store, old.generation + 1, label)
+            with old.store.write_lock():
+                self._state = state
+            self.cache.clear()
+            self._lint_cache.clear()
+        self._swap_count += 1
+        self.metrics.inc("store_swaps_total")
+        return {
+            "generation": state.generation,
+            "snapshot": label,
+            "nodes": store.node_count,
+            "relationships": store.relationship_count,
+        }
+
+    def load_and_swap(self, selector: str = "latest") -> dict[str, Any]:
+        """``POST /admin/swap``: load an archived snapshot, then swap.
+
+        The load runs before any lock is taken, so queries keep flowing
+        against the current store for its whole duration.
+        """
+        entry = self._archive_entry(selector)
+        started = time.monotonic()
+        with self.tracer.trace("archive_load", label=entry.label):
+            store = self.archive.load(entry)
+        self.metrics.inc("archive_loads_total", labels={"reason": "swap"})
+        body = self.swap_store(store, label=entry.label)
+        body["load_seconds"] = round(time.monotonic() - started, 3)
+        return body
+
+    def _archive_entry(self, selector: str):
+        if self.archive is None:
+            raise self._count_error(
+                ServiceError(400, "no_archive", "no snapshot archive attached")
+            )
+        if not isinstance(selector, str) or not selector:
+            raise self._count_error(
+                ServiceError(400, "bad_request", "snapshot selector must be a string")
+            )
+        try:
+            return self.archive.resolve(selector)
+        except KeyError as exc:
+            raise self._count_error(
+                ServiceError(404, "unknown_snapshot", str(exc.args[0]))
+            )
+
+    def _historical_state(self, selector: str) -> ServingState:
+        """The (cached) read-only serving state for an archived snapshot."""
+        entry = self._archive_entry(selector)
+        state = self._historical.get(entry.label)
+        if state is None:
+            with self.tracer.span("archive_load", label=entry.label):
+                store = self.archive.load(entry)
+            self.metrics.inc("archive_loads_total", labels={"reason": "time_travel"})
+            state = self._build_state(
+                store, generation=("snapshot", entry.label), label=entry.label
+            )
+            self._historical.put(entry.label, state)
+        return state
+
+    def archive_listing(self) -> dict[str, Any]:
+        """``GET /archive``: the manifest, newest entry last."""
+        if self.archive is None:
+            raise ServiceError(400, "no_archive", "no snapshot archive attached")
+        return {
+            "root": str(self.archive.root),
+            "snapshots": [entry.to_dict() for entry in self.archive.entries()],
+            "serving": self.snapshot_label,
+        }
+
+    def archive_info(self, selector: str) -> dict[str, Any]:
+        """``GET /archive/info?snapshot=...``: one entry's record."""
+        entry = self._archive_entry(selector)
+        return self.archive.info(entry.label)
 
     # ------------------------------------------------------------------
     # POST /query
@@ -168,6 +346,7 @@ class QueryService:
         timeout: float | None = None,
         max_rows: int | None = None,
         profile: bool = False,
+        snapshot: str | None = None,
     ) -> dict[str, Any]:
         """Run one query with admission control and caching.
 
@@ -175,7 +354,8 @@ class QueryService:
         with the right HTTP status for every failure mode.  With
         ``profile`` the result cache is bypassed in both directions and
         the response carries the executed operator tree (``POST
-        /profile``).
+        /profile``).  With ``snapshot`` the query runs read-only against
+        the named archived dump (time travel) instead of the live store.
         """
         if not isinstance(query, str) or not query.strip():
             raise self._count_error(ServiceError(400, "bad_request", "empty query"))
@@ -183,21 +363,31 @@ class QueryService:
         with self.tracer.trace("request", profile=profile) as root:
             trace_id = root.trace_id if root is not None else None
             started = time.monotonic()
+            # Capture one serving state for the whole request: a hot
+            # swap concurrent with this query must not mix stores.
+            state = self._state if snapshot is None else self._historical_state(snapshot)
             try:
-                is_write = self.engine.is_write_query(query)
+                is_write = state.engine.is_write_query(query)
             except CypherSyntaxError as exc:
                 raise self._count_error(ServiceError(400, "syntax_error", str(exc)))
+            if is_write and snapshot is not None:
+                raise self._count_error(
+                    ServiceError(
+                        403, "read_only_snapshot",
+                        f"archived snapshot {state.label!r} is read-only",
+                    )
+                )
             try:
                 with ExitStack() as stack:
                     with self.tracer.span("admission"):
                         stack.enter_context(self.admission.slot())
                     if is_write:
                         body, cached, plan = self._execute_write(
-                            query, params, timeout, max_rows, profile
+                            state, query, params, timeout, max_rows, profile
                         )
                     else:
                         body, cached, plan = self._execute_read(
-                            query, params, timeout, max_rows, profile
+                            state, query, params, timeout, max_rows, profile
                         )
             except ServerBusyError as exc:
                 raise self._count_error(ServiceError(429, "busy", str(exc)))
@@ -236,10 +426,12 @@ class QueryService:
             "meta": {
                 "cached": cached,
                 "elapsed_ms": round(elapsed * 1000, 3),
-                "store_version": self.store.version,
+                "store_version": state.store.version,
             },
         }
-        warnings = self._lint_warnings(query)
+        if snapshot is not None:
+            response["meta"]["snapshot"] = state.label
+        warnings = self._lint_warnings(state, query)
         if warnings:
             response["meta"]["warnings"] = warnings
         if trace_id is not None:
@@ -257,9 +449,12 @@ class QueryService:
         parameters: Mapping[str, Any] | None = None,
         timeout: float | None = None,
         max_rows: int | None = None,
+        snapshot: str | None = None,
     ) -> dict[str, Any]:
         """``POST /profile``: execute for real, return rows + plan tree."""
-        return self.execute(query, parameters, timeout, max_rows, profile=True)
+        return self.execute(
+            query, parameters, timeout, max_rows, profile=True, snapshot=snapshot
+        )
 
     def _profiler(self, profile: bool) -> Profiler | None:
         """Per-query profiler: always on while tracing is enabled (the
@@ -271,6 +466,7 @@ class QueryService:
 
     def _execute_read(
         self,
+        state: ServingState,
         query: str,
         params: dict[str, Any],
         timeout: float | None,
@@ -279,9 +475,12 @@ class QueryService:
     ) -> tuple[dict[str, Any], bool, Any]:
         # The read lock spans version read + cache lookup + execution, so
         # the cached entry is guaranteed to describe the version it is
-        # keyed on — a writer cannot slip in halfway through.
-        with self.store.read_lock():
-            version = self.store.version
+        # keyed on — a writer cannot slip in halfway through.  The
+        # state's generation joins the cache key: results computed on a
+        # pre-swap store (or an archived one) can never answer for the
+        # live store even when version counters coincide.
+        with state.store.read_lock():
+            version = (state.generation, state.store.version)
             if not profile:
                 with self.tracer.span("cache_lookup"):
                     cached_body = self.cache.get(query, params, version)
@@ -289,7 +488,7 @@ class QueryService:
                     return cached_body, True, None
             guard = self.admission.guard(timeout, max_rows)
             profiler = self._profiler(profile)
-            result = self.engine.run(query, params, guard=guard, profiler=profiler)
+            result = state.engine.run(query, params, guard=guard, profiler=profiler)
             body = encode_result(result)
             if not profile:
                 self.cache.put(query, params, version, body)
@@ -297,6 +496,7 @@ class QueryService:
 
     def _execute_write(
         self,
+        state: ServingState,
         query: str,
         params: dict[str, Any],
         timeout: float | None,
@@ -305,8 +505,8 @@ class QueryService:
     ) -> tuple[dict[str, Any], bool, Any]:
         guard = self.admission.guard(timeout, max_rows)
         profiler = self._profiler(profile)
-        with self.store.write_lock():
-            result = self.engine.run(query, params, guard=guard, profiler=profiler)
+        with state.store.write_lock():
+            result = state.engine.run(query, params, guard=guard, profiler=profiler)
             body = encode_result(result)
         return body, False, profiler.root if profiler else None
 
@@ -336,13 +536,13 @@ class QueryService:
     # GET endpoints
     # ------------------------------------------------------------------
 
-    def _lint_warnings(self, query: str) -> list[dict[str, Any]]:
+    def _lint_warnings(self, state: ServingState, query: str) -> list[dict[str, Any]]:
         """Cached lint diagnostics for ``meta.warnings`` on /query."""
         cached = self._lint_cache.get(query)
         if cached is not None:
             return cached
         try:
-            findings = self.linter.lint(query)
+            findings = state.linter.lint(query)
         except Exception:  # pragma: no cover - linting must never 500 a query
             findings = []
         encoded = [finding.to_dict() for finding in findings]
@@ -420,20 +620,29 @@ class QueryService:
 
     def stats(self) -> dict[str, Any]:
         """Graph composition plus serving statistics."""
-        with self.store.read_lock():
+        state = self._state
+        store = state.store
+        with store.read_lock():
             graph = {
-                "nodes": self.store.node_count,
-                "relationships": self.store.relationship_count,
-                "labels": dict(sorted(self.store.label_counts().items())),
+                "nodes": store.node_count,
+                "relationships": store.relationship_count,
+                "labels": dict(sorted(store.label_counts().items())),
                 "relationship_types": dict(
-                    sorted(self.store.relationship_type_counts().items())
+                    sorted(store.relationship_type_counts().items())
                 ),
-                "indexes": [list(pair) for pair in self.store.indexes()],
-                "constraints": [list(pair) for pair in self.store.constraints()],
-                "version": self.store.version,
+                "indexes": [list(pair) for pair in store.indexes()],
+                "constraints": [list(pair) for pair in store.constraints()],
+                "version": store.version,
+                "generation": state.generation,
+                "snapshot": state.label,
             }
         return {
             "graph": graph,
+            "archive": {
+                "attached": self.archive is not None,
+                "swaps": self._swap_count,
+                "historical_loaded": len(self._historical),
+            },
             "result_cache": self.cache.info(),
             "parse_cache": self.engine.parse_cache_info(),
             "admission": self.admission.info(),
@@ -449,11 +658,14 @@ class QueryService:
 
     def health(self) -> dict[str, Any]:
         """Liveness: cheap, no locks beyond two dict length reads."""
+        state = self._state
         return {
             "status": "ok",
-            "nodes": self.store.node_count,
-            "relationships": self.store.relationship_count,
-            "store_version": self.store.version,
+            "nodes": state.store.node_count,
+            "relationships": state.store.relationship_count,
+            "store_version": state.store.version,
+            "generation": state.generation,
+            "snapshot": state.label,
         }
 
     def metrics_text(self) -> str:
@@ -480,6 +692,8 @@ class QueryService:
             "slowlog_entries": float(len(self.slowlog)),
             "slowlog_recorded_total": float(self.slowlog.recorded_total),
             "traces_buffered": float(self.tracer.info()["traces_buffered"]),
+            "serving_generation": float(self._state.generation),
+            "historical_stores_loaded": float(len(self._historical)),
             "uptime_seconds": time.monotonic() - self._started,
         }
         return self.metrics.render(extra_gauges=gauges)

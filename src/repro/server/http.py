@@ -8,12 +8,17 @@ readers-writer lock and the admission controller inside
 Endpoints::
 
     POST /query     {"query": "...", "parameters": {...},
-                     "timeout": 5.0, "max_rows": 1000}
+                     "timeout": 5.0, "max_rows": 1000,
+                     "snapshot": "<archive selector>"}   (time travel)
     POST /profile      (same body; bypasses the cache, returns the
                         executed operator tree alongside the rows)
     POST /lint      {"query": "..."}   (static diagnostics, no execution)
+    POST /admin/swap   {"snapshot": "<selector>"}  (hot-swap the served
+                        store to an archived snapshot, default latest)
     GET  /explain?q=<cypher>
     GET  /ontology
+    GET  /archive      (the attached snapshot archive's manifest)
+    GET  /archive/info?snapshot=<selector>
     GET  /stats
     GET  /healthz
     GET  /metrics      (Prometheus text format)
@@ -66,6 +71,15 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
                 if not query:
                     raise ServiceError(400, "bad_request", "missing ?q=<query>")
                 self._send_json(200, self.service.explain(query))
+            elif route == "/archive":
+                self._send_json(200, self.service.archive_listing())
+            elif route == "/archive/info":
+                selector = parse_qs(url.query).get("snapshot", [""])[0]
+                if not selector:
+                    raise ServiceError(
+                        400, "bad_request", "missing ?snapshot=<selector>"
+                    )
+                self._send_json(200, self.service.archive_info(selector))
             elif route == "/debug/slowlog":
                 self._send_json(200, self.service.slowlog_snapshot())
             elif route == "/debug/traces":
@@ -87,6 +101,13 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
                 request = self._read_json_body()
                 self._send_json(200, self.service.lint(request.get("query", "")))
                 return
+            if route == "/admin/swap":
+                request = self._read_json_body()
+                self._send_json(
+                    200,
+                    self.service.load_and_swap(request.get("snapshot", "latest")),
+                )
+                return
             if route not in ("/query", "/profile"):
                 raise ServiceError(404, "not_found", f"no route {route!r}")
             request = self._read_json_body()
@@ -96,6 +117,7 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
                 timeout=request.get("timeout"),
                 max_rows=request.get("max_rows"),
                 profile=(route == "/profile"),
+                snapshot=request.get("snapshot"),
             )
             self._send_json(200, response)
         except ServiceError as exc:

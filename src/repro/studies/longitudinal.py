@@ -5,13 +5,16 @@ results by hand "cumbersome".  This module is that workflow as a
 library: register labelled snapshots, run the same query against each,
 and get the merged time series back.  Combined with the era presets of
 :class:`~repro.simnet.WorldConfig` it reproduces the paper's
-2015-vs-2024 arc as a single call.
+2015-vs-2024 arc as a single call, and
+:meth:`SnapshotSeries.from_archive` builds the series straight from a
+managed dump archive (:class:`repro.archive.SnapshotArchive`) instead
+of hand-managed stores.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.core import IYP
 
@@ -25,6 +28,25 @@ class SnapshotSeries:
     def add(self, label: str, iyp: IYP) -> None:
         """Register a snapshot under a time label (e.g. '2024-05-01')."""
         self.snapshots[label] = iyp
+
+    @classmethod
+    def from_archive(
+        cls, archive, labels: Iterable[str] | None = None
+    ) -> "SnapshotSeries":
+        """Load archived dumps into a series, oldest first.
+
+        ``labels`` restricts (and orders by manifest position) which
+        entries load; by default every archived snapshot joins the
+        series.  Each dump is loaded into its own store, so studies can
+        run per era without the instances interfering.
+        """
+        wanted = None if labels is None else set(labels)
+        series = cls()
+        for entry in archive.entries():
+            if wanted is not None and entry.label not in wanted:
+                continue
+            series.add(entry.label, IYP(archive.load(entry)))
+        return series
 
     def run(self, query: str, parameters: dict[str, Any] | None = None):
         """Run one query on every snapshot; label -> QueryResult."""

@@ -1,5 +1,6 @@
 """Snapshots: the reproduction's equivalent of IYP's weekly dumps."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -133,6 +134,92 @@ class TestFidelityAfterDeletions:
         before = restored.version
         restored.create_node({"N"}, {"i": 100})
         assert restored.version == before + 1
+
+
+_EDGE_CASE_PROPS = {
+    "unicode": "日本インターネットエクスチェンジ ☂ Ωmega",
+    "empty_string": "",
+    "large_int": 2**70,
+    "negative": -(2**40),
+    "float": 3.14159,
+    "bool_true": True,
+    "bool_false": False,
+    "empty_list": [],
+    "list_with_none": [1, None, "x"],
+    "mixed_list": ["AS", 2914, True, 0.5],
+}
+
+
+@pytest.mark.parametrize("format", [1, 2], ids=["v1", "v2"])
+class TestEdgeCasePropertyFidelity:
+    """Awkward property values must survive both formats bit-for-bit."""
+
+    def _roundtrip(self, tmp_path, format, props):
+        store = GraphStore()
+        a = store.create_node({"N"}, dict(props))
+        b = store.create_node({"N"}, {"i": 1})
+        store.create_relationship(a.id, "E", b.id, dict(props))
+        path = tmp_path / f"edge.v{format}"
+        save_snapshot(store, path, format=format)
+        return store, load_snapshot(path)
+
+    def test_values_identical(self, tmp_path, format):
+        store, loaded = self._roundtrip(tmp_path, format, _EDGE_CASE_PROPS)
+        node = next(n for n in loaded.iter_nodes() if "unicode" in n.properties)
+        rel = next(iter(loaded.iter_relationships()))
+        for entity in (node, rel):
+            for key, value in _EDGE_CASE_PROPS.items():
+                assert entity.properties[key] == value, key
+        assert snapshot_dict(loaded) == snapshot_dict(store)
+
+    def test_bool_does_not_become_int(self, tmp_path, format):
+        # In Python True == 1; serialization must not flatten the type,
+        # or WHERE x = true / x = 1 would change answers after a reload.
+        _, loaded = self._roundtrip(
+            tmp_path, format, {"flag": True, "count": 1, "zero": False}
+        )
+        node = next(n for n in loaded.iter_nodes() if "flag" in n.properties)
+        assert node.properties["flag"] is True
+        assert node.properties["zero"] is False
+        assert type(node.properties["count"]) is int
+
+    def test_large_int_exact(self, tmp_path, format):
+        _, loaded = self._roundtrip(tmp_path, format, {"big": 2**70 + 1})
+        node = next(n for n in loaded.iter_nodes() if "big" in n.properties)
+        assert node.properties["big"] == 2**70 + 1
+
+    def test_none_scalar_never_reaches_a_snapshot(self, tmp_path, format):
+        # The store follows Neo4j's null semantics: a None property is
+        # a removal, so neither format ever has to encode a bare null —
+        # only None inside lists (kept above) is representable.
+        store, loaded = self._roundtrip(
+            tmp_path, format, {"gone": None, "kept": 1}
+        )
+        node = next(n for n in loaded.iter_nodes() if "kept" in n.properties)
+        assert "gone" not in node.properties
+
+    def test_nested_lists_rejected_at_the_model(self, tmp_path, format):
+        # The property model only allows scalars and flat lists, so a
+        # nested list can never reach either serializer.
+        store = GraphStore()
+        with pytest.raises(TypeError):
+            store.create_node({"N"}, {"nested": [[1, 2], [3]]})
+
+
+@pytest.mark.parametrize("format", [1, 2], ids=["v1", "v2"])
+def test_snapshot_bytes_deterministic(tmp_path, format):
+    """Two saves of the same store are byte-identical (checksum dedup)."""
+    store = GraphStore()
+    store.create_index("N", "i")
+    nodes = [
+        store.create_node({"N"}, {"i": i, "name": f"n{i}"}) for i in range(20)
+    ]
+    for a, b in zip(nodes, nodes[1:]):
+        store.create_relationship(a.id, "E", b.id, {"w": a.id})
+    first, second = tmp_path / "first", tmp_path / "second"
+    save_snapshot(store, first, format=format)
+    save_snapshot(store, second, format=format)
+    assert first.read_bytes() == second.read_bytes()
 
 
 _props = st.dictionaries(

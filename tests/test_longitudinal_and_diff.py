@@ -70,6 +70,87 @@ class TestSnapshotDiff:
         assert node_identity(node) == ("AS", 1)
 
 
+class TestModifiedEntities:
+    """Property-level changes on entities present in both snapshots."""
+
+    def test_modified_node_properties(self):
+        left = _mini_iyp()
+        right = _mini_iyp()
+        node = right.store.find_nodes("AS", "asn", 1)[0]
+        right.store.update_node(node.id, {"name": "RENAMED", "rank": 7})
+        diff = snapshot_diff(left.store, right.store)
+        assert not diff.unchanged
+        assert not diff.nodes_added and not diff.nodes_removed
+        [(key, changes)] = diff.nodes_modified
+        assert key == ("AS", 1)
+        assert changes["name"] == (None, "RENAMED")
+        assert changes["rank"] == (None, 7)
+
+    def test_modified_value_reports_before_and_after(self):
+        left = _mini_iyp()
+        right = _mini_iyp()
+        for iyp, rank in ((left, 3), (right, 7)):
+            node = iyp.store.find_nodes("AS", "asn", 1)[0]
+            iyp.store.update_node(node.id, {"rank": rank})
+        diff = snapshot_diff(left.store, right.store)
+        [(key, changes)] = diff.nodes_modified
+        assert changes == {"rank": (3, 7)}
+
+    def test_type_change_counts_as_modification(self):
+        # 1 == True in Python; the diff must still see the type flip.
+        left = _mini_iyp()
+        right = _mini_iyp()
+        for iyp, value in ((left, 1), (right, True)):
+            node = iyp.store.find_nodes("AS", "asn", 1)[0]
+            iyp.store.update_node(node.id, {"flag": value})
+        diff = snapshot_diff(left.store, right.store)
+        [(_, changes)] = diff.nodes_modified
+        assert changes == {"flag": (1, True)}
+
+    def test_modified_relationship_properties(self):
+        left = _mini_iyp()
+        right = _mini_iyp()
+        rel = next(iter(right.store.iter_relationships()))
+        right.store.update_relationship(rel.id, {"count": 9})
+        diff = snapshot_diff(left.store, right.store)
+        [(key, changes)] = diff.relationships_modified
+        assert key[1] == "ORIGINATE"
+        assert changes["count"] == (None, 9)
+
+    def test_summary_counts_modifications(self):
+        left = _mini_iyp()
+        right = _mini_iyp()
+        node = right.store.find_nodes("AS", "asn", 1)[0]
+        right.store.update_node(node.id, {"rank": 7})
+        summary = snapshot_diff(left.store, right.store).summary()
+        assert summary["nodes_modified"] == {"AS": 1}
+        assert summary["relationships_modified"] == {}
+
+    def test_unchanged_requires_no_modifications(self):
+        assert snapshot_diff(_mini_iyp().store, _mini_iyp().store).unchanged
+
+
+class TestSeriesFromArchive:
+    def test_series_loads_archived_snapshots_in_order(self, tmp_path):
+        from repro.archive import SnapshotArchive
+
+        archive = SnapshotArchive(tmp_path / "archive")
+        archive.add(_mini_iyp().store, "t0")
+        archive.add(_mini_iyp(with_extra=True).store, "t1")
+        series = SnapshotSeries.from_archive(archive)
+        assert list(series.snapshots) == ["t0", "t1"]
+        assert series.metric("MATCH (a:AS) RETURN count(a)") == {"t0": 1, "t1": 2}
+
+    def test_label_filter(self, tmp_path):
+        from repro.archive import SnapshotArchive
+
+        archive = SnapshotArchive(tmp_path / "archive")
+        archive.add(_mini_iyp().store, "t0")
+        archive.add(_mini_iyp(with_extra=True).store, "t1")
+        series = SnapshotSeries.from_archive(archive, labels=["t1"])
+        assert list(series.snapshots) == ["t1"]
+
+
 class TestLongitudinal:
     @pytest.fixture(scope="class")
     def series(self):

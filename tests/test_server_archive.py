@@ -1,0 +1,223 @@
+"""Hot-swap serving and time travel over the snapshot archive.
+
+The service must be able to move to a new snapshot while queries are in
+flight (zero failed requests), serve historical snapshots side by side
+with the live one, and keep its result cache honest across both.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.archive import ArchiveWatcher, SnapshotArchive
+from repro.graphdb import GraphStore
+from repro.server import QueryService, ServiceError, create_server
+
+COUNT_AS = "MATCH (a:AS) RETURN count(a)"
+
+
+def _request(method: str, url: str, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _store_with_ases(n: int) -> GraphStore:
+    store = GraphStore()
+    store.create_index("AS", "asn")
+    for asn in range(64500, 64500 + n):
+        store.create_node({"AS"}, {"asn": asn})
+    return store
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    archive = SnapshotArchive(tmp_path / "archive")
+    archive.add(_store_with_ases(1), "day-1")
+    archive.add(_store_with_ases(2), "day-2")
+    return archive
+
+
+@pytest.fixture()
+def service(archive):
+    return QueryService(
+        archive.load("day-1"), archive=archive, snapshot_label="day-1"
+    )
+
+
+@pytest.fixture()
+def served(service):
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}", service
+    server.shutdown()
+    server.server_close()
+
+
+class TestSwap:
+    def test_swap_store_changes_results_and_clears_cache(self, service):
+        first = service.execute(COUNT_AS)
+        assert first["rows"] == [[1]]
+        # Warm the cache, then swap: the same query must re-execute.
+        assert service.execute(COUNT_AS)["meta"]["cached"] is True
+        outcome = service.swap_store(_store_with_ases(5), label="scratch")
+        assert outcome["generation"] == 1
+        assert outcome["nodes"] == 5
+        after = service.execute(COUNT_AS)
+        assert after["rows"] == [[5]]
+        assert after["meta"]["cached"] is False
+
+    def test_load_and_swap_from_archive(self, service):
+        outcome = service.load_and_swap("latest")
+        assert outcome["snapshot"] == "day-2"
+        assert service.snapshot_label == "day-2"
+        assert service.execute(COUNT_AS)["rows"] == [[2]]
+
+    def test_admin_swap_endpoint(self, served):
+        base, service = served
+        status, body = _request("POST", f"{base}/admin/swap", {"snapshot": "day-2"})
+        assert status == 200
+        assert body["snapshot"] == "day-2"
+        status, body = _request("POST", f"{base}/query", {"query": COUNT_AS})
+        assert status == 200 and body["rows"] == [[2]]
+
+    def test_health_and_stats_reflect_generation(self, service):
+        assert service.health()["generation"] == 0
+        service.load_and_swap("day-2")
+        health = service.health()
+        assert health["generation"] == 1
+        assert health["snapshot"] == "day-2"
+        stats = service.stats()
+        assert stats["graph"]["generation"] == 1
+        assert stats["archive"]["attached"] is True
+        assert stats["archive"]["swaps"] == 1
+
+
+class TestTimeTravel:
+    def test_query_a_named_snapshot(self, service):
+        # The live store serves day-1; time travel reaches day-2.
+        assert service.execute(COUNT_AS)["rows"] == [[1]]
+        response = service.execute(COUNT_AS, snapshot="day-2")
+        assert response["rows"] == [[2]]
+        assert response["meta"]["snapshot"] == "day-2"
+
+    def test_snapshot_results_cached_separately(self, service):
+        live = service.execute(COUNT_AS)
+        old = service.execute(COUNT_AS, snapshot="day-2")
+        assert live["rows"] != old["rows"]
+        again = service.execute(COUNT_AS, snapshot="day-2")
+        assert again["meta"]["cached"] is True
+        assert again["rows"] == old["rows"]
+        # The live query is still answered from the live store.
+        assert service.execute(COUNT_AS)["rows"] == live["rows"]
+
+    def test_writes_to_snapshots_are_rejected(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.execute("CREATE (n:AS {asn: 1})", snapshot="day-2")
+        assert excinfo.value.status == 403
+        assert excinfo.value.code == "read_only_snapshot"
+
+    def test_unknown_snapshot_is_404(self, served):
+        base, _ = served
+        status, body = _request(
+            "POST", f"{base}/query", {"query": COUNT_AS, "snapshot": "day-9"}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown_snapshot"
+
+    def test_no_archive_attached_is_400(self):
+        service = QueryService(_store_with_ases(1))
+        with pytest.raises(ServiceError) as excinfo:
+            service.execute(COUNT_AS, snapshot="day-1")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "no_archive"
+
+    def test_archive_endpoints(self, served):
+        base, _ = served
+        status, body = _request("GET", f"{base}/archive")
+        assert status == 200
+        assert [e["label"] for e in body["snapshots"]] == ["day-1", "day-2"]
+        assert body["serving"] == "day-1"
+        status, body = _request("GET", f"{base}/archive/info?snapshot=day-2")
+        assert status == 200
+        assert body["label"] == "day-2"
+        assert body["nodes"] == 2
+
+
+class TestWatcher:
+    def test_watcher_check_once_picks_up_latest(self, archive, service):
+        watcher = ArchiveWatcher(service, archive, interval=999)
+        swapped = watcher.check_once()
+        assert swapped is True
+        assert service.snapshot_label == "day-2"
+        assert watcher.swaps == 1
+        # Nothing new: the next poll is a no-op.
+        assert watcher.check_once() is False
+        archive.add(_store_with_ases(3), "day-3")
+        assert watcher.check_once() is True
+        assert service.snapshot_label == "day-3"
+        assert service.execute(COUNT_AS)["rows"] == [[3]]
+
+    def test_watcher_thread_lifecycle(self, archive, service):
+        watcher = ArchiveWatcher(service, archive, interval=0.05)
+        watcher.start()
+        try:
+            for _ in range(100):
+                if service.snapshot_label == "day-2":
+                    break
+                threading.Event().wait(0.02)
+        finally:
+            watcher.stop()
+        assert service.snapshot_label == "day-2"
+
+
+class TestSwapUnderLoad:
+    """The acceptance bar: swaps under concurrent traffic lose nothing."""
+
+    def test_zero_failed_requests_across_swaps(self, served):
+        base, service = served
+        stores = [_store_with_ases(1), _store_with_ases(2)]
+        errors: list = []
+        results: list = []
+        stop = threading.Event()
+
+        def client():
+            while not stop.is_set():
+                try:
+                    status, body = _request(
+                        "POST", f"{base}/query", {"query": COUNT_AS}
+                    )
+                except Exception as exc:  # noqa: BLE001 - any failure fails the test
+                    errors.append(repr(exc))
+                    return
+                if status != 200:
+                    errors.append(body)
+                    return
+                results.append(body["rows"][0][0])
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for i in range(20):
+            service.swap_store(stores[i % 2], label=f"swap-{i}")
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors[:3]
+        assert len(results) > 0
+        # Every response came from a complete, consistent store.
+        assert set(results) <= {1, 2}
+        assert service.generation == 20
