@@ -14,6 +14,14 @@ Parsed queries are cached per engine in a bounded LRU, so re-running the
 paper's study queries on fresh snapshots costs no re-parsing while an
 adversarial stream of distinct queries cannot grow memory without bound.
 
+MATCH clauses execute through the cost-based planner
+(:mod:`repro.cypher.planner`): WHERE conjuncts are pushed to bind time,
+indexed equality conjuncts become index seeks, and multi-pattern
+clauses are join-reordered.  ``optimize=False`` builds a naive engine
+(textual pattern order, WHERE evaluated on complete bindings only) —
+the reference executor for the optimizer-equivalence test harness and
+the latency benchmarks' baseline.
+
 The engine is safe for concurrent *read* queries: per-run state
 (parameters, the active guard) lives in thread-local storage, and the
 query service serializes write queries through the store's write lock.
@@ -45,6 +53,7 @@ from repro.cypher.guard import QueryGuard
 from repro.cypher.lru import LRUCache
 from repro.cypher.matcher import PatternMatcher
 from repro.cypher.parser import parse
+from repro.cypher.planner import MatchPlan, plan_match
 from repro.cypher.result import QueryResult, WriteStats
 from repro.cypher.values import (
     compare,
@@ -95,9 +104,15 @@ class CypherEngine:
     """Executes Cypher-subset queries against a :class:`GraphStore`."""
 
     def __init__(
-        self, store: GraphStore, parse_cache_size: int = DEFAULT_PARSE_CACHE_SIZE
+        self,
+        store: GraphStore,
+        parse_cache_size: int = DEFAULT_PARSE_CACHE_SIZE,
+        optimize: bool = True,
     ):
         self.store = store
+        #: Optimizer switch: False forces the naive executor (textual
+        #: join order, no pushdown) — the equivalence-testing baseline.
+        self.optimize = optimize
         self._matcher = PatternMatcher(store, self._evaluate, self._tick)
         self._parse_cache: LRUCache = LRUCache(parse_cache_size)
         self._tls = threading.local()
@@ -206,11 +221,32 @@ class CypherEngine:
             if not isinstance(clause, ast.MatchClause):
                 plan.append(type(clause).__name__.replace("Clause", "").upper())
                 continue
-            kind = "OPTIONAL MATCH" if clause.optional else "MATCH"
-            for pattern in clause.patterns:
-                plan.append(f"{kind} {self._matcher.describe_pattern(pattern, {})}")
+            plan.extend(self._explain_match(clause))
         warnings = QueryLinter(self.store).lint_tree(tree)
         return Explanation(plan, warnings)
+
+    def _explain_match(self, clause: ast.MatchClause) -> list[str]:
+        """Plan lines for one MATCH: per pattern in join order, the
+        anchor/access-path description; then one line per pushdown
+        decision (promoted seeks, bind-time filters, the residual)."""
+        kind = "OPTIONAL MATCH" if clause.optional else "MATCH"
+        if not self.optimize:
+            return [
+                f"{kind} {self._matcher.describe_pattern(pattern, {})}"
+                for pattern in clause.patterns
+            ]
+        match_plan = self._plan_clause(clause, frozenset())
+        lines: list[str] = []
+        total = len(match_plan.patterns)
+        for rank, (source, pattern) in enumerate(
+            zip(match_plan.order, match_plan.patterns)
+        ):
+            line = f"{kind} {self._matcher.describe_pattern(pattern, {})}"
+            if total > 1:
+                line += f" join={rank + 1}/{total} pattern={source}"
+            lines.append(line)
+        lines.extend(f"  {text}" for text in match_plan.describe_predicates())
+        return lines
 
     # ------------------------------------------------------------------
     # Execution pipeline
@@ -312,11 +348,25 @@ class CypherEngine:
         """The planner annotation shown next to a profiled operator."""
         if isinstance(clause, ast.MatchClause):
             kind = "optional " if clause.optional else ""
+            if not self.optimize:
+                described = "; ".join(
+                    self._matcher.describe_pattern(pattern, {})
+                    for pattern in clause.patterns
+                )
+                return f"{kind}{described}"
+            match_plan = self._plan_clause(clause, frozenset())
             described = "; ".join(
                 self._matcher.describe_pattern(pattern, {})
-                for pattern in clause.patterns
+                for pattern in match_plan.patterns
             )
-            return f"{kind}{described}"
+            detail = f"{kind}{described}"
+            if match_plan.reordered:
+                order = ",".join(str(i) for i in match_plan.order)
+                detail += f" join_order=[{order}]"
+            pushed = match_plan.pushed_count()
+            if pushed:
+                detail += f" pushed={pushed}"
+            return detail
         if isinstance(clause, ast.MergeClause):
             return self._matcher.describe_pattern(clause.pattern, {})
         if isinstance(clause, ast.UnwindClause):
@@ -336,22 +386,40 @@ class CypherEngine:
 
     # -- reading clauses -------------------------------------------------
 
+    def _plan_clause(
+        self, clause: ast.MatchClause, bound: frozenset[str]
+    ) -> MatchPlan:
+        """Plan one MATCH clause against the current store statistics."""
+        return plan_match(clause.patterns, clause.where, self.store, bound)
+
     def _apply_match(
         self, clause: ast.MatchClause, rows: list[Row], context: "_Context"
     ) -> list[Row]:
         output: list[Row] = []
         new_variables = _pattern_variables(clause.patterns)
+        if self.optimize:
+            # Rows of one pipeline stage share a variable set, so one
+            # plan serves every row of the clause.
+            bound = frozenset(rows[0]) if rows else frozenset()
+            plan = self._plan_clause(clause, bound)
+            patterns: tuple[ast.PathPattern, ...] = plan.patterns
+            pushed = plan.pushed or None
+            prefilters, residual = plan.prefilters, plan.residual
+        else:
+            patterns, pushed = clause.patterns, None
+            prefilters, residual = (), clause.where
         for row in rows:
             context.row = row
             matched = False
-            for binding in self._matcher.match_patterns(clause.patterns, row):
-                self._tick()
-                if clause.where is not None:
-                    context.row = binding
-                    if not is_truthy(self._evaluate(clause.where, binding)):
-                        continue
-                matched = True
-                output.append(binding)
+            if all(is_truthy(self._evaluate(p, row)) for p in prefilters):
+                for binding in self._matcher.match_patterns(patterns, row, pushed):
+                    self._tick()
+                    if residual is not None:
+                        context.row = binding
+                        if not is_truthy(self._evaluate(residual, binding)):
+                            continue
+                    matched = True
+                    output.append(binding)
             if not matched and clause.optional:
                 padded = dict(row)
                 for name in new_variables:

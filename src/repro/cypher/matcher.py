@@ -6,21 +6,35 @@ scan), then expands rightward and leftward with backtracking.  Cypher's
 relationship isomorphism is enforced: within one MATCH clause a
 relationship is traversed at most once, which is what makes the paper's
 MOAS query (Listing 2) return genuinely distinct origin links.
+
+Two optimizer hooks plug into the walk (see
+:mod:`repro.cypher.planner`):
+
+- **pushed predicates** — a mapping from variable name to WHERE
+  conjuncts that only depend on that variable; each is evaluated the
+  instant its variable binds, pruning the search tree at the earliest
+  possible point instead of filtering complete bindings.
+- **binding reuse** — the walk mutates a single working dict with an
+  undo trail per backtrack point rather than copying the whole binding
+  on every expansion step; a snapshot is taken only when a complete
+  match is yielded, so the copy cost is O(results), not O(steps).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.cypher import ast
 from repro.cypher.errors import CypherRuntimeError
-from repro.cypher.values import equals
+from repro.cypher.values import equals, is_truthy
 from repro.graphdb.model import Direction, Node, Relationship
 from repro.graphdb.store import GraphStore
 
 Binding = dict[str, Any]
 Evaluator = Callable[[ast.Expression, Binding], Any]
 Tick = Callable[[], None]
+#: Bind-time predicates: variable name -> conjuncts to check on bind.
+Pushed = Mapping[str, tuple[ast.Expression, ...]]
 
 _DIRECTIONS = {"out": Direction.OUT, "in": Direction.IN, "both": Direction.BOTH}
 
@@ -35,6 +49,10 @@ class PatternMatcher:
     ``tick`` is a cooperative-cancellation hook called from the matching
     inner loops; the engine wires it to the active query's guard so a
     runaway traversal can be aborted mid-match (admission control).
+
+    The matcher holds no per-query state — one instance serves every
+    concurrent query of an engine — so pushed predicates travel through
+    the call chain rather than living on ``self``.
     """
 
     def __init__(self, store: GraphStore, evaluate: Evaluator, tick: Tick = _no_tick):
@@ -47,21 +65,24 @@ class PatternMatcher:
     # ------------------------------------------------------------------
 
     def match_patterns(
-        self, patterns: tuple[ast.PathPattern, ...], binding: Binding
+        self,
+        patterns: tuple[ast.PathPattern, ...],
+        binding: Binding,
+        pushed: Pushed | None = None,
     ) -> Iterator[Binding]:
         """Yield bindings satisfying *all* patterns (one MATCH clause)."""
-        yield from self._match_rest(list(patterns), binding, frozenset())
+        yield from self._match_rest(list(patterns), binding, frozenset(), pushed)
 
     def match_single(
         self, pattern: ast.PathPattern, binding: Binding
     ) -> Iterator[Binding]:
         """Yield bindings for one pattern (used by MERGE)."""
-        for extended, _rels in self._match_path(pattern, binding, frozenset()):
+        for extended, _rels in self._match_path(pattern, binding, frozenset(), None):
             yield extended
 
     def pattern_exists(self, pattern: ast.PathPattern, binding: Binding) -> bool:
         """Return True when the pattern has at least one match."""
-        for _ in self._match_path(pattern, binding, frozenset()):
+        for _ in self._match_path(pattern, binding, frozenset(), None):
             return True
         return False
 
@@ -74,13 +95,14 @@ class PatternMatcher:
         patterns: list[ast.PathPattern],
         binding: Binding,
         used_rels: frozenset[int],
+        pushed: Pushed | None,
     ) -> Iterator[Binding]:
         if not patterns:
             yield binding
             return
         head, tail = patterns[0], patterns[1:]
-        for extended, rels in self._match_path(head, binding, used_rels):
-            yield from self._match_rest(tail, extended, used_rels | rels)
+        for extended, rels in self._match_path(head, binding, used_rels, pushed):
+            yield from self._match_rest(tail, extended, used_rels | rels, pushed)
 
     # ------------------------------------------------------------------
     # Single path
@@ -91,87 +113,109 @@ class PatternMatcher:
         pattern: ast.PathPattern,
         binding: Binding,
         used_rels: frozenset[int],
+        pushed: Pushed | None,
     ) -> Iterator[tuple[Binding, frozenset[int]]]:
         if pattern.shortest:
-            yield from self._match_shortest(pattern, binding, used_rels)
+            yield from self._match_shortest(pattern, binding, used_rels, pushed)
             return
         anchor = self._choose_anchor(pattern, binding)
-        for candidate in self._anchor_candidates(pattern.nodes[anchor], binding):
+        # One working dict per path; the walk mutates it in place and
+        # unwinds its own additions when backtracking.
+        work = dict(binding)
+        assigned: dict[int, Node] = {}
+        local_rels: set[int] = set()
+        for candidate in self._anchor_candidates(pattern.nodes[anchor], work):
             self._tick()
-            start = dict(binding)
-            if not self._bind_node(pattern.nodes[anchor], candidate, start):
-                continue
-            assigned = {anchor: candidate}
-            yield from self._walk_right(
-                pattern, anchor, anchor, start, assigned, used_rels, frozenset()
-            )
+            trail: list[str] = []
+            if self._bind_node(pattern.nodes[anchor], candidate, work, trail, pushed):
+                assigned[anchor] = candidate
+                yield from self._walk_right(
+                    pattern, anchor, anchor, work, assigned, used_rels,
+                    local_rels, pushed,
+                )
+                del assigned[anchor]
+            for key in trail:
+                del work[key]
 
     def _walk_right(
         self,
         pattern: ast.PathPattern,
         anchor: int,
         position: int,
-        binding: Binding,
+        work: Binding,
         assigned: dict[int, Node],
         used_rels: frozenset[int],
-        local_rels: frozenset[int],
+        local_rels: set[int],
+        pushed: Pushed | None,
     ) -> Iterator[tuple[Binding, frozenset[int]]]:
         if position == len(pattern.nodes) - 1:
             yield from self._walk_left(
-                pattern, anchor, binding, assigned, used_rels, local_rels
+                pattern, anchor, work, assigned, used_rels, local_rels, pushed
             )
             return
         rel_pattern = pattern.relationships[position]
         next_pattern = pattern.nodes[position + 1]
         for rels, neighbor in self._step(
-            assigned[position], rel_pattern, used_rels | local_rels, binding, reverse=False
+            assigned[position], rel_pattern, used_rels, local_rels, work,
+            reverse=False,
         ):
-            extended = dict(binding)
-            if not self._bind_step(rel_pattern, rels, next_pattern, neighbor, extended):
-                continue
-            yield from self._walk_right(
-                pattern,
-                anchor,
-                position + 1,
-                extended,
-                {**assigned, position + 1: neighbor},
-                used_rels,
-                local_rels | {rel.id for rel in rels},
-            )
+            trail: list[str] = []
+            if self._bind_step(
+                rel_pattern, rels, next_pattern, neighbor, work, trail, pushed
+            ):
+                added = [rel.id for rel in rels]
+                local_rels.update(added)
+                assigned[position + 1] = neighbor
+                yield from self._walk_right(
+                    pattern, anchor, position + 1, work, assigned, used_rels,
+                    local_rels, pushed,
+                )
+                del assigned[position + 1]
+                local_rels.difference_update(added)
+            for key in trail:
+                del work[key]
 
     def _walk_left(
         self,
         pattern: ast.PathPattern,
         position: int,
-        binding: Binding,
+        work: Binding,
         assigned: dict[int, Node],
         used_rels: frozenset[int],
-        local_rels: frozenset[int],
+        local_rels: set[int],
+        pushed: Pushed | None,
     ) -> Iterator[tuple[Binding, frozenset[int]]]:
         if position == 0:
+            # A complete match: snapshot the working dict — the only
+            # copy this path makes per result.
+            snapshot = dict(work)
             if pattern.path_variable:
-                binding = dict(binding)
-                binding[pattern.path_variable] = self._materialize_path(
-                    pattern, assigned, binding
+                snapshot[pattern.path_variable] = self._materialize_path(
+                    pattern, assigned, work
                 )
-            yield binding, local_rels
+            yield snapshot, frozenset(local_rels)
             return
         rel_pattern = pattern.relationships[position - 1]
         prev_pattern = pattern.nodes[position - 1]
         for rels, neighbor in self._step(
-            assigned[position], rel_pattern, used_rels | local_rels, binding, reverse=True
+            assigned[position], rel_pattern, used_rels, local_rels, work,
+            reverse=True,
         ):
-            extended = dict(binding)
-            if not self._bind_step(rel_pattern, rels, prev_pattern, neighbor, extended):
-                continue
-            yield from self._walk_left(
-                pattern,
-                position - 1,
-                extended,
-                {**assigned, position - 1: neighbor},
-                used_rels,
-                local_rels | {rel.id for rel in rels},
-            )
+            trail: list[str] = []
+            if self._bind_step(
+                rel_pattern, rels, prev_pattern, neighbor, work, trail, pushed
+            ):
+                added = [rel.id for rel in rels]
+                local_rels.update(added)
+                assigned[position - 1] = neighbor
+                yield from self._walk_left(
+                    pattern, position - 1, work, assigned, used_rels,
+                    local_rels, pushed,
+                )
+                del assigned[position - 1]
+                local_rels.difference_update(added)
+            for key in trail:
+                del work[key]
 
     def _materialize_path(
         self, pattern: ast.PathPattern, assigned: dict[int, Node], binding: Binding
@@ -195,6 +239,7 @@ class PatternMatcher:
         pattern: ast.PathPattern,
         binding: Binding,
         used_rels: frozenset[int],
+        pushed: Pushed | None,
     ) -> Iterator[tuple[Binding, frozenset[int]]]:
         """BFS from each start candidate; one shortest path per end node."""
         if len(pattern.relationships) != 1:
@@ -224,7 +269,7 @@ class PatternMatcher:
         limit = 10**9 if rel_pattern.max_hops == -1 else max(rel_pattern.max_hops, 1)
         for start_node in self._anchor_candidates(start_pattern, binding):
             base = dict(binding)
-            if not self._bind_node(start_pattern, start_node, base):
+            if not self._bind_node(start_pattern, start_node, base, None, pushed):
                 continue
             visited: set[int] = {start_node.id}
             frontier: list[tuple[Node, list[Relationship]]] = [(start_node, [])]
@@ -250,7 +295,9 @@ class PatternMatcher:
                         if depth < rel_pattern.min_hops:
                             continue
                         extended = dict(base)
-                        if not self._bind_node(end_pattern, other, extended):
+                        if not self._bind_node(
+                            end_pattern, other, extended, None, pushed
+                        ):
                             continue
                         if rel_pattern.variable:
                             extended[rel_pattern.variable] = list(new_path)
@@ -337,7 +384,9 @@ class PatternMatcher:
                     return
             yield from self._store.nodes_with_label(label)
             return
-        yield from list(self._store.iter_nodes())
+        # Stream the full scan: clauses drain the matcher before any
+        # mutation clause runs, so the store cannot change mid-iteration.
+        yield from self._store.iter_nodes()
 
     # ------------------------------------------------------------------
     # Single step (fixed- and variable-length relationships)
@@ -347,7 +396,8 @@ class PatternMatcher:
         self,
         current: Node,
         rel_pattern: ast.RelPattern,
-        blocked: frozenset[int],
+        used_rels: frozenset[int],
+        local_rels: set[int],
         binding: Binding,
         reverse: bool,
     ) -> Iterator[tuple[list[Relationship], Node]]:
@@ -362,7 +412,7 @@ class PatternMatcher:
             bound = binding[rel_pattern.variable]
             if not isinstance(bound, Relationship):
                 return
-            if bound.id in blocked:
+            if bound.id in used_rels or bound.id in local_rels:
                 return
             if not self._rel_touches(bound, current, direction):
                 return
@@ -371,7 +421,7 @@ class PatternMatcher:
         if not rel_pattern.is_variable_length:
             for rel in self._incident(current, direction, rel_pattern.types):
                 self._tick()
-                if rel.id in blocked:
+                if rel.id in used_rels or rel.id in local_rels:
                     continue
                 if not self._rel_properties_match(rel, rel_pattern, binding):
                     continue
@@ -389,7 +439,7 @@ class PatternMatcher:
                 continue
             path_ids = {rel.id for rel in path}
             for rel in self._incident(node, direction, rel_pattern.types):
-                if rel.id in blocked or rel.id in path_ids:
+                if rel.id in used_rels or rel.id in local_rels or rel.id in path_ids:
                     continue
                 if not self._rel_properties_match(rel, rel_pattern, binding):
                     continue
@@ -429,9 +479,31 @@ class PatternMatcher:
     # Binding helpers
     # ------------------------------------------------------------------
 
-    def _bind_node(
-        self, node_pattern: ast.NodePattern, node: Node, binding: Binding
+    def _check_pushed(
+        self, variable: str, binding: Binding, pushed: Pushed | None
     ) -> bool:
+        """Evaluate bind-time predicates for a freshly-bound variable."""
+        if not pushed:
+            return True
+        for predicate in pushed.get(variable, ()):
+            if not is_truthy(self._evaluate(predicate, binding)):
+                return False
+        return True
+
+    def _bind_node(
+        self,
+        node_pattern: ast.NodePattern,
+        node: Node,
+        binding: Binding,
+        trail: list[str] | None = None,
+        pushed: Pushed | None = None,
+    ) -> bool:
+        """Bind a node into the working dict.
+
+        Keys added are appended to ``trail`` so the caller can unwind on
+        backtrack; a False return still records its additions (the
+        caller unwinds unconditionally).
+        """
         if node_pattern.labels and not all(
             label in node.labels for label in node_pattern.labels
         ):
@@ -440,12 +512,20 @@ class PatternMatcher:
             expected = self._evaluate(value_expr, binding)
             if equals(node.properties.get(key), expected) is not True:
                 return False
-        if node_pattern.variable:
-            if node_pattern.variable in binding:
-                existing = binding[node_pattern.variable]
+        variable = node_pattern.variable
+        if variable:
+            if variable in binding:
+                existing = binding[variable]
                 if not isinstance(existing, Node) or existing.id != node.id:
                     return False
-            binding[node_pattern.variable] = node
+                # Re-binding an already-bound variable: pushed predicates
+                # were checked when it first bound.
+                return True
+            binding[variable] = node
+            if trail is not None:
+                trail.append(variable)
+            if not self._check_pushed(variable, binding, pushed):
+                return False
         return True
 
     def _bind_step(
@@ -455,11 +535,19 @@ class PatternMatcher:
         node_pattern: ast.NodePattern,
         node: Node,
         binding: Binding,
+        trail: list[str] | None = None,
+        pushed: Pushed | None = None,
     ) -> bool:
-        if rel_pattern.variable:
+        variable = rel_pattern.variable
+        if variable:
             value: Any = list(rels) if rel_pattern.is_variable_length else rels[0]
-            if rel_pattern.variable in binding:
-                if binding[rel_pattern.variable] != value:
+            if variable in binding:
+                if binding[variable] != value:
                     return False
-            binding[rel_pattern.variable] = value
-        return self._bind_node(node_pattern, node, binding)
+            else:
+                binding[variable] = value
+                if trail is not None:
+                    trail.append(variable)
+                if not self._check_pushed(variable, binding, pushed):
+                    return False
+        return self._bind_node(node_pattern, node, binding, trail, pushed)

@@ -1,0 +1,467 @@
+"""Cost-based planning for one MATCH clause.
+
+The naive executor matched patterns in textual order and evaluated the
+whole WHERE expression only after the full pattern product had been
+enumerated.  The planner turns each MATCH clause into a
+:class:`MatchPlan` that the engine and matcher execute instead:
+
+- **Conjunct decomposition** — WHERE is split on top-level ``AND`` into
+  conjuncts, each classified independently.  The conjunction is true
+  exactly when every conjunct is true (three-valued logic included), so
+  the split never changes which rows pass.
+- **Prefilters** — conjuncts whose free variables are all bound by
+  earlier clauses are evaluated once per incoming row, before any
+  pattern matching starts.
+- **Index-seek promotion** — ``x.prop = <value>`` conjuncts whose value
+  does not depend on variables introduced by this MATCH are rewritten
+  into the pattern's inline property map, which the matcher already
+  turns into an index seek when a ``(label, prop)`` hash index exists.
+  Inline maps and WHERE equality share the same semantics (the match
+  requires ``equals(...) is True``), so the rewrite is exact.
+- **Predicate pushdown** — remaining single-variable conjuncts
+  (``STARTS WITH``, comparisons, ``IN``, pattern predicates over one
+  known variable, ...) are attached to that variable and checked by the
+  matcher the moment the variable binds, pruning the search tree
+  instead of filtering its leaves.
+- **Join ordering** — the patterns of a multi-pattern MATCH are
+  reordered greedily: the cheapest pattern (by estimated anchor
+  cardinality) binds first, then patterns connected to already-bound
+  variables are preferred over disconnected ones so selective joins
+  run before any cartesian product.  Result multisets are order
+  independent — relationship isomorphism is enforced over the whole
+  clause regardless of pattern order — so reordering is safe.
+
+Everything that cannot be classified stays in ``residual`` and is
+evaluated exactly where the naive executor evaluated the full WHERE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.cypher import ast
+from repro.graphdb.store import GraphStore
+
+__all__ = [
+    "MatchPlan",
+    "plan_match",
+    "split_conjuncts",
+    "free_variables",
+    "render_expression",
+]
+
+
+# ---------------------------------------------------------------------------
+# Conjunct decomposition and free-variable analysis
+# ---------------------------------------------------------------------------
+
+
+def split_conjuncts(expression: ast.Expression | None) -> list[ast.Expression]:
+    """Flatten top-level ``AND`` into a list of conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, ast.BinaryOp) and expression.op == "and":
+        return split_conjuncts(expression.left) + split_conjuncts(expression.right)
+    return [expression]
+
+
+def conjoin(conjuncts: list[ast.Expression]) -> ast.Expression | None:
+    """Rebuild a conjunction from a (possibly empty) conjunct list."""
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = ast.BinaryOp("and", result, conjunct)
+    return result
+
+
+def free_variables(expression: ast.Expression | None) -> frozenset[str]:
+    """Variable names an expression reads from the enclosing scope.
+
+    Locally-scoped names (list-comprehension / list-predicate /
+    ``reduce`` iteration variables) are excluded.  Pattern predicates
+    conservatively report *every* variable their pattern mentions, even
+    ones that would bind existentially — over-reporting keeps a
+    conjunct out of the pushdown set, never produces a wrong plan.
+    """
+    names: set[str] = set()
+    _collect_free(expression, frozenset(), names)
+    return frozenset(names)
+
+
+def _collect_free(
+    expression: ast.Expression | None, scoped: frozenset[str], names: set[str]
+) -> None:
+    if expression is None:
+        return
+    if isinstance(expression, ast.Variable):
+        if expression.name not in scoped:
+            names.add(expression.name)
+    elif isinstance(expression, (ast.Literal, ast.Parameter)):
+        return
+    elif isinstance(expression, ast.PropertyAccess):
+        _collect_free(expression.subject, scoped, names)
+    elif isinstance(expression, ast.FunctionCall):
+        for arg in expression.args:
+            _collect_free(arg, scoped, names)
+    elif isinstance(expression, ast.UnaryOp):
+        _collect_free(expression.operand, scoped, names)
+    elif isinstance(expression, ast.BinaryOp):
+        _collect_free(expression.left, scoped, names)
+        _collect_free(expression.right, scoped, names)
+    elif isinstance(expression, ast.IsNull):
+        _collect_free(expression.operand, scoped, names)
+    elif isinstance(expression, ast.ListLiteral):
+        for item in expression.items:
+            _collect_free(item, scoped, names)
+    elif isinstance(expression, ast.MapLiteral):
+        for _, value in expression.items:
+            _collect_free(value, scoped, names)
+    elif isinstance(expression, ast.IndexAccess):
+        for part in (expression.subject, expression.index, expression.end):
+            _collect_free(part, scoped, names)
+    elif isinstance(expression, ast.CaseExpression):
+        _collect_free(expression.operand, scoped, names)
+        for condition, value in expression.whens:
+            _collect_free(condition, scoped, names)
+            _collect_free(value, scoped, names)
+        _collect_free(expression.default, scoped, names)
+    elif isinstance(expression, ast.ListComprehension):
+        _collect_free(expression.source, scoped, names)
+        inner = scoped | {expression.variable}
+        _collect_free(expression.predicate, inner, names)
+        _collect_free(expression.projection, inner, names)
+    elif isinstance(expression, ast.ListPredicate):
+        _collect_free(expression.source, scoped, names)
+        _collect_free(expression.predicate, scoped | {expression.variable}, names)
+    elif isinstance(expression, ast.Reduce):
+        _collect_free(expression.init, scoped, names)
+        _collect_free(expression.source, scoped, names)
+        inner = scoped | {expression.accumulator, expression.variable}
+        _collect_free(expression.expression, inner, names)
+    elif isinstance(expression, ast.PatternPredicate):
+        for name in _pattern_variables(expression.pattern):
+            if name not in scoped:
+                names.add(name)
+        for node in expression.pattern.nodes:
+            for _, value in node.properties:
+                _collect_free(value, scoped, names)
+        for rel in expression.pattern.relationships:
+            for _, value in rel.properties:
+                _collect_free(value, scoped, names)
+
+
+def _pattern_variables(pattern: ast.PathPattern) -> set[str]:
+    """Every variable a single path pattern mentions (incl. path var)."""
+    names: set[str] = set()
+    if pattern.path_variable:
+        names.add(pattern.path_variable)
+    for node in pattern.nodes:
+        if node.variable:
+            names.add(node.variable)
+    for rel in pattern.relationships:
+        if rel.variable:
+            names.add(rel.variable)
+    return names
+
+
+def _bindable_variables(patterns: Iterable[ast.PathPattern]) -> set[str]:
+    """Node and relationship variables (pushdown targets); path variables
+    bind only after a full path materializes, so they are excluded."""
+    names: set[str] = set()
+    for pattern in patterns:
+        for node in pattern.nodes:
+            if node.variable:
+                names.add(node.variable)
+        for rel in pattern.relationships:
+            if rel.variable:
+                names.add(rel.variable)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MatchPlan:
+    """How one MATCH clause executes: pattern order, pushdown, residue."""
+
+    #: Patterns in execution (join) order, with promoted equalities
+    #: already folded into their inline property maps.
+    patterns: tuple[ast.PathPattern, ...]
+    #: ``order[i]`` is the textual index of ``patterns[i]``.
+    order: tuple[int, ...]
+    #: Bind-time predicates, keyed by the variable that triggers them.
+    pushed: dict[str, tuple[ast.Expression, ...]] = field(default_factory=dict)
+    #: Promoted equalities per variable, for EXPLAIN: (key, value expr).
+    promoted: dict[str, tuple[tuple[str, ast.Expression], ...]] = field(
+        default_factory=dict
+    )
+    #: Conjuncts decided per incoming row, before matching starts.
+    prefilters: tuple[ast.Expression, ...] = ()
+    #: What remains of WHERE, evaluated on complete bindings.
+    residual: ast.Expression | None = None
+
+    @property
+    def reordered(self) -> bool:
+        return self.order != tuple(range(len(self.order)))
+
+    def pushed_count(self) -> int:
+        return sum(len(preds) for preds in self.pushed.values()) + sum(
+            len(pairs) for pairs in self.promoted.values()
+        )
+
+    def describe_predicates(self) -> list[str]:
+        """EXPLAIN lines for the pushdown decisions, one per predicate."""
+        lines: list[str] = []
+        for expr in self.prefilters:
+            lines.append(f"prefilter: {render_expression(expr)}")
+        for var in sorted(self.promoted):
+            for key, value in self.promoted[var]:
+                lines.append(
+                    f"pushed seek {var}.{key} = {render_expression(value)}"
+                )
+        for var in sorted(self.pushed):
+            for expr in self.pushed[var]:
+                lines.append(f"pushed filter [{var}]: {render_expression(expr)}")
+        if self.residual is not None:
+            lines.append(f"residual: {render_expression(self.residual)}")
+        return lines
+
+
+def plan_match(
+    patterns: tuple[ast.PathPattern, ...],
+    where: ast.Expression | None,
+    store: GraphStore,
+    bound: frozenset[str] = frozenset(),
+) -> MatchPlan:
+    """Plan one MATCH clause.
+
+    ``bound`` is the set of variables already carried by the incoming
+    rows (identical for every row of a pipeline stage); conjuncts that
+    only touch those become prefilters, and promoted equality values may
+    reference them.
+    """
+    bindable = _bindable_variables(patterns)
+    prefilters: list[ast.Expression] = []
+    pushed: dict[str, list[ast.Expression]] = {}
+    promotions: dict[str, list[tuple[str, ast.Expression]]] = {}
+    residual: list[ast.Expression] = []
+    for conjunct in split_conjuncts(where):
+        free = free_variables(conjunct)
+        introduced = free - bound
+        if not introduced:
+            prefilters.append(conjunct)
+            continue
+        if len(introduced) > 1 or not introduced <= bindable:
+            residual.append(conjunct)
+            continue
+        (variable,) = introduced
+        promotion = _as_promotable_equality(conjunct, variable, bound)
+        if promotion is not None:
+            promotions.setdefault(variable, []).append(promotion)
+        else:
+            pushed.setdefault(variable, []).append(conjunct)
+    rewritten = tuple(_apply_promotions(p, promotions) for p in patterns)
+    order = _order_patterns(rewritten, store, bound)
+    return MatchPlan(
+        patterns=tuple(rewritten[i] for i in order),
+        order=order,
+        pushed={var: tuple(preds) for var, preds in pushed.items()},
+        promoted={var: tuple(pairs) for var, pairs in promotions.items()},
+        prefilters=tuple(prefilters),
+        residual=conjoin(residual),
+    )
+
+
+def _as_promotable_equality(
+    conjunct: ast.Expression, variable: str, bound: frozenset[str]
+) -> tuple[str, ast.Expression] | None:
+    """``x.prop = value`` (either side) with ``value`` independent of the
+    variables this MATCH introduces -> ``(prop, value)``, else None."""
+    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "eq"):
+        return None
+    for subject, value in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
+        if (
+            isinstance(subject, ast.PropertyAccess)
+            and isinstance(subject.subject, ast.Variable)
+            and subject.subject.name == variable
+            and free_variables(value) <= bound
+        ):
+            return (subject.key, value)
+    return None
+
+
+def _apply_promotions(
+    pattern: ast.PathPattern,
+    promotions: Mapping[str, list[tuple[str, ast.Expression]]],
+) -> ast.PathPattern:
+    """Fold promoted equalities into the pattern's inline property maps."""
+    if not promotions:
+        return pattern
+    nodes = []
+    changed = False
+    for node in pattern.nodes:
+        extra = promotions.get(node.variable or "")
+        if extra:
+            additions = tuple(
+                (key, value) for key, value in extra if (key, value) not in node.properties
+            )
+            if additions:
+                node = ast.NodePattern(
+                    node.variable,
+                    node.labels,
+                    node.properties + additions,
+                    span=node.span,
+                    label_spans=node.label_spans,
+                )
+                changed = True
+        nodes.append(node)
+    relationships = []
+    for rel in pattern.relationships:
+        extra = promotions.get(rel.variable or "")
+        if extra:
+            additions = tuple(
+                (key, value) for key, value in extra if (key, value) not in rel.properties
+            )
+            if additions:
+                rel = ast.RelPattern(
+                    rel.variable,
+                    rel.types,
+                    rel.properties + additions,
+                    rel.direction,
+                    rel.min_hops,
+                    rel.max_hops,
+                    span=rel.span,
+                    type_spans=rel.type_spans,
+                )
+                changed = True
+        relationships.append(rel)
+    if not changed:
+        return pattern
+    return ast.PathPattern(
+        tuple(nodes),
+        tuple(relationships),
+        path_variable=pattern.path_variable,
+        shortest=pattern.shortest,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Join ordering
+# ---------------------------------------------------------------------------
+
+
+def _order_patterns(
+    patterns: tuple[ast.PathPattern, ...],
+    store: GraphStore,
+    bound: frozenset[str],
+) -> tuple[int, ...]:
+    """Greedy join order: cheapest anchor first, then always prefer
+    patterns connected (by a shared variable) to what is already bound,
+    cheapest connected pattern next.  Disconnected patterns — genuine
+    cartesian products — run last, when the bound side is as small as
+    the plan can make it."""
+    if len(patterns) <= 1:
+        return tuple(range(len(patterns)))
+    remaining = set(range(len(patterns)))
+    available = set(bound)
+    order: list[int] = []
+    variables = [_pattern_variables(p) for p in patterns]
+    while remaining:
+        connected = [i for i in remaining if variables[i] & available]
+        pool = connected or sorted(remaining)
+        best = min(
+            pool, key=lambda i: (_pattern_cost(patterns[i], available, store), i)
+        )
+        order.append(best)
+        remaining.discard(best)
+        available |= variables[best]
+    return tuple(order)
+
+
+def _pattern_cost(
+    pattern: ast.PathPattern, available: set[str], store: GraphStore
+) -> int:
+    """Estimated anchor cardinality; mirrors the matcher's anchor
+    heuristic (bound variable < index seek < smallest label scan <
+    all-nodes scan) against a set of available variables."""
+    best: int | None = None
+    for node in pattern.nodes:
+        cost = _node_cost(node, available, store)
+        if best is None or cost < best:
+            best = cost
+    return best if best is not None else 0
+
+
+def _node_cost(node: ast.NodePattern, available: set[str], store: GraphStore) -> int:
+    if node.variable and node.variable in available:
+        return 0
+    if node.labels:
+        best: int | None = None
+        for label in node.labels:
+            count = store.label_count(label)
+            for key, _ in node.properties:
+                if store.has_index(label, key):
+                    count = min(count, 2)  # index seek: near-constant
+                    break
+            if best is None or count < best:
+                best = count
+        return (best or 0) + 1
+    return store.node_count + 2
+
+
+# ---------------------------------------------------------------------------
+# Expression rendering (EXPLAIN)
+# ---------------------------------------------------------------------------
+
+_OPERATOR_TEXT = {
+    "and": "AND", "or": "OR", "xor": "XOR",
+    "eq": "=", "neq": "<>", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+    "in": "IN", "starts_with": "STARTS WITH", "ends_with": "ENDS WITH",
+    "contains": "CONTAINS", "regex": "=~",
+}
+
+
+def render_expression(expression: ast.Expression | None) -> str:
+    """A compact, human-readable form of an expression for plan output.
+
+    Best effort: uncommon shapes fall back to a placeholder rather than
+    failing the EXPLAIN."""
+    if expression is None:
+        return "<none>"
+    if isinstance(expression, ast.Literal):
+        return repr(expression.value)
+    if isinstance(expression, ast.Parameter):
+        return f"${expression.name}"
+    if isinstance(expression, ast.Variable):
+        return expression.name
+    if isinstance(expression, ast.PropertyAccess):
+        return f"{render_expression(expression.subject)}.{expression.key}"
+    if isinstance(expression, ast.BinaryOp):
+        op = _OPERATOR_TEXT.get(expression.op, expression.op)
+        return (
+            f"{render_expression(expression.left)} {op} "
+            f"{render_expression(expression.right)}"
+        )
+    if isinstance(expression, ast.UnaryOp):
+        if expression.op == "not":
+            return f"NOT {render_expression(expression.operand)}"
+        return f"{expression.op}{render_expression(expression.operand)}"
+    if isinstance(expression, ast.IsNull):
+        suffix = "IS NOT NULL" if expression.negated else "IS NULL"
+        return f"{render_expression(expression.operand)} {suffix}"
+    if isinstance(expression, ast.FunctionCall):
+        args = ", ".join(render_expression(arg) for arg in expression.args)
+        if expression.star:
+            args = "*"
+        return f"{expression.name}({args})"
+    if isinstance(expression, ast.ListLiteral):
+        return "[" + ", ".join(render_expression(i) for i in expression.items) + "]"
+    if isinstance(expression, ast.PatternPredicate):
+        names = sorted(_pattern_variables(expression.pattern))
+        return f"exists(pattern over {', '.join(names) or 'anonymous'})"
+    return f"<{type(expression).__name__}>"

@@ -7,8 +7,12 @@ Storage layout:
 - optional (label, property) hash indexes accelerate equality seeks and
   back uniqueness constraints — IYP creates one per entity identifier
   (``AS.asn``, ``Prefix.prefix``, ...);
-- adjacency is kept as per-node lists of relationship ids, split by
-  direction, with a per-node-pair-and-type index for MERGE.
+- adjacency is kept per ``(node, direction, relationship type)``: each
+  node maps each incident type to a list of relationship ids, so typed
+  expansion reads exactly the edges of that type — O(degree-of-type)
+  instead of O(total-degree) with a post-filter, which is the difference
+  between touching 3 edges and 30,000 on a Tier-1 AS.  A per
+  node-pair-and-type index serves MERGE.
 
 Concurrency: the store carries a readers-writer lock (see
 :mod:`repro.graphdb.rwlock`) and a monotonic mutation ``version``
@@ -55,8 +59,12 @@ class GraphStore:
         # (label, property) -> value -> set of node ids
         self._property_index: dict[tuple[str, str], dict[Any, set[int]]] = {}
         self._unique_constraints: set[tuple[str, str]] = set()
-        self._outgoing: dict[int, list[int]] = defaultdict(list)
-        self._incoming: dict[int, list[int]] = defaultdict(list)
+        # Type-partitioned adjacency: node id -> rel type -> [rel ids].
+        self._outgoing: dict[int, dict[str, list[int]]] = defaultdict(dict)
+        self._incoming: dict[int, dict[str, list[int]]] = defaultdict(dict)
+        # Self-loop counts per node and type: a loop appears in both the
+        # outgoing and incoming partitions but is one relationship.
+        self._loop_counts: dict[int, dict[str, int]] = {}
         # (start, type, end) -> list of relationship ids, for MERGE
         self._edge_index: dict[tuple[int, str, int], list[int]] = defaultdict(list)
         self._rel_type_index: dict[str, set[int]] = defaultdict(set)
@@ -119,13 +127,35 @@ class GraphStore:
         return {t: len(ids) for t, ids in self._rel_type_index.items() if ids}
 
     def degree(self, node_id: int, direction: Direction = Direction.BOTH) -> int:
-        """Return the degree of a node in the given direction."""
+        """Return the degree of a node in the given direction.
+
+        Under ``Direction.BOTH`` a self-loop counts once, consistent
+        with :meth:`relationships_of`, which yields it once.
+        """
         self._require_node(node_id)
+        out = sum(map(len, self._outgoing.get(node_id, {}).values()))
         if direction is Direction.OUT:
-            return len(self._outgoing.get(node_id, ()))
+            return out
+        inbound = sum(map(len, self._incoming.get(node_id, {}).values()))
         if direction is Direction.IN:
-            return len(self._incoming.get(node_id, ()))
-        return len(self._outgoing.get(node_id, ())) + len(self._incoming.get(node_id, ()))
+            return inbound
+        loops = sum(self._loop_counts.get(node_id, {}).values())
+        return out + inbound - loops
+
+    def degree_by_type(
+        self, node_id: int, rel_type: str, direction: Direction = Direction.BOTH
+    ) -> int:
+        """Degree restricted to one relationship type, without touching
+        edges of other types (the planner's expansion estimate)."""
+        self._require_node(node_id)
+        out = len(self._outgoing.get(node_id, {}).get(rel_type, ()))
+        if direction is Direction.OUT:
+            return out
+        inbound = len(self._incoming.get(node_id, {}).get(rel_type, ()))
+        if direction is Direction.IN:
+            return inbound
+        loops = self._loop_counts.get(node_id, {}).get(rel_type, 0)
+        return out + inbound - loops
 
     # ------------------------------------------------------------------
     # Bulk loading
@@ -188,13 +218,17 @@ class GraphStore:
                 store._unique_constraints.add((label, prop))
             rel_map = store._relationships
             outgoing, incoming = store._outgoing, store._incoming
+            loop_counts = store._loop_counts
             edge_index, type_index = store._edge_index, store._rel_type_index
             for rel_id, rel_type, start_id, end_id, props in relationships:
                 rel_map[rel_id] = Relationship(
                     rel_id, rel_type, start_id, end_id, props
                 )
-                outgoing[start_id].append(rel_id)
-                incoming[end_id].append(rel_id)
+                outgoing[start_id].setdefault(rel_type, []).append(rel_id)
+                incoming[end_id].setdefault(rel_type, []).append(rel_id)
+                if start_id == end_id:
+                    loops = loop_counts.setdefault(start_id, {})
+                    loops[rel_type] = loops.get(rel_type, 0) + 1
                 edge_index[(start_id, rel_type, end_id)].append(rel_id)
                 type_index[rel_type].add(rel_id)
             store._next_node_id = max(node_map, default=-1) + 1
@@ -309,9 +343,13 @@ class GraphStore:
         return node_id in self._nodes
 
     def nodes_with_label(self, label: str) -> list[Node]:
-        """Return all nodes carrying ``label``."""
+        """Return all nodes carrying ``label``, sorted by id.
+
+        The sort makes unordered query output deterministic across runs
+        (label-index sets carry no reliable order of their own).
+        """
         record_access("label_scan")
-        return [self._nodes[i] for i in self._label_index.get(label, ())]
+        return [self._nodes[i] for i in sorted(self._label_index.get(label, ()))]
 
     def iter_nodes(self) -> Iterator[Node]:
         """Yield every node in the store."""
@@ -326,11 +364,11 @@ class GraphStore:
         index = self._property_index.get((label, prop))
         if index is not None and _indexable(value):
             record_access("index_seek")
-            return [self._nodes[i] for i in index.get(value, ())]
+            return [self._nodes[i] for i in sorted(index.get(value, ()))]
         record_access("label_scan")
         return [
             self._nodes[i]
-            for i in self._label_index.get(label, ())
+            for i in sorted(self._label_index.get(label, ()))
             if self._nodes[i].properties.get(prop) == value
         ]
 
@@ -374,9 +412,15 @@ class GraphStore:
         """Delete a node; with ``detach`` also delete incident edges."""
         with self._mutation():
             node = self._require_node(node_id)
-            incident = list(self._outgoing.get(node_id, ())) + list(
-                self._incoming.get(node_id, ())
-            )
+            incident = [
+                rel_id
+                for partition in (
+                    self._outgoing.get(node_id, {}),
+                    self._incoming.get(node_id, {}),
+                )
+                for ids in partition.values()
+                for rel_id in ids
+            ]
             if incident and not detach:
                 raise ConstraintViolationError(
                     f"node {node_id} still has {len(incident)} relationship(s)"
@@ -391,6 +435,7 @@ class GraphStore:
                         index.get(value, set()).discard(node_id)
             self._outgoing.pop(node_id, None)
             self._incoming.pop(node_id, None)
+            self._loop_counts.pop(node_id, None)
             del self._nodes[node_id]
 
     # ------------------------------------------------------------------
@@ -415,8 +460,11 @@ class GraphStore:
             )
             self._next_rel_id += 1
             self._relationships[rel.id] = rel
-            self._outgoing[start_id].append(rel.id)
-            self._incoming[end_id].append(rel.id)
+            self._outgoing[start_id].setdefault(rel_type, []).append(rel.id)
+            self._incoming[end_id].setdefault(rel_type, []).append(rel.id)
+            if start_id == end_id:
+                loops = self._loop_counts.setdefault(start_id, {})
+                loops[rel_type] = loops.get(rel_type, 0) + 1
             self._edge_index[(start_id, rel_type, end_id)].append(rel.id)
             self._rel_type_index[rel_type].add(rel.id)
             return rel
@@ -482,23 +530,40 @@ class GraphStore:
     ) -> list[Relationship]:
         """Return relationships incident to a node.
 
-        ``Direction.BOTH`` deduplicates self-loops (an edge from a node to
-        itself is returned once).
+        With ``rel_type`` the typed adjacency partition is read directly
+        — O(degree-of-type), never touching edges of other types.
+        ``Direction.BOTH`` deduplicates self-loops (an edge from a node
+        to itself is returned once).
         """
         record_access("expand")
         self._require_node(node_id)
-        rel_ids: list[int] = []
+        relationships = self._relationships
+        result: list[Relationship] = []
         if direction in (Direction.OUT, Direction.BOTH):
-            rel_ids.extend(self._outgoing.get(node_id, ()))
+            partition = self._outgoing.get(node_id)
+            if partition:
+                if rel_type is None:
+                    for ids in partition.values():
+                        result.extend(relationships[i] for i in ids)
+                else:
+                    result.extend(
+                        relationships[i] for i in partition.get(rel_type, ())
+                    )
         if direction in (Direction.IN, Direction.BOTH):
-            for rel_id in self._incoming.get(node_id, ()):
-                rel = self._relationships[rel_id]
-                if direction is Direction.BOTH and rel.start_id == rel.end_id:
-                    continue  # self-loop already yielded from the outgoing list
-                rel_ids.append(rel_id)
-        result = [self._relationships[i] for i in rel_ids]
-        if rel_type is not None:
-            result = [rel for rel in result if rel.type == rel_type]
+            partition = self._incoming.get(node_id)
+            if partition:
+                dedupe = direction is Direction.BOTH
+                buckets = (
+                    partition.values()
+                    if rel_type is None
+                    else (partition.get(rel_type, ()),)
+                )
+                for ids in buckets:
+                    for rel_id in ids:
+                        rel = relationships[rel_id]
+                        if dedupe and rel.start_id == rel.end_id:
+                            continue  # self-loop already in the outgoing list
+                        result.append(rel)
         return result
 
     def relationships_with_type(self, rel_type: str) -> list[Relationship]:
@@ -514,7 +579,8 @@ class GraphStore:
             return [self._relationships[i] for i in ids]
         return [
             self._relationships[i]
-            for i in self._outgoing.get(start_id, ())
+            for ids in self._outgoing.get(start_id, {}).values()
+            for i in ids
             if self._relationships[i].end_id == end_id
         ]
 
@@ -535,8 +601,21 @@ class GraphStore:
         """Delete a relationship."""
         with self._mutation():
             rel = self.get_relationship(rel_id)
-            self._outgoing[rel.start_id].remove(rel_id)
-            self._incoming[rel.end_id].remove(rel_id)
+            for partition, node_id in (
+                (self._outgoing, rel.start_id),
+                (self._incoming, rel.end_id),
+            ):
+                bucket = partition[node_id][rel.type]
+                bucket.remove(rel_id)
+                if not bucket:
+                    del partition[node_id][rel.type]
+            if rel.start_id == rel.end_id:
+                loops = self._loop_counts[rel.start_id]
+                loops[rel.type] -= 1
+                if not loops[rel.type]:
+                    del loops[rel.type]
+                if not loops:
+                    del self._loop_counts[rel.start_id]
             self._edge_index[(rel.start_id, rel.type, rel.end_id)].remove(rel_id)
             self._rel_type_index[rel.type].discard(rel_id)
             del self._relationships[rel_id]

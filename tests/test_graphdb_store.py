@@ -172,6 +172,55 @@ class TestRelationships:
         store.create_relationship(a.id, "PEERS_WITH", a.id)
         assert len(store.relationships_of(a.id, Direction.BOTH)) == 1
 
+    def test_degree_counts_self_loop_once_under_both(self, store):
+        """Regression: degree(BOTH) used to count a self-loop twice
+        (once per direction list), disagreeing with relationships_of."""
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        store.create_relationship(a.id, "PEERS_WITH", a.id)
+        store.create_relationship(a.id, "PEERS_WITH", b.id)
+        assert store.degree(a.id, Direction.BOTH) == len(
+            store.relationships_of(a.id, Direction.BOTH)
+        ) == 2
+        # Per-direction views still see the loop on each side.
+        assert store.degree(a.id, Direction.OUT) == 2
+        assert store.degree(a.id, Direction.IN) == 1
+        store.delete_relationship(store.relationships_between(a.id, a.id)[0].id)
+        assert store.degree(a.id, Direction.BOTH) == 1
+
+    def test_degree_by_type(self, store):
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        store.create_relationship(a.id, "PEERS_WITH", b.id)
+        store.create_relationship(b.id, "PEERS_WITH", a.id)
+        store.create_relationship(a.id, "SIBLING_OF", b.id)
+        store.create_relationship(a.id, "SIBLING_OF", a.id)
+        assert store.degree_by_type(a.id, "PEERS_WITH") == 2
+        assert store.degree_by_type(a.id, "PEERS_WITH", Direction.OUT) == 1
+        assert store.degree_by_type(a.id, "SIBLING_OF") == 2  # loop once
+        assert store.degree_by_type(a.id, "ABSENT") == 0
+
+    def test_typed_adjacency_partition_matches_filter(self, store):
+        """relationships_of(type=...) must equal the post-filtered
+        untyped expansion, in every direction, self-loops included."""
+        a = store.create_node({"AS"}, {"asn": 1})
+        b = store.create_node({"AS"}, {"asn": 2})
+        store.create_relationship(a.id, "PEERS_WITH", b.id)
+        store.create_relationship(b.id, "PEERS_WITH", a.id)
+        store.create_relationship(a.id, "PEERS_WITH", a.id)
+        store.create_relationship(a.id, "SIBLING_OF", b.id)
+        for direction in (Direction.OUT, Direction.IN, Direction.BOTH):
+            for rel_type in ("PEERS_WITH", "SIBLING_OF", "ABSENT"):
+                typed = store.relationships_of(a.id, direction, rel_type)
+                filtered = [
+                    rel
+                    for rel in store.relationships_of(a.id, direction)
+                    if rel.type == rel_type
+                ]
+                assert sorted(r.id for r in typed) == sorted(
+                    r.id for r in filtered
+                )
+
     def test_parallel_edges_allowed(self, store):
         a = store.create_node({"AS"}, {"asn": 1})
         p = store.create_node({"Prefix"}, {"prefix": "10.0.0.0/8"})
@@ -203,6 +252,20 @@ class TestRelationships:
         assert store.relationships_of(a.id) == []
         with pytest.raises(NoSuchRelationshipError):
             store.get_relationship(rel.id)
+
+    def test_scans_return_nodes_sorted_by_id(self, store):
+        """Label scans and find_nodes are id-sorted so unordered query
+        output is deterministic across runs and processes."""
+        ids = [store.create_node({"AS"}, {"asn": i % 3}).id for i in range(40)]
+        scanned = [node.id for node in store.nodes_with_label("AS")]
+        assert scanned == sorted(ids)
+        # Unindexed property lookup: sorted subset.
+        found = [node.id for node in store.find_nodes("AS", "asn", 1)]
+        assert found == sorted(found) and found
+        # Indexed lookup too.
+        store.create_index("AS", "asn")
+        indexed = [node.id for node in store.find_nodes("AS", "asn", 1)]
+        assert indexed == found
 
     def test_relationship_type_counts(self, store):
         a = store.create_node({"AS"}, {"asn": 1})
