@@ -1,0 +1,262 @@
+"""Analytics benchmark: vectorized procedures vs per-node traversals.
+
+The ``repro.analytics`` measures read the store's per-(node, type,
+direction) adjacency partitions directly.  This benchmark times each
+vectorized measure against the legacy strategy it replaced — one
+Cypher match (or one engine-mediated expansion) per node:
+
+- **degree distribution** — adjacency-partition length sums vs a
+  Cypher aggregation that enumerates every typed edge row by row;
+- **k-reach** — BFS marking each node once vs a variable-length Cypher
+  pattern that enumerates every distinct-edge path;
+- **pagerank** — direct edge-list extraction from the type index vs
+  the legacy study's Cypher-driven extraction (identical iteration
+  loop, bit-identical scores);
+- **customer cone** — one memoized transitive closure vs a per-AS BFS
+  over Cypher-extracted provider links.
+
+Results land in ``benchmarks/BENCH_analytics.json``; measured speedups
+are gated against the committed ``benchmarks/analytics_baseline.json``
+(>20% below a committed floor fails), and the two adjacency-bound
+measures must clear 3x outright.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+from benchmarks.conftest import record_comparison
+from repro.analysis.centrality import as_pagerank
+from repro.analytics import (
+    customer_cones,
+    degree_histogram,
+    k_reach,
+    pagerank,
+)
+from repro.cypher import CypherEngine
+from repro.graphdb.model import Direction
+
+BENCH_PATH = Path(__file__).parent / "BENCH_analytics.json"
+BASELINE_PATH = Path(__file__).parent / "analytics_baseline.json"
+
+REPEATS = 3
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+def _best_of(run, repeats: int = REPEATS) -> float:
+    """Best-of-N wall time in milliseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best * 1000.0
+
+
+def _record(name: str, naive_ms: float, vectorized_ms: float, rows: int) -> float:
+    speedup = naive_ms / vectorized_ms if vectorized_ms else float("inf")
+    _RESULTS[name] = {
+        "naive_ms": round(naive_ms, 3),
+        "vectorized_ms": round(vectorized_ms, 3),
+        "speedup": round(speedup, 2),
+        "rows": rows,
+    }
+    return speedup
+
+
+# ---------------------------------------------------------------------------
+# Degree distribution: partition lengths vs per-edge Cypher aggregation
+# ---------------------------------------------------------------------------
+
+
+def test_degree_distribution_speedup(bench_iyp):
+    store = bench_iyp.store
+    engine = CypherEngine(store)
+    query = (
+        "MATCH (a:AS)-[r:PEERS_WITH]-() "
+        "RETURN a.asn AS asn, count(r) AS degree"
+    )
+
+    def legacy():
+        histogram: dict[int, int] = {}
+        for row in engine.run(query).records:
+            histogram[row["degree"]] = histogram.get(row["degree"], 0) + 1
+        return histogram
+
+    def vectorized():
+        return degree_histogram(
+            store, rel_type="PEERS_WITH", direction=Direction.BOTH, label="AS"
+        )
+
+    expected = {
+        degree: count for degree, count in vectorized().items() if degree
+    }
+    assert legacy() == expected  # same histogram before timing anything
+
+    vectorized_ms = _best_of(vectorized)
+    naive_ms = _best_of(legacy, repeats=2)
+    speedup = _record(
+        "degree_distribution", naive_ms, vectorized_ms, len(expected)
+    )
+    assert speedup >= 3.0, (
+        f"degree distribution only {speedup:.1f}x faster "
+        f"({naive_ms:.2f}ms -> {vectorized_ms:.2f}ms)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# k-reach: BFS (each node marked once) vs variable-length path search
+# ---------------------------------------------------------------------------
+
+
+def test_kreach_speedup(bench_iyp):
+    store = bench_iyp.store
+    engine = CypherEngine(store)
+    # A mid-degree AS: hub sources make the path-enumeration baseline
+    # take minutes, stubs make both sides trivial.
+    candidates = sorted(
+        (node for node in store.nodes_with_label("AS")),
+        key=lambda node: store.degree_by_type(node.id, "PEERS_WITH"),
+    )
+    source = candidates[len(candidates) // 2]
+    query = (
+        "MATCH (s:AS {asn: $asn})-[:PEERS_WITH*1..2]-(t:AS) "
+        "RETURN DISTINCT t.asn AS asn"
+    )
+    parameters = {"asn": source.properties["asn"]}
+
+    def legacy():
+        return {
+            row["asn"] for row in engine.run(query, parameters).records
+        }
+
+    def vectorized():
+        # PEERS_WITH also reaches BGPCollector nodes; keep AS endpoints
+        # to mirror the baseline's `(t:AS)` constraint.
+        reached = set()
+        for node_id in k_reach(store, source.id, 2, rel_type="PEERS_WITH"):
+            node = store.get_node(node_id)
+            if "AS" in node.labels:
+                reached.add(node.properties["asn"])
+        return reached
+
+    reached = vectorized()
+    assert legacy() - {parameters["asn"]} == reached
+
+    vectorized_ms = _best_of(vectorized)
+    naive_ms = _best_of(legacy, repeats=2)
+    speedup = _record("kreach", naive_ms, vectorized_ms, len(reached))
+    assert speedup >= 3.0, (
+        f"k-reach only {speedup:.1f}x faster "
+        f"({naive_ms:.2f}ms -> {vectorized_ms:.2f}ms)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# PageRank: type-index edge extraction vs the Cypher-driven study
+# ---------------------------------------------------------------------------
+
+
+def test_pagerank_speedup(bench_iyp):
+    store = bench_iyp.store
+
+    scores = pagerank(store)
+    assert scores == as_pagerank(bench_iyp)  # bit-identical floats
+
+    vectorized_ms = _best_of(lambda: pagerank(store))
+    naive_ms = _best_of(lambda: as_pagerank(bench_iyp), repeats=2)
+    _record("pagerank", naive_ms, vectorized_ms, len(scores))
+
+
+# ---------------------------------------------------------------------------
+# Customer cones: memoized closure vs per-AS BFS over Cypher edges
+# ---------------------------------------------------------------------------
+
+
+def test_customer_cone_speedup(bench_iyp):
+    store = bench_iyp.store
+    engine = CypherEngine(store)
+    edges_query = (
+        "MATCH (p:AS)-[r:PEERS_WITH {rel: 1}]->(c:AS) "
+        "RETURN p.asn AS provider, c.asn AS customer"
+    )
+    asns_query = "MATCH (a:AS) RETURN a.asn AS asn"
+
+    def legacy():
+        customers: dict[int, set[int]] = {}
+        for row in engine.run(edges_query).records:
+            customers.setdefault(row["provider"], set()).add(row["customer"])
+        sizes = {}
+        for row in engine.run(asns_query).records:
+            asn = row["asn"]
+            seen = {asn}
+            queue = deque([asn])
+            while queue:
+                for customer in customers.get(queue.popleft(), ()):
+                    if customer not in seen:
+                        seen.add(customer)
+                        queue.append(customer)
+            sizes[asn] = len(seen)
+        return sizes
+
+    def vectorized():
+        return {
+            asn: len(members) for asn, members in customer_cones(store).items()
+        }
+
+    sizes = vectorized()
+    assert legacy() == sizes
+
+    vectorized_ms = _best_of(vectorized)
+    naive_ms = _best_of(legacy, repeats=2)
+    _record("customer_cone", naive_ms, vectorized_ms, len(sizes))
+
+
+# ---------------------------------------------------------------------------
+# Emit BENCH_analytics.json and gate against the committed baseline
+# ---------------------------------------------------------------------------
+
+
+def test_write_bench_json_and_check_baseline(bench_iyp):
+    assert {"degree_distribution", "kreach"} <= set(_RESULTS), (
+        "targeted benchmarks did not run before the gate"
+    )
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": (
+                    "analytics (vectorized measures vs per-node traversals)"
+                ),
+                "world": "medium",
+                "repeats": REPEATS,
+                "measures": _RESULTS,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    record_comparison(
+        "Analytics (vectorized vs per-node)",
+        ["measure", "naive ms", "vectorized ms", "speedup"],
+        [
+            [name, row["naive_ms"], row["vectorized_ms"], f"{row['speedup']}x"]
+            for name, row in sorted(_RESULTS.items())
+        ],
+    )
+
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    failures = []
+    for name, floor in baseline["speedups"].items():
+        measured = _RESULTS.get(name, {}).get("speedup")
+        if measured is None:
+            failures.append(f"{name}: no measurement")
+        elif measured < 0.8 * floor:
+            failures.append(
+                f"{name}: speedup {measured:.2f}x is >20% below the "
+                f"committed baseline {floor:.2f}x"
+            )
+    assert not failures, "; ".join(failures)

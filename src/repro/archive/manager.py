@@ -58,6 +58,10 @@ class ArchiveEntry:
     created_at: str = ""
     build: dict[str, Any] | None = None
     delta: dict[str, Any] | None = None
+    #: Serialized :class:`repro.analytics.AnalyticsReport` computed at
+    #: build time — statistics plus precomputed procedure rows.  Older
+    #: manifests simply lack the key (loaded as None).
+    analytics: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -70,6 +74,7 @@ class ArchiveEntry:
             "created_at": self.created_at,
             "build": self.build,
             "delta": self.delta,
+            "analytics": self.analytics,
         }
 
     @classmethod
@@ -84,6 +89,7 @@ class ArchiveEntry:
             created_at=data.get("created_at", ""),
             build=data.get("build"),
             delta=data.get("delta"),
+            analytics=data.get("analytics"),
         )
 
 
@@ -146,6 +152,7 @@ class SnapshotArchive:
         build: Mapping[str, Any] | None = None,
         created_at: str = "",
         delta: bool = True,
+        analytics: Mapping[str, Any] | None = None,
     ) -> ArchiveEntry:
         """Archive a store under ``label``; returns the manifest entry.
 
@@ -153,7 +160,10 @@ class SnapshotArchive:
         checksum matches an existing entry the new entry shares that
         file (checksum dedup).  With ``delta`` (the default) the
         identity-level diff summary against the current latest entry is
-        computed and stored on the new entry.
+        computed and stored on the new entry.  ``analytics`` (a
+        serialized :class:`repro.analytics.AnalyticsReport`) is stored
+        verbatim on the manifest entry; snapshot bytes and checksums are
+        unaffected.
         """
         entries = self.entries()
         if any(entry.label == label for entry in entries):
@@ -191,6 +201,7 @@ class SnapshotArchive:
             created_at=created_at,
             build=dict(build) if build is not None else None,
             delta=delta_record,
+            analytics=dict(analytics) if analytics is not None else None,
         )
         entries.append(entry)
         self._write_manifest(entries)

@@ -578,6 +578,64 @@ def cmd_archive_add(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analytics(args: argparse.Namespace) -> int:
+    """Run one ``algo.*`` procedure against a snapshot.
+
+    ``repro analytics list`` enumerates the registry; any other measure
+    name (with or without the ``algo.`` prefix) loads the snapshot, runs
+    the procedure, and prints the top rows.  ``--arg`` passes positional
+    procedure arguments; values parse as JSON with a plain-string
+    fallback, mirroring ``query --param``.
+    """
+    import json
+
+    from repro.analytics import PROCEDURES, ProcedureContext, get_procedure, suggest
+
+    if args.measure == "list":
+        print(f"{'procedure':<28} {'columns':<24} {'precomputed':<12} summary")
+        print("-" * 100)
+        for spec in PROCEDURES.values():
+            columns = ",".join(spec.columns)
+            flag = "yes" if spec.precompute else "no"
+            print(f"{spec.name:<28} {columns:<24} {flag:<12} {spec.summary}")
+        return 0
+    name = args.measure if "." in args.measure else f"algo.{args.measure}"
+    spec = get_procedure(name)
+    if spec is None:
+        hint = ""
+        hints = suggest(name)
+        if hints:
+            hint = f" (did you mean {' or '.join(hints)}?)"
+        print(f"unknown procedure {name!r}{hint}", file=sys.stderr)
+        return 1
+    call_args = []
+    for raw in args.arg or ():
+        try:
+            call_args.append(json.loads(raw))
+        except json.JSONDecodeError:
+            call_args.append(raw)
+    iyp = _load_iyp(args.snapshot)
+    try:
+        rows = spec.run(ProcedureContext(iyp.store), *call_args)
+    except (TypeError, ValueError) as exc:
+        print(f"bad arguments for {spec.name}{spec.signature}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{spec.name}{spec.signature}: {len(rows)} row(s)")
+    if rows:
+        widths = {column: max(len(column), 12) for column in spec.columns}
+        print("  ".join(column.ljust(widths[column]) for column in spec.columns))
+        for record in rows[: args.top]:
+            print(
+                "  ".join(
+                    str(record[column]).ljust(widths[column])
+                    for column in spec.columns
+                )
+            )
+        if len(rows) > args.top:
+            print(f"... {len(rows) - args.top} more row(s)")
+    return 0
+
+
 def cmd_docs(args: argparse.Namespace) -> int:
     """Generate the documentation pages from registry and ontology."""
     from repro.docs import write_docs
@@ -818,6 +876,25 @@ def build_parser() -> argparse.ArgumentParser:
     docs = sub.add_parser("docs", help="generate documentation pages")
     docs.add_argument("--output", default="documentation")
     docs.set_defaults(func=cmd_docs)
+
+    analytics = sub.add_parser(
+        "analytics", help="run a graph analytics procedure on a snapshot"
+    )
+    analytics.add_argument(
+        "measure",
+        help="procedure name (with or without the algo. prefix), or "
+        "'list' to enumerate the registry",
+    )
+    analytics.add_argument("--snapshot", default="iyp.json.gz")
+    analytics.add_argument(
+        "--arg",
+        action="append",
+        help="positional procedure argument (repeatable, JSON or string)",
+    )
+    analytics.add_argument(
+        "--top", type=int, default=20, help="rows to print (default 20)"
+    )
+    analytics.set_defaults(func=cmd_analytics)
     return parser
 
 

@@ -312,6 +312,30 @@ class DeleteClause(Clause):
 
 
 @dataclass(frozen=True)
+class YieldItem:
+    """One ``YIELD column [AS alias]`` projection of a CALL clause."""
+
+    column: str
+    alias: str
+    span: Span | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class CallClause(Clause):
+    """``CALL proc.name(args) [YIELD col [AS alias], ...]``.
+
+    ``procedure`` is the lower-cased dotted name; an empty ``yields``
+    means every column of the procedure is projected under its own
+    name.  ``name_span`` covers the dotted name for diagnostics.
+    """
+
+    procedure: str
+    args: tuple[Expression, ...] = ()
+    yields: tuple[YieldItem, ...] = ()
+    name_span: Span | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
 class Query:
     clauses: tuple[Clause, ...]
     # UNION support: each part is a full clause list; rows are concatenated.

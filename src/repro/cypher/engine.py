@@ -34,6 +34,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from repro.analytics.registry import ProcedureContext, get_procedure, suggest
 from repro.cypher import ast
 from repro.cypher.errors import CypherRuntimeError
 from repro.cypher.functions import (
@@ -119,6 +120,17 @@ class CypherEngine:
         #: Span tracer; the query service swaps in its own so engine
         #: spans (parse, execute) nest under the request's trace.
         self.tracer = NULL_TRACER
+        #: Planner statistics (:class:`repro.analytics.GraphStatistics`).
+        #: When set, MATCH planning estimates cardinalities from measured
+        #: label counts and expansion factors; when None the planner
+        #: keeps its uniform-cost model.
+        self.statistics = None
+        #: Precomputed analytics (:class:`repro.analytics.AnalyticsReport`).
+        #: Zero-argument ``CALL`` invocations are served from it whenever
+        #: its version matches the store's mutation counter.
+        self.analytics = None
+        #: How many CALL executions were served from ``analytics``.
+        self.procedure_cache_hits = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -218,10 +230,12 @@ class CypherEngine:
         tree = self._parsed(query)
         plan: list[str] = []
         for clause in tree.clauses:
-            if not isinstance(clause, ast.MatchClause):
+            if isinstance(clause, ast.MatchClause):
+                plan.extend(self._explain_match(clause))
+            elif isinstance(clause, ast.CallClause):
+                plan.append(self._explain_call(clause))
+            else:
                 plan.append(type(clause).__name__.replace("Clause", "").upper())
-                continue
-            plan.extend(self._explain_match(clause))
         warnings = QueryLinter(self.store).lint_tree(tree)
         return Explanation(plan, warnings)
 
@@ -244,9 +258,28 @@ class CypherEngine:
             line = f"{kind} {self._matcher.describe_pattern(pattern, {})}"
             if total > 1:
                 line += f" join={rank + 1}/{total} pattern={source}"
+            if match_plan.estimates is not None:
+                line += f" est~{match_plan.estimates[rank]:.0f}"
             lines.append(line)
         lines.extend(f"  {text}" for text in match_plan.describe_predicates())
         return lines
+
+    def _explain_call(self, clause: ast.CallClause) -> str:
+        """One plan line for a CALL: the procedure, the projected
+        columns, and whether the build-time precompute would serve it."""
+        spec = get_procedure(clause.procedure)
+        if spec is None:
+            return f"CALL {clause.procedure} (unknown procedure)"
+        columns = [item.alias for item in clause.yields] or list(spec.columns)
+        line = f"CALL {spec.name} yield=[{', '.join(columns)}]"
+        if (
+            not clause.args
+            and self.analytics is not None
+            and self.analytics.version == self.store.version
+            and spec.name in self.analytics.procedures
+        ):
+            line += " precomputed"
+        return line
 
     # ------------------------------------------------------------------
     # Execution pipeline
@@ -316,6 +349,10 @@ class CypherEngine:
                 with profiler.operator(name, self._clause_detail(clause)) as node:
                     rows, columns = self._apply_clause(clause, rows, context)
                     node.rows = len(rows)
+        if columns is None and clauses and isinstance(clauses[-1], ast.CallClause):
+            # A standalone CALL (no trailing RETURN) yields its
+            # procedure columns directly, like Neo4j.
+            columns = [item.alias for item in self._effective_yields(clauses[-1])]
         if columns is None:
             return QueryResult([], [], context.stats)
         return QueryResult(columns, rows, context.stats)
@@ -342,6 +379,8 @@ class CypherEngine:
             return self._apply_remove(clause, rows, context), None
         if isinstance(clause, ast.DeleteClause):
             return self._apply_delete(clause, rows, context), None
+        if isinstance(clause, ast.CallClause):
+            return self._apply_call(clause, rows, context), None
         raise CypherRuntimeError(f"unsupported clause {clause!r}")
 
     def _clause_detail(self, clause: ast.Clause) -> str:
@@ -382,6 +421,12 @@ class CypherEngine:
             if not clause.star:
                 flags.append(f"{len(clause.items)} items")
             return " ".join(flags)
+        if isinstance(clause, ast.CallClause):
+            detail = clause.procedure
+            if clause.yields:
+                aliases = ",".join(item.alias for item in clause.yields)
+                detail += f" yield={aliases}"
+            return detail
         return ""
 
     # -- reading clauses -------------------------------------------------
@@ -390,7 +435,13 @@ class CypherEngine:
         self, clause: ast.MatchClause, bound: frozenset[str]
     ) -> MatchPlan:
         """Plan one MATCH clause against the current store statistics."""
-        return plan_match(clause.patterns, clause.where, self.store, bound)
+        return plan_match(
+            clause.patterns,
+            clause.where,
+            self.store,
+            bound,
+            statistics=self.statistics,
+        )
 
     def _apply_match(
         self, clause: ast.MatchClause, rows: list[Row], context: "_Context"
@@ -443,6 +494,77 @@ class CypherEngine:
                 extended[clause.alias] = item
                 output.append(extended)
         return output
+
+    def _effective_yields(
+        self, clause: ast.CallClause
+    ) -> tuple[ast.YieldItem, ...]:
+        """The YIELD projection, defaulting to every procedure column."""
+        if clause.yields:
+            return clause.yields
+        spec = get_procedure(clause.procedure)
+        if spec is None:
+            raise CypherRuntimeError(
+                _unknown_procedure_message(clause.procedure)
+            )
+        return tuple(ast.YieldItem(column, column) for column in spec.columns)
+
+    def _apply_call(
+        self, clause: ast.CallClause, rows: list[Row], context: "_Context"
+    ) -> list[Row]:
+        """Invoke a registered procedure and stream its records.
+
+        Like UNWIND, each input row fans out into one output row per
+        procedure record, so CALL composes with the rest of the
+        pipeline.  Arguments are evaluated per row (they may reference
+        bound variables or parameters); argument-free invocations are
+        served from the engine's precomputed analytics when the cached
+        generation matches the store.
+        """
+        spec = get_procedure(clause.procedure)
+        if spec is None:
+            raise CypherRuntimeError(
+                _unknown_procedure_message(clause.procedure)
+            )
+        yields = clause.yields or tuple(
+            ast.YieldItem(column, column) for column in spec.columns
+        )
+        for item in yields:
+            if item.column not in spec.columns:
+                raise CypherRuntimeError(
+                    f"procedure {spec.name} has no column {item.column!r} "
+                    f"(columns: {', '.join(spec.columns)})"
+                )
+        output: list[Row] = []
+        for row in rows:
+            context.row = row
+            args = [self._evaluate(arg, row) for arg in clause.args]
+            for record in self._procedure_rows(spec, args):
+                self._tick()
+                extended = dict(row)
+                for item in yields:
+                    extended[item.alias] = record[item.column]
+                output.append(extended)
+        return output
+
+    def _procedure_rows(
+        self, spec: Any, args: list[Any]
+    ) -> list[dict[str, Any]]:
+        """Rows for one procedure invocation, precomputed when possible."""
+        if not args and self.analytics is not None:
+            cached = self.analytics.procedures.get(spec.name)
+            if cached is not None and self.analytics.version == self.store.version:
+                self.procedure_cache_hits += 1
+                return cached
+        try:
+            return spec.run(ProcedureContext(self.store, self.statistics), *args)
+        except TypeError as exc:
+            raise CypherRuntimeError(
+                f"bad arguments for {spec.name}{spec.signature}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise CypherRuntimeError(
+                f"bad arguments for {spec.name}{spec.signature}: {exc}"
+            ) from exc
 
     def _apply_with(
         self, clause: ast.WithClause, rows: list[Row], context: "_Context"
@@ -1169,3 +1291,13 @@ def _pattern_variables(patterns: tuple[ast.PathPattern, ...]) -> list[str]:
             if rel.variable:
                 names.append(rel.variable)
     return names
+
+
+def _unknown_procedure_message(name: str) -> str:
+    """Error text for a CALL naming no registered procedure, with a
+    did-you-mean hint from the registry."""
+    message = f"unknown procedure {name!r}"
+    hints = suggest(name)
+    if hints:
+        message += "; did you mean " + " or ".join(hints) + "?"
+    return message

@@ -33,6 +33,7 @@ KEYWORDS = frozenset(
         "CONTAINS", "IS", "NULL", "TRUE", "FALSE", "CREATE", "MERGE",
         "SET", "REMOVE", "DELETE", "DETACH", "UNWIND", "ON", "CASE",
         "WHEN", "THEN", "ELSE", "END", "EXISTS", "UNION", "ALL",
+        "CALL", "YIELD",
     }
 )
 

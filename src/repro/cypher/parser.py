@@ -5,8 +5,10 @@ Grammar (informal)::
     query        := part (UNION [ALL] part)*
     part         := clause+
     clause       := match | unwind | with | return | create | merge
-                  | set | remove | delete
+                  | set | remove | delete | call
     match        := [OPTIONAL] MATCH pattern (',' pattern)* [WHERE expr]
+    call         := CALL name ('.' name)* '(' [expr (',' expr)*] ')'
+                    [YIELD name [AS name] (',' name [AS name])*]
     pattern      := [ident '='] node (rel node)*
     node         := '(' [ident] (':' label)* [map] ')'
     rel          := dash '[' [ident] [':' type ('|' type)*] ['*' range]
@@ -154,6 +156,8 @@ class _Parser:
                 clauses.append(self._parse_remove())
             elif token.is_keyword("DELETE", "DETACH"):
                 clauses.append(self._parse_delete())
+            elif token.is_keyword("CALL"):
+                clauses.append(self._parse_call())
             else:
                 break
         if not clauses:
@@ -161,6 +165,42 @@ class _Parser:
         return ast.Query(tuple(clauses))
 
     # -- clauses ---------------------------------------------------------
+
+    def _parse_call(self) -> ast.CallClause:
+        self._expect_keyword("CALL")
+        first = self._expect_name_token()
+        last = first
+        name_parts = [first.raw]
+        while self._accept_punct("."):
+            last = self._expect_name_token()
+            name_parts.append(last.raw)
+        procedure = ".".join(name_parts).lower()
+        last_length = max(len(last.raw or last.value), 1)
+        name_span = ast.Span(
+            first.position,
+            first.line,
+            first.column,
+            last.position - first.position + last_length,
+        )
+        self._expect_punct("(")
+        args: list[ast.Expression] = []
+        if not self._current.is_punct(")"):
+            args.append(self._parse_expression())
+            while self._accept_punct(","):
+                args.append(self._parse_expression())
+        self._expect_punct(")")
+        yields: list[ast.YieldItem] = []
+        if self._accept_keyword("YIELD"):
+            yields.append(self._parse_yield_item())
+            while self._accept_punct(","):
+                yields.append(self._parse_yield_item())
+        return ast.CallClause(procedure, tuple(args), tuple(yields), name_span)
+
+    def _parse_yield_item(self) -> ast.YieldItem:
+        token = self._expect_name_token()
+        column = token.raw
+        alias = self._expect_name() if self._accept_keyword("AS") else column
+        return ast.YieldItem(column, alias, self._span(token))
 
     def _parse_match(self) -> ast.MatchClause:
         optional = self._accept_keyword("OPTIONAL")

@@ -16,13 +16,14 @@ from repro.graphdb.errors import (
 from repro.graphdb.model import Direction, Node, Relationship
 from repro.graphdb.rwlock import RWLock
 from repro.graphdb.snapshot import load_snapshot, save_snapshot
-from repro.graphdb.store import GraphStore
+from repro.graphdb.store import GraphStore, directional_count
 
 __all__ = [
     "ConstraintViolationError",
     "Direction",
     "GraphError",
     "GraphStore",
+    "directional_count",
     "NoSuchNodeError",
     "NoSuchRelationshipError",
     "Node",

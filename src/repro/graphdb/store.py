@@ -47,6 +47,24 @@ from repro.graphdb.rwlock import RWLock
 from repro.obs.record import record_access
 
 
+def directional_count(out: int, inbound: int, loops: int, direction: Direction) -> int:
+    """Combine per-direction incidence counts into one degree figure.
+
+    Under ``Direction.BOTH`` a self-loop appears in both the outgoing
+    and the incoming partition but is one relationship, so it is
+    subtracted once.  :meth:`GraphStore.degree`,
+    :meth:`GraphStore.degree_by_type` and the analytics degree
+    histograms (:mod:`repro.analytics.measures`) all combine their raw
+    counts through this helper, so the self-loop convention cannot
+    diverge between them.
+    """
+    if direction is Direction.OUT:
+        return out
+    if direction is Direction.IN:
+        return inbound
+    return out + inbound - loops
+
+
 class GraphStore:
     """An embedded label/property graph with hash indexes."""
 
@@ -134,13 +152,9 @@ class GraphStore:
         """
         self._require_node(node_id)
         out = sum(map(len, self._outgoing.get(node_id, {}).values()))
-        if direction is Direction.OUT:
-            return out
         inbound = sum(map(len, self._incoming.get(node_id, {}).values()))
-        if direction is Direction.IN:
-            return inbound
         loops = sum(self._loop_counts.get(node_id, {}).values())
-        return out + inbound - loops
+        return directional_count(out, inbound, loops, direction)
 
     def degree_by_type(
         self, node_id: int, rel_type: str, direction: Direction = Direction.BOTH
@@ -149,13 +163,9 @@ class GraphStore:
         edges of other types (the planner's expansion estimate)."""
         self._require_node(node_id)
         out = len(self._outgoing.get(node_id, {}).get(rel_type, ()))
-        if direction is Direction.OUT:
-            return out
         inbound = len(self._incoming.get(node_id, {}).get(rel_type, ()))
-        if direction is Direction.IN:
-            return inbound
         loops = self._loop_counts.get(node_id, {}).get(rel_type, 0)
-        return out + inbound - loops
+        return directional_count(out, inbound, loops, direction)
 
     # ------------------------------------------------------------------
     # Bulk loading

@@ -1,7 +1,7 @@
 """Structured diagnostics shared by the query linter and the CLI.
 
 Every check in :mod:`repro.lint.linter` emits :class:`Diagnostic`
-instances with a stable code (``LNT000``-``LNT009``), a severity, a
+instances with a stable code (``LNT000``-``LNT010``), a severity, a
 human-readable message and, when known, the source span of the offending
 token.  Codes and severities are documented in
 ``documentation/linting.md``.
@@ -31,6 +31,7 @@ CODES: dict[str, tuple[str, str]] = {
     "LNT007": ("error", "variable used but never bound"),
     "LNT008": ("warning", "property lookup without index"),
     "LNT009": ("warning", "suspicious type comparison"),
+    "LNT010": ("error", "unknown procedure name"),
 }
 
 

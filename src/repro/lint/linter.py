@@ -32,6 +32,9 @@ emits :class:`~repro.lint.diagnostics.Diagnostic` findings:
     A comparison whose literal type cannot match the catalogued
     property kind (e.g. ``a.asn = '2907'``), including string
     operators applied to numeric properties.
+``LNT010``
+    A ``CALL`` naming a procedure the registry does not define, with
+    did-you-mean suggestions against the registered ``algo.*`` names.
 
 Label knowledge flows across clauses: a variable bound as ``(x:AS)`` in
 one MATCH keeps its label for endpoint and property checks in later
@@ -42,6 +45,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+from repro.analytics.registry import get_procedure, suggest
 from repro.cypher import ast
 from repro.cypher.errors import CypherSyntaxError
 from repro.cypher.parser import parse
@@ -116,7 +120,8 @@ class _PartLinter:
     # -- clause walk -----------------------------------------------------
 
     def run(self, clauses: tuple[ast.Clause, ...]) -> None:
-        for clause in clauses:
+        last = len(clauses) - 1
+        for index, clause in enumerate(clauses):
             if isinstance(clause, ast.MatchClause):
                 pre_scope = set(self._scope)
                 self._check_cartesian(clause, pre_scope)
@@ -146,6 +151,8 @@ class _PartLinter:
             elif isinstance(clause, ast.DeleteClause):
                 for expression in clause.expressions:
                     self._expr(expression)
+            elif isinstance(clause, ast.CallClause):
+                self._check_call(clause, is_final=index == last)
         if not self._has_star:
             for name, span in self._binds:
                 if name not in self._used and not name.startswith("_"):
@@ -192,6 +199,35 @@ class _PartLinter:
             self._node_labels = {**kept, **aliases}
             if not clause.star:
                 self._rel_types = {}
+
+    def _check_call(self, clause: ast.CallClause, is_final: bool) -> None:
+        for arg in clause.args:
+            self._expr(arg)
+        spec = get_procedure(clause.procedure)
+        if spec is None:
+            message = f"unknown procedure `{clause.procedure}` in CALL"
+            hints = suggest(clause.procedure)
+            if hints:
+                message += (
+                    "; did you mean "
+                    + " or ".join(f"`{hint}`" for hint in hints)
+                    + "?"
+                )
+            self._emit("LNT010", message, clause.name_span)
+        if clause.yields:
+            yields = clause.yields
+        elif spec is not None:
+            yields = tuple(
+                ast.YieldItem(column, column) for column in spec.columns
+            )
+        else:
+            yields = ()
+        for item in yields:
+            # A final CALL's yields are the query's result columns, so
+            # they are "used" by definition; only explicit YIELDs in
+            # the middle of a pipeline join the unused-variable check.
+            register = bool(clause.yields) and not is_final
+            self._bind(item.alias, item.span, register=register)
 
     def _set_item(self, item: ast.SetItem) -> None:
         self._expr(item.subject)

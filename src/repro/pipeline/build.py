@@ -70,6 +70,11 @@ class BuildReport:
     trace_id: str | None = None
     schema_report: GraphValidationReport | None = None
     archived_as: str | None = None
+    #: Build-time analytics precompute
+    #: (:class:`repro.analytics.AnalyticsReport`): graph statistics plus
+    #: the cached rows of every precompute procedure.  None when the
+    #: build ran with ``analytics=False``.
+    analytics: Any | None = None
 
     @property
     def ok(self) -> bool:
@@ -109,6 +114,7 @@ def build_iyp(
     metrics: Metrics | None = None,
     tracer: Tracer | None = None,
     validate: bool = True,
+    analytics: bool = True,
     archive: Any | None = None,
     archive_label: str | None = None,
 ) -> tuple[IYP, BuildReport]:
@@ -124,6 +130,14 @@ def build_iyp(
     With ``validate`` (the default) the finished graph is swept by the
     ontology schema validator; the per-crawler violation report lands in
     ``report.schema_report`` and any violations flip ``report.ok``.
+
+    With ``analytics`` (the default) the finished graph is measured
+    once — graph statistics for the cost-based planner plus every
+    precompute ``algo.*`` procedure — and the resulting
+    :class:`repro.analytics.AnalyticsReport` lands in
+    ``report.analytics`` (and, when archiving, in the manifest entry,
+    so a serving process can answer those ``CALL`` queries from cache).
+    Analytics never affects ``report.ok``.
 
     Pass ``archive`` (a :class:`repro.archive.SnapshotArchive`) to
     archive the finished graph in one step: the snapshot lands in the
@@ -180,6 +194,18 @@ def build_iyp(
                     len(report.schema_report.violations),
                     json.dumps(report.schema_report.by_code(), sort_keys=True),
                 )
+        if analytics:
+            # Imported here so a build without analytics never pays for
+            # the package import.
+            from repro.analytics import compute_analytics_report
+
+            with tracer.span("analytics"):
+                report.analytics = compute_analytics_report(iyp.store)
+            log.info(
+                "analytics precompute: %d procedure(s) in %.3fs",
+                len(report.analytics.procedures),
+                report.analytics.seconds,
+            )
     report.total_seconds = time.perf_counter() - started
     report.nodes = iyp.store.node_count
     report.relationships = iyp.store.relationship_count
@@ -187,7 +213,14 @@ def build_iyp(
         label = archive_label or f"build-{len(archive.entries()) + 1:04d}"
         with tracer.span("archive", label=label):
             entry = archive.add(
-                iyp.store, label, build=report.build_metadata()
+                iyp.store,
+                label,
+                build=report.build_metadata(),
+                analytics=(
+                    report.analytics.to_dict()
+                    if report.analytics is not None
+                    else None
+                ),
             )
         report.archived_as = entry.label
         log.info(

@@ -33,6 +33,7 @@ import time
 from contextlib import ExitStack
 from typing import Any, Mapping
 
+from repro.analytics import AnalyticsReport, compute_statistics
 from repro.cypher import CypherEngine
 from repro.cypher.errors import (
     CypherError,
@@ -201,6 +202,7 @@ class QueryService:
         self.tracing = tracing
         self.tracer = Tracer(enabled=tracing)
         self.engine.tracer = self.tracer
+        self._attach_analytics(self.engine, store, snapshot_label)
         self.slowlog = SlowQueryLog(
             threshold_seconds=slow_query_seconds, capacity=slowlog_capacity
         )
@@ -245,7 +247,35 @@ class QueryService:
     ) -> ServingState:
         engine = CypherEngine(store)
         engine.tracer = self.tracer
+        self._attach_analytics(engine, store, label)
         return ServingState(store, engine, QueryLinter(store), generation, label)
+
+    def _attach_analytics(
+        self, engine: CypherEngine, store: GraphStore, label: str | None
+    ) -> None:
+        """Give a serving engine measured planner statistics and, when
+        the archive carries a build-time precompute for ``label``, the
+        cached ``CALL algo.*`` rows.
+
+        Archived reports are re-stamped to the loaded store's version
+        (the binary loader resets the mutation counter), so the engine's
+        generation check keeps matching until the first write.  Without
+        archived analytics the statistics are measured on the spot —
+        components skipped, serving only needs cardinalities.
+        """
+        payload = None
+        if label is not None and self.archive is not None:
+            try:
+                payload = self.archive.resolve(label).analytics
+            except KeyError:
+                payload = None
+        if payload:
+            report = AnalyticsReport.from_dict(payload).for_store(store)
+            engine.analytics = report
+            if report.statistics is not None:
+                engine.statistics = report.statistics
+        if engine.statistics is None:
+            engine.statistics = compute_statistics(store, components=False)
 
     def swap_store(self, store: GraphStore, label: str | None = None) -> dict[str, Any]:
         """Atomically replace the served store with ``store``.

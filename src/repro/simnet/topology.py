@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 
+from repro.analytics import transitive_closure
 from repro.simnet.world import ASInfo, OrgInfo, World
 
 # Country weights approximate AS registration counts per economy.
@@ -201,24 +202,13 @@ def _build_as_graph(
 
 
 def _compute_cones_and_ranks(world: World, asns: list[int]) -> None:
-    """Customer-cone sizes via DFS, ASRank by cone, hegemony normalized."""
-    cone_cache: dict[int, set[int]] = {}
-
-    def cone(asn: int, visiting: set[int]) -> set[int]:
-        if asn in cone_cache:
-            return cone_cache[asn]
-        if asn in visiting:
-            return {asn}
-        visiting.add(asn)
-        members = {asn}
-        for customer in world.ases[asn].customers:
-            members |= cone(customer, visiting)
-        visiting.discard(asn)
-        cone_cache[asn] = members
-        return members
-
+    """Customer-cone sizes via transitive closure, ASRank by cone,
+    hegemony normalized."""
+    cones = transitive_closure(
+        {asn: world.ases[asn].customers for asn in asns}, keys=asns
+    )
     for asn in asns:
-        world.ases[asn].cone_size = len(cone(asn, set()))
+        world.ases[asn].cone_size = len(cones[asn])
     ranked = sorted(asns, key=lambda a: (-world.ases[a].cone_size, a))
     total = len(asns)
     for position, asn in enumerate(ranked, start=1):

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analytics import bounded_reach
 from repro.core import IYP
 from repro.nettypes.dns import public_suffix, registered_domain
 
@@ -108,27 +109,28 @@ def run_spof_study(iyp: IYP, max_chain_depth: int = 5) -> SPOFResults:
             ases |= ns_as.get(ns, set())
         return ases
 
+    def zone_providers(zone: str) -> list[str] | None:
+        """One outsourcing step: the provider zones of a zone's
+        nameservers, or None for zones with no DNS data (which stay
+        expandable should a later chain learn about them)."""
+        servers = zone_ns.get(zone)
+        if servers is None:
+            return None
+        return [registered_domain(ns) or ns for ns in servers]
+
     def third_party_ases(domain: str) -> set[int]:
         """ASes reached through the provider outsourcing chain."""
-        collected: set[int] = set()
-        visited: set[str] = {domain}
         frontier = {
             registered_domain(ns) or ns for ns in zone_ns.get(domain, ())
         }
-        depth = 0
-        while frontier and depth < max_chain_depth:
-            next_frontier: set[str] = set()
-            for zone in frontier:
-                if zone in visited or zone not in zone_ns:
-                    continue
-                visited.add(zone)
-                collected |= ases_of_zone(zone)
-                for ns in zone_ns[zone]:
-                    parent = registered_domain(ns) or ns
-                    if parent not in visited:
-                        next_frontier.add(parent)
-            frontier = next_frontier
-            depth += 1
+        collected: set[int] = set()
+        for zone in bounded_reach(
+            frontier,
+            zone_providers,
+            max_depth=max_chain_depth,
+            visited=(domain,),
+        ):
+            collected |= ases_of_zone(zone)
         return collected
 
     def hierarchical_ases(domain: str) -> set[int]:

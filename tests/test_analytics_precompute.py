@@ -1,0 +1,129 @@
+"""Build-time analytics precompute and its serving path.
+
+``build_iyp`` measures the finished graph once (statistics plus every
+precompute ``algo.*`` procedure), hangs the
+:class:`repro.analytics.AnalyticsReport` on the build report, and — when
+archiving — persists it on the snapshot's manifest entry.  A serving
+process loading that snapshot answers argument-free ``CALL`` queries
+from the cache, after re-stamping the report to the loaded store's
+(reset) version counter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import AnalyticsReport, compute_analytics_report
+from repro.archive import SnapshotArchive
+from repro.graphdb import GraphStore
+from repro.pipeline import build_iyp
+from repro.server import QueryService
+from repro.simnet import WorldConfig, build_world
+
+PRECOMPUTED = {
+    "algo.components",
+    "algo.pagerank",
+    "algo.degree_distribution",
+    "algo.customer_cone",
+}
+
+
+@pytest.fixture(scope="module")
+def archived_build(tmp_path_factory):
+    """One build archived with analytics on the manifest entry."""
+    archive = SnapshotArchive(tmp_path_factory.mktemp("archive"))
+    world = build_world(WorldConfig.small(seed=5))
+    iyp, report = build_iyp(world, archive=archive, archive_label="w1")
+    assert report.ok
+    return iyp, report, archive
+
+
+class TestBuildReport:
+    def test_build_attaches_an_analytics_report(self, archived_build):
+        iyp, report, _ = archived_build
+        analytics = report.analytics
+        assert analytics is not None
+        assert analytics.version == iyp.store.version
+        assert set(analytics.procedures) == PRECOMPUTED
+        assert all(analytics.rows(name) for name in PRECOMPUTED)
+        assert analytics.statistics is not None
+        assert analytics.statistics.node_count == iyp.store.node_count
+        assert analytics.seconds > 0
+
+    def test_analytics_precompute_can_be_disabled(self):
+        world = build_world(WorldConfig.small(seed=5))
+        _, report = build_iyp(
+            world,
+            dataset_names=["bgpkit.as2rel"],
+            postprocess=False,
+            validate=False,
+            analytics=False,
+        )
+        assert report.analytics is None
+
+    def test_cached_rows_match_a_fresh_computation(self, archived_build):
+        iyp, report, _ = archived_build
+        fresh = compute_analytics_report(iyp.store)
+        assert fresh.procedures == report.analytics.procedures
+
+
+class TestArchiveManifest:
+    def test_entry_carries_the_serialized_report(self, archived_build):
+        _, report, archive = archived_build
+        entry = archive.resolve("w1")
+        assert entry.analytics == report.analytics.to_dict()
+
+    def test_report_roundtrips_through_the_manifest(self, archived_build):
+        _, report, archive = archived_build
+        # Entries are re-read from disk, so this exercises real JSON.
+        entry = archive.entries()[-1]
+        restored = AnalyticsReport.from_dict(entry.analytics)
+        assert restored.procedures == report.analytics.procedures
+        assert restored.statistics == report.analytics.statistics
+        assert restored.version == report.analytics.version
+
+    def test_entries_without_analytics_load_as_none(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "plain")
+        store = GraphStore()
+        store.create_node({"AS"}, {"asn": 1})
+        archive.add(store, "bare")
+        assert archive.resolve("bare").analytics is None
+
+
+class TestServing:
+    def test_loaded_snapshot_serves_precomputed_calls(self, archived_build):
+        _, report, archive = archived_build
+        store = archive.load("w1")
+        # The binary loader resets the mutation counter; the attached
+        # report must be re-stamped or the generation check never hits.
+        service = QueryService(store, archive=archive, snapshot_label="w1")
+        engine = service.engine
+        assert engine.analytics is not None
+        assert engine.analytics.version == store.version
+        assert engine.statistics is not None
+        response = service.execute(
+            "CALL algo.pagerank() YIELD asn, score "
+            "RETURN asn ORDER BY score DESC LIMIT 3"
+        )
+        assert len(response["rows"]) == 3
+        assert engine.procedure_cache_hits == 1
+        cached = report.analytics.rows("algo.pagerank")
+        assert [row[0] for row in response["rows"]] == [
+            record["asn"] for record in cached[:3]
+        ]
+
+    def test_service_without_archive_still_gets_statistics(self):
+        store = GraphStore()
+        store.create_node({"AS"}, {"asn": 1})
+        service = QueryService(store)
+        assert service.engine.statistics is not None
+        assert service.engine.statistics.node_count == 1
+        assert service.engine.analytics is None
+
+    def test_write_invalidates_the_served_cache(self, archived_build):
+        _, _, archive = archived_build
+        store = archive.load("w1")
+        service = QueryService(store, archive=archive, snapshot_label="w1")
+        store.create_node({"AS"}, {"asn": 999999})
+        service.execute("CALL algo.customer_cone() YIELD asn RETURN count(asn)")
+        assert service.engine.procedure_cache_hits == 0

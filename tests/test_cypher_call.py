@@ -1,0 +1,206 @@
+"""The CALL clause: lexing, parsing, execution, caching, introspection.
+
+``CALL algo.<name>(args) [YIELD cols]`` is threaded through the whole
+query stack — lexer keyword, parser grammar, AST node, engine pipeline
+stage, EXPLAIN/PROFILE rows — and argument-free invocations are served
+from the engine's precomputed :class:`repro.analytics.AnalyticsReport`
+when the cached generation matches the store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import (
+    compute_analytics_report,
+    customer_cones,
+    k_reach,
+    weakly_connected_components,
+)
+from repro.cypher import CypherEngine, CypherRuntimeError, CypherSyntaxError
+from repro.cypher import ast
+from repro.cypher.parser import parse
+from repro.graphdb import GraphStore
+
+
+@pytest.fixture()
+def chain_store():
+    """asn 0 -> 1 -> 2 -> 3 provider chain (PEERS_WITH rel=1)."""
+    store = GraphStore()
+    nodes = [store.create_node({"AS"}, {"asn": i}) for i in range(4)]
+    for left, right in zip(nodes, nodes[1:]):
+        store.create_relationship(left.id, "PEERS_WITH", right.id, {"rel": 1})
+    return store
+
+
+class TestParsing:
+    def test_standalone_call_parses(self):
+        tree = parse("CALL algo.pagerank()")
+        assert len(tree.clauses) == 1
+        clause = tree.clauses[0]
+        assert isinstance(clause, ast.CallClause)
+        assert clause.procedure == "algo.pagerank"
+        assert clause.args == ()
+        assert clause.yields == ()
+
+    def test_args_and_yield_aliases(self):
+        tree = parse("CALL algo.kreach(1, 2) YIELD node AS n, depth")
+        clause = tree.clauses[0]
+        assert len(clause.args) == 2
+        assert [(item.column, item.alias) for item in clause.yields] == [
+            ("node", "n"),
+            ("depth", "depth"),
+        ]
+
+    def test_procedure_name_is_case_insensitive(self):
+        tree = parse("CALL ALGO.PageRank()")
+        assert tree.clauses[0].procedure == "algo.pagerank"
+
+    def test_name_span_covers_the_dotted_name(self):
+        clause = parse("CALL algo.pagerank()").clauses[0]
+        span = clause.name_span
+        assert span is not None
+        assert (span.line, span.column) == (1, 6)
+        assert span.length == len("algo.pagerank")
+
+    def test_missing_parentheses_is_a_syntax_error(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("CALL algo.pagerank")
+
+    def test_call_composes_with_other_clauses(self):
+        tree = parse(
+            "CALL algo.components() YIELD component, size "
+            "RETURN size ORDER BY size DESC LIMIT 1"
+        )
+        assert isinstance(tree.clauses[0], ast.CallClause)
+        assert isinstance(tree.clauses[1], ast.ReturnClause)
+
+
+class TestExecution:
+    def test_standalone_call_synthesizes_columns(self, chain_store):
+        result = CypherEngine(chain_store).run("CALL algo.customer_cone()")
+        assert result.columns == ["asn", "size"]
+        expected = {
+            asn: len(members)
+            for asn, members in customer_cones(chain_store).items()
+        }
+        assert {r["asn"]: r["size"] for r in result.records} == expected
+
+    def test_yield_aliases_rename_columns(self, chain_store):
+        result = CypherEngine(chain_store).run(
+            "CALL algo.customer_cone() YIELD asn AS a, size RETURN a, size"
+        )
+        assert result.columns == ["a", "size"]
+        assert result.records[0]["a"] == 0
+
+    def test_call_streams_into_the_pipeline(self, chain_store):
+        result = CypherEngine(chain_store).run(
+            "CALL algo.components() YIELD component, size "
+            "RETURN size ORDER BY size DESC LIMIT 1"
+        )
+        largest = max(
+            len(ids) for ids in weakly_connected_components(chain_store)
+        )
+        assert [r["size"] for r in result.records] == [largest]
+
+    def test_arguments_accept_parameters(self, chain_store):
+        result = CypherEngine(chain_store).run(
+            "CALL algo.kreach($node, 2, 'PEERS_WITH', 'out') "
+            "YIELD node, depth RETURN node, depth",
+            {"node": 0},
+        )
+        expected = k_reach(chain_store, 0, 2, rel_type="PEERS_WITH")
+        # Direction 'out' restricts to the chain's forward hops.
+        assert {r["node"]: r["depth"] for r in result.records} == {
+            1: 1, 2: 2
+        }
+        assert set(expected) >= set(r["node"] for r in result.records)
+
+    def test_unknown_procedure_suggests_a_name(self, chain_store):
+        with pytest.raises(CypherRuntimeError) as err:
+            CypherEngine(chain_store).run("CALL algo.pagrank()")
+        assert "unknown procedure" in str(err.value)
+        assert "algo.pagerank" in str(err.value)
+
+    def test_unknown_yield_column_lists_the_real_ones(self, chain_store):
+        with pytest.raises(CypherRuntimeError) as err:
+            CypherEngine(chain_store).run(
+                "CALL algo.pagerank() YIELD rank RETURN rank"
+            )
+        assert "no column 'rank'" in str(err.value)
+        assert "asn, score" in str(err.value)
+
+    def test_bad_argument_count_cites_the_signature(self, chain_store):
+        with pytest.raises(CypherRuntimeError) as err:
+            CypherEngine(chain_store).run("CALL algo.customer_cone(1)")
+        assert "algo.customer_cone()" in str(err.value)
+
+    def test_bad_argument_value_cites_the_signature(self, chain_store):
+        with pytest.raises(CypherRuntimeError) as err:
+            CypherEngine(chain_store).run(
+                "CALL algo.kreach(0, 2, 'PEERS_WITH', 'sideways')"
+            )
+        assert "algo.kreach(node, k, rel_type?, direction?)" in str(err.value)
+
+    def test_call_is_not_a_write_query(self, chain_store):
+        engine = CypherEngine(chain_store)
+        assert not engine.is_write_query(
+            "CALL algo.pagerank() YIELD asn, score RETURN asn"
+        )
+
+
+class TestIntrospection:
+    def test_explain_shows_the_call_plan_line(self, chain_store):
+        lines = list(CypherEngine(chain_store).explain(
+            "CALL algo.pagerank() YIELD asn, score RETURN asn"
+        ))
+        assert any(
+            line == "CALL algo.pagerank yield=[asn, score]" for line in lines
+        )
+
+    def test_explain_flags_unknown_procedures(self, chain_store):
+        lines = list(CypherEngine(chain_store).explain("CALL algo.nope()"))
+        assert "CALL algo.nope (unknown procedure)" in lines
+
+    def test_profile_reports_a_call_operator(self, chain_store):
+        result, root = CypherEngine(chain_store).profile(
+            "CALL algo.customer_cone()"
+        )
+        call_nodes = [n for n in root.walk() if n.operator == "Call"]
+        assert len(call_nodes) == 1
+        assert "algo.customer_cone" in call_nodes[0].detail
+        assert call_nodes[0].rows == len(result.records)
+
+
+class TestPrecomputeCache:
+    def test_matching_generation_serves_the_cache(self, chain_store):
+        engine = CypherEngine(chain_store)
+        engine.analytics = compute_analytics_report(chain_store)
+        direct = CypherEngine(chain_store).run("CALL algo.customer_cone()")
+        cached = engine.run("CALL algo.customer_cone()")
+        assert engine.procedure_cache_hits == 1
+        assert cached.records == direct.records
+        lines = list(engine.explain("CALL algo.customer_cone()"))
+        assert "CALL algo.customer_cone yield=[asn, size] precomputed" in lines
+
+    def test_arguments_bypass_the_cache(self, chain_store):
+        engine = CypherEngine(chain_store)
+        engine.analytics = compute_analytics_report(chain_store)
+        engine.run("CALL algo.pagerank(0.85, 5)")
+        assert engine.procedure_cache_hits == 0
+
+    def test_store_mutation_invalidates_the_cache(self, chain_store):
+        engine = CypherEngine(chain_store)
+        engine.analytics = compute_analytics_report(chain_store)
+        chain_store.create_node({"AS"}, {"asn": 99})
+        result = engine.run("CALL algo.customer_cone()")
+        assert engine.procedure_cache_hits == 0
+        # The fresh run sees the new (stub) AS; the stale cache would not.
+        assert {r["asn"] for r in result.records} == {0, 1, 2, 3, 99}
+
+    def test_non_precomputed_procedures_always_run(self, chain_store):
+        engine = CypherEngine(chain_store)
+        engine.analytics = compute_analytics_report(chain_store)
+        assert "algo.betweenness" not in engine.analytics.procedures
+        engine.run("CALL algo.betweenness()")
+        assert engine.procedure_cache_hits == 0

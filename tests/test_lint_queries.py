@@ -144,6 +144,56 @@ class TestIndexChecks:
         assert "LNT008" not in codes(findings)
 
 
+class TestProcedureChecks:
+    def test_known_procedure_is_clean(self):
+        findings = lint_query(
+            "CALL algo.pagerank() YIELD asn, score RETURN asn, score"
+        )
+        assert findings == []
+
+    def test_unknown_procedure_is_lnt010(self):
+        findings = lint_query("CALL algo.compnents() YIELD component RETURN component")
+        assert codes(findings) == ["LNT010"]
+        assert findings[0].severity == "error"
+        assert "`algo.compnents`" in findings[0].message
+
+    def test_lnt010_suggests_registry_names(self):
+        finding = lint_query("CALL algo.compnents()")[0]
+        assert "did you mean" in finding.message
+        assert "`algo.components`" in finding.message
+
+    def test_lnt010_span_covers_the_procedure_name(self):
+        finding = lint_query("CALL algo.compnents()")[0]
+        assert finding.span is not None
+        assert (finding.span.line, finding.span.column) == (1, 6)
+        assert finding.span.length == len("algo.compnents")
+
+    def test_call_arguments_are_linted(self):
+        findings = lint_query(
+            "CALL algo.kreach(b.asn, 2) YIELD node RETURN node"
+        )
+        assert "LNT007" in codes(findings)  # `b` was never bound
+
+    def test_standalone_call_is_clean(self):
+        assert lint_query("CALL algo.customer_cone()") == []
+
+    def test_unused_mid_pipeline_yield_is_lnt006(self):
+        findings = lint_query(
+            "CALL algo.pagerank() YIELD asn AS a, score RETURN score"
+        )
+        lnt006 = [f for f in findings if f.code == "LNT006"]
+        assert len(lnt006) == 1
+        assert "`a`" in lnt006[0].message
+
+    def test_final_call_yields_are_result_columns_not_unused(self):
+        findings = lint_query(
+            "MATCH (n:AS) RETURN n.asn"  # sanity: the fixture query shape
+        )
+        assert "LNT006" not in codes(findings)
+        findings = lint_query("CALL algo.pagerank() YIELD asn, score")
+        assert "LNT006" not in codes(findings)
+
+
 class TestDiagnosticsModel:
     def test_every_code_has_severity_and_title(self):
         for code, (severity, title) in CODES.items():
