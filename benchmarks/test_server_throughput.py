@@ -9,6 +9,7 @@ qps, latency percentiles, hit rate, and observed concurrency.
 
 from __future__ import annotations
 
+import gc
 import json
 import statistics
 import threading
@@ -142,13 +143,43 @@ def test_server_throughput(served_iyp):
     assert result["warm_qps"] >= result["cold_qps"]
 
 
+def _median_overhead(run_base, run_cand, pairs: int = 11) -> tuple[float, float, float]:
+    """Robust overhead measurement for noisy (shared, single-core) hosts.
+
+    Times the baseline and the candidate back-to-back so both sides of
+    a pair see the same noise regime, then takes the *median* of the
+    per-pair ratios: a load burst inflates one or two pairs, not the
+    middle of the distribution, where best-of-N mins can each land in a
+    different regime and swing the comparison by double digits.  Each
+    pair starts from a collected heap and runs with GC paused so a
+    collection pause cannot land on one side only.
+
+    Returns ``(median_overhead, base_best, cand_best)``.
+    """
+    run_base(), run_cand()  # warm caches both ways
+    ratios: list[float] = []
+    base_best = cand_best = float("inf")
+    gc.disable()
+    try:
+        for _ in range(pairs):
+            gc.collect()
+            base = run_base()
+            cand = run_cand()
+            ratios.append(cand / base)
+            base_best = min(base_best, base)
+            cand_best = min(cand_best, cand)
+    finally:
+        gc.enable()
+    return statistics.median(ratios) - 1, base_best, cand_best
+
+
 def test_observability_overhead(served_iyp):
     """Tracing + always-on profiling must cost < 5% on the paper
     listings versus a ``--no-trace`` service (the ISSUE's CI guard).
 
     Measured at the engine level (no HTTP, no cache) over the read-only
-    paper listings, best-of-N with alternating order so one-off noise
-    (GC, scheduler) cannot dominate either side.
+    paper listings, paired-ratio median so host noise cannot dominate
+    either side (see :func:`_median_overhead`).
     """
     from repro.obs import Profiler, Tracer
     from repro.studies.queries import LISTING_1, LISTING_2, LISTING_4
@@ -173,22 +204,19 @@ def test_observability_overhead(served_iyp):
         return time.perf_counter() - started
 
     try:
-        run_all(False), run_all(True)  # warm parse cache both ways
-        plain = traced = float("inf")
-        for _ in range(7):  # alternate so drift hits both sides equally
-            plain = min(plain, run_all(False))
-            traced = min(traced, run_all(True))
+        overhead, plain, traced = _median_overhead(
+            lambda: run_all(False), lambda: run_all(True)
+        )
     finally:
         engine.tracer = plain_tracer
 
-    overhead = traced / plain - 1
     record_comparison(
-        "Observability overhead (3 paper listings, best of 7)",
-        ["mode", "seconds"],
+        "Observability overhead (3 paper listings, median of 11 pairs)",
+        ["mode", "best seconds"],
         [
             ["--no-trace", round(plain, 4)],
             ["traced + profiled", round(traced, 4)],
-            ["overhead", f"{overhead:+.2%}"],
+            ["median overhead", f"{overhead:+.2%}"],
         ],
     )
     out = Path(__file__).parent / "BENCH_server.json"
@@ -196,9 +224,79 @@ def test_observability_overhead(served_iyp):
     merged["observability_overhead_pct"] = round(overhead * 100, 2)
     out.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
 
-    # 5% guard with a 2ms absolute epsilon so a sub-millisecond baseline
-    # cannot turn scheduler jitter into a spurious failure.
-    assert traced <= plain * 1.05 + 0.002, (
+    assert overhead <= 0.05, (
         f"observability overhead {overhead:.2%} exceeds 5% "
         f"(plain={plain:.4f}s traced={traced:.4f}s)"
+    )
+
+
+def test_statement_stats_overhead(served_iyp):
+    """Statement statistics + resource accounting must also cost < 5%.
+
+    Same paired-ratio-median discipline as the tracing guard, but at
+    the service level: a ``statement_stats=True`` service (fingerprints
+    every query, aggregates latencies, and forces the profiler on so the
+    store/matcher counters flow) against one with statistics disabled.
+    Tracing is off on both sides so only the statements machinery is
+    measured.  Emits ``BENCH_obs.json``.
+    """
+    _, _, iyp = served_iyp
+    asns = iyp.run(
+        "MATCH (a:AS) RETURN a.asn ORDER BY a.asn LIMIT 12"
+    ).column()
+
+    with_stats = QueryService(iyp.store, tracing=False, statement_stats=True)
+    without = QueryService(iyp.store, tracing=False, statement_stats=False)
+
+    def run_all(service: QueryService) -> float:
+        # Distinct parameters every request defeat the result cache, so
+        # the full execute path (including recording) is measured.
+        service.cache.clear()
+        started = time.perf_counter()
+        for asn in asns:
+            service.execute(QUERY, parameters={"asn": asn})
+        return time.perf_counter() - started
+
+    overhead, base_best, stats_best = _median_overhead(
+        lambda: run_all(without), lambda: run_all(with_stats)
+    )
+
+    info = with_stats.statements.info()
+    record_comparison(
+        "Statement statistics overhead (12 queries, median of 11 pairs)",
+        ["mode", "best seconds"],
+        [
+            ["stats disabled", round(base_best, 4)],
+            ["stats + accounting", round(stats_best, 4)],
+            ["median overhead", f"{overhead:+.2%}"],
+            ["", ""],
+            ["statements tracked", info["statements_tracked"]],
+            ["calls recorded", info["recorded_total"]],
+        ],
+    )
+    out = Path(__file__).parent / "BENCH_obs.json"
+    out.write_text(
+        json.dumps(
+            {
+                "queries_per_round": len(asns),
+                "pairs": 11,
+                "disabled_seconds": round(base_best, 6),
+                "enabled_seconds": round(stats_best, 6),
+                "overhead_pct": round(overhead * 100, 2),
+                "statements_tracked": info["statements_tracked"],
+                "calls_recorded": info["recorded_total"],
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # Every execution folded into one fingerprint's aggregate.
+    assert info["statements_tracked"] == 1
+    assert info["recorded_total"] >= len(asns)
+    # Same 5% guard as the tracing benchmark.
+    assert overhead <= 0.05, (
+        f"statement statistics overhead {overhead:.2%} exceeds 5% "
+        f"(disabled={base_best:.4f}s enabled={stats_best:.4f}s)"
     )

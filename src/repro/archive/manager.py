@@ -32,6 +32,7 @@ from repro.archive.format import (
 from repro.core.diff import snapshot_diff
 from repro.graphdb.snapshot import load_snapshot, save_snapshot
 from repro.graphdb.store import GraphStore
+from repro.obs import utc_timestamp
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
@@ -163,8 +164,11 @@ class SnapshotArchive:
         computed and stored on the new entry.  ``analytics`` (a
         serialized :class:`repro.analytics.AnalyticsReport`) is stored
         verbatim on the manifest entry; snapshot bytes and checksums are
-        unaffected.
+        unaffected.  ``created_at`` defaults to the current UTC time —
+        the freshness signal data-quality telemetry reads back.
         """
+        if not created_at:
+            created_at = utc_timestamp()
         entries = self.entries()
         if any(entry.label == label for entry in entries):
             raise ValueError(f"archive already has a snapshot labelled {label!r}")

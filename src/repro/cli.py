@@ -7,6 +7,8 @@ The offline analogue of the IYP project's operational scripts::
         "MATCH (a:AS) RETURN count(a)"
     python -m repro serve --snapshot iyp.json.gz --port 8734
     python -m repro serve --archive archive --watch 5
+    python -m repro top --port 8734 --once
+    python -m repro quality --dir archive
     python -m repro archive list --dir archive
     python -m repro inventory
     python -m repro ontology
@@ -470,8 +472,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(
         "Endpoints: POST /query /profile /lint /admin/swap; GET /explain "
-        "/ontology /archive /archive/info /stats /healthz /metrics "
-        "/debug/slowlog /debug/traces /debug/trace"
+        "/ontology /archive /archive/info /stats /healthz /readyz /metrics "
+        "/quality /debug/slowlog /debug/statements /debug/traces /debug/trace"
     )
     try:
         server.serve_forever()
@@ -484,7 +486,104 @@ def cmd_serve(args: argparse.Namespace) -> int:
         dump = service.slowlog.format_text()
         if dump:
             print(dump)
+        if service.statements is not None:
+            statements = service.statements.format_text()
+            if statements:
+                print(statements)
     return 0
+
+
+def _render_statements(snapshot: dict) -> str:
+    """Statement-statistics table shared by ``repro top`` refreshes."""
+    lines = [
+        f"{snapshot['statements_tracked']} statement(s) tracked "
+        f"(capacity {snapshot['capacity']}), "
+        f"{snapshot['recorded_total']:,} calls recorded, "
+        f"{snapshot['evicted_total']:,} evicted — sorted by {snapshot['sort']}",
+        f"{'fingerprint':<14} {'calls':>7} {'rows':>9} {'err':>4} {'hit%':>5} "
+        f"{'total s':>8} {'mean ms':>8} {'p95 ms':>8} {'p99 ms':>8}  query",
+        "-" * 110,
+    ]
+    for stmt in snapshot["statements"]:
+        query = stmt["query"]
+        if len(query) > 48:
+            query = query[:45] + "..."
+        errors = sum(stmt["errors"].values())
+        lines.append(
+            f"{stmt['fingerprint']:<14} {stmt['calls']:>7,} {stmt['rows']:>9,} "
+            f"{errors:>4} {stmt['cache_hit_rate'] * 100:>4.0f}% "
+            f"{stmt['total_seconds']:>8.3f} {stmt['mean_ms']:>8.2f} "
+            f"{stmt['p95_ms']:>8.2f} {stmt['p99_ms']:>8.2f}  {query}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live statement monitor against a running server.
+
+    Polls ``GET /debug/statements`` and redraws a ``pg_stat_statements``
+    style table every ``--interval`` seconds; ``--once`` prints a single
+    snapshot and exits (the scriptable mode CI and tests use).
+    """
+    import json
+    import time
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    url = (
+        f"http://{args.host}:{args.port}/debug/statements"
+        f"?top={args.top}&sort={args.sort}"
+    )
+    while True:
+        try:
+            with urlopen(url, timeout=10) as response:
+                snapshot = json.loads(response.read())
+        except HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace").strip()
+            print(f"server returned {exc.code}: {detail}", file=sys.stderr)
+            return 1
+        except (URLError, OSError) as exc:
+            reason = getattr(exc, "reason", exc)
+            print(f"cannot reach {url}: {reason}", file=sys.stderr)
+            return 1
+        if not args.once:
+            print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+        print(_render_statements(snapshot))
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print()
+            return 0
+
+
+def cmd_quality(args: argparse.Namespace) -> int:
+    """Longitudinal data-quality report over a snapshot archive.
+
+    Reads freshness, coverage, and cross-source agreement out of the
+    archive manifest alone (no snapshot is loaded).  Exits 1 when the
+    latest snapshot is stale or any crawler is erroring/diverging, so
+    the command doubles as a pipeline-health check.
+    """
+    import json
+
+    from repro.obs import archive_quality, render_quality_report
+
+    archive = _open_archive(args)
+    entries = archive.entries()
+    if not entries:
+        print(f"archive {args.dir}/ is empty", file=sys.stderr)
+        return 1
+    report = archive_quality(
+        [entry.to_dict() for entry in entries],
+        stale_after_seconds=args.stale_after * 86400.0,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_quality_report(report))
+    return 1 if (report["stale"] or report["problem_crawlers"]) else 0
 
 
 def _open_archive(args: argparse.Namespace):
@@ -749,6 +848,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable span tracing and per-query profiling",
     )
     serve.set_defaults(func=cmd_serve)
+
+    top = sub.add_parser(
+        "top", help="live statement monitor against a running server"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8734)
+    top.add_argument(
+        "--top", type=int, default=20, help="statements to show (default 20)"
+    )
+    top.add_argument(
+        "--sort", choices=("total_seconds", "calls", "rows", "mean_ms", "p99_ms"),
+        default="total_seconds",
+        help="ranking column (default total_seconds)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default 2s)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (scriptable mode)",
+    )
+    top.set_defaults(func=cmd_top)
+
+    quality = sub.add_parser(
+        "quality", help="longitudinal data-quality report over an archive"
+    )
+    quality.add_argument(
+        "--dir", default="archive", metavar="DIR",
+        help="archive directory (default: archive/)",
+    )
+    quality.add_argument(
+        "--stale-after", type=float, default=8.0, metavar="DAYS",
+        help="flag the archive stale beyond this age (default 8 days)",
+    )
+    quality.add_argument(
+        "--json", action="store_true",
+        help="emit the raw report as JSON instead of the table",
+    )
+    quality.set_defaults(func=cmd_quality)
 
     explain = sub.add_parser("explain", help="show a query's execution plan")
     explain.add_argument("query")

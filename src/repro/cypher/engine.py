@@ -37,6 +37,7 @@ from typing import Any, Iterable
 from repro.analytics.registry import ProcedureContext, get_procedure, suggest
 from repro.cypher import ast
 from repro.cypher.errors import CypherRuntimeError
+from repro.cypher.fingerprint import fingerprint_query
 from repro.cypher.functions import (
     AGGREGATE_NAMES,
     SCALAR_FUNCTIONS,
@@ -70,7 +71,7 @@ from repro.cypher.values import (
 )
 from repro.graphdb.model import Node, Relationship
 from repro.graphdb.store import GraphStore
-from repro.obs import NULL_TRACER, ProfileNode, Profiler, collecting
+from repro.obs import NULL_TRACER, ProfileNode, Profiler, collecting, record_access
 
 Row = dict[str, Any]
 
@@ -116,6 +117,10 @@ class CypherEngine:
         self.optimize = optimize
         self._matcher = PatternMatcher(store, self._evaluate, self._tick)
         self._parse_cache: LRUCache = LRUCache(parse_cache_size)
+        #: query text -> (fingerprint, normalized text).  Keyed by the
+        #: raw text like the parse cache, so the statement-statistics
+        #: path never re-walks the AST for a repeated query.
+        self._fingerprint_cache: LRUCache = LRUCache(parse_cache_size)
         self._tls = threading.local()
         #: Span tracer; the query service swaps in its own so engine
         #: spans (parse, execute) nest under the request's trace.
@@ -163,6 +168,8 @@ class CypherEngine:
                     profiler.finish(len(result.records))
                 if span is not None:
                     span.attributes["rows"] = len(result.records)
+                    if profiler is not None and profiler.root.hits:
+                        span.attributes["counters"] = dict(profiler.root.hits)
         finally:
             self._tls.guard = None
             self._tls.parameters = {}
@@ -203,6 +210,20 @@ class CypherEngine:
     def parse_cache_info(self) -> dict[str, Any]:
         """Size and hit-rate of the bounded parse cache (for /metrics)."""
         return self._parse_cache.info()
+
+    def fingerprint(self, query: str) -> tuple[str, str]:
+        """``(fingerprint, normalized text)`` for a query — the stable
+        statement identity used by :mod:`repro.obs.statements`.  Two
+        queries differing only in literals, parameter names, whitespace,
+        or keyword case share a fingerprint (see
+        :mod:`repro.cypher.fingerprint`).  Cached alongside the parse
+        cache, so the steady-state cost is one LRU lookup.
+        """
+        cached = self._fingerprint_cache.get(query)
+        if cached is None:
+            cached = fingerprint_query(self._parsed(query))
+            self._fingerprint_cache.put(query, cached)
+        return cached
 
     def _parsed(self, query: str) -> ast.Query:
         tree = self._parse_cache.get(query)
@@ -554,6 +575,7 @@ class CypherEngine:
             cached = self.analytics.procedures.get(spec.name)
             if cached is not None and self.analytics.version == self.store.version:
                 self.procedure_cache_hits += 1
+                record_access("procedure_cache_hit")
                 return cached
         try:
             return spec.run(ProcedureContext(self.store, self.statistics), *args)

@@ -29,6 +29,7 @@ from repro.cypher.errors import CypherRuntimeError
 from repro.cypher.values import equals, is_truthy
 from repro.graphdb.model import Direction, Node, Relationship
 from repro.graphdb.store import GraphStore
+from repro.obs import record_access
 
 Binding = dict[str, Any]
 Evaluator = Callable[[ast.Expression, Binding], Any]
@@ -124,18 +125,30 @@ class PatternMatcher:
         work = dict(binding)
         assigned: dict[int, Node] = {}
         local_rels: set[int] = set()
-        for candidate in self._anchor_candidates(pattern.nodes[anchor], work):
-            self._tick()
-            trail: list[str] = []
-            if self._bind_node(pattern.nodes[anchor], candidate, work, trail, pushed):
-                assigned[anchor] = candidate
-                yield from self._walk_right(
-                    pattern, anchor, anchor, work, assigned, used_rels,
-                    local_rels, pushed,
-                )
-                del assigned[anchor]
-            for key in trail:
-                del work[key]
+        # Anchor bind attempts are tallied locally and flushed once per
+        # path — a per-attempt record_access would dominate this hot
+        # path.  Walk-phase volume is already accounted row-accurately
+        # by the store's expand / rels_expanded counters.
+        binds = 0
+        try:
+            for candidate in self._anchor_candidates(pattern.nodes[anchor], work):
+                self._tick()
+                binds += 1
+                trail: list[str] = []
+                if self._bind_node(
+                    pattern.nodes[anchor], candidate, work, trail, pushed
+                ):
+                    assigned[anchor] = candidate
+                    yield from self._walk_right(
+                        pattern, anchor, anchor, work, assigned, used_rels,
+                        local_rels, pushed,
+                    )
+                    del assigned[anchor]
+                for key in trail:
+                    del work[key]
+        finally:
+            if binds:
+                record_access("bind_attempt", binds)
 
     def _walk_right(
         self,
@@ -268,6 +281,7 @@ class PatternMatcher:
             flipped = True
         limit = 10**9 if rel_pattern.max_hops == -1 else max(rel_pattern.max_hops, 1)
         for start_node in self._anchor_candidates(start_pattern, binding):
+            record_access("bind_attempt")
             base = dict(binding)
             if not self._bind_node(start_pattern, start_node, base, None, pushed):
                 continue

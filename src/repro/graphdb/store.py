@@ -44,7 +44,7 @@ from repro.graphdb.model import (
     freeze_properties,
 )
 from repro.graphdb.rwlock import RWLock
-from repro.obs.record import record_access
+from repro.obs.record import current_collector, record_access
 
 
 def directional_count(out: int, inbound: int, loops: int, direction: Direction) -> int:
@@ -358,8 +358,13 @@ class GraphStore:
         The sort makes unordered query output deterministic across runs
         (label-index sets carry no reliable order of their own).
         """
-        record_access("label_scan")
-        return [self._nodes[i] for i in sorted(self._label_index.get(label, ()))]
+        collector = current_collector()
+        if collector is not None:
+            collector.record("label_scan")
+        nodes = [self._nodes[i] for i in sorted(self._label_index.get(label, ()))]
+        if nodes and collector is not None:
+            collector.record("nodes_scanned", len(nodes))
+        return nodes
 
     def iter_nodes(self) -> Iterator[Node]:
         """Yield every node in the store."""
@@ -371,16 +376,23 @@ class GraphStore:
 
         Uses the hash index when one exists, otherwise scans the label.
         """
+        collector = current_collector()
         index = self._property_index.get((label, prop))
         if index is not None and _indexable(value):
-            record_access("index_seek")
-            return [self._nodes[i] for i in sorted(index.get(value, ()))]
-        record_access("label_scan")
-        return [
-            self._nodes[i]
-            for i in sorted(self._label_index.get(label, ()))
-            if self._nodes[i].properties.get(prop) == value
-        ]
+            if collector is not None:
+                collector.record("index_seek")
+            nodes = [self._nodes[i] for i in sorted(index.get(value, ()))]
+        else:
+            if collector is not None:
+                collector.record("label_scan")
+            nodes = [
+                self._nodes[i]
+                for i in sorted(self._label_index.get(label, ()))
+                if self._nodes[i].properties.get(prop) == value
+            ]
+        if nodes and collector is not None:
+            collector.record("nodes_scanned", len(nodes))
+        return nodes
 
     def add_label(self, node_id: int, label: str) -> None:
         """Add a label to an existing node."""
@@ -545,7 +557,9 @@ class GraphStore:
         ``Direction.BOTH`` deduplicates self-loops (an edge from a node
         to itself is returned once).
         """
-        record_access("expand")
+        collector = current_collector()
+        if collector is not None:
+            collector.record("expand")
         self._require_node(node_id)
         relationships = self._relationships
         result: list[Relationship] = []
@@ -574,6 +588,8 @@ class GraphStore:
                         if dedupe and rel.start_id == rel.end_id:
                             continue  # self-loop already in the outgoing list
                         result.append(rel)
+        if result and collector is not None:
+            collector.record("rels_expanded", len(result))
         return result
 
     def relationships_with_type(self, rel_type: str) -> list[Relationship]:

@@ -16,12 +16,31 @@ through every layer:
 - :mod:`repro.obs.profile` — the operator tree built during a profiled
   run: rows produced, store hits, and wall time per executed clause.
 - :mod:`repro.obs.slowlog` — a bounded ring of queries that blew a
-  latency threshold, each with its params hash, trace id, and plan.
+  latency threshold, each with its params hash, trace id, fingerprint,
+  resource counters, and plan.
+- :mod:`repro.obs.statements` — ``pg_stat_statements`` for the service:
+  a bounded registry of per-fingerprint aggregates (calls, rows, latency
+  histogram, cache hits, resource counters) behind ``/debug/statements``
+  and ``repro top``.
+- :mod:`repro.obs.slo` — rolling-window latency/availability objectives
+  with burn-rate and remaining-error-budget gauges for ``/metrics``.
+- :mod:`repro.obs.quality` — cross-source data-quality telemetry:
+  per-crawler freshness, coverage, and fusion agreement derived from
+  build reports and archive manifests (``repro quality``).
 
 Nothing in here imports the engine, store, or server, so every layer can
-depend on it without cycles.
+depend on it without cycles.  (Query fingerprinting itself lives in
+:mod:`repro.cypher.fingerprint`, next to the AST it walks; the registry
+here only ever sees fingerprint strings.)
 """
 
+from repro.obs.quality import (
+    archive_quality,
+    crawler_quality,
+    quality_gauges,
+    render_quality_report,
+    utc_timestamp,
+)
 from repro.obs.record import (
     AccessCollector,
     collecting,
@@ -29,7 +48,9 @@ from repro.obs.record import (
     record_access,
 )
 from repro.obs.profile import ProfileNode, Profiler
+from repro.obs.slo import SLOTracker
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.statements import StatementRegistry, StatementStats
 from repro.obs.trace import NULL_TRACER, Span, Tracer
 
 __all__ = [
@@ -37,10 +58,18 @@ __all__ = [
     "NULL_TRACER",
     "ProfileNode",
     "Profiler",
+    "SLOTracker",
     "SlowQueryLog",
     "Span",
+    "StatementRegistry",
+    "StatementStats",
     "Tracer",
+    "archive_quality",
     "collecting",
+    "crawler_quality",
     "current_collector",
+    "quality_gauges",
     "record_access",
+    "render_quality_report",
+    "utc_timestamp",
 ]

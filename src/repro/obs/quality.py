@@ -1,0 +1,293 @@
+"""Cross-source data-quality telemetry.
+
+The paper's central claim is fusion: dozens of independently collected
+datasets merged into one graph.  The operational question that follows
+is whether each source is still *fresh* (built recently), still
+*covering* its share of the graph, and still *agreeing* with the other
+sources.  This module derives those three signals from artifacts the
+pipeline already produces — per-crawler :class:`CrawlerRun` telemetry
+recorded in the archive manifest's ``build`` block, and the manifest's
+per-entry deltas — without touching the graph itself.
+
+**Agreement** is the fusion corroboration ratio: of everything a crawler
+asserted, the fraction that merged into an entity some other source had
+already created (``merged / (created + merged)``).  A crawler whose
+agreement drops sharply between two builds started asserting facts the
+rest of the crowd no longer corroborates — the wisdom-of-the-crowd
+analogue of a diverging vantage point.
+
+Everything here consumes plain dicts (``ArchiveEntry.to_dict()`` /
+``BuildReport.build_metadata()`` shapes), keeping :mod:`repro.obs` free
+of engine/store/server imports.
+"""
+
+from __future__ import annotations
+
+import calendar
+import time
+from typing import Any, Callable, Mapping, Sequence
+
+#: An entry older than this is flagged stale (the paper ships weekly
+#: dumps; one missed week plus a day of grace).
+DEFAULT_STALE_AFTER_SECONDS = 8 * 86400.0
+
+#: Absolute drop in a crawler's agreement ratio between consecutive
+#: builds that flags it as diverging.
+DEFAULT_DIVERGENCE_DROP = 0.25
+
+_TIMESTAMP_FORMAT = "%Y-%m-%dT%H:%M:%SZ"
+
+
+def utc_timestamp(now: Callable[[], float] = time.time) -> str:
+    """The manifest's ``created_at`` format for the current instant."""
+    return time.strftime(_TIMESTAMP_FORMAT, time.gmtime(now()))
+
+
+def parse_timestamp(text: str) -> float | None:
+    """Epoch seconds for a manifest ``created_at``, None if absent/bad."""
+    if not text:
+        return None
+    try:
+        return calendar.timegm(time.strptime(text, _TIMESTAMP_FORMAT))
+    except ValueError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Per-build crawler quality
+# ---------------------------------------------------------------------------
+
+
+def crawler_quality(build: Mapping[str, Any] | None) -> list[dict[str, Any]]:
+    """Per-crawler coverage and agreement for one build's metadata.
+
+    Returns one row per crawler run recorded in ``build["crawler_runs"]``
+    (older manifests predate that key and yield ``[]``): contributed
+    node/relationship counts, the crawler's share of all contributions in
+    the build, the fusion agreement ratio, and any error.
+    """
+    if not build:
+        return []
+    runs = build.get("crawler_runs") or []
+    total_nodes = sum(
+        run.get("nodes_created", 0) + run.get("nodes_merged", 0) for run in runs
+    )
+    total_rels = sum(
+        run.get("relationships_created", 0) + run.get("relationships_merged", 0)
+        for run in runs
+    )
+    rows = []
+    for run in runs:
+        nodes = run.get("nodes_created", 0) + run.get("nodes_merged", 0)
+        rels = run.get("relationships_created", 0) + run.get(
+            "relationships_merged", 0
+        )
+        created = run.get("nodes_created", 0) + run.get(
+            "relationships_created", 0
+        )
+        merged = run.get("nodes_merged", 0) + run.get("relationships_merged", 0)
+        asserted = created + merged
+        rows.append(
+            {
+                "crawler": run.get("name", "?"),
+                "seconds": run.get("seconds", 0.0),
+                "nodes": nodes,
+                "relationships": rels,
+                "node_share": round(nodes / total_nodes, 4) if total_nodes else 0.0,
+                "relationship_share": round(rels / total_rels, 4)
+                if total_rels
+                else 0.0,
+                "agreement": round(merged / asserted, 4) if asserted else 0.0,
+                "error": run.get("error"),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Longitudinal archive quality
+# ---------------------------------------------------------------------------
+
+
+def archive_quality(
+    entries: Sequence[Mapping[str, Any]],
+    *,
+    stale_after_seconds: float = DEFAULT_STALE_AFTER_SECONDS,
+    divergence_drop: float = DEFAULT_DIVERGENCE_DROP,
+    now: Callable[[], float] = time.time,
+) -> dict[str, Any]:
+    """Longitudinal quality report over archive manifest entries.
+
+    ``entries`` are ``ArchiveEntry.to_dict()`` mappings, oldest first
+    (manifest order).  The report carries one row per snapshot (age,
+    counts, growth vs the previous entry, delta churn) plus, for the
+    latest entry, the per-crawler table with each crawler flagged
+    ``diverging`` when its agreement ratio dropped by more than
+    ``divergence_drop`` since the previous build.
+    """
+    timestamp = now()
+    snapshots: list[dict[str, Any]] = []
+    previous: Mapping[str, Any] | None = None
+    for entry in entries:
+        created = parse_timestamp(entry.get("created_at", ""))
+        age = timestamp - created if created is not None else None
+        delta = entry.get("delta") or {}
+        row = {
+            "label": entry.get("label", "?"),
+            "created_at": entry.get("created_at", ""),
+            "age_seconds": round(age, 1) if age is not None else None,
+            "nodes": entry.get("nodes", 0),
+            "relationships": entry.get("relationships", 0),
+            "node_growth": entry.get("nodes", 0) - previous.get("nodes", 0)
+            if previous is not None
+            else None,
+            "relationship_growth": entry.get("relationships", 0)
+            - previous.get("relationships", 0)
+            if previous is not None
+            else None,
+            "delta_identical": delta.get("identical"),
+            "schema_ok": (entry.get("build") or {}).get("schema_ok"),
+            "crawler_errors": len((entry.get("build") or {}).get(
+                "crawler_errors", {}
+            )),
+        }
+        snapshots.append(row)
+        previous = entry
+    latest = entries[-1] if entries else None
+    crawlers = crawler_quality(latest.get("build") if latest else None)
+    previous_agreement = {
+        row["crawler"]: row["agreement"]
+        for row in crawler_quality(
+            entries[-2].get("build") if len(entries) > 1 else None
+        )
+    }
+    diverging = []
+    for row in crawlers:
+        before = previous_agreement.get(row["crawler"])
+        row["diverging"] = bool(
+            before is not None and before - row["agreement"] > divergence_drop
+        )
+        if row["diverging"] or row["error"]:
+            diverging.append(row["crawler"])
+    freshness = snapshots[-1]["age_seconds"] if snapshots else None
+    return {
+        "snapshots": snapshots,
+        "crawlers": crawlers,
+        "latest": latest.get("label") if latest else None,
+        "freshness_seconds": freshness,
+        "stale": bool(freshness is not None and freshness > stale_after_seconds),
+        "stale_after_seconds": stale_after_seconds,
+        "problem_crawlers": diverging,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Prometheus gauges
+# ---------------------------------------------------------------------------
+
+
+def quality_gauges(
+    report: Mapping[str, Any],
+) -> list[tuple[str, float, dict[str, str] | None]]:
+    """``(name, value, labels)`` triples for ``Metrics.set_gauge``."""
+    gauges: list[tuple[str, float, dict[str, str] | None]] = []
+    freshness = report.get("freshness_seconds")
+    if freshness is not None:
+        gauges.append(("quality_snapshot_age_seconds", float(freshness), None))
+    gauges.append(("quality_stale", 1.0 if report.get("stale") else 0.0, None))
+    gauges.append(
+        ("quality_snapshots_tracked", float(len(report.get("snapshots", []))), None)
+    )
+    for row in report.get("crawlers", []):
+        labels = {"crawler": row["crawler"]}
+        gauges.append(("quality_crawler_agreement", row["agreement"], labels))
+        gauges.append(
+            ("quality_crawler_node_share", row["node_share"], labels)
+        )
+        gauges.append(
+            (
+                "quality_crawler_relationship_share",
+                row["relationship_share"],
+                labels,
+            )
+        )
+        gauges.append(
+            (
+                "quality_crawler_diverging",
+                1.0 if row.get("diverging") else 0.0,
+                labels,
+            )
+        )
+    return gauges
+
+
+# ---------------------------------------------------------------------------
+# Text report (``repro quality``)
+# ---------------------------------------------------------------------------
+
+
+def _format_age(age: float | None) -> str:
+    if age is None:
+        return "unknown"
+    if age < 120:
+        return f"{age:.0f}s"
+    if age < 7200:
+        return f"{age / 60:.0f}m"
+    if age < 172800:
+        return f"{age / 3600:.1f}h"
+    return f"{age / 86400:.1f}d"
+
+
+def render_quality_report(report: Mapping[str, Any]) -> str:
+    """Human-readable longitudinal report for ``repro quality``."""
+    lines: list[str] = []
+    snapshots = report.get("snapshots", [])
+    if not snapshots:
+        return "archive is empty: no snapshots to report on"
+    stale = " STALE" if report.get("stale") else ""
+    lines.append(
+        f"latest snapshot: {report.get('latest')} "
+        f"(age {_format_age(report.get('freshness_seconds'))}{stale})"
+    )
+    lines.append("")
+    lines.append(
+        f"  {'label':<20} {'age':>8} {'nodes':>9} {'rels':>9} "
+        f"{'Δnodes':>8} {'Δrels':>8} {'schema':>6} {'errors':>6}"
+    )
+    for row in snapshots:
+        growth_n = row["node_growth"]
+        growth_r = row["relationship_growth"]
+        schema = {True: "ok", False: "FAIL", None: "-"}[row["schema_ok"]]
+        lines.append(
+            f"  {row['label'][:20]:<20} {_format_age(row['age_seconds']):>8} "
+            f"{row['nodes']:>9,} {row['relationships']:>9,} "
+            f"{growth_n if growth_n is not None else '-':>8} "
+            f"{growth_r if growth_r is not None else '-':>8} "
+            f"{schema:>6} {row['crawler_errors']:>6}"
+        )
+    crawlers = report.get("crawlers", [])
+    if crawlers:
+        lines.append("")
+        lines.append(f"per-crawler quality (latest build, {len(crawlers)} crawlers):")
+        lines.append(
+            f"  {'crawler':<28} {'nodes':>8} {'rels':>8} "
+            f"{'n-share':>8} {'r-share':>8} {'agree':>6}  status"
+        )
+        for row in crawlers:
+            if row["error"]:
+                status = "ERROR"
+            elif row.get("diverging"):
+                status = "DIVERGING"
+            else:
+                status = "ok"
+            lines.append(
+                f"  {row['crawler'][:28]:<28} {row['nodes']:>8,} "
+                f"{row['relationships']:>8,} {row['node_share'] * 100:>7.1f}% "
+                f"{row['relationship_share'] * 100:>7.1f}% "
+                f"{row['agreement']:>6.2f}  {status}"
+            )
+    problems = report.get("problem_crawlers", [])
+    if problems:
+        lines.append("")
+        lines.append("attention: " + ", ".join(problems))
+    return "\n".join(lines)

@@ -28,6 +28,21 @@ READ_KINDS = ("index_seek", "label_scan", "full_scan", "expand")
 #: telemetry: what each crawler contributed).
 WRITE_KINDS = ("node_created", "node_merged", "rel_created", "rel_merged")
 
+#: Resource-accounting kinds for statement statistics: row-level volume
+#: counters (how *much* was scanned/expanded, vs READ_KINDS counting
+#: operations) plus engine-level events.  Reported with batch counts
+#: where the producer already has the batch in hand — the store records
+#: one ``nodes_scanned``/``rels_expanded`` per list rather than one per
+#: row, and the matcher flushes ``bind_attempt`` (anchor candidates
+#: tried) once per path rather than once per candidate.
+RESOURCE_KINDS = (
+    "nodes_scanned",
+    "rels_expanded",
+    "bind_attempt",
+    "procedure_cache_hit",
+    "bytes_serialized",
+)
+
 
 class AccessCollector:
     """Counts store events for one thread's unit of work.

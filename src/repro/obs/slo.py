@@ -1,0 +1,195 @@
+"""SLO tracking: rolling-window error budgets for the query service.
+
+Two objectives, both configurable:
+
+- **latency**: the fraction of successful queries answered within
+  ``latency_threshold`` seconds must be at least ``latency_target``
+  (e.g. 99.5% under 100ms).
+- **availability**: the fraction of queries that do not fail
+  *operationally* must be at least ``availability_target``.  Client
+  errors (bad syntax, unknown labels) are the caller's fault and do not
+  burn budget; timeouts, admission rejections, row-limit truncation,
+  and internal errors do — :data:`BUDGET_BURNING_ERRORS`.
+
+Observations land in coarse time buckets (default 10s) kept over a
+rolling window (default 1h), so the tracker is O(window/bucket) memory
+regardless of traffic and old traffic ages out without bookkeeping.
+For each objective the tracker derives, Google-SRE-workbook style:
+
+- ``compliance``    — good / total over the window;
+- ``error_budget``  — allowed bad fraction, ``1 - target``;
+- ``budget_remaining`` — share of the window's budget left, in [0, 1]
+  (0 = budget exhausted or overspent);
+- ``burn_rate``     — observed bad fraction / allowed bad fraction
+  (1.0 = burning exactly the budget; >1 = on track to exhaust it).
+
+All of it is exported as gauges on ``/metrics`` (``slo_*``) and in
+the ``slo`` block of ``/stats``.
+
+The clock is injectable (``now=``) so tests can march time forward
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+#: Operational error codes that burn availability budget.  Everything
+#: else (syntax, unknown_parameter, bad_request, ...) is a client error.
+BUDGET_BURNING_ERRORS = frozenset({"timeout", "busy", "row_limit", "internal"})
+
+DEFAULT_LATENCY_THRESHOLD = 0.1  # seconds
+DEFAULT_LATENCY_TARGET = 0.995
+DEFAULT_AVAILABILITY_TARGET = 0.999
+DEFAULT_WINDOW_SECONDS = 3600.0
+DEFAULT_BUCKET_SECONDS = 10.0
+
+
+class _Bucket:
+    __slots__ = ("start", "total", "slow", "errors", "client_errors")
+
+    def __init__(self, start: float):
+        self.start = start
+        self.total = 0       # all finished queries
+        self.slow = 0        # successes over the latency threshold
+        self.errors = 0      # budget-burning failures
+        self.client_errors = 0  # failures that do not burn budget
+
+
+class SLOTracker:
+    """Rolling-window latency/availability objective tracker."""
+
+    def __init__(
+        self,
+        *,
+        latency_threshold: float = DEFAULT_LATENCY_THRESHOLD,
+        latency_target: float = DEFAULT_LATENCY_TARGET,
+        availability_target: float = DEFAULT_AVAILABILITY_TARGET,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+        now: Callable[[], float] = time.time,
+    ):
+        if not 0.0 < latency_target < 1.0:
+            raise ValueError("latency_target must be in (0, 1)")
+        if not 0.0 < availability_target < 1.0:
+            raise ValueError("availability_target must be in (0, 1)")
+        if bucket_seconds <= 0 or window_seconds < bucket_seconds:
+            raise ValueError("window must cover at least one bucket")
+        self.latency_threshold = latency_threshold
+        self.latency_target = latency_target
+        self.availability_target = availability_target
+        self.window_seconds = window_seconds
+        self.bucket_seconds = bucket_seconds
+        self._now = now
+        self._lock = threading.Lock()
+        self._buckets: list[_Bucket] = []
+
+    # -- recording -------------------------------------------------------
+
+    def observe(self, elapsed: float, error: str | None = None) -> None:
+        """Record one finished query (``error`` is the service's error
+        code, ``None`` on success)."""
+        timestamp = self._now()
+        with self._lock:
+            bucket = self._bucket_for(timestamp)
+            bucket.total += 1
+            if error is None:
+                if elapsed > self.latency_threshold:
+                    bucket.slow += 1
+            elif error in BUDGET_BURNING_ERRORS:
+                bucket.errors += 1
+            else:
+                bucket.client_errors += 1
+
+    def _bucket_for(self, timestamp: float) -> _Bucket:
+        start = timestamp - (timestamp % self.bucket_seconds)
+        if self._buckets and self._buckets[-1].start == start:
+            return self._buckets[-1]
+        bucket = _Bucket(start)
+        self._buckets.append(bucket)
+        self._evict(timestamp)
+        return bucket
+
+    def _evict(self, timestamp: float) -> None:
+        horizon = timestamp - self.window_seconds
+        while self._buckets and self._buckets[0].start < horizon:
+            self._buckets.pop(0)
+
+    # -- reading ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Both objectives' compliance / burn rate / remaining budget
+        over the rolling window, for ``/stats`` and ``/metrics``."""
+        timestamp = self._now()
+        with self._lock:
+            self._evict(timestamp)
+            total = sum(b.total for b in self._buckets)
+            slow = sum(b.slow for b in self._buckets)
+            errors = sum(b.errors for b in self._buckets)
+            client_errors = sum(b.client_errors for b in self._buckets)
+        successes = total - errors - client_errors
+        latency_eligible = successes + errors  # errors are also "not fast"
+        return {
+            "window_seconds": self.window_seconds,
+            "queries_in_window": total,
+            "latency": self._objective(
+                target=self.latency_target,
+                threshold_ms=self.latency_threshold * 1000,
+                good=latency_eligible - slow - errors,
+                total=latency_eligible,
+            ),
+            "availability": self._objective(
+                target=self.availability_target,
+                threshold_ms=None,
+                good=total - errors,
+                total=total,
+            ),
+        }
+
+    @staticmethod
+    def _objective(
+        target: float, threshold_ms: float | None, good: int, total: int
+    ) -> dict[str, Any]:
+        budget = 1.0 - target
+        if total <= 0:
+            # No traffic: fully compliant, full budget, nothing burning.
+            compliance, burn_rate, remaining = 1.0, 0.0, 1.0
+        else:
+            compliance = good / total
+            bad_fraction = 1.0 - compliance
+            burn_rate = bad_fraction / budget
+            remaining = max(0.0, 1.0 - burn_rate)
+        result = {
+            "target": target,
+            "compliance": round(compliance, 6),
+            "error_budget": round(budget, 6),
+            "budget_remaining": round(remaining, 6),
+            "burn_rate": round(burn_rate, 4),
+            "good": good,
+            "total": total,
+        }
+        if threshold_ms is not None:
+            result["threshold_ms"] = threshold_ms
+        return result
+
+    def gauges(self) -> dict[str, float]:
+        """Flat ``slo_*`` gauge map merged into ``/metrics``."""
+        snapshot = self.snapshot()
+        out: dict[str, float] = {
+            "slo_window_seconds": self.window_seconds,
+            "slo_queries_in_window": float(snapshot["queries_in_window"]),
+        }
+        for name in ("latency", "availability"):
+            objective = snapshot[name]
+            prefix = f"slo_{name}"
+            out[f"{prefix}_target"] = objective["target"]
+            out[f"{prefix}_compliance"] = objective["compliance"]
+            out[f"{prefix}_budget_remaining"] = objective["budget_remaining"]
+            out[f"{prefix}_burn_rate"] = objective["burn_rate"]
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buckets.clear()

@@ -3,8 +3,11 @@
 Every entry records what an operator needs to act on a slow query
 without re-running it: the query text, a stable hash of its parameters
 (the parameters themselves may be large or sensitive), the trace id (to
-pull the span tree while it is still buffered), the elapsed time, and —
-when the query ran under a profiler — the annotated plan.
+pull the span tree while it is still buffered), the statement
+fingerprint (joinable against ``GET /debug/statements`` to see whether a
+slow query is an outlier or its whole statement class is slow), the
+resource counters the run accumulated, the elapsed time, and — when the
+query ran under a profiler — the annotated plan.
 
 Aborted queries (timeout, row limit) are logged too, flagged with the
 error code: the queries that *couldn't* finish are exactly the ones an
@@ -58,6 +61,8 @@ class SlowQueryLog:
         trace_id: str | None = None,
         plan: dict[str, Any] | None = None,
         error: str | None = None,
+        fingerprint: str | None = None,
+        counters: dict[str, int] | None = None,
     ) -> dict[str, Any]:
         """Append one slow-query entry (evicting the oldest when full)."""
         entry = {
@@ -65,7 +70,9 @@ class SlowQueryLog:
             "query": query[:MAX_QUERY_CHARS],
             "params_hash": params_hash(parameters),
             "trace_id": trace_id,
+            "fingerprint": fingerprint,
             "elapsed_ms": round(elapsed_seconds * 1000, 3),
+            "counters": counters or {},
             "plan": plan,
             "error": error,
         }
@@ -101,6 +108,7 @@ class SlowQueryLog:
             lines.append(
                 f"  {entry['time']} {entry['elapsed_ms']:.1f}ms{flag} "
                 f"trace={entry['trace_id'] or '-'} "
+                f"stmt={entry.get('fingerprint') or '-'} "
                 f"params={entry['params_hash']} "
                 f"query={' '.join(entry['query'].split())}"
             )

@@ -83,13 +83,20 @@ class BuildReport:
         return self.schema_report is None or self.schema_report.ok
 
     def build_metadata(self) -> dict[str, Any]:
-        """The build facts an archive manifest entry records."""
+        """The build facts an archive manifest entry records.
+
+        The per-crawler runs ride along so data-quality telemetry
+        (:mod:`repro.obs.quality`) can derive coverage and fusion
+        agreement per source from the manifest alone, without re-running
+        the build.
+        """
         return {
             "total_seconds": round(self.total_seconds, 3),
             "nodes": self.nodes,
             "relationships": self.relationships,
             "crawlers": len(self.crawler_runs),
             "crawler_errors": dict(self.crawler_errors),
+            "crawler_runs": [run.to_dict() for run in self.crawler_runs],
             "schema_ok": self.schema_report is None or self.schema_report.ok,
             "trace_id": self.trace_id,
         }

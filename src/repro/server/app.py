@@ -29,8 +29,9 @@ runs the query there instead.
 
 from __future__ import annotations
 
+import threading
 import time
-from contextlib import ExitStack
+from contextlib import ExitStack, contextmanager
 from typing import Any, Mapping
 
 from repro.analytics import AnalyticsReport, compute_statistics
@@ -46,7 +47,15 @@ from repro.cypher.lru import LRUCache
 from repro.graphdb.errors import ConstraintViolationError, GraphError
 from repro.graphdb.store import GraphStore
 from repro.lint import QueryLinter, fails_strict
-from repro.obs import Profiler, SlowQueryLog, Tracer
+from repro.obs import (
+    Profiler,
+    SLOTracker,
+    SlowQueryLog,
+    StatementRegistry,
+    Tracer,
+    archive_quality,
+    quality_gauges,
+)
 from repro.ontology import ENTITIES, RELATIONSHIPS
 from repro.server.admission import AdmissionController, ServerBusyError
 from repro.server.cache import ResultCache
@@ -170,6 +179,9 @@ class QueryService:
         archive: Any | None = None,
         snapshot_label: str | None = None,
         historical_stores: int = 4,
+        statement_stats: bool = True,
+        statement_capacity: int = 512,
+        slo: SLOTracker | None = None,
     ):
         self._state = ServingState(
             store,
@@ -206,6 +218,23 @@ class QueryService:
         self.slowlog = SlowQueryLog(
             threshold_seconds=slow_query_seconds, capacity=slowlog_capacity
         )
+        #: pg_stat_statements-style per-fingerprint aggregates (None when
+        #: disabled — the overhead-guard baseline).  With stats enabled a
+        #: per-query profiler always runs, so resource counters (nodes
+        #: scanned, binds attempted, ...) flow into the aggregates even
+        #: when tracing is off.
+        self.statements: StatementRegistry | None = (
+            StatementRegistry(statement_capacity) if statement_stats else None
+        )
+        #: Rolling-window latency/availability objectives; pass a
+        #: configured :class:`SLOTracker` to override the defaults.
+        self.slo = slo or SLOTracker()
+        #: Archive loads currently in flight; ``/readyz`` returns 503
+        #: while this is non-zero (a swap's load phase can take seconds —
+        #: a rollout orchestrator should not route new traffic here
+        #: until the snapshot is actually being served).
+        self._loading = 0
+        self._loading_lock = threading.Lock()
         #: Lint results per query text, so /query's meta.warnings does
         #: not re-analyze a hot query on every request.  Counters are
         #: bumped on the miss path only — once per distinct query.
@@ -313,12 +342,24 @@ class QueryService:
         """
         entry = self._archive_entry(selector)
         started = time.monotonic()
-        with self.tracer.trace("archive_load", label=entry.label):
-            store = self.archive.load(entry)
-        self.metrics.inc("archive_loads_total", labels={"reason": "swap"})
-        body = self.swap_store(store, label=entry.label)
+        with self._loading_guard():
+            with self.tracer.trace("archive_load", label=entry.label):
+                store = self.archive.load(entry)
+            self.metrics.inc("archive_loads_total", labels={"reason": "swap"})
+            body = self.swap_store(store, label=entry.label)
         body["load_seconds"] = round(time.monotonic() - started, 3)
         return body
+
+    @contextmanager
+    def _loading_guard(self):
+        """Flip ``/readyz`` to 503 for the duration of the block."""
+        with self._loading_lock:
+            self._loading += 1
+        try:
+            yield
+        finally:
+            with self._loading_lock:
+                self._loading -= 1
 
     def _archive_entry(self, selector: str):
         if self.archive is None:
@@ -420,20 +461,24 @@ class QueryService:
                             state, query, params, timeout, max_rows, profile
                         )
             except ServerBusyError as exc:
+                self._observe_failure(state, query, started, "busy")
                 raise self._count_error(ServiceError(429, "busy", str(exc)))
             except QueryTimeoutError as exc:
-                self._log_aborted(query, params, trace_id, started, "timeout")
+                self._log_aborted(state, query, params, trace_id, started, "timeout")
                 raise self._count_error(ServiceError(408, "timeout", str(exc)))
             except RowLimitError as exc:
-                self._log_aborted(query, params, trace_id, started, "row_limit")
+                self._log_aborted(state, query, params, trace_id, started, "row_limit")
                 raise self._count_error(ServiceError(413, "row_limit", str(exc)))
             except CypherSyntaxError as exc:
+                self._observe_failure(state, query, started, "syntax_error")
                 raise self._count_error(ServiceError(400, "syntax_error", str(exc)))
             except ConstraintViolationError as exc:
+                self._observe_failure(state, query, started, "constraint_violation")
                 raise self._count_error(
                     ServiceError(409, "constraint_violation", str(exc))
                 )
             except (CypherError, GraphError) as exc:
+                self._observe_failure(state, query, started, "query_error")
                 raise self._count_error(ServiceError(400, "query_error", str(exc)))
             elapsed = time.monotonic() - started
         self.metrics.observe("query_latency_seconds", elapsed)
@@ -442,14 +487,37 @@ class QueryService:
             labels={"kind": "write" if is_write else "read",
                     "cache": "hit" if cached else "miss"},
         )
+        self.slo.observe(elapsed)
+        # Whole-query resource counters (nodes scanned, rels expanded,
+        # binds attempted, ...) aggregated by the profiler; cache hits
+        # executed nothing and carry none.
+        counters = dict(plan.hits) if plan is not None else None
+        fingerprint = None
+        if self.statements is not None:
+            identity = self._fingerprint_of(state, query)
+            if identity is not None:
+                fingerprint = identity[0]
+                self.statements.record(
+                    identity[0],
+                    identity[1],
+                    elapsed=elapsed,
+                    rows=body.get("row_count", 0),
+                    cached=cached,
+                    counters=counters,
+                )
         if plan is not None and self.slowlog.should_record(elapsed):
             self.metrics.inc("slow_queries_total")
+            if fingerprint is None:
+                identity = self._fingerprint_of(state, query)
+                fingerprint = identity[0] if identity is not None else None
             self.slowlog.record(
                 query,
                 elapsed,
                 parameters=params,
                 trace_id=trace_id,
                 plan=plan.to_dict(),
+                fingerprint=fingerprint,
+                counters=counters,
             )
         response = {
             **body,
@@ -459,6 +527,8 @@ class QueryService:
                 "store_version": state.store.version,
             },
         }
+        if fingerprint is not None:
+            response["meta"]["fingerprint"] = fingerprint
         if snapshot is not None:
             response["meta"]["snapshot"] = state.label
         warnings = self._lint_warnings(state, query)
@@ -488,11 +558,35 @@ class QueryService:
 
     def _profiler(self, profile: bool) -> Profiler | None:
         """Per-query profiler: always on while tracing is enabled (the
-        slow-query log wants a plan for any query that turns out slow),
-        and forced for explicit PROFILE requests."""
-        if profile or self.tracing:
+        slow-query log wants a plan for any query that turns out slow)
+        or statement statistics are collecting (resource accounting rides
+        on the profiler's collector), and forced for explicit PROFILE
+        requests."""
+        if profile or self.tracing or self.statements is not None:
             return Profiler()
         return None
+
+    def _fingerprint_of(self, state: ServingState, query: str) -> tuple[str, str] | None:
+        """``(fingerprint, normalized)`` for a query, None when it cannot
+        be parsed — statement stats must never fail a request."""
+        try:
+            return state.engine.fingerprint(query)
+        except (CypherError, GraphError):
+            return None
+
+    def _observe_failure(
+        self, state: ServingState, query: str, started: float, code: str
+    ) -> float:
+        """Fold one failed query into SLO and statement aggregates."""
+        elapsed = time.monotonic() - started
+        self.slo.observe(elapsed, code)
+        if self.statements is not None:
+            identity = self._fingerprint_of(state, query)
+            if identity is not None:
+                self.statements.record(
+                    identity[0], identity[1], elapsed=elapsed, error=code
+                )
+        return elapsed
 
     def _execute_read(
         self,
@@ -542,6 +636,7 @@ class QueryService:
 
     def _log_aborted(
         self,
+        state: ServingState,
         query: str,
         params: dict[str, Any],
         trace_id: str | None,
@@ -549,13 +644,16 @@ class QueryService:
         error: str,
     ) -> None:
         """Aborted queries go to the slow log with their error code."""
+        elapsed = self._observe_failure(state, query, started, error)
         self.metrics.inc("slow_queries_total")
+        identity = self._fingerprint_of(state, query)
         self.slowlog.record(
             query,
-            time.monotonic() - started,
+            elapsed,
             parameters=params,
             trace_id=trace_id,
             error=error,
+            fingerprint=identity[0] if identity is not None else None,
         )
 
     def _count_error(self, error: ServiceError) -> ServiceError:
@@ -648,6 +746,54 @@ class QueryService:
         """``GET /debug/slowlog``: the slow-query ring, oldest first."""
         return self.slowlog.snapshot()
 
+    def statements_snapshot(
+        self, top: int | None = None, sort: str = "total_seconds"
+    ) -> dict[str, Any]:
+        """``GET /debug/statements``: per-fingerprint aggregates,
+        hottest first."""
+        if self.statements is None:
+            raise ServiceError(
+                404, "statements_disabled", "statement statistics are disabled"
+            )
+        try:
+            return self.statements.snapshot(top=top, sort=sort)
+        except ValueError as exc:
+            raise ServiceError(400, "bad_request", str(exc))
+
+    def record_response_bytes(self, fingerprint: str | None, nbytes: int) -> None:
+        """Fold a serialized response size into the statement's resource
+        counters (called by the HTTP layer, which is where the bytes
+        actually exist) and the service-wide counter."""
+        self.metrics.inc("response_bytes_total", nbytes)
+        if self.statements is not None and fingerprint:
+            self.statements.note_counter(fingerprint, "bytes_serialized", nbytes)
+
+    def ready(self) -> tuple[bool, dict[str, Any]]:
+        """``GET /readyz``: readiness, distinct from liveness.
+
+        Not ready (503) while an archive load / hot swap is in flight —
+        the served store is about to be replaced, so a rollout
+        orchestrator should hold new traffic.  ``/healthz`` stays 200
+        throughout: the process is alive either way.
+        """
+        with self._loading_lock:
+            loading = self._loading
+        ready = loading == 0
+        state = self._state
+        return ready, {
+            "status": "ready" if ready else "loading",
+            "loads_in_flight": loading,
+            "generation": state.generation,
+            "snapshot": state.label,
+        }
+
+    def quality_report(self) -> dict[str, Any]:
+        """Longitudinal data-quality report over the attached archive."""
+        if self.archive is None:
+            raise ServiceError(400, "no_archive", "no snapshot archive attached")
+        entries = [entry.to_dict() for entry in self.archive.entries()]
+        return archive_quality(entries)
+
     def stats(self) -> dict[str, Any]:
         """Graph composition plus serving statistics."""
         state = self._state
@@ -682,6 +828,12 @@ class QueryService:
                 "entries": len(self.slowlog),
                 "recorded_total": self.slowlog.recorded_total,
             },
+            "statements": (
+                self.statements.info()
+                if self.statements is not None
+                else {"enabled": False}
+            ),
+            "slo": self.slo.snapshot(),
             "metrics": self.metrics.snapshot(),
             "uptime_seconds": round(time.monotonic() - self._started, 3),
         }
@@ -726,4 +878,22 @@ class QueryService:
             "historical_stores_loaded": float(len(self._historical)),
             "uptime_seconds": time.monotonic() - self._started,
         }
+        gauges.update(self.slo.gauges())
+        if self.statements is not None:
+            statements = self.statements.info()
+            gauges["statements_tracked"] = float(statements["statements_tracked"])
+            gauges["statements_recorded_total"] = float(
+                statements["recorded_total"]
+            )
+            gauges["statements_evicted_total"] = float(statements["evicted_total"])
+        if self.archive is not None:
+            # Per-crawler labelled gauges persist in the registry; the
+            # manifest is one small JSON read per scrape.
+            try:
+                report = self.quality_report()
+            except (ServiceError, OSError, ValueError):
+                report = None
+            if report is not None:
+                for name, value, labels in quality_gauges(report):
+                    self.metrics.set_gauge(name, value, labels)
         return self.metrics.render(extra_gauges=gauges)

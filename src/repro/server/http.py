@@ -20,9 +20,13 @@ Endpoints::
     GET  /archive      (the attached snapshot archive's manifest)
     GET  /archive/info?snapshot=<selector>
     GET  /stats
-    GET  /healthz
+    GET  /healthz      (liveness: 200 while the process serves)
+    GET  /readyz       (readiness: 503 while an archive load or hot
+                        swap is in flight)
     GET  /metrics      (Prometheus text format)
+    GET  /quality      (longitudinal data-quality report over the archive)
     GET  /debug/slowlog
+    GET  /debug/statements?top=<n>&sort=<key>   (per-fingerprint stats)
     GET  /debug/traces
     GET  /debug/trace?id=<trace_id>
 """
@@ -60,6 +64,11 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
         try:
             if route == "/healthz":
                 self._send_json(200, self.service.health())
+            elif route == "/readyz":
+                ready, body = self.service.ready()
+                self._send_json(200 if ready else 503, body)
+            elif route == "/quality":
+                self._send_json(200, self.service.quality_report())
             elif route == "/stats":
                 self._send_json(200, self.service.stats())
             elif route == "/ontology":
@@ -82,6 +91,17 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self.service.archive_info(selector))
             elif route == "/debug/slowlog":
                 self._send_json(200, self.service.slowlog_snapshot())
+            elif route == "/debug/statements":
+                params = parse_qs(url.query)
+                top_raw = params.get("top", [""])[0]
+                try:
+                    top = int(top_raw) if top_raw else None
+                except ValueError:
+                    raise ServiceError(400, "bad_request", "top must be an integer")
+                sort = params.get("sort", ["total_seconds"])[0]
+                self._send_json(
+                    200, self.service.statements_snapshot(top=top, sort=sort)
+                )
             elif route == "/debug/traces":
                 self._send_json(200, self.service.traces())
             elif route == "/debug/trace":
@@ -119,7 +139,14 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
                 profile=(route == "/profile"),
                 snapshot=request.get("snapshot"),
             )
-            self._send_json(200, response)
+            # Serialize once here — the only place the response bytes
+            # exist — and report the size into the statement's resource
+            # counters (bytes_serialized) via its fingerprint.
+            payload = json.dumps(response, separators=(",", ":")).encode("utf-8")
+            self.service.record_response_bytes(
+                response.get("meta", {}).get("fingerprint"), len(payload)
+            )
+            self._send_bytes(200, payload, "application/json; charset=utf-8")
         except ServiceError as exc:
             self._send_json(exc.status, exc.payload())
 
@@ -177,10 +204,15 @@ class IYPHTTPServer(ThreadingHTTPServer):
         self.service = service
 
     def server_close(self) -> None:
-        """On shutdown, leave the slow-query ring in the server log."""
+        """On shutdown, leave the slow-query ring and the statement
+        aggregates in the server log."""
         dump = self.service.slowlog.format_text()
         if dump:
             log.info("slow-query log at shutdown:\n%s", dump)
+        if self.service.statements is not None:
+            statements = self.service.statements.format_text()
+            if statements:
+                log.info("statement statistics at shutdown:\n%s", statements)
         super().server_close()
 
 

@@ -62,6 +62,7 @@ class Metrics:
         self._sums: dict[str, float] = defaultdict(float)
         self._counts: dict[str, int] = defaultdict(int)
         self._reservoirs: dict[str, deque[float]] = {}
+        self._gauges: dict[str, dict[LabelSet, float]] = defaultdict(dict)
 
     # -- recording -------------------------------------------------------
 
@@ -71,6 +72,18 @@ class Metrics:
         """Increment a counter (optionally labelled)."""
         with self._lock:
             self._counters[name][_labels_key(labels)] += amount
+
+    def set_gauge(
+        self, name: str, value: float, labels: Mapping[str, str] | None = None
+    ) -> None:
+        """Set a (optionally labelled) gauge to an absolute value.
+
+        Unlike the ``extra_gauges`` of :meth:`render` — recomputed by the
+        caller on every scrape — these persist in the registry, which is
+        what per-crawler quality and SLO burn-rate series need (the label
+        sets outlive any single scrape)."""
+        with self._lock:
+            self._gauges[name][_labels_key(labels)] = value
 
     def observe(self, name: str, seconds: float) -> None:
         """Record one latency sample into histogram and reservoir."""
@@ -173,6 +186,14 @@ class Metrics:
             for key, value in self.percentiles(name).items():
                 quantile = float(key[1:]) / 100
                 lines.append(f'{ns}_{name}{{quantile="{quantile:g}"}} {value:.6f}')
+        with self._lock:
+            gauge_data = {
+                name: dict(by_label) for name, by_label in self._gauges.items()
+            }
+        for name in sorted(gauge_data):
+            lines.append(f"# TYPE {ns}_{name} gauge")
+            for labels, value in sorted(gauge_data[name].items()):
+                lines.append(f"{ns}_{name}{_format_labels(labels)} {value:g}")
         for gauge, value in sorted((extra_gauges or {}).items()):
             lines.append(f"# TYPE {ns}_{gauge} gauge")
             lines.append(f"{ns}_{gauge} {value:g}")

@@ -311,3 +311,91 @@ class TestQueryExplain:
         out = capsys.readouterr().out
         assert "anchor=:AS" in out
         assert "LNT007" in out
+
+
+class TestQualityCommand:
+    @staticmethod
+    def _archive(tmp_path, created_at=""):
+        from repro.archive import SnapshotArchive
+        from repro.graphdb import GraphStore
+
+        store = GraphStore()
+        store.create_node({"AS"}, {"asn": 64500})
+        archive = SnapshotArchive(tmp_path / "archive")
+        build = {
+            "schema_ok": True,
+            "crawler_errors": {},
+            "crawler_runs": [
+                {
+                    "name": "example.crawler", "seconds": 0.1,
+                    "nodes_created": 5, "nodes_merged": 5,
+                    "relationships_created": 0, "relationships_merged": 0,
+                    "error": None,
+                }
+            ],
+        }
+        archive.add(store, "b1", build=build, created_at=created_at)
+        return archive
+
+    def test_fresh_archive_reports_ok(self, tmp_path, capsys):
+        archive = self._archive(tmp_path)
+        code = main(["quality", "--dir", str(archive.root)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latest snapshot: b1" in out
+        assert "example.crawler" in out
+
+    def test_stale_archive_exits_nonzero(self, tmp_path, capsys):
+        archive = self._archive(tmp_path, created_at="2020-01-01T00:00:00Z")
+        code = main(["quality", "--dir", str(archive.root)])
+        assert code == 1
+        assert "STALE" in capsys.readouterr().out
+
+    def test_json_output_is_parseable(self, tmp_path, capsys):
+        import json
+
+        archive = self._archive(tmp_path)
+        code = main(["quality", "--dir", str(archive.root), "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["latest"] == "b1"
+        assert report["crawlers"][0]["agreement"] == 0.5
+
+    def test_empty_archive_exits_nonzero(self, tmp_path, capsys):
+        code = main(["quality", "--dir", str(tmp_path / "nothing")])
+        assert code == 1
+        assert "empty" in capsys.readouterr().err
+
+
+class TestTopCommand:
+    def test_top_once_renders_statement_table(self, capsys):
+        import threading
+
+        from repro.graphdb import GraphStore
+        from repro.server import QueryService, create_server
+
+        store = GraphStore()
+        store.create_node({"AS"}, {"asn": 64500})
+        service = QueryService(store)
+        service.execute("MATCH (a:AS) WHERE a.asn = 64500 RETURN a.asn")
+        service.execute("MATCH (a:AS) WHERE a.asn = 64501 RETURN a.asn")
+        server = create_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            code = main(
+                ["top", "--port", str(server.server_address[1]), "--once"]
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 statement(s) tracked" in out
+        assert "2 calls recorded" in out
+        assert "MATCH (a:AS) WHERE (a.asn = ?)" in out
+
+    def test_top_unreachable_server_fails_cleanly(self, capsys):
+        code = main(["top", "--port", "1", "--once"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err

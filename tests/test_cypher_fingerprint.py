@@ -1,0 +1,107 @@
+"""Query fingerprinting: literal-insensitive, structure-sensitive.
+
+The contract statement statistics rely on: two executions of the "same"
+query — same shape, different constants — must aggregate under one
+fingerprint, while any structural difference (labels, clauses,
+projections) must split them.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.cypher import CypherEngine
+from repro.cypher.fingerprint import (
+    FINGERPRINT_HEX_CHARS,
+    fingerprint_query,
+    normalize_query,
+)
+from repro.cypher.parser import parse
+from repro.graphdb import GraphStore
+
+
+def fp(query: str) -> str:
+    return fingerprint_query(parse(query))[0]
+
+
+def normalized(query: str) -> str:
+    return normalize_query(parse(query))
+
+
+class TestLiteralMasking:
+    def test_integer_literals_share_a_fingerprint(self):
+        assert fp("MATCH (a:AS) WHERE a.asn = 1 RETURN a") == fp(
+            "MATCH (a:AS) WHERE a.asn = 99999 RETURN a"
+        )
+
+    def test_string_literals_share_a_fingerprint(self):
+        assert fp("MATCH (n:Name) WHERE n.name = 'NTT' RETURN n") == fp(
+            "MATCH (n:Name) WHERE n.name = 'Cloudflare' RETURN n"
+        )
+
+    def test_whitespace_and_keyword_case_are_insignificant(self):
+        assert fp("MATCH (a:AS) WHERE a.asn = 1 RETURN a") == fp(
+            "match   (a:AS)\n  where a.asn = 5\n  return a"
+        )
+
+    def test_parameter_names_are_masked(self):
+        assert fp("MATCH (a:AS) WHERE a.asn = $x RETURN a") == fp(
+            "MATCH (a:AS) WHERE a.asn = $other RETURN a"
+        )
+
+    def test_limit_literal_is_masked(self):
+        assert fp("MATCH (a:AS) RETURN a LIMIT 10") == fp(
+            "MATCH (a:AS) RETURN a LIMIT 50"
+        )
+
+    def test_normalized_text_hides_the_literal(self):
+        text = normalized("MATCH (a:AS) WHERE a.asn = 2497 RETURN a")
+        assert "2497" not in text
+        assert "?" in text
+
+
+class TestStructureSensitivity:
+    def test_label_change_changes_the_fingerprint(self):
+        assert fp("MATCH (a:AS) WHERE a.asn = 1 RETURN a") != fp(
+            "MATCH (a:Prefix) WHERE a.asn = 1 RETURN a"
+        )
+
+    def test_literal_and_parameter_are_distinct(self):
+        # A parameterized query plans differently from an inlined one;
+        # they must not share an aggregate.
+        assert fp("MATCH (a:AS) WHERE a.asn = 1 RETURN a") != fp(
+            "MATCH (a:AS) WHERE a.asn = $asn RETURN a"
+        )
+
+    def test_extra_clause_changes_the_fingerprint(self):
+        assert fp("MATCH (a:AS) RETURN a") != fp(
+            "MATCH (a:AS) WHERE a.asn = 1 RETURN a"
+        )
+
+    def test_projection_change_changes_the_fingerprint(self):
+        assert fp("MATCH (a:AS) RETURN a.asn") != fp("MATCH (a:AS) RETURN a.name")
+
+    def test_relationship_direction_changes_the_fingerprint(self):
+        out = "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix) RETURN a"
+        rev = "MATCH (a:AS)<-[:ORIGINATE]-(p:Prefix) RETURN a"
+        assert fp(out) != fp(rev)
+
+
+class TestFingerprintFormat:
+    def test_fingerprint_is_short_hex(self):
+        value = fp("RETURN 1")
+        assert len(value) == FINGERPRINT_HEX_CHARS
+        assert set(value) <= set(string.hexdigits.lower())
+
+    def test_deterministic_across_calls(self):
+        query = "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix) RETURN a, p LIMIT 10"
+        assert fp(query) == fp(query)
+
+
+class TestEngineCache:
+    def test_engine_fingerprint_is_cached(self):
+        engine = CypherEngine(GraphStore())
+        first = engine.fingerprint("MATCH (a:AS) WHERE a.asn = 1 RETURN a")
+        again = engine.fingerprint("MATCH (a:AS) WHERE a.asn = 1 RETURN a")
+        assert first == again
+        assert first[0] == fp("MATCH (a:AS) WHERE a.asn = 1 RETURN a")

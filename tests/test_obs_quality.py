@@ -1,0 +1,177 @@
+"""Cross-source data-quality telemetry derived from archive manifests.
+
+All inputs are the plain-dict shapes ``BuildReport.build_metadata()``
+and ``ArchiveEntry.to_dict()`` produce, built by hand so each signal
+(freshness, coverage, agreement, divergence) can be dialed precisely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import archive_quality, crawler_quality, quality_gauges
+from repro.obs.quality import (
+    parse_timestamp,
+    render_quality_report,
+    utc_timestamp,
+)
+
+NOW = 1_700_000_000.0
+
+
+def run(name, created=0, merged=0, rels_created=0, rels_merged=0, error=None):
+    return {
+        "name": name,
+        "seconds": 0.1,
+        "nodes_created": created,
+        "nodes_merged": merged,
+        "relationships_created": rels_created,
+        "relationships_merged": rels_merged,
+        "error": error,
+    }
+
+
+def entry(label, *, age_seconds, runs, nodes=100, relationships=200,
+          schema_ok=True, identical=False):
+    return {
+        "label": label,
+        "created_at": utc_timestamp(lambda: NOW - age_seconds),
+        "nodes": nodes,
+        "relationships": relationships,
+        "build": {
+            "schema_ok": schema_ok,
+            "crawler_errors": {},
+            "crawler_runs": runs,
+        },
+        "delta": {"identical": identical},
+    }
+
+
+class TestTimestamps:
+    def test_round_trip(self):
+        text = utc_timestamp(lambda: NOW)
+        assert parse_timestamp(text) == NOW
+
+    def test_bad_timestamps_are_none(self):
+        assert parse_timestamp("") is None
+        assert parse_timestamp("last tuesday") is None
+
+
+class TestCrawlerQuality:
+    def test_agreement_is_the_merge_ratio(self):
+        rows = crawler_quality(
+            {"crawler_runs": [run("a", created=30, merged=10),
+                              run("b", created=10, merged=30)]}
+        )
+        by_name = {row["crawler"]: row for row in rows}
+        assert by_name["a"]["agreement"] == pytest.approx(0.25)
+        assert by_name["b"]["agreement"] == pytest.approx(0.75)
+
+    def test_shares_sum_to_one(self):
+        rows = crawler_quality(
+            {"crawler_runs": [run("a", created=60), run("b", created=40)]}
+        )
+        assert sum(row["node_share"] for row in rows) == pytest.approx(1.0)
+
+    def test_missing_build_metadata_yields_nothing(self):
+        assert crawler_quality(None) == []
+        assert crawler_quality({}) == []
+
+
+class TestArchiveQuality:
+    def test_fresh_archive_is_not_stale(self):
+        report = archive_quality(
+            [entry("b1", age_seconds=3600, runs=[run("a", created=10)])],
+            now=lambda: NOW,
+        )
+        assert report["latest"] == "b1"
+        assert report["freshness_seconds"] == pytest.approx(3600, abs=1)
+        assert report["stale"] is False
+
+    def test_old_archive_is_stale(self):
+        report = archive_quality(
+            [entry("b1", age_seconds=30 * 86400, runs=[])],
+            now=lambda: NOW,
+        )
+        assert report["stale"] is True
+
+    def test_growth_is_tracked_between_entries(self):
+        report = archive_quality(
+            [
+                entry("b1", age_seconds=7200, runs=[], nodes=100),
+                entry("b2", age_seconds=3600, runs=[], nodes=150),
+            ],
+            now=lambda: NOW,
+        )
+        first, second = report["snapshots"]
+        assert first["node_growth"] is None
+        assert second["node_growth"] == 50
+
+    def test_agreement_drop_flags_divergence(self):
+        report = archive_quality(
+            [
+                entry("b1", age_seconds=7200,
+                      runs=[run("steady", created=50, merged=50),
+                            run("drifter", created=20, merged=80)]),
+                entry("b2", age_seconds=3600,
+                      runs=[run("steady", created=50, merged=50),
+                            run("drifter", created=90, merged=10)]),
+            ],
+            now=lambda: NOW,
+        )
+        by_name = {row["crawler"]: row for row in report["crawlers"]}
+        assert by_name["steady"]["diverging"] is False
+        assert by_name["drifter"]["diverging"] is True
+        assert report["problem_crawlers"] == ["drifter"]
+
+    def test_erroring_crawler_is_a_problem(self):
+        report = archive_quality(
+            [entry("b1", age_seconds=60,
+                   runs=[run("broken", created=1, error="Boom")])],
+            now=lambda: NOW,
+        )
+        assert report["problem_crawlers"] == ["broken"]
+
+    def test_empty_archive(self):
+        report = archive_quality([], now=lambda: NOW)
+        assert report["snapshots"] == []
+        assert report["latest"] is None
+        assert report["stale"] is False
+
+
+class TestGaugesAndRendering:
+    def test_gauges_carry_crawler_labels(self):
+        report = archive_quality(
+            [entry("b1", age_seconds=60, runs=[run("a", created=10, merged=10)])],
+            now=lambda: NOW,
+        )
+        gauges = quality_gauges(report)
+        names = {name for name, _, _ in gauges}
+        assert "quality_snapshot_age_seconds" in names
+        assert "quality_stale" in names
+        labelled = [
+            (name, value, labels)
+            for name, value, labels in gauges
+            if labels is not None
+        ]
+        assert all(labels == {"crawler": "a"} for _, _, labels in labelled)
+        agreement = next(
+            value for name, value, _ in labelled
+            if name == "quality_crawler_agreement"
+        )
+        assert agreement == pytest.approx(0.5)
+
+    def test_render_mentions_problems(self):
+        report = archive_quality(
+            [entry("b1", age_seconds=30 * 86400,
+                   runs=[run("broken", created=1, error="Boom")])],
+            now=lambda: NOW,
+        )
+        text = render_quality_report(report)
+        assert "STALE" in text
+        assert "ERROR" in text
+        assert "attention: broken" in text
+
+    def test_render_empty_report(self):
+        text = render_quality_report(archive_quality([], now=lambda: NOW))
+        assert "empty" in text

@@ -1,0 +1,157 @@
+"""SLO tracking: rolling-window compliance, burn rate, error budget.
+
+Every test injects its own clock, so time marches exactly as stated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SLOTracker
+from repro.obs.slo import BUDGET_BURNING_ERRORS
+
+
+class Clock:
+    def __init__(self, start: float = 1_000_000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def tracker(**kwargs) -> tuple[SLOTracker, Clock]:
+    clock = Clock()
+    defaults = dict(
+        latency_threshold=0.1,
+        latency_target=0.9,
+        availability_target=0.9,
+        window_seconds=100.0,
+        bucket_seconds=10.0,
+        now=clock,
+    )
+    defaults.update(kwargs)
+    return SLOTracker(**defaults), clock
+
+
+class TestCompliance:
+    def test_no_traffic_is_fully_compliant(self):
+        slo, _ = tracker()
+        snapshot = slo.snapshot()
+        assert snapshot["queries_in_window"] == 0
+        for objective in (snapshot["latency"], snapshot["availability"]):
+            assert objective["compliance"] == 1.0
+            assert objective["burn_rate"] == 0.0
+            assert objective["budget_remaining"] == 1.0
+
+    def test_latency_compliance_counts_fast_successes(self):
+        slo, _ = tracker()
+        for _ in range(8):
+            slo.observe(0.01)  # fast
+        for _ in range(2):
+            slo.observe(0.5)  # slow
+        latency = slo.snapshot()["latency"]
+        assert latency["compliance"] == pytest.approx(0.8)
+        # 20% bad against a 10% budget: burning at 2x.
+        assert latency["burn_rate"] == pytest.approx(2.0)
+        assert latency["budget_remaining"] == 0.0
+
+    def test_burn_rate_one_means_exactly_on_budget(self):
+        slo, _ = tracker()
+        for _ in range(9):
+            slo.observe(0.01)
+        slo.observe(0.5)
+        latency = slo.snapshot()["latency"]
+        assert latency["burn_rate"] == pytest.approx(1.0)
+        assert latency["budget_remaining"] == pytest.approx(0.0)
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize("code", sorted(BUDGET_BURNING_ERRORS))
+    def test_operational_errors_burn_availability_budget(self, code):
+        slo, _ = tracker()
+        for _ in range(9):
+            slo.observe(0.01)
+        slo.observe(0.01, error=code)
+        availability = slo.snapshot()["availability"]
+        assert availability["compliance"] == pytest.approx(0.9)
+        assert availability["burn_rate"] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("code", ["syntax_error", "bad_request", "not_found"])
+    def test_client_errors_do_not_burn_budget(self, code):
+        slo, _ = tracker()
+        for _ in range(5):
+            slo.observe(0.01)
+        for _ in range(5):
+            slo.observe(0.01, error=code)
+        availability = slo.snapshot()["availability"]
+        assert availability["compliance"] == 1.0
+        assert availability["burn_rate"] == 0.0
+
+    def test_errors_also_count_against_latency(self):
+        # A timed-out query was definitionally not fast.
+        slo, _ = tracker()
+        for _ in range(9):
+            slo.observe(0.01)
+        slo.observe(5.0, error="timeout")
+        latency = slo.snapshot()["latency"]
+        assert latency["compliance"] == pytest.approx(0.9)
+
+
+class TestRollingWindow:
+    def test_old_traffic_ages_out(self):
+        slo, clock = tracker(window_seconds=100.0, bucket_seconds=10.0)
+        for _ in range(10):
+            slo.observe(5.0, error="timeout")  # terrible start
+        assert slo.snapshot()["availability"]["compliance"] == 0.0
+        clock.advance(200.0)  # the bad buckets fall out of the window
+        slo.observe(0.01)
+        snapshot = slo.snapshot()
+        assert snapshot["queries_in_window"] == 1
+        assert snapshot["availability"]["compliance"] == 1.0
+
+    def test_memory_is_bounded_by_window(self):
+        slo, clock = tracker(window_seconds=100.0, bucket_seconds=10.0)
+        for _ in range(1000):
+            slo.observe(0.01)
+            clock.advance(7.0)
+        assert len(slo._buckets) <= 100 / 10 + 1
+
+    def test_clear_resets_the_window(self):
+        slo, _ = tracker()
+        slo.observe(0.5, error="timeout")
+        slo.clear()
+        assert slo.snapshot()["queries_in_window"] == 0
+
+
+class TestGaugesAndValidation:
+    def test_gauges_cover_both_objectives(self):
+        slo, _ = tracker()
+        slo.observe(0.01)
+        gauges = slo.gauges()
+        for name in (
+            "slo_window_seconds",
+            "slo_queries_in_window",
+            "slo_latency_target",
+            "slo_latency_compliance",
+            "slo_latency_budget_remaining",
+            "slo_latency_burn_rate",
+            "slo_availability_target",
+            "slo_availability_compliance",
+            "slo_availability_budget_remaining",
+            "slo_availability_burn_rate",
+        ):
+            assert name in gauges
+        assert gauges["slo_queries_in_window"] == 1.0
+
+    def test_targets_must_be_fractions(self):
+        with pytest.raises(ValueError):
+            SLOTracker(latency_target=1.0)
+        with pytest.raises(ValueError):
+            SLOTracker(availability_target=0.0)
+
+    def test_window_must_cover_a_bucket(self):
+        with pytest.raises(ValueError):
+            SLOTracker(window_seconds=5.0, bucket_seconds=10.0)

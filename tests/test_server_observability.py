@@ -1,0 +1,290 @@
+"""Server-level observability: statement statistics over HTTP, the
+readiness endpoint during hot swaps, SLO surfacing, and the quality
+endpoint over an archive.
+
+Complements the unit tests in ``test_obs_statements.py`` /
+``test_obs_slo.py`` / ``test_obs_quality.py`` by exercising the same
+machinery through real sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.archive import SnapshotArchive
+from repro.graphdb import GraphStore
+from repro.server import QueryService, ServiceError, create_server
+
+# ---------------------------------------------------------------------------
+# plumbing (same shape as test_server.py)
+# ---------------------------------------------------------------------------
+
+
+def _request(method: str, url: str, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _serve(service: QueryService):
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+def _store_with_ases(n: int) -> GraphStore:
+    store = GraphStore()
+    store.create_index("AS", "asn")
+    for asn in range(64500, 64500 + n):
+        store.create_node({"AS"}, {"asn": asn})
+    return store
+
+
+@pytest.fixture()
+def served():
+    service = QueryService(_store_with_ases(10))
+    server, base = _serve(service)
+    yield base, service
+    server.shutdown()
+    server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# statement statistics over HTTP
+# ---------------------------------------------------------------------------
+
+
+class TestStatementEndpoint:
+    def test_mixed_workload_aggregates_by_fingerprint(self, served):
+        base, service = served
+        # Two literal variants of one shape, plus a distinct shape.
+        for asn in (64500, 64501, 64502):
+            status, body = _request(
+                "POST", f"{base}/query",
+                {"query": f"MATCH (a:AS) WHERE a.asn = {asn} RETURN a.asn"},
+            )
+            assert status == 200
+        status, _ = _request(
+            "POST", f"{base}/query", {"query": "MATCH (a:AS) RETURN count(a)"}
+        )
+        assert status == 200
+        status, snapshot = _request("GET", f"{base}/debug/statements")
+        assert status == 200
+        assert snapshot["statements_tracked"] == 2
+        assert snapshot["recorded_total"] == 4
+        hot = snapshot["statements"][0]
+        variants = next(
+            row for row in snapshot["statements"] if row["calls"] == 3
+        )
+        assert "?" in variants["query"]
+        assert variants["rows"] == 3
+        assert hot["counters"]  # resource accounting rode along
+
+    def test_meta_fingerprint_matches_statement(self, served):
+        base, _ = served
+        _, first = _request(
+            "POST", f"{base}/query",
+            {"query": "MATCH (a:AS) WHERE a.asn = 64500 RETURN a.asn"},
+        )
+        _, second = _request(
+            "POST", f"{base}/query",
+            {"query": "MATCH (a:AS)   WHERE a.asn = 64509   RETURN a.asn"},
+        )
+        assert first["meta"]["fingerprint"] == second["meta"]["fingerprint"]
+        status, snapshot = _request("GET", f"{base}/debug/statements")
+        assert first["meta"]["fingerprint"] in {
+            row["fingerprint"] for row in snapshot["statements"]
+        }
+
+    def test_cache_hits_and_response_bytes_are_counted(self, served):
+        base, _ = served
+        query = {"query": "MATCH (a:AS) RETURN count(a)"}
+        _request("POST", f"{base}/query", query)
+        _, body = _request("POST", f"{base}/query", query)
+        assert body["meta"]["cached"] is True
+        _, snapshot = _request("GET", f"{base}/debug/statements")
+        row = snapshot["statements"][0]
+        assert row["calls"] == 2
+        assert row["cache_hits"] == 1
+        assert row["counters"]["bytes_serialized"] > 0
+
+    def test_errors_are_aggregated_too(self, served):
+        base, service = served
+        status, _ = _request(
+            "POST", f"{base}/query",
+            {"query": "MATCH (a:AS) RETURN a.asn", "max_rows": 2},
+        )
+        assert status == 413
+        rows = service.statements.snapshot()["statements"]
+        errored = next(row for row in rows if row["errors"])
+        assert errored["errors"] == {"row_limit": 1}
+
+    def test_top_and_sort_parameters(self, served):
+        base, _ = served
+        for query in ("RETURN 1", "RETURN 2", "MATCH (a:AS) RETURN count(a)"):
+            _request("POST", f"{base}/query", {"query": query})
+        status, snapshot = _request(
+            "GET", f"{base}/debug/statements?top=1&sort=calls"
+        )
+        assert status == 200
+        assert len(snapshot["statements"]) == 1
+        status, body = _request("GET", f"{base}/debug/statements?sort=bogus")
+        assert status == 400
+        status, body = _request("GET", f"{base}/debug/statements?top=x")
+        assert status == 400
+
+    def test_disabled_statements_is_404(self):
+        service = QueryService(_store_with_ases(1), statement_stats=False)
+        server, base = _serve(service)
+        try:
+            service.execute("RETURN 1")
+            status, body = _request("GET", f"{base}/debug/statements")
+            assert status == 404
+            assert body["error"]["code"] == "statements_disabled"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestSlowlogJoin:
+    def test_slowlog_entries_carry_fingerprint_and_counters(self):
+        # Threshold 0: every query is "slow", so one read suffices.
+        service = QueryService(_store_with_ases(5), slow_query_seconds=0.0)
+        response = service.execute(
+            "MATCH (a:AS) WHERE a.asn = 64500 RETURN a.asn"
+        )
+        entry = service.slowlog.snapshot()["entries"][-1]
+        assert entry["fingerprint"] == response["meta"]["fingerprint"]
+        assert entry["counters"].get("nodes_scanned", 0) >= 1
+        assert "stmt=" in service.slowlog.format_text()
+
+
+# ---------------------------------------------------------------------------
+# readiness during hot swap
+# ---------------------------------------------------------------------------
+
+
+class TestReadiness:
+    @pytest.fixture()
+    def archived(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "archive")
+        archive.add(_store_with_ases(1), "day-1")
+        archive.add(_store_with_ases(2), "day-2")
+        service = QueryService(
+            archive.load("day-1"), archive=archive, snapshot_label="day-1"
+        )
+        server, base = _serve(service)
+        yield base, service, archive
+        server.shutdown()
+        server.server_close()
+
+    def test_ready_when_idle(self, archived):
+        base, _, _ = archived
+        status, body = _request("GET", f"{base}/readyz")
+        assert status == 200
+        assert body["status"] == "ready"
+        assert body["loads_in_flight"] == 0
+
+    def test_readyz_is_503_while_a_swap_loads(self, archived, monkeypatch):
+        base, service, archive = archived
+        loading = threading.Event()
+        release = threading.Event()
+        original_load = archive.load
+
+        def slow_load(entry):
+            loading.set()
+            assert release.wait(timeout=30)
+            return original_load(entry)
+
+        monkeypatch.setattr(archive, "load", slow_load)
+        swap_result: list = []
+        swapper = threading.Thread(
+            target=lambda: swap_result.append(
+                _request("POST", f"{base}/admin/swap", {"snapshot": "day-2"})
+            ),
+            daemon=True,
+        )
+        swapper.start()
+        assert loading.wait(timeout=30)
+        try:
+            status, body = _request("GET", f"{base}/readyz")
+            assert status == 503
+            assert body["status"] == "loading"
+            assert body["loads_in_flight"] == 1
+            # Liveness is unaffected, and queries still flow.
+            assert _request("GET", f"{base}/healthz")[0] == 200
+            status, result = _request(
+                "POST", f"{base}/query", {"query": "MATCH (a:AS) RETURN count(a)"}
+            )
+            assert status == 200 and result["rows"] == [[1]]
+        finally:
+            release.set()
+        swapper.join(timeout=30)
+        status, swapped = swap_result[0]
+        assert status == 200 and swapped["generation"] == 1
+        status, body = _request("GET", f"{base}/readyz")
+        assert status == 200
+        assert body["snapshot"] == "day-2"
+
+    def test_quality_endpoint_reports_over_the_archive(self, archived):
+        base, _, _ = archived
+        status, report = _request("GET", f"{base}/quality")
+        assert status == 200
+        assert report["latest"] == "day-2"
+        assert [row["label"] for row in report["snapshots"]] == ["day-1", "day-2"]
+        assert report["stale"] is False  # entries were just stamped
+
+    def test_quality_without_archive_is_400(self, served):
+        base, _ = served
+        status, body = _request("GET", f"{base}/quality")
+        assert status == 400
+        assert body["error"]["code"] == "no_archive"
+
+
+# ---------------------------------------------------------------------------
+# SLO surfacing
+# ---------------------------------------------------------------------------
+
+
+class TestSLOSurfacing:
+    def test_stats_and_metrics_carry_slo_blocks(self, served):
+        base, _ = served
+        _request("POST", f"{base}/query", {"query": "MATCH (a:AS) RETURN count(a)"})
+        status, stats = _request("GET", f"{base}/stats")
+        assert status == 200
+        slo = stats["slo"]
+        assert slo["queries_in_window"] >= 1
+        assert 0.0 <= slo["availability"]["compliance"] <= 1.0
+        with urllib.request.urlopen(f"{base}/metrics", timeout=30) as response:
+            text = response.read().decode()
+        assert "repro_slo_latency_burn_rate" in text
+        assert "repro_slo_availability_budget_remaining" in text
+        assert "repro_statements_tracked" in text
+
+    def test_client_errors_do_not_burn_budget(self, served):
+        base, service = served
+        status, _ = _request("POST", f"{base}/query", {"query": "MATCH ("})
+        assert status == 400
+        availability = service.slo.snapshot()["availability"]
+        assert availability["compliance"] == 1.0
+
+    def test_operational_errors_burn_budget(self):
+        service = QueryService(_store_with_ases(5))
+        with pytest.raises(ServiceError):
+            service.execute("MATCH (a:AS) RETURN a.asn", max_rows=1)
+        availability = service.slo.snapshot()["availability"]
+        assert availability["compliance"] < 1.0
+        assert availability["burn_rate"] > 0.0
