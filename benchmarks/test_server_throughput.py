@@ -156,7 +156,8 @@ def _median_overhead(run_base, run_cand, pairs: int = 11) -> tuple[float, float,
 
     Returns ``(median_overhead, base_best, cand_best)``.
     """
-    run_base(), run_cand()  # warm caches both ways
+    run_base()  # warm caches both ways
+    run_cand()
     ratios: list[float] = []
     base_best = cand_best = float("inf")
     gc.disable()

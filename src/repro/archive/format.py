@@ -321,8 +321,10 @@ def _load_snapshot_v2(path: str | Path) -> GraphStore:
         elif kind == SECTION_NODES:
             ids, label_shape, key_shape, values = payload
             node_records += [
-                (node_id, label_sets[lid], dict(zip(key_tuples[kid], row)))
-                for node_id, lid, kid, row in zip(ids, label_shape, key_shape, values)
+                (node_id, label_sets[lid], dict(zip(key_tuples[kid], row, strict=True)))
+                for node_id, lid, kid, row in zip(
+                    ids, label_shape, key_shape, values, strict=True
+                )
             ]
         elif kind == SECTION_RELS:
             ids, types, starts, ends, key_shape, values = payload
@@ -332,10 +334,10 @@ def _load_snapshot_v2(path: str | Path) -> GraphStore:
                     strings[type_id],
                     start_id,
                     end_id,
-                    dict(zip(key_tuples[kid], row)),
+                    dict(zip(key_tuples[kid], row, strict=True)),
                 )
                 for rel_id, type_id, start_id, end_id, kid, row in zip(
-                    ids, types, starts, ends, key_shape, values
+                    ids, types, starts, ends, key_shape, values, strict=True
                 )
             ]
 

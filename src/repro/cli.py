@@ -202,6 +202,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     """
     from repro.lint import QueryLinter, fails_strict
 
+    if getattr(args, "python", False):
+        # Concurrency-safety mode: the sources are Python files/dirs.
+        return cmd_check_concurrency(
+            argparse.Namespace(paths=args.sources, strict=args.strict)
+        )
+
     store = load_snapshot(args.snapshot) if args.snapshot else None
     linter = QueryLinter(store)
     pairs = _lint_sources(args)
@@ -222,6 +228,44 @@ def cmd_lint(args: argparse.Namespace) -> int:
     print(f"linted {queries} quer{'y' if queries == 1 else 'ies'}: "
           f"{total} diagnostic{'' if total == 1 else 's'}")
     return 1 if failed else 0
+
+
+def cmd_check_concurrency(args: argparse.Namespace) -> int:
+    """Run the concurrency-safety analyzer over the serving stack.
+
+    Checks the lock contracts declared through ``GUARDED_BY`` maps and
+    ``@guarded_by`` decorators (RACE001-RACE006) and the static
+    lock-order graph (RACE007).  With no paths, analyzes the default
+    targets (repro.graphdb, repro.server, repro.obs, repro.archive,
+    repro.concurrency, and the shared LRU cache).  ``--strict`` fails on
+    warnings as well as errors.
+    """
+    from repro.lint import analyze_paths, default_targets, fails_strict
+
+    if args.paths:
+        files: list[Path] = []
+        for raw in args.paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.is_file():
+                files.append(path)
+            else:
+                print(f"no such file: {raw}", file=sys.stderr)
+                return 2
+    else:
+        files = default_targets()
+
+    findings = analyze_paths(files)
+    for path, diag in findings:
+        print(diag.format(path))
+    diags = [diag for _, diag in findings]
+    count = len(diags)
+    print(f"checked {len(files)} file{'' if len(files) == 1 else 's'}: "
+          f"{count} finding{'' if count == 1 else 's'}")
+    if args.strict:
+        return 1 if fails_strict(diags) else 0
+    return 1 if any(d.severity == "error" for d in diags) else 0
 
 
 def cmd_validate_graph(args: argparse.Namespace) -> int:
@@ -909,7 +953,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot",
         help="lint against this snapshot's indexes too (enables LNT008)",
     )
+    lint.add_argument(
+        "--python", action="store_true",
+        help="treat SOURCEs as Python files/dirs and run the "
+             "concurrency-safety analyzer instead of the query linter",
+    )
     lint.set_defaults(func=cmd_lint)
+
+    concurrency = sub.add_parser(
+        "check-concurrency",
+        help="check the codebase's own lock discipline (RACE001-RACE007)",
+    )
+    concurrency.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="Python files or directories (default: the serving stack)",
+    )
+    concurrency.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    concurrency.set_defaults(func=cmd_check_concurrency)
 
     validate = sub.add_parser(
         "validate-graph", help="sweep a snapshot for ontology violations"

@@ -1,0 +1,59 @@
+"""Concurrency contracts: declarative lock annotations + runtime checking.
+
+The serving stack is a heavily concurrent system — a threaded HTTP
+server, a readers-writer lock on :class:`~repro.graphdb.store.GraphStore`,
+atomic hot-swap of serving state, generation-keyed caches, and shared
+telemetry registries.  This package makes the locking contracts those
+pieces rely on *machine-checkable* instead of conventional:
+
+- :mod:`repro.concurrency.guards` — the declarative registry.  Classes
+  publish a ``GUARDED_BY`` map (attribute -> guard spec) and methods
+  that require a caller-held lock carry ``@guarded_by("_lock")``.  The
+  static analyzer in :mod:`repro.lint.concurrency` reads both straight
+  from the AST; at runtime the decorator is pure metadata.
+- :mod:`repro.concurrency.runtime` — the debug harness.  Env-gated
+  (``REPRO_LOCK_DEBUG=1``) and zero-cost when off: lock holders are
+  recorded per thread, ``_locked`` methods assert their lock is actually
+  held, and a global :class:`LockOrderMonitor` tracks the runtime
+  acquires-while-holding graph and raises :class:`LockOrderError` the
+  first time two locks are ever taken in opposite orders — turning a
+  potential deadlock into a deterministic test failure.
+
+Nothing in here imports the store, engine, or server, so every layer can
+depend on it without cycles.  The static side lives in
+:mod:`repro.lint.concurrency` (``repro check-concurrency``); both sides
+share the guard-spec grammar parsed by :func:`parse_guard_spec`.
+"""
+
+from repro.concurrency.guards import (
+    GUARD_MODES,
+    GuardSpec,
+    guarded_by,
+    parse_guard_spec,
+    required_locks,
+)
+from repro.concurrency.runtime import (
+    MONITOR,
+    LockDisciplineError,
+    LockOrderError,
+    LockOrderMonitor,
+    TrackedLock,
+    lock_debug_enabled,
+    new_lock,
+    set_lock_debug,
+)
+
+__all__ = [
+    "GUARD_MODES",
+    "GuardSpec",
+    "LockDisciplineError",
+    "LockOrderError",
+    "LockOrderMonitor",
+    "MONITOR",
+    "TrackedLock",
+    "guarded_by",
+    "lock_debug_enabled",
+    "new_lock",
+    "parse_guard_spec",
+    "required_locks",
+]

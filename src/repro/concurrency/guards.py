@@ -1,0 +1,120 @@
+"""The declarative guarded-by registry.
+
+Concurrency contracts are declared next to the state they protect, in
+two forms the static analyzer (:mod:`repro.lint.concurrency`) reads
+straight from the AST:
+
+``GUARDED_BY`` class attribute
+    A ``dict[str, str]`` mapping attribute names to *guard specs*::
+
+        class StatementRegistry:
+            GUARDED_BY = {
+                "_statements": "_lock",          # all access under _lock
+                "recorded_total": "write:_lock", # mutations only
+            }
+
+``@guarded_by("_lock")`` method decorator
+    Declares that the method requires the named lock to be held *by the
+    caller* — the method itself takes no lock.  ``_locked``-suffixed
+    methods carry the same contract implicitly (against the class's
+    primary lock) and additionally self-check at runtime under the
+    debug harness.
+
+Guard spec grammar (``parse_guard_spec``):
+
+``"<lock>"``
+    Full guard: reads need the lock held shared or exclusive, mutations
+    need it exclusive.  The default for registries whose readers build
+    consistent snapshots (statement stats, SLO buckets, metrics).
+``"write:<lock>"``
+    Write guard: mutations need the lock exclusive, reads are
+    deliberately lock-free.  The GraphStore pattern — read accessors
+    take no lock, callers needing isolation wrap in ``read_lock()`` —
+    and the pattern for GIL-atomic counters read by monitoring
+    endpoints.
+``"frozen"``
+    Immutable after construction: the attribute may only be assigned in
+    ``__init__``.  ``ServingState`` and the service's cache handles.
+``"atomic"``
+    Declared lock-free by design (a single reference assignment /
+    read).  Documents intent; the analyzer checks nothing.
+
+``<lock>`` is the name of a lock attribute on the same instance
+(``_lock``, ``_rwlock``, ``_cond``, ...).  For readers-writer locks the
+exclusive hold is ``write_lock()`` / ``.write()`` and the shared hold is
+``read_lock()`` / ``.read()``; for plain mutexes every hold is
+exclusive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+#: Recognized guard-spec modes, in documentation order.
+GUARD_MODES = ("full", "write", "frozen", "atomic")
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """One parsed guard spec: how an attribute must be accessed."""
+
+    mode: str  # one of GUARD_MODES
+    lock: str | None  # lock attribute name; None for frozen/atomic
+
+    def __str__(self) -> str:
+        if self.mode == "full":
+            return self.lock or ""
+        if self.mode == "write":
+            return f"write:{self.lock}"
+        return self.mode
+
+
+def parse_guard_spec(spec: str) -> GuardSpec:
+    """Parse one ``GUARDED_BY`` value; raises ``ValueError`` when malformed.
+
+    Shared by the decorator (fail fast at import) and the static
+    analyzer (RACE006 on unparsable specs).
+    """
+    if not isinstance(spec, str) or not spec:
+        raise ValueError(f"guard spec must be a non-empty string, got {spec!r}")
+    if spec in ("frozen", "atomic"):
+        return GuardSpec(spec, None)
+    mode, sep, lock = spec.partition(":")
+    if not sep:
+        mode, lock = "full", spec
+    if mode not in ("full", "write"):
+        raise ValueError(f"unknown guard mode {mode!r} in spec {spec!r}")
+    if not lock.isidentifier():
+        raise ValueError(f"guard spec {spec!r} does not name a lock attribute")
+    return GuardSpec(mode, lock)
+
+
+def guarded_by(*locks: str) -> Callable[[_F], _F]:
+    """Declare that a method requires ``locks`` held by its caller.
+
+    The decorator is metadata: it validates the lock names once at
+    import time, records them on the function as ``__guarded_by__``,
+    and returns the function unchanged — zero runtime cost per call.
+    The static analyzer treats the named locks as held throughout the
+    method body and checks every *callsite* for the hold instead
+    (RACE003).
+    """
+    if not locks:
+        raise ValueError("guarded_by() needs at least one lock attribute name")
+    for lock in locks:
+        if not isinstance(lock, str) or not lock.isidentifier():
+            raise ValueError(f"guarded_by() lock name {lock!r} is not an identifier")
+
+    def decorate(func: _F) -> _F:
+        func.__guarded_by__ = tuple(locks)  # type: ignore[attr-defined]
+        return func
+
+    return decorate
+
+
+def required_locks(func: Callable[..., object]) -> tuple[str, ...]:
+    """The locks a callable declared via :func:`guarded_by`, if any."""
+    return tuple(getattr(func, "__guarded_by__", ()))

@@ -274,7 +274,7 @@ class CypherEngine:
         lines: list[str] = []
         total = len(match_plan.patterns)
         for rank, (source, pattern) in enumerate(
-            zip(match_plan.order, match_plan.patterns)
+            zip(match_plan.order, match_plan.patterns, strict=True)
         ):
             line = f"{kind} {self._matcher.describe_pattern(pattern, {})}"
             if total > 1:
@@ -926,7 +926,9 @@ class CypherEngine:
             try:
                 return getattr(self._tls, "parameters", {})[expression.name]
             except KeyError:
-                raise CypherRuntimeError(f"missing parameter ${expression.name}")
+                raise CypherRuntimeError(
+                    f"missing parameter ${expression.name}"
+                ) from None
         if isinstance(expression, ast.Variable):
             if expression.name in row:
                 return row[expression.name]

@@ -178,7 +178,7 @@ def _render_set_item(item: ast.SetItem) -> str:
 
 def _render_path(pattern: ast.PathPattern) -> str:
     body: list[str] = [_render_node(pattern.nodes[0])]
-    for rel, node in zip(pattern.relationships, pattern.nodes[1:]):
+    for rel, node in zip(pattern.relationships, pattern.nodes[1:], strict=True):
         body.append(_render_rel(rel))
         body.append(_render_node(node))
     text = "".join(body)

@@ -117,7 +117,9 @@ def tokenize(text: str) -> list[Token]:
             try:
                 value, i = _read_string(text, i)
             except CypherSyntaxError as exc:
-                raise error(str(exc).partition(" (")[0], exc.position or start)
+                raise error(
+                    str(exc).partition(" (")[0], exc.position or start
+                ) from exc
             tokens.append(make(TokenType.STRING, value, start))
             continue
         if char == "`":

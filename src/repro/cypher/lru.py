@@ -18,6 +18,14 @@ _MISSING = object()
 class LRUCache:
     """Least-recently-used cache bounded to ``maxsize`` entries."""
 
+    GUARDED_BY = {
+        "_data": "_lock",
+        "hits": "write:_lock",
+        "misses": "write:_lock",
+        "evictions": "write:_lock",
+        "maxsize": "frozen",
+    }
+
     def __init__(self, maxsize: int = 128):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")

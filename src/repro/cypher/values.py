@@ -70,7 +70,7 @@ def equals(left: Any, right: Any) -> Any:
     if isinstance(left, (list, tuple)):
         if len(left) != len(right):
             return False
-        for a, b in zip(left, right):
+        for a, b in zip(left, right, strict=True):
             item = equals(a, b)
             if item is None:
                 return None

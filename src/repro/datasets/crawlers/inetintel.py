@@ -49,5 +49,5 @@ class AS2OrgCrawler(Crawler):
             ]
             for as_node in as_nodes:
                 self.iyp.add_link(as_node, "MANAGED_BY", org, None, reference)
-            for first, second in zip(as_nodes, as_nodes[1:]):
+            for first, second in zip(as_nodes, as_nodes[1:], strict=False):
                 self.iyp.add_link(first, "SIBLING_OF", second, None, reference)

@@ -42,7 +42,9 @@ class Node:
 
     __slots__ = ("id", "labels", "properties")
 
-    def __init__(self, node_id: int, labels: frozenset[str], properties: dict[str, Any]):
+    def __init__(
+        self, node_id: int, labels: frozenset[str], properties: dict[str, Any]
+    ) -> None:
         self.id = node_id
         self.labels = labels
         self.properties = properties
@@ -78,7 +80,7 @@ class Relationship:
         start_id: int,
         end_id: int,
         properties: dict[str, Any],
-    ):
+    ) -> None:
         self.id = rel_id
         self.type = rel_type
         self.start_id = start_id

@@ -14,6 +14,13 @@ directions for a single thread:
 Lock upgrades (read -> write by the same thread) are not supported; the
 query service classifies queries up front and takes the right lock for
 the whole execution.
+
+Debugging: :func:`new_rwlock` returns a :class:`DebugRWLock` when the
+``REPRO_LOCK_DEBUG`` harness (:mod:`repro.concurrency.runtime`) is on.
+The debug lock reports acquisitions to the global lock-order monitor and
+turns the base class's no-op ``check_read_held``/``check_write_held``
+contract assertions into real checks, so ``_locked`` methods fail loudly
+when called without their lock instead of corrupting state quietly.
 """
 
 from __future__ import annotations
@@ -21,6 +28,12 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from typing import Iterator
+
+from repro.concurrency.runtime import (
+    MONITOR,
+    LockDisciplineError,
+    lock_debug_enabled,
+)
 
 
 class RWLock:
@@ -118,3 +131,101 @@ class RWLock:
         """True when some thread holds the write lock."""
         with self._cond:
             return self._writer is not None
+
+    # -- contract assertions (real only under DebugRWLock) ---------------
+
+    def check_read_held(self) -> None:
+        """Assert this thread holds the lock (shared or exclusive).
+
+        No-op on the production lock; :class:`DebugRWLock` overrides.
+        """
+
+    def check_write_held(self) -> None:
+        """Assert this thread holds the lock exclusively.
+
+        No-op on the production lock; :class:`DebugRWLock` overrides.
+        ``_locked`` methods call this on entry, so under the debug
+        harness an unlocked call path fails at the method boundary.
+        """
+
+
+class DebugRWLock(RWLock):
+    """An RWLock that enforces its contract and reports to the monitor.
+
+    Used only under ``REPRO_LOCK_DEBUG`` (see :func:`new_rwlock`): the
+    hot path gains a per-thread hold counter and a monitor call on the
+    first acquisition / last release, which is far too slow for serving
+    but exactly what the concurrency test suites need.
+    """
+
+    def __init__(self, name: str = "RWLock") -> None:
+        super().__init__()
+        self.name = name
+        self._debug_tls = threading.local()
+
+    # The lock is reentrant in both directions, so the monitor must see
+    # one logical hold per thread regardless of nesting depth or mode.
+
+    def _holds(self) -> int:
+        return int(getattr(self._debug_tls, "holds", 0))
+
+    def _entering(self) -> None:
+        if self._holds() == 0:
+            MONITOR.acquiring(self.name)
+
+    def _entered(self) -> None:
+        self._debug_tls.holds = self._holds() + 1
+
+    def _exited(self) -> None:
+        holds = self._holds() - 1
+        self._debug_tls.holds = holds
+        if holds == 0:
+            MONITOR.released(self.name)
+
+    def acquire_read(self) -> None:
+        self._entering()
+        try:
+            super().acquire_read()
+        except BaseException:
+            if self._holds() == 0:
+                MONITOR.abandoned(self.name)
+            raise
+        self._entered()
+
+    def release_read(self) -> None:
+        super().release_read()
+        self._exited()
+
+    def acquire_write(self) -> None:
+        self._entering()
+        try:
+            super().acquire_write()
+        except BaseException:
+            if self._holds() == 0:
+                MONITOR.abandoned(self.name)
+            raise
+        self._entered()
+
+    def release_write(self) -> None:
+        super().release_write()
+        self._exited()
+
+    def check_read_held(self) -> None:
+        me = threading.get_ident()
+        if self._writer != me and not self._readers.get(me):
+            raise LockDisciplineError(
+                f"{self.name}: read access without the lock held"
+            )
+
+    def check_write_held(self) -> None:
+        if self._writer != threading.get_ident():
+            raise LockDisciplineError(
+                f"{self.name}: _locked method entered without the write lock"
+            )
+
+
+def new_rwlock(name: str) -> RWLock:
+    """The store's lock factory: plain in production, checked in debug."""
+    if lock_debug_enabled():
+        return DebugRWLock(name)
+    return RWLock()

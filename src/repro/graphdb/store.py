@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import gc
 from collections import defaultdict
-from contextlib import contextmanager
+from contextlib import AbstractContextManager, contextmanager
 from typing import Any, Iterable, Iterator, Mapping
 
 from repro.graphdb.errors import (
@@ -43,7 +43,8 @@ from repro.graphdb.model import (
     check_property_value,
     freeze_properties,
 )
-from repro.graphdb.rwlock import RWLock
+from repro.concurrency import guarded_by
+from repro.graphdb.rwlock import new_rwlock
 from repro.obs.record import current_collector, record_access
 
 
@@ -68,6 +69,26 @@ def directional_count(out: int, inbound: int, loops: int, direction: Direction) 
 class GraphStore:
     """An embedded label/property graph with hash indexes."""
 
+    # The store's concurrency contract, checked by `repro check-concurrency`:
+    # every internal map is mutated only under the write lock, while reads
+    # are deliberately lock-free (callers needing isolation take read_lock()
+    # for the whole query — see the module docstring).
+    GUARDED_BY = {
+        "_nodes": "write:_rwlock",
+        "_relationships": "write:_rwlock",
+        "_next_node_id": "write:_rwlock",
+        "_next_rel_id": "write:_rwlock",
+        "_label_index": "write:_rwlock",
+        "_property_index": "write:_rwlock",
+        "_unique_constraints": "write:_rwlock",
+        "_outgoing": "write:_rwlock",
+        "_incoming": "write:_rwlock",
+        "_loop_counts": "write:_rwlock",
+        "_edge_index": "write:_rwlock",
+        "_rel_type_index": "write:_rwlock",
+        "_version": "write:_rwlock",
+    }
+
     def __init__(self) -> None:
         self._nodes: dict[int, Node] = {}
         self._relationships: dict[int, Relationship] = {}
@@ -86,7 +107,7 @@ class GraphStore:
         # (start, type, end) -> list of relationship ids, for MERGE
         self._edge_index: dict[tuple[int, str, int], list[int]] = defaultdict(list)
         self._rel_type_index: dict[str, set[int]] = defaultdict(set)
-        self._rwlock = RWLock()
+        self._rwlock = new_rwlock("GraphStore._rwlock")
         self._version = 0
 
     # ------------------------------------------------------------------
@@ -98,16 +119,16 @@ class GraphStore:
         """Monotonic mutation counter; bumps on every write."""
         return self._version
 
-    def read_lock(self):
+    def read_lock(self) -> AbstractContextManager[None]:
         """Shared lock: many readers, excluded while a writer runs."""
         return self._rwlock.read()
 
-    def write_lock(self):
+    def write_lock(self) -> AbstractContextManager[None]:
         """Exclusive lock; reentrant for the owning thread."""
         return self._rwlock.write()
 
     @contextmanager
-    def _mutation(self):
+    def _mutation(self) -> Iterator[None]:
         """Write lock + version bump around one mutating operation."""
         with self._rwlock.write():
             yield
@@ -410,7 +431,9 @@ class GraphStore:
         with self._mutation():
             self._update_node_locked(node_id, properties)
 
+    @guarded_by("_rwlock")
     def _update_node_locked(self, node_id: int, properties: Mapping[str, Any]) -> None:
+        self._rwlock.check_write_held()
         node = self._require_node(node_id)
         for key, value in properties.items():
             old = node.properties.get(key)
@@ -510,6 +533,7 @@ class GraphStore:
                 start_id, rel_type, end_id, properties, match_props
             )
 
+    @guarded_by("_rwlock")
     def _merge_relationship_locked(
         self,
         start_id: int,
@@ -518,6 +542,7 @@ class GraphStore:
         properties: Mapping[str, Any] | None,
         match_props: Mapping[str, Any] | None,
     ) -> Relationship:
+        self._rwlock.check_write_held()
         for rel_id in self._edge_index.get((start_id, rel_type, end_id), ()):
             rel = self._relationships[rel_id]
             if match_props and any(

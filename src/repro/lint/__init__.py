@@ -3,10 +3,18 @@ schema validation.
 
 The query side (:class:`QueryLinter`) checks parsed Cypher against the
 ontology without executing it; the data side (:class:`GraphValidator`)
-sweeps a loaded store for coded violations grouped per crawler.  Both
-emit stable codes documented in ``documentation/linting.md``.
+sweeps a loaded store for coded violations grouped per crawler; the code
+side (:class:`ConcurrencyAnalyzer`) checks the serving stack's own lock
+discipline (``RACE001``-``RACE007``).  All emit stable codes documented
+in ``documentation/linting.md``.
 """
 
+from repro.lint.concurrency import (
+    ConcurrencyAnalyzer,
+    analyze_paths,
+    analyze_source,
+    default_targets,
+)
 from repro.lint.diagnostics import (
     CODES,
     SEVERITIES,
@@ -33,6 +41,7 @@ from repro.lint.schema import (
 
 __all__ = [
     "CODES",
+    "ConcurrencyAnalyzer",
     "GRAPH_BUCKET",
     "UNKNOWN_BUCKET",
     "Diagnostic",
@@ -42,6 +51,9 @@ __all__ = [
     "SCHEMA_CODES",
     "SEVERITIES",
     "SchemaViolation",
+    "analyze_paths",
+    "analyze_source",
+    "default_targets",
     "diagnostic",
     "extract_from_markdown",
     "extract_from_python",

@@ -32,6 +32,16 @@ CODES: dict[str, tuple[str, str]] = {
     "LNT008": ("warning", "property lookup without index"),
     "LNT009": ("warning", "suspicious type comparison"),
     "LNT010": ("error", "unknown procedure name"),
+    # Concurrency-safety codes (repro.lint.concurrency / repro
+    # check-concurrency): RACE001-RACE006 are guarded-by violations,
+    # RACE007 is a static lock-order cycle.
+    "RACE001": ("error", "unguarded mutation of guarded attribute"),
+    "RACE002": ("error", "unguarded read of lock-guarded attribute"),
+    "RACE003": ("error", "locked-contract method called without its lock"),
+    "RACE004": ("warning", "check-then-act race on guarded state"),
+    "RACE005": ("warning", "mutable module-level state in concurrent module"),
+    "RACE006": ("error", "malformed concurrency annotation"),
+    "RACE007": ("error", "lock-order cycle (potential deadlock)"),
 }
 
 

@@ -73,7 +73,7 @@ def lint_query(query: str, store: "GraphStore | None" = None) -> list[Diagnostic
 class QueryLinter:
     """Stateless facade: one instance may lint many queries."""
 
-    def __init__(self, store: "GraphStore | None" = None):
+    def __init__(self, store: "GraphStore | None" = None) -> None:
         self._store = store
 
     def lint(self, query: str) -> list[Diagnostic]:
@@ -104,7 +104,9 @@ class QueryLinter:
 class _PartLinter:
     """Lints one UNION part; variable scope does not cross parts."""
 
-    def __init__(self, store: "GraphStore | None", findings: list[Diagnostic]):
+    def __init__(
+        self, store: "GraphStore | None", findings: list[Diagnostic]
+    ) -> None:
         self._store = store
         self._out = findings
         self._scope: dict[str, ast.Span | None] = {}

@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Any
 from repro.ontology import ENTITIES, REFERENCE_PROPERTIES, RELATIONSHIPS
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.graphdb.model import Node
+    from repro.graphdb.model import Node, Relationship
     from repro.graphdb.store import GraphStore
 
 #: Crawler bucket for node-level violations (nodes carry no provenance).
@@ -155,7 +155,7 @@ class GraphValidator:
                 )
 
     def _check_relationship(
-        self, store: "GraphStore", rel, report: GraphValidationReport
+        self, store: "GraphStore", rel: "Relationship", report: GraphValidationReport
     ) -> None:
         crawler = rel.properties.get("reference_name") or UNKNOWN_BUCKET
         definition = RELATIONSHIPS.get(rel.type)
@@ -186,7 +186,7 @@ class GraphValidator:
         self._check_reference(rel, crawler, report)
 
     def _check_reference(
-        self, rel, crawler: str, report: GraphValidationReport
+        self, rel: "Relationship", crawler: str, report: GraphValidationReport
     ) -> None:
         props = rel.properties
         if "reference_name" not in props:

@@ -36,6 +36,8 @@ import threading
 import time
 from typing import Any, Callable
 
+from repro.concurrency import guarded_by
+
 #: Operational error codes that burn availability budget.  Everything
 #: else (syntax, unknown_parameter, bad_request, ...) is a client error.
 BUDGET_BURNING_ERRORS = frozenset({"timeout", "busy", "row_limit", "internal"})
@@ -60,6 +62,8 @@ class _Bucket:
 
 class SLOTracker:
     """Rolling-window latency/availability objective tracker."""
+
+    GUARDED_BY = {"_buckets": "_lock"}
 
     def __init__(
         self,
@@ -103,6 +107,7 @@ class SLOTracker:
             else:
                 bucket.client_errors += 1
 
+    @guarded_by("_lock")
     def _bucket_for(self, timestamp: float) -> _Bucket:
         start = timestamp - (timestamp % self.bucket_seconds)
         if self._buckets and self._buckets[-1].start == start:
@@ -112,6 +117,7 @@ class SLOTracker:
         self._evict(timestamp)
         return bucket
 
+    @guarded_by("_lock")
     def _evict(self, timestamp: float) -> None:
         horizon = timestamp - self.window_seconds
         while self._buckets and self._buckets[0].start < horizon:

@@ -41,6 +41,14 @@ def params_hash(parameters: dict[str, Any] | None) -> str:
 class SlowQueryLog:
     """Thread-safe bounded ring of slow-query records."""
 
+    GUARDED_BY = {
+        "_entries": "_lock",
+        # Mutations locked; the counter is read lock-free by /metrics.
+        "recorded_total": "write:_lock",
+        "threshold_seconds": "frozen",
+        "capacity": "frozen",
+    }
+
     def __init__(self, threshold_seconds: float = 1.0, capacity: int = 128):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")

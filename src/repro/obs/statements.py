@@ -176,6 +176,13 @@ class StatementStats:
 class StatementRegistry:
     """Thread-safe bounded registry of per-fingerprint aggregates."""
 
+    GUARDED_BY = {
+        "_statements": "_lock",
+        "recorded_total": "write:_lock",
+        "evicted_total": "write:_lock",
+        "capacity": "frozen",
+    }
+
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -240,14 +247,17 @@ class StatementRegistry:
             )
         with self._lock:
             rows = [stats.to_dict() for stats in self._statements.values()]
+            tracked = len(self._statements)
+            recorded_total = self.recorded_total
+            evicted_total = self.evicted_total
         rows.sort(key=lambda item: item[sort], reverse=True)
         if top is not None:
             rows = rows[: max(0, top)]
         return {
             "capacity": self.capacity,
-            "statements_tracked": len(self),
-            "recorded_total": self.recorded_total,
-            "evicted_total": self.evicted_total,
+            "statements_tracked": tracked,
+            "recorded_total": recorded_total,
+            "evicted_total": evicted_total,
             "sort": sort,
             "statements": rows,
         }
@@ -292,4 +302,5 @@ class StatementRegistry:
             return list(self._statements)
 
     def __len__(self) -> int:
-        return len(self._statements)
+        with self._lock:
+            return len(self._statements)

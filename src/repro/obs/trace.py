@@ -128,6 +128,11 @@ def new_trace_id() -> str:
 class Tracer:
     """Thread-safe span tracer with a bounded ring of completed traces."""
 
+    GUARDED_BY = {
+        "_traces": "_lock",
+        "max_traces": "frozen",
+    }
+
     def __init__(self, max_traces: int = 512, enabled: bool = True):
         self.enabled = enabled
         self.max_traces = max_traces

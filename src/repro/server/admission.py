@@ -38,6 +38,17 @@ class ServerBusyError(Exception):
 class AdmissionController:
     """Caps concurrent queries and hands out per-query guards."""
 
+    GUARDED_BY = {
+        "active": "_lock",
+        "peak_active": "_lock",
+        # Monotonic counters: locked writes, lock-free reads allowed.
+        "admitted": "write:_lock",
+        "rejected": "write:_lock",
+        "max_concurrent": "frozen",
+        "default_timeout": "frozen",
+        "default_max_rows": "frozen",
+    }
+
     def __init__(
         self,
         max_concurrent: int = 8,

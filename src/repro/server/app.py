@@ -29,12 +29,12 @@ runs the query there instead.
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import ExitStack, contextmanager
 from typing import Any, Mapping
 
 from repro.analytics import AnalyticsReport, compute_statistics
+from repro.concurrency import new_lock
 from repro.cypher import CypherEngine
 from repro.cypher.errors import (
     CypherError,
@@ -145,6 +145,16 @@ class ServingState:
 
     __slots__ = ("store", "engine", "linter", "generation", "label")
 
+    # Immutable after construction — the whole point of the class: a
+    # request captures one reference and every slot stays consistent.
+    GUARDED_BY = {
+        "store": "frozen",
+        "engine": "frozen",
+        "linter": "frozen",
+        "generation": "frozen",
+        "label": "frozen",
+    }
+
     def __init__(
         self,
         store: GraphStore,
@@ -162,6 +172,29 @@ class ServingState:
 
 class QueryService:
     """Concurrent Cypher-over-JSON serving against one graph store."""
+
+    GUARDED_BY = {
+        # The serving-state pointer: reads are a single lock-free
+        # reference load (every request captures it once), but swaps are
+        # serialized by _swap_lock — two concurrent swap_store calls must
+        # not both derive a generation from the same old state.
+        "_state": "write:_swap_lock",
+        "_swap_count": "write:_swap_lock",
+        "_loading": "_loading_lock",
+        # Assigned once in __init__; the objects are internally locked.
+        "archive": "frozen",
+        "_historical": "frozen",
+        "cache": "frozen",
+        "admission": "frozen",
+        "metrics": "frozen",
+        "tracing": "frozen",
+        "tracer": "frozen",
+        "slowlog": "frozen",
+        "statements": "frozen",
+        "slo": "frozen",
+        "_lint_cache": "frozen",
+        "_started": "frozen",
+    }
 
     def __init__(
         self,
@@ -195,6 +228,9 @@ class QueryService:
         self.archive = archive
         #: label -> ServingState for loaded historical snapshots.
         self._historical: LRUCache = LRUCache(historical_stores)
+        # Serializes hot swaps: the pointer install itself is atomic, but
+        # generation arithmetic and the cache clears must not interleave.
+        self._swap_lock = new_lock("QueryService._swap_lock")
         self._swap_count = 0
         self.cache = ResultCache(cache_size)
         self.admission = AdmissionController(
@@ -234,7 +270,7 @@ class QueryService:
         #: a rollout orchestrator should not route new traffic here
         #: until the snapshot is actually being served).
         self._loading = 0
-        self._loading_lock = threading.Lock()
+        self._loading_lock = new_lock("QueryService._loading_lock")
         #: Lint results per query text, so /query's meta.warnings does
         #: not re-analyze a hot query on every request.  Counters are
         #: bumped on the miss path only — once per distinct query.
@@ -309,23 +345,25 @@ class QueryService:
     def swap_store(self, store: GraphStore, label: str | None = None) -> dict[str, Any]:
         """Atomically replace the served store with ``store``.
 
-        The new serving state is built first (no locks held); the
-        pointer swap happens under the *old* store's write lock, so it
-        serializes with in-flight queries: readers that captured the old
-        state finish against the old store, requests arriving after the
-        swap see the new one, and none fail.  The result and lint caches
-        are cleared — the new state's generation also keys every cache
-        entry, so a reader racing the swap cannot poison the cache for
-        the new store.
+        Swaps are serialized by ``_swap_lock`` (two concurrent swaps must
+        not both derive a generation from the same old state).  The new
+        serving state is built with no store locks held; the pointer swap
+        happens under the *old* store's write lock, so it serializes with
+        in-flight queries: readers that captured the old state finish
+        against the old store, requests arriving after the swap see the
+        new one, and none fail.  The result and lint caches are cleared —
+        the new state's generation also keys every cache entry, so a
+        reader racing the swap cannot poison the cache for the new store.
         """
         with self.tracer.trace("store_swap", label=label or ""):
-            old = self._state
-            state = self._build_state(store, old.generation + 1, label)
-            with old.store.write_lock():
-                self._state = state
-            self.cache.clear()
-            self._lint_cache.clear()
-        self._swap_count += 1
+            with self._swap_lock:
+                old = self._state
+                state = self._build_state(store, old.generation + 1, label)
+                with old.store.write_lock():
+                    self._state = state
+                self.cache.clear()
+                self._lint_cache.clear()
+                self._swap_count += 1
         self.metrics.inc("store_swaps_total")
         return {
             "generation": state.generation,
@@ -375,7 +413,7 @@ class QueryService:
         except KeyError as exc:
             raise self._count_error(
                 ServiceError(404, "unknown_snapshot", str(exc.args[0]))
-            )
+            ) from exc
 
     def _historical_state(self, selector: str) -> ServingState:
         """The (cached) read-only serving state for an archived snapshot."""
@@ -440,7 +478,9 @@ class QueryService:
             try:
                 is_write = state.engine.is_write_query(query)
             except CypherSyntaxError as exc:
-                raise self._count_error(ServiceError(400, "syntax_error", str(exc)))
+                raise self._count_error(
+                    ServiceError(400, "syntax_error", str(exc))
+                ) from exc
             if is_write and snapshot is not None:
                 raise self._count_error(
                     ServiceError(
@@ -462,24 +502,34 @@ class QueryService:
                         )
             except ServerBusyError as exc:
                 self._observe_failure(state, query, started, "busy")
-                raise self._count_error(ServiceError(429, "busy", str(exc)))
+                raise self._count_error(
+                    ServiceError(429, "busy", str(exc))
+                ) from exc
             except QueryTimeoutError as exc:
                 self._log_aborted(state, query, params, trace_id, started, "timeout")
-                raise self._count_error(ServiceError(408, "timeout", str(exc)))
+                raise self._count_error(
+                    ServiceError(408, "timeout", str(exc))
+                ) from exc
             except RowLimitError as exc:
                 self._log_aborted(state, query, params, trace_id, started, "row_limit")
-                raise self._count_error(ServiceError(413, "row_limit", str(exc)))
+                raise self._count_error(
+                    ServiceError(413, "row_limit", str(exc))
+                ) from exc
             except CypherSyntaxError as exc:
                 self._observe_failure(state, query, started, "syntax_error")
-                raise self._count_error(ServiceError(400, "syntax_error", str(exc)))
+                raise self._count_error(
+                    ServiceError(400, "syntax_error", str(exc))
+                ) from exc
             except ConstraintViolationError as exc:
                 self._observe_failure(state, query, started, "constraint_violation")
                 raise self._count_error(
                     ServiceError(409, "constraint_violation", str(exc))
-                )
+                ) from exc
             except (CypherError, GraphError) as exc:
                 self._observe_failure(state, query, started, "query_error")
-                raise self._count_error(ServiceError(400, "query_error", str(exc)))
+                raise self._count_error(
+                    ServiceError(400, "query_error", str(exc))
+                ) from exc
             elapsed = time.monotonic() - started
         self.metrics.observe("query_latency_seconds", elapsed)
         self.metrics.inc(
@@ -702,7 +752,7 @@ class QueryService:
         try:
             explanation = self.engine.explain(query)
         except CypherSyntaxError as exc:
-            raise ServiceError(400, "syntax_error", str(exc))
+            raise ServiceError(400, "syntax_error", str(exc)) from exc
         return {
             "query": query,
             "plan": explanation.plan,
@@ -758,7 +808,7 @@ class QueryService:
         try:
             return self.statements.snapshot(top=top, sort=sort)
         except ValueError as exc:
-            raise ServiceError(400, "bad_request", str(exc))
+            raise ServiceError(400, "bad_request", str(exc)) from exc
 
     def record_response_bytes(self, fingerprint: str | None, nbytes: int) -> None:
         """Fold a serialized response size into the statement's resource

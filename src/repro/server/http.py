@@ -97,7 +97,9 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
                 try:
                     top = int(top_raw) if top_raw else None
                 except ValueError:
-                    raise ServiceError(400, "bad_request", "top must be an integer")
+                    raise ServiceError(
+                        400, "bad_request", "top must be an integer"
+                    ) from None
                 sort = params.get("sort", ["total_seconds"])[0]
                 self._send_json(
                     200, self.service.statements_snapshot(top=top, sort=sort)
@@ -162,7 +164,9 @@ class IYPRequestHandler(BaseHTTPRequestHandler):
         try:
             body = json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise ServiceError(400, "bad_request", f"invalid JSON body: {exc}")
+            raise ServiceError(
+                400, "bad_request", f"invalid JSON body: {exc}"
+            ) from exc
         if not isinstance(body, dict):
             raise ServiceError(400, "bad_request", "JSON body must be an object")
         parameters = body.get("parameters")

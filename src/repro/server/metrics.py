@@ -52,6 +52,16 @@ def _format_labels(labels: LabelSet) -> str:
 class Metrics:
     """Thread-safe counter/histogram registry with a Prometheus view."""
 
+    GUARDED_BY = {
+        "_counters": "_lock",
+        "_bucket_counts": "_lock",
+        "_sums": "_lock",
+        "_counts": "_lock",
+        "_reservoirs": "_lock",
+        "_gauges": "_lock",
+        "namespace": "frozen",
+    }
+
     def __init__(self, namespace: str = "repro"):
         self.namespace = namespace
         self._lock = threading.Lock()
@@ -176,7 +186,8 @@ class Metrics:
             buckets, total_sum, total_count = bucket_data[name]
             lines.append(f"# TYPE {ns}_{name} histogram")
             cumulative = 0
-            for bound, count in zip(LATENCY_BUCKETS, buckets):
+            # buckets carries one extra +Inf slot beyond the declared bounds.
+            for bound, count in zip(LATENCY_BUCKETS, buckets, strict=False):
                 cumulative += count
                 lines.append(f'{ns}_{name}_bucket{{le="{bound:g}"}} {cumulative}')
             cumulative += buckets[-1]

@@ -144,7 +144,7 @@ def is_valley_free(
     """
     reversed_path = tuple(reversed(path))  # origin ... source
     phase = "up"
-    for first, second in zip(reversed_path, reversed_path[1:]):
+    for first, second in zip(reversed_path, reversed_path[1:], strict=False):
         if second in providers_of.get(first, ()):  # climbing
             hop = "up"
         elif first in providers_of.get(second, ()):  # descending

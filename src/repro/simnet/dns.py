@@ -258,7 +258,7 @@ def _zipf_pick(rng: random.Random, items: list, exponent: float = 1.1):
     weights = [1.0 / (index + 1) ** exponent for index in range(len(items))]
     total = sum(weights)
     point = rng.random() * total
-    for item, weight in zip(items, weights):
+    for item, weight in zip(items, weights, strict=True):
         point -= weight
         if point <= 0:
             return item

@@ -39,7 +39,7 @@ def build_population(world: World, rng: random.Random) -> None:
         asns.sort()
         weights = [1.0 / (index + 1) ** 1.3 for index in range(len(asns))]
         total = sum(weights)
-        for asn, weight in zip(asns, weights):
+        for asn, weight in zip(asns, weights, strict=True):
             share = round(100.0 * weight / total, 2)
             if share > 0:
                 world.as_population[(country, asn)] = share

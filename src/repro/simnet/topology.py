@@ -169,15 +169,19 @@ def _build_as_graph(
     world: World, rng: random.Random, asns: list[int], categories: list[str]
 ) -> None:
     """Tier-1 clique + provider hierarchy + lateral peering."""
-    tier1 = [asn for asn, cat in zip(asns, categories) if cat == "Tier1"]
+    tier1 = [
+        asn for asn, cat in zip(asns, categories, strict=True) if cat == "Tier1"
+    ]
     transits = [
-        asn for asn, cat in zip(asns, categories) if cat in ("Transit", "Tier1")
+        asn
+        for asn, cat in zip(asns, categories, strict=True)
+        if cat in ("Transit", "Tier1")
     ]
     for i, a in enumerate(tier1):
         for b in tier1[i + 1:]:
             world.ases[a].peers.append(b)
             world.ases[b].peers.append(a)
-    for asn, category in zip(asns, categories):
+    for asn, category in zip(asns, categories, strict=True):
         if category == "Tier1":
             continue
         upstream_pool = tier1 if category == "Transit" else transits

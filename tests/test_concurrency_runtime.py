@@ -1,0 +1,258 @@
+"""The runtime lock-discipline harness (``REPRO_LOCK_DEBUG``).
+
+Self-tests proving the harness actually catches what it promises:
+
+- a seeded unlocked mutation — calling a ``_locked`` store method
+  without the write lock — raises :class:`LockDisciplineError` under
+  :class:`DebugRWLock` instead of silently corrupting state;
+- a seeded lock-order inversion raises :class:`LockOrderError` on the
+  *first* inverted acquisition, deterministically, without needing the
+  two threads to actually collide;
+- with the flag off, the factories hand out plain uninstrumented locks
+  (the zero-overhead production path).
+
+Plus a barrier-controlled regression test for the store-swap race fixed
+alongside the analyzer: concurrent ``swap_store`` calls must serialize,
+yielding strictly increasing generations and an exact swap count.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.concurrency import (
+    MONITOR,
+    LockDisciplineError,
+    LockOrderError,
+    TrackedLock,
+    lock_debug_enabled,
+    new_lock,
+    set_lock_debug,
+)
+from repro.graphdb import GraphStore
+from repro.graphdb.rwlock import DebugRWLock, RWLock, new_rwlock
+from repro.server.app import QueryService
+
+
+@pytest.fixture
+def debug_mode():
+    """Enable lock debugging for one test, restoring state afterwards."""
+    previous = lock_debug_enabled()
+    set_lock_debug(True)
+    MONITOR.clear()
+    yield
+    set_lock_debug(previous)
+    MONITOR.clear()
+
+
+class TestFactories:
+    def test_disabled_factories_return_plain_locks(self):
+        previous = lock_debug_enabled()
+        set_lock_debug(False)
+        try:
+            lock = new_lock("test.plain")
+            assert not isinstance(lock, TrackedLock)
+            rwlock = new_rwlock("test.plain_rw")
+            assert type(rwlock) is RWLock
+        finally:
+            set_lock_debug(previous)
+
+    def test_enabled_factories_return_instrumented_locks(self, debug_mode):
+        assert isinstance(new_lock("test.tracked"), TrackedLock)
+        assert isinstance(new_rwlock("test.tracked_rw"), DebugRWLock)
+
+    def test_plain_rwlock_checks_are_noops(self):
+        lock = RWLock()
+        # Nothing held, yet no error: the base class trusts its callers.
+        lock.check_read_held()
+        lock.check_write_held()
+
+
+class TestSeededUnlockedMutation:
+    """The harness catches a caller violating the _locked contract."""
+
+    def test_locked_method_without_lock_is_caught(self, debug_mode):
+        store = GraphStore()
+        node = store.create_node(["AS"], {"asn": 65001})
+        # _update_node_locked asserts its contract under the debug lock:
+        # calling it without holding the write lock must raise, not
+        # corrupt the property index.
+        with pytest.raises(LockDisciplineError):
+            store._update_node_locked(node.id, {"name": "x"})
+
+    def test_same_call_under_the_write_lock_passes(self, debug_mode):
+        store = GraphStore()
+        node = store.create_node(["AS"], {"asn": 65001})
+        with store.write_lock():
+            store._update_node_locked(node.id, {"name": "x"})
+        assert store.get_node(node.id).properties["name"] == "x"
+
+    def test_read_contract_is_checked_too(self, debug_mode):
+        lock = DebugRWLock(name="test.read_contract")
+        with pytest.raises(LockDisciplineError):
+            lock.check_read_held()
+        with lock.read():
+            lock.check_read_held()
+        # A writer also satisfies the read contract (write is stronger).
+        with lock.write():
+            lock.check_read_held()
+
+
+class TestSeededLockOrderCycle:
+    """The harness flags an inversion before it can deadlock."""
+
+    def test_opposite_orders_raise_deterministically(self, debug_mode):
+        a = TrackedLock("cycle.a")
+        b = TrackedLock("cycle.b")
+        with a:
+            with b:
+                pass
+        # The opposite nesting is refused even though no other thread is
+        # holding anything right now — the graph remembers the order.
+        with pytest.raises(LockOrderError):
+            with b:
+                with a:
+                    pass
+        assert MONITOR.info()["violations"] == 1
+
+    def test_consistent_order_never_raises(self, debug_mode):
+        a = TrackedLock("consistent.a")
+        b = TrackedLock("consistent.b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert MONITOR.info()["violations"] == 0
+
+    def test_cycle_through_rwlock(self, debug_mode):
+        rw = DebugRWLock(name="order.rw")
+        mutex = TrackedLock("order.mutex")
+        with rw.write():
+            with mutex:
+                pass
+        with pytest.raises(LockOrderError):
+            with mutex:
+                with rw.read():
+                    pass
+
+    def test_self_deadlock_is_immediate(self, debug_mode):
+        lock = TrackedLock("self.deadlock")
+        with lock:
+            with pytest.raises(LockDisciplineError):
+                lock.acquire()
+
+    def test_reentrant_rwlock_is_not_a_violation(self, debug_mode):
+        rw = DebugRWLock(name="reentrant.rw")
+        with rw.write():
+            with rw.read():
+                with rw.write():
+                    pass
+        assert MONITOR.info()["violations"] == 0
+
+
+class TestMonitor:
+    def test_edges_accumulate_across_threads(self, debug_mode):
+        a = TrackedLock("edges.a")
+        b = TrackedLock("edges.b")
+
+        def nest():
+            with a:
+                with b:
+                    pass
+
+        thread = threading.Thread(target=nest)
+        thread.start()
+        thread.join(timeout=5)
+        assert "edges.b" in MONITOR.edges().get("edges.a", set())
+
+    def test_clear_resets_graph_and_counters(self, debug_mode):
+        a = TrackedLock("reset.a")
+        b = TrackedLock("reset.b")
+        with a:
+            with b:
+                pass
+        MONITOR.clear()
+        info = MONITOR.info()
+        assert info["edges"] == 0
+        assert info["acquisitions"] == 0
+        # The old order is forgotten: the opposite nesting is legal now.
+        with b:
+            with a:
+                pass
+
+
+class TestSwapRaceRegression:
+    """Concurrent hot swaps serialize (the race fixed in this change).
+
+    Before ``_swap_lock``, two concurrent ``swap_store`` calls could
+    read the same ``old.generation`` and both install generation N+1 —
+    one swap invisible in ``/stats`` and two generations colliding.  A
+    barrier lines all swappers up to maximize interleaving.
+    """
+
+    THREADS = 8
+
+    def test_barrier_controlled_concurrent_swaps(self, debug_mode):
+        service = QueryService(GraphStore(), tracing=False)
+        barrier = threading.Barrier(self.THREADS)
+        errors: list[BaseException] = []
+
+        def swap(index: int) -> None:
+            store = GraphStore()
+            store.create_node(["AS"], {"asn": index})
+            barrier.wait(timeout=10)
+            try:
+                service.swap_store(store, label=f"swap-{index}")
+            except BaseException as exc:  # pragma: no cover - fail loud
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=swap, args=(i,))
+            for i in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=20)
+
+        assert errors == []
+        # Every swap got its own generation: N swaps from generation 0
+        # land exactly on generation N, and the counter agrees.
+        assert service.generation == self.THREADS
+        assert service.stats()["archive"]["swaps"] == self.THREADS
+
+    def test_swaps_serialize_against_len_telemetry(self, debug_mode):
+        # StatementRegistry.__len__ used to read its dict unlocked;
+        # hammer it while another thread records, under the debug
+        # harness, to prove the locked version stays contract-clean.
+        from repro.obs.statements import StatementRegistry
+
+        registry = StatementRegistry(capacity=32)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def record() -> None:
+            try:
+                index = 0
+                while not stop.is_set():
+                    registry.record(
+                        f"fp-{index % 64}",
+                        f"MATCH (n:AS) WHERE n.asn = {index % 64} RETURN n",
+                        elapsed=0.001,
+                        rows=1,
+                    )
+                    index += 1
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        writer = threading.Thread(target=record)
+        writer.start()
+        try:
+            for _ in range(2000):
+                assert len(registry) <= 32
+        finally:
+            stop.set()
+            writer.join(timeout=10)
+        assert errors == []

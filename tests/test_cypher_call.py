@@ -28,7 +28,7 @@ def chain_store():
     """asn 0 -> 1 -> 2 -> 3 provider chain (PEERS_WITH rel=1)."""
     store = GraphStore()
     nodes = [store.create_node({"AS"}, {"asn": i}) for i in range(4)]
-    for left, right in zip(nodes, nodes[1:]):
+    for left, right in zip(nodes, nodes[1:], strict=False):
         store.create_relationship(left.id, "PEERS_WITH", right.id, {"rel": 1})
     return store
 

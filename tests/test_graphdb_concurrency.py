@@ -118,7 +118,8 @@ class TestStoreVersion:
         store = GraphStore()
         store.create_node({"A"}, {"k": 1})
         version = store.version
-        store.node_count, store.label_counts()
+        _ = store.node_count
+        store.label_counts()
         list(store.iter_nodes())
         with store.read_lock():
             pass

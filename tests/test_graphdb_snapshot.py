@@ -214,7 +214,7 @@ def test_snapshot_bytes_deterministic(tmp_path, format):
     nodes = [
         store.create_node({"N"}, {"i": i, "name": f"n{i}"}) for i in range(20)
     ]
-    for a, b in zip(nodes, nodes[1:]):
+    for a, b in zip(nodes, nodes[1:], strict=False):
         store.create_relationship(a.id, "E", b.id, {"w": a.id})
     first, second = tmp_path / "first", tmp_path / "second"
     save_snapshot(store, first, format=format)

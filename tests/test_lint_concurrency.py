@@ -1,0 +1,614 @@
+"""The concurrency-safety analyzer: one positive and one negative
+fixture per RACE code, plus the repo-clean gate.
+
+Each fixture is a minimal class exhibiting (or correctly avoiding) the
+pattern a code targets; the negative twin differs only in the locking,
+so a regression in either direction — missed race or false positive —
+fails a specific test.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import CODES, analyze_paths, analyze_source, default_targets
+from repro.lint.concurrency import ConcurrencyAnalyzer
+
+
+def codes(source: str, path: str = "src/repro/graphdb/mod.py") -> list[str]:
+    return [d.code for d in analyze_source(textwrap.dedent(source), path)]
+
+
+class TestRace001Mutation:
+    def test_positive_unguarded_write(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put(self, key, value):
+                    self._data[key] = value
+        """)
+        assert found == ["RACE001"]
+
+    def test_positive_unguarded_mutator_call(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_items": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    self._items.append(item)
+        """)
+        assert found == ["RACE001"]
+
+    def test_positive_frozen_rebind(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"capacity": "frozen"}
+
+                def __init__(self):
+                    self.capacity = 8
+
+                def resize(self, capacity):
+                    self.capacity = capacity
+        """)
+        assert found == ["RACE001"]
+
+    def test_negative_locked_write(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._data[key] = value
+        """)
+        assert found == []
+
+    def test_negative_init_is_exempt(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock", "capacity": "frozen"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+                    self.capacity = 8
+        """)
+        assert found == []
+
+    def test_negative_write_guard_needs_exclusive_not_shared(self):
+        # A write under only the *read* side of an RWLock is still a race.
+        found = codes("""
+            from repro.graphdb.rwlock import RWLock
+
+            class Store:
+                GUARDED_BY = {"_nodes": "write:_rwlock"}
+
+                def __init__(self):
+                    self._rwlock = RWLock()
+                    self._nodes = {}
+
+                def bad(self, key, value):
+                    with self._rwlock.read():
+                        self._nodes[key] = value
+
+                def good(self, key, value):
+                    with self._rwlock.write():
+                        self._nodes[key] = value
+        """)
+        assert found == ["RACE001"]
+
+
+class TestRace002Read:
+    def test_positive_unguarded_read(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def size(self):
+                    return len(self._data)
+        """)
+        assert found == ["RACE002"]
+
+    def test_negative_locked_read(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def size(self):
+                    with self._lock:
+                        return len(self._data)
+        """)
+        assert found == []
+
+    def test_negative_write_mode_reads_are_lock_free(self):
+        # "write:" guards mutations only: lock-free reads are the design
+        # (GraphStore counters, monotonic totals).
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"recorded_total": "write:_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.recorded_total = 0
+
+                def total(self):
+                    return self.recorded_total
+        """)
+        assert found == []
+
+
+class TestRace003LockedContract:
+    def test_positive_locked_method_called_unlocked(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def _evict_locked(self):
+                    self._data.clear()
+
+                def public(self):
+                    self._evict_locked()
+        """)
+        assert found == ["RACE003"]
+
+    def test_positive_guarded_by_decorator_called_unlocked(self):
+        found = codes("""
+            import threading
+            from repro.concurrency import guarded_by
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                @guarded_by("_lock")
+                def _evict(self):
+                    self._data.clear()
+
+                def public(self):
+                    self._evict()
+        """)
+        assert found == ["RACE003"]
+
+    def test_negative_called_under_lock(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def _evict_locked(self):
+                    self._data.clear()
+
+                def public(self):
+                    with self._lock:
+                        self._evict_locked()
+        """)
+        assert found == []
+
+    def test_negative_locked_method_calling_locked_method(self):
+        # A _locked method holds the lock by contract, so its own calls
+        # to sibling _locked methods are satisfied.
+        found = codes("""
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def _evict_locked(self):
+                    self._data.clear()
+
+                def _rebuild_locked(self):
+                    self._evict_locked()
+        """)
+        assert found == []
+
+
+class TestRace004CheckThenAct:
+    def test_positive_check_outside_act_inside(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put_once(self, key, value):
+                    if key not in self._data:
+                        with self._lock:
+                            self._data[key] = value
+        """)
+        assert "RACE004" in found
+
+    def test_negative_double_checked_locking(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put_once(self, key, value):
+                    if key not in self._data:
+                        with self._lock:
+                            if key not in self._data:
+                                self._data[key] = value
+        """)
+        assert found == []
+
+    def test_negative_check_and_act_both_locked(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put_once(self, key, value):
+                    with self._lock:
+                        if key not in self._data:
+                            self._data[key] = value
+        """)
+        assert found == []
+
+
+class TestRace005ModuleState:
+    def test_positive_mutable_module_dict_in_server(self):
+        found = codes(
+            "SESSIONS = {}\n", path="src/repro/server/sessions.py"
+        )
+        assert found == ["RACE005"]
+
+    def test_negative_immutable_module_state(self):
+        found = codes(
+            'BUCKETS = (0.1, 0.5, 1.0)\nNAME = "x"\n',
+            path="src/repro/server/mod.py",
+        )
+        assert found == []
+
+    def test_negative_outside_shared_packages(self):
+        # Single-threaded pipeline code may keep module-level dicts.
+        found = codes("CACHE = {}\n", path="src/repro/datasets/mod.py")
+        assert found == []
+
+    def test_negative_threading_local_and_class_instances(self):
+        found = codes("""
+            import threading
+
+            _tls = threading.local()
+            _NULL = object()
+        """, path="src/repro/obs/mod.py")
+        assert found == []
+
+
+class TestRace006Annotations:
+    def test_positive_guard_names_missing_lock(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_missing"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+        """)
+        assert found == ["RACE006"]
+
+    def test_positive_unparsable_spec(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "bogus-mode:_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+        """)
+        assert found == ["RACE006"]
+
+    def test_negative_valid_annotations(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {
+                    "_data": "_lock",
+                    "total": "write:_lock",
+                    "capacity": "frozen",
+                    "flag": "atomic",
+                }
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+                    self.total = 0
+                    self.capacity = 4
+                    self.flag = False
+        """)
+        assert found == []
+
+
+class TestRace007LockOrder:
+    def test_positive_opposite_order_in_one_class(self):
+        found = codes("""
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+        """)
+        assert found == ["RACE007"]
+
+    def test_positive_cycle_through_a_call(self):
+        # forward acquires a then b directly; backward holds b and calls
+        # a method that acquires a — the cycle spans a call edge.
+        found = codes("""
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def _take_a(self):
+                    with self._a:
+                        pass
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        self._take_a()
+        """)
+        assert found == ["RACE007"]
+
+    def test_negative_container_method_is_not_the_class_method(self):
+        # `self._data.get(...)` under the lock is a *dict* get, not the
+        # class's own lock-taking `get` — the unique-name fallback must
+        # not resolve through a builtin-container attribute and invent a
+        # self-cycle (the StatementRegistry shape, analyzed standalone).
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def record(self, key, value):
+                    with self._lock:
+                        entry = self._data.get(key)
+                        if entry is None:
+                            self._data[key] = value
+                        own = entry or {}
+                        own.get(key)
+
+                def get(self, key):
+                    with self._lock:
+                        return self._data.get(key)
+        """)
+        assert found == []
+
+    def test_negative_consistent_order(self):
+        found = codes("""
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+        """)
+        assert found == []
+
+    def test_negative_reentrant_rwlock_self_nesting(self):
+        # The store RWLock is reentrant: read-inside-write is legal and
+        # must not count as a self-cycle.
+        found = codes("""
+            from repro.graphdb.rwlock import RWLock
+
+            class Store:
+                def __init__(self):
+                    self._rwlock = RWLock()
+
+                def nested(self):
+                    with self._rwlock.write():
+                        with self._rwlock.read():
+                            pass
+        """)
+        assert found == []
+
+
+class TestSuppressions:
+    def test_targeted_ignore_comment(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def size(self):
+                    return len(self._data)  # concurrency: ignore[RACE002]
+        """)
+        assert found == []
+
+    def test_targeted_ignore_leaves_other_codes(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def size(self):
+                    return len(self._data)  # concurrency: ignore[RACE001]
+        """)
+        assert found == ["RACE002"]
+
+    def test_bare_ignore_suppresses_everything(self):
+        found = codes("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put(self, key, value):
+                    self._data[key] = value  # concurrency: ignore
+        """)
+        assert found == []
+
+
+class TestInfrastructure:
+    def test_every_race_code_is_registered(self):
+        for number in range(1, 8):
+            code = f"RACE{number:03d}"
+            assert code in CODES
+            severity, _title = CODES[code]
+            assert severity in ("error", "warning")
+
+    def test_diagnostics_carry_spans(self):
+        diags = analyze_source(textwrap.dedent("""
+            import threading
+
+            class Registry:
+                GUARDED_BY = {"_data": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put(self, key, value):
+                    self._data[key] = value
+        """), "src/repro/graphdb/mod.py")
+        assert len(diags) == 1
+        span = diags[0].span
+        assert span is not None
+        assert span.line == 12
+        assert span.column >= 1
+
+    def test_syntax_error_is_a_diagnostic_not_a_crash(self):
+        diags = analyze_source("def broken(:\n", "src/repro/server/x.py")
+        assert [d.code for d in diags] == ["RACE006"]
+
+    def test_default_targets_cover_the_serving_stack(self):
+        paths = [str(p) for p in default_targets()]
+        assert any("graphdb" in p for p in paths)
+        assert any("server" in p for p in paths)
+        assert any("obs" in p for p in paths)
+        assert any("archive" in p for p in paths)
+        assert any("concurrency" in p for p in paths)
+        assert any(p.endswith("lru.py") for p in paths)
+
+    def test_analyzer_sees_the_real_annotations(self):
+        analyzer = ConcurrencyAnalyzer()
+        for path in default_targets():
+            analyzer.add_file(path)
+        analyzer.run()
+        annotated = [c for c in analyzer.classes.values() if c.guards]
+        assert len(annotated) >= 8
+        assert "GraphStore" in analyzer.classes
+        assert analyzer.lock_kinds["GraphStore._rwlock"] == "rwlock"
+        # The store-swap path gives the order graph real edges.
+        held_locks = {held for held, _ in analyzer.order_edges}
+        assert "QueryService._swap_lock" in held_locks
+
+
+class TestRepoIsClean:
+    def test_zero_findings_on_default_targets(self):
+        findings = analyze_paths(default_targets())
+        formatted = [diag.format(path) for path, diag in findings]
+        assert formatted == []

@@ -197,7 +197,9 @@ class TestProcedureChecks:
 class TestDiagnosticsModel:
     def test_every_code_has_severity_and_title(self):
         for code, (severity, title) in CODES.items():
-            assert code.startswith("LNT")
+            # Two families share the registry: Cypher lint codes and the
+            # concurrency analyzer's RACE codes.
+            assert code.startswith(("LNT", "RACE"))
             assert severity in {"error", "warning", "info"}
             assert title
 

@@ -18,7 +18,7 @@ def store():
     prefixes = [
         store.create_node({"Prefix"}, {"prefix": f"10.{i}.0.0/16"}) for i in range(10)
     ]
-    for a, p in zip(ases, prefixes):
+    for a, p in zip(ases, prefixes, strict=True):
         store.create_relationship(a.id, "ORIGINATE", p.id)
     return store
 

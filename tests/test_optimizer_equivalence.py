@@ -303,7 +303,7 @@ class TestVariableLengthUnderReordering:
         store = GraphStore()
         store.create_index("Marker", "name")
         nodes = [store.create_node({"AS"}, {"asn": i}) for i in range(4)]
-        for left, right in zip(nodes, nodes[1:]):
+        for left, right in zip(nodes, nodes[1:], strict=False):
             store.create_relationship(left.id, "DEPENDS_ON", right.id)
         marker = store.create_node({"Marker"}, {"name": "tail"})
         store.create_relationship(nodes[-1].id, "FLAGGED", marker.id)

@@ -77,7 +77,7 @@ class TestWorldPropagation:
     def test_paths_follow_real_adjacencies(self, routed_world):
         providers_of, peers_of, customers_of = _adjacency(routed_world)
         for path in list(routed_world.routing.collector_paths.values())[:500]:
-            for first, second in zip(path, path[1:]):
+            for first, second in zip(path, path[1:], strict=False):
                 assert (
                     second in providers_of[first]
                     or second in peers_of[first]
