@@ -1,0 +1,184 @@
+"""Multi-process serving throughput: columnar worker pool vs the
+single-process threaded dict server.
+
+Both servers run the same warm workload — a mixed batch of aggregate
+queries, issued over real sockets by 8 concurrent keep-alive clients.
+Both services run with ``cache_size=1`` so the round-robin workload
+always misses the result cache: the measured quantity is query
+*execution* throughput (a result-cache hit would only measure socket
+serialization).  The threaded dict server executes every query under
+one GIL, so it tops out near one core regardless of thread count; the
+worker pool forks query processes that share the packed graph segment
+and accept from the same listening socket, so throughput scales with
+cores.
+
+Results go to ``benchmarks/BENCH_multiproc.json``.  The 2.5x speedup
+floor from the committed ``benchmarks/multiproc_baseline.json`` is a
+*parallelism* gate: it is enforced only where parallelism exists (4+
+schedulable CPUs, i.e. the CI runner).  On smaller machines the pool
+cannot beat the GIL by stacking processes on one core, so the run only
+asserts the sanity floor — the pool must stay within ~3x of the
+threaded server even when the fork fan-out buys nothing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from benchmarks.conftest import record_comparison
+from repro.columnar import pack_store
+from repro.columnar.pool import WorkerPool
+from repro.server import QueryService, create_server
+from repro.studies import queries as listings
+
+BENCH_PATH = Path(__file__).parent / "BENCH_multiproc.json"
+BASELINE_PATH = Path(__file__).parent / "multiproc_baseline.json"
+
+CPUS = len(os.sched_getaffinity(0))
+POOL_WORKERS = max(2, min(4, CPUS))
+CLIENT_THREADS = 8
+REQUESTS_PER_CLIENT = 40
+
+#: The measured mixed workload: one paper listing plus aggregate
+#: counts, approximating a dashboard refresh (each query costs a few
+#: to a few tens of milliseconds on the medium world).
+WORKLOAD = [
+    listings.LISTING_1,
+    "MATCH (a:AS) RETURN count(a) AS ases",
+    "MATCH (p:Prefix) RETURN count(p) AS prefixes",
+    "MATCH (a:AS)-[:PEERS_WITH]-(b:AS) RETURN count(a) AS peerings",
+    "MATCH (d:DomainName) RETURN count(d) AS domains",
+]
+
+
+def _request(conn: http.client.HTTPConnection, query: str) -> None:
+    conn.request(
+        "POST",
+        "/query",
+        body=json.dumps({"query": query}),
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    body = response.read()
+    assert response.status == 200, (response.status, body[:200])
+
+
+def _measure_qps(host: str, port: int, warm_passes: int) -> float:
+    """Warm the service, then hammer with keep-alive clients and
+    return completed requests per second.
+
+    Warm-up uses one connection per request so the kernel spreads the
+    passes across every pool worker (keep-alive would pin the whole
+    warm phase to whichever worker accepted the connection, leaving the
+    others to parse queries and fill materialization caches inside the
+    measured window).
+    """
+    for _ in range(warm_passes):
+        for query in WORKLOAD:
+            warm = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                _request(warm, query)
+            finally:
+                warm.close()
+
+    errors: list[str] = []
+
+    def client(offset: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for i in range(REQUESTS_PER_CLIENT):
+                _request(conn, WORKLOAD[(offset + i) % len(WORKLOAD)])
+        except Exception as exc:  # noqa: BLE001 - surfaced via assert
+            errors.append(repr(exc))
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(CLIENT_THREADS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors[:3]
+    return CLIENT_THREADS * REQUESTS_PER_CLIENT / elapsed
+
+
+def test_worker_pool_throughput(bench_iyp):
+    # Baseline: the standard threaded server on the dict store.
+    service = QueryService(
+        bench_iyp.store, max_concurrent=CLIENT_THREADS, cache_size=1
+    )
+    server = create_server(service, port=0)
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    try:
+        host, port = server.server_address[:2]
+        dict_qps = _measure_qps(host, port, warm_passes=2)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server_thread.join(10)
+
+    # Contender: the forked columnar pool on the packed segment.
+    manifest = pack_store(bench_iyp.store)
+    pool = WorkerPool(
+        manifest,
+        workers=POOL_WORKERS,
+        service_config={"max_concurrent": CLIENT_THREADS, "cache_size": 1},
+    )
+    try:
+        pool.start()
+        host, port = pool.address
+        pool_qps = _measure_qps(host, port, warm_passes=3 * POOL_WORKERS)
+    finally:
+        pool.stop()
+
+    speedup = pool_qps / dict_qps
+    results = {
+        "benchmark": "multi-process serving throughput (columnar pool vs threaded dict)",
+        "world": "medium",
+        "cpu_count": CPUS,
+        "pool_workers": POOL_WORKERS,
+        "client_threads": CLIENT_THREADS,
+        "requests": CLIENT_THREADS * REQUESTS_PER_CLIENT,
+        "dict_threaded_qps": round(dict_qps, 1),
+        "columnar_pool_qps": round(pool_qps, 1),
+        "speedup": round(speedup, 2),
+    }
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    record_comparison(
+        "Serving throughput (multi-process pool vs threaded)",
+        ["configuration", "QPS", "speedup"],
+        [
+            ["dict store, 1 process (threaded)", results["dict_threaded_qps"], "1.0x"],
+            [
+                f"columnar pool, {POOL_WORKERS} processes",
+                results["columnar_pool_qps"],
+                f"{results['speedup']}x",
+            ],
+        ],
+    )
+
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    if CPUS >= baseline["min_cpus_for_parallel_gate"]:
+        floor = baseline["parallel_speedup_floor"]
+        assert speedup >= floor, (
+            f"columnar pool only {speedup:.2f}x the threaded dict server "
+            f"({pool_qps:.0f} vs {dict_qps:.0f} QPS) on {CPUS} CPUs; "
+            f"committed floor is {floor}x"
+        )
+    else:
+        floor = baseline["single_core_sanity_floor"]
+        assert speedup >= floor, (
+            f"columnar pool collapsed to {speedup:.2f}x the threaded dict "
+            f"server ({pool_qps:.0f} vs {dict_qps:.0f} QPS) — below the "
+            f"{floor}x sanity floor even for a single-core host"
+        )

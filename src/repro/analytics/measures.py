@@ -1,9 +1,12 @@
 """Vectorized graph measures over the store's typed adjacency.
 
-Every measure in this module reads :class:`repro.graphdb.GraphStore`'s
-per-(node, type, direction) adjacency partitions directly instead of
-issuing one Cypher match per node, which is what the legacy study code
-did.  The semantics are pinned by equivalence tests against naive
+Every measure in this module reads the store through the bulk accessors
+of the :class:`repro.graphdb.interface.GraphReadStore` contract
+(``node_ids``, ``label_ids``, ``iter_edges``, ``typed_degrees``,
+``neighbor_ids``) instead of issuing one Cypher match per node, which is
+what the legacy study code did.  Because only the contract is touched,
+every measure runs unchanged against the dict backend and the columnar
+backend (:mod:`repro.columnar`).  The semantics are pinned by equivalence tests against naive
 pure-Python references (``tests/test_analytics_equivalence.py``), and
 two of the helpers deliberately replicate pre-existing code paths
 bit-for-bit:
@@ -26,8 +29,9 @@ from collections import Counter
 from collections.abc import Callable, Hashable, Iterable, Mapping
 from typing import Any
 
+from repro.graphdb.interface import GraphReadStore
 from repro.graphdb.model import Direction
-from repro.graphdb.store import GraphStore, directional_count
+from repro.graphdb.store import directional_count
 
 #: Relationship types forming the directed AS-to-AS graph used by the
 #: paper's centrality analyses (BGPKIT peering plus IHR dependency).
@@ -138,7 +142,7 @@ def bounded_reach(
 
 
 def weakly_connected_components(
-    store: GraphStore, rel_type: str | None = None
+    store: GraphReadStore, rel_type: str | None = None
 ) -> list[list[int]]:
     """Weakly-connected components via union-find over the edge list.
 
@@ -148,7 +152,7 @@ def weakly_connected_components(
     keep the smaller id as root, each component's canonical id is its
     smallest member.
     """
-    parent = {node_id: node_id for node_id in store._nodes}
+    parent = {node_id: node_id for node_id in store.node_ids()}
 
     def find(node_id: int) -> int:
         root = node_id
@@ -158,17 +162,7 @@ def weakly_connected_components(
             parent[node_id], node_id = root, parent[node_id]
         return root
 
-    relationships = store._relationships
-    if rel_type is None:
-        edges: Iterable[tuple[int, int]] = (
-            (rel.start_id, rel.end_id) for rel in relationships.values()
-        )
-    else:
-        edges = (
-            (relationships[rel_id].start_id, relationships[rel_id].end_id)
-            for rel_id in store._rel_type_index.get(rel_type, ())
-        )
-    for start, end in edges:
+    for _, start, end in store.iter_edges(rel_type):
         a, b = find(start), find(end)
         if a != b:
             if a > b:
@@ -189,39 +183,30 @@ def weakly_connected_components(
 
 
 def degree_histogram(
-    store: GraphStore,
+    store: GraphReadStore,
     rel_type: str | None = None,
     direction: Direction = Direction.BOTH,
     label: str | None = None,
 ) -> dict[int, int]:
     """``{degree: node count}`` over one (label, type, direction) slice."""
     if label is not None:
-        node_ids: Iterable[int] = store._label_index.get(label, set())
+        node_ids: Iterable[int] = store.label_ids(label)
     else:
-        node_ids = store._nodes.keys()
-    outgoing, incoming, loop_counts = (
-        store._outgoing,
-        store._incoming,
-        store._loop_counts,
-    )
+        node_ids = store.node_ids()
     histogram: Counter[int] = Counter()
     for node_id in node_ids:
-        out_part = outgoing.get(node_id) or {}
-        in_part = incoming.get(node_id) or {}
-        loop_part = loop_counts.get(node_id) or {}
+        degrees = store.typed_degrees(node_id)
         if rel_type is None:
-            out = sum(map(len, out_part.values()))
-            inbound = sum(map(len, in_part.values()))
-            loops = sum(loop_part.values())
+            out = sum(entry[0] for entry in degrees.values())
+            inbound = sum(entry[1] for entry in degrees.values())
+            loops = sum(entry[2] for entry in degrees.values())
         else:
-            out = len(out_part.get(rel_type, ()))
-            inbound = len(in_part.get(rel_type, ()))
-            loops = loop_part.get(rel_type, 0)
+            out, inbound, loops = degrees.get(rel_type, (0, 0, 0))
         histogram[directional_count(out, inbound, loops, direction)] += 1
     return dict(histogram)
 
 
-def degree_histograms(store: GraphStore) -> dict[tuple[str, str], dict[int, int]]:
+def degree_histograms(store: GraphReadStore) -> dict[tuple[str, str], dict[int, int]]:
     """All per-(type, direction) degree histograms in one node pass.
 
     Keys are ``(rel_type, direction_name)`` with ``"*"`` aggregating
@@ -230,22 +215,11 @@ def degree_histograms(store: GraphStore) -> dict[tuple[str, str], dict[int, int]
     the pass; zero-degree buckets are back-filled afterwards so every
     histogram sums to the node count.
     """
-    outgoing, incoming, loop_counts = (
-        store._outgoing,
-        store._incoming,
-        store._loop_counts,
-    )
     histograms: dict[tuple[str, str], Counter[int]] = {}
     counted: Counter[tuple[str, str]] = Counter()
-    for node_id in store._nodes:
-        out_part = outgoing.get(node_id) or {}
-        in_part = incoming.get(node_id) or {}
-        loop_part = loop_counts.get(node_id) or {}
+    for node_id in store.node_ids():
         total_out = total_in = total_loops = 0
-        for rel_type in set(out_part) | set(in_part):
-            out = len(out_part.get(rel_type, ()))
-            inbound = len(in_part.get(rel_type, ()))
-            loops = loop_part.get(rel_type, 0)
+        for rel_type, (out, inbound, loops) in store.typed_degrees(node_id).items():
             total_out += out
             total_in += inbound
             total_loops += loops
@@ -270,7 +244,7 @@ def degree_histograms(store: GraphStore) -> dict[tuple[str, str], dict[int, int]
 
 
 def degree_centrality(
-    store: GraphStore,
+    store: GraphReadStore,
     label: str | None = None,
     rel_type: str | None = None,
     direction: Direction = Direction.BOTH,
@@ -281,28 +255,19 @@ def degree_centrality(
     label is given); ties are broken by ascending node id.
     """
     if label is not None:
-        node_ids = sorted(store._label_index.get(label, set()))
+        node_ids = sorted(store.label_ids(label))
     else:
-        node_ids = sorted(store._nodes)
+        node_ids = sorted(store.node_ids())
     n = len(node_ids)
-    outgoing, incoming, loop_counts = (
-        store._outgoing,
-        store._incoming,
-        store._loop_counts,
-    )
     rows: list[tuple[int, int, float]] = []
     for node_id in node_ids:
-        out_part = outgoing.get(node_id) or {}
-        in_part = incoming.get(node_id) or {}
-        loop_part = loop_counts.get(node_id) or {}
+        degrees = store.typed_degrees(node_id)
         if rel_type is None:
-            out = sum(map(len, out_part.values()))
-            inbound = sum(map(len, in_part.values()))
-            loops = sum(loop_part.values())
+            out = sum(entry[0] for entry in degrees.values())
+            inbound = sum(entry[1] for entry in degrees.values())
+            loops = sum(entry[2] for entry in degrees.values())
         else:
-            out = len(out_part.get(rel_type, ()))
-            inbound = len(in_part.get(rel_type, ()))
-            loops = loop_part.get(rel_type, 0)
+            out, inbound, loops = degrees.get(rel_type, (0, 0, 0))
         degree = directional_count(out, inbound, loops, direction)
         rows.append((node_id, degree, degree / (n - 1) if n > 1 else 0.0))
     rows.sort(key=lambda row: (-row[1], row[0]))
@@ -315,7 +280,7 @@ def degree_centrality(
 
 
 def pagerank(
-    store: GraphStore,
+    store: GraphReadStore,
     damping: float = 0.85,
     iterations: int = 40,
     rel_types: Iterable[str] = AS_EDGE_TYPES,
@@ -331,20 +296,17 @@ def pagerank(
     implementation, independent of edge-list construction order.
     Dangling mass is redistributed uniformly each iteration.
     """
-    nodes = store._nodes
     key_of: dict[int, Any] = {}
-    for node_id in store._label_index.get(label, set()):
-        value = nodes[node_id].properties.get(key)
+    for node_id in store.label_ids(label):
+        value = store.node_property(node_id, key)
         if value is not None:
             key_of[node_id] = value
 
     edges: list[tuple[Any, Any]] = []
-    relationships = store._relationships
     for rel_type in rel_types:
-        for rel_id in store._rel_type_index.get(rel_type, ()):
-            rel = relationships[rel_id]
-            src = key_of.get(rel.start_id)
-            dst = key_of.get(rel.end_id)
+        for _, start_id, end_id in store.iter_edges(rel_type):
+            src = key_of.get(start_id)
+            dst = key_of.get(end_id)
             if src is not None and dst is not None:
                 edges.append((src, dst))
     keys = sorted({src for src, _ in edges} | {dst for _, dst in edges})
@@ -373,7 +335,7 @@ def pagerank(
 
 
 def betweenness_centrality(
-    store: GraphStore,
+    store: GraphReadStore,
     label: str = "AS",
     rel_types: Iterable[str] = AS_EDGE_TYPES,
     key: str = "asn",
@@ -385,25 +347,22 @@ def betweenness_centrality(
     undirected-graph convention.  Neighbor iteration is sorted so float
     accumulation is deterministic across runs.
     """
-    nodes = store._nodes
     key_of: dict[int, Any] = {}
-    for node_id in store._label_index.get(label, set()):
-        value = nodes[node_id].properties.get(key)
+    for node_id in store.label_ids(label):
+        value = store.node_property(node_id, key)
         if value is not None:
             key_of[node_id] = value
 
     adjacency: dict[int, set[int]] = {node_id: set() for node_id in key_of}
-    relationships = store._relationships
     for rel_type in rel_types:
-        for rel_id in store._rel_type_index.get(rel_type, ()):
-            rel = relationships[rel_id]
+        for _, start_id, end_id in store.iter_edges(rel_type):
             if (
-                rel.start_id in adjacency
-                and rel.end_id in adjacency
-                and rel.start_id != rel.end_id
+                start_id in adjacency
+                and end_id in adjacency
+                and start_id != end_id
             ):
-                adjacency[rel.start_id].add(rel.end_id)
-                adjacency[rel.end_id].add(rel.start_id)
+                adjacency[start_id].add(end_id)
+                adjacency[end_id].add(start_id)
 
     ordered = sorted(adjacency)
     neighbors = {node_id: sorted(adjacency[node_id]) for node_id in ordered}
@@ -443,7 +402,7 @@ def betweenness_centrality(
 
 
 def k_reach(
-    store: GraphStore,
+    store: GraphReadStore,
     node_id: int,
     k: int,
     rel_type: str | None = None,
@@ -462,7 +421,7 @@ def k_reach(
     for depth in range(1, k + 1):
         next_frontier: list[int] = []
         for current in frontier:
-            for neighbor in _neighbors(store, current, rel_type, direction):
+            for neighbor in store.neighbor_ids(current, rel_type, direction):
                 if neighbor not in seen:
                     seen.add(neighbor)
                     depths[neighbor] = depth
@@ -473,36 +432,7 @@ def k_reach(
     return depths
 
 
-def _neighbors(
-    store: GraphStore,
-    node_id: int,
-    rel_type: str | None,
-    direction: Direction,
-) -> Iterable[int]:
-    relationships = store._relationships
-    if direction in (Direction.OUT, Direction.BOTH):
-        partition = store._outgoing.get(node_id)
-        if partition:
-            if rel_type is None:
-                buckets: Iterable[Iterable[int]] = partition.values()
-            else:
-                buckets = (partition.get(rel_type, ()),)
-            for rel_ids in buckets:
-                for rel_id in rel_ids:
-                    yield relationships[rel_id].end_id
-    if direction in (Direction.IN, Direction.BOTH):
-        partition = store._incoming.get(node_id)
-        if partition:
-            if rel_type is None:
-                buckets = partition.values()
-            else:
-                buckets = (partition.get(rel_type, ()),)
-            for rel_ids in buckets:
-                for rel_id in rel_ids:
-                    yield relationships[rel_id].start_id
-
-
-def customer_cones(store: GraphStore) -> dict[Any, set[Any]]:
+def customer_cones(store: GraphReadStore) -> dict[Any, set[Any]]:
     """AS customer cones from BGPKIT provider-to-customer links.
 
     Provider links are ``(:AS)-[:PEERS_WITH {rel: 1}]->(:AS)`` with the
@@ -510,16 +440,13 @@ def customer_cones(store: GraphStore) -> dict[Any, set[Any]]:
     a stub AS's cone is just itself.  Cycle handling matches the
     synthetic-world builder (see :func:`transitive_closure`).
     """
-    nodes = store._nodes
     asn_of: dict[int, Any] = {}
-    for node_id in store._label_index.get("AS", set()):
-        asn = nodes[node_id].properties.get("asn")
+    for node_id in store.label_ids("AS"):
+        asn = store.node_property(node_id, "asn")
         if asn is not None:
             asn_of[node_id] = asn
     customers: dict[Any, list[Any]] = {}
-    relationships = store._relationships
-    for rel_id in store._rel_type_index.get("PEERS_WITH", ()):
-        rel = relationships[rel_id]
+    for rel in store.relationships_with_type("PEERS_WITH"):
         if rel.properties.get("rel") != PROVIDER_REL_VALUE:
             continue
         provider = asn_of.get(rel.start_id)

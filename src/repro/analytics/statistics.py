@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.analytics.measures import degree_histograms, weakly_connected_components
-from repro.graphdb.store import GraphStore
+from repro.graphdb.interface import GraphReadStore
 
 #: How many of the largest component sizes to retain in the summary.
 TOP_COMPONENT_SIZES = 10
@@ -121,24 +121,23 @@ class GraphStatistics:
         )
 
 
-def compute_statistics(store: GraphStore, components: bool = True) -> GraphStatistics:
+def compute_statistics(store: GraphReadStore, components: bool = True) -> GraphStatistics:
     """Measure ``store`` in a few linear passes.
 
     ``components=False`` skips the union-find pass for callers that only
     need cardinalities (e.g. per-request serving-state construction).
     """
-    nodes = store._nodes
     label_counts = store.label_counts()
 
     out_totals: dict[tuple[str, str], int] = {}
     in_totals: dict[tuple[str, str], int] = {}
-    for rel in store._relationships.values():
-        for label in nodes[rel.start_id].labels:
-            for rel_key in (rel.type, "*"):
+    for rel_type, start_id, end_id in store.iter_edges():
+        for label in store.node_labels(start_id):
+            for rel_key in (rel_type, "*"):
                 key = (label, rel_key)
                 out_totals[key] = out_totals.get(key, 0) + 1
-        for label in nodes[rel.end_id].labels:
-            for rel_key in (rel.type, "*"):
+        for label in store.node_labels(end_id):
+            for rel_key in (rel_type, "*"):
                 key = (label, rel_key)
                 in_totals[key] = in_totals.get(key, 0) + 1
     expansions: dict[tuple[str, str, str], float] = {}

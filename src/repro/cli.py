@@ -486,6 +486,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"relationships in {report.total_seconds:.1f}s"
         )
         store = iyp.store
+    if args.workers > 1 and args.backend != "columnar":
+        print("--workers N (N>1) requires --backend columnar", file=sys.stderr)
+        return 1
+    if args.backend == "columnar":
+        if args.workers > 1:
+            return _serve_pool(args, store, archive, snapshot_label)
+        from repro.columnar import ColumnarGraphStore
+
+        print("Building columnar arrays (read-only backend)...")
+        store = ColumnarGraphStore.from_store(store)
     service = QueryService(
         store,
         max_concurrent=args.max_concurrent,
@@ -534,6 +544,142 @@ def cmd_serve(args: argparse.Namespace) -> int:
             statements = service.statements.format_text()
             if statements:
                 print(statements)
+    return 0
+
+
+def _serve_pool(
+    args: argparse.Namespace, store, archive, snapshot_label: str | None
+) -> int:
+    """Multi-process serving: pack the graph into shared memory and
+    pre-fork ``--workers`` query processes onto one listening socket.
+
+    Hot swap is parent-driven here (``/admin/swap`` would only reach
+    whichever worker accepted the connection): with ``--watch`` the
+    parent polls the archive, packs new snapshots into fresh segments,
+    and broadcasts them to every worker; the old segment is unlinked
+    once all workers acknowledge.
+    """
+    import multiprocessing
+    import signal
+    import time as time_mod
+
+    from repro.columnar.pool import WorkerPool
+    from repro.columnar.shm import pack_store
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("--workers requires fork support (POSIX)", file=sys.stderr)
+        return 1
+    # SIGTERM (docker stop, systemd) must unwind like Ctrl-C so the
+    # shared-memory segment is unlinked, not leaked in /dev/shm.
+    signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(0))
+    print(f"Packing {store.node_count:,} nodes into shared memory...")
+    manifest = pack_store(store)
+    pool = WorkerPool(
+        manifest,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        service_config={
+            "max_concurrent": args.max_concurrent,
+            "default_timeout": args.timeout,
+            "default_max_rows": args.max_rows,
+            "cache_size": args.cache_size,
+            "tracing": not args.no_trace,
+            "slow_query_seconds": args.slow_query_threshold,
+            "snapshot_label": snapshot_label,
+        },
+    )
+    pool.start()
+    host, port = pool.address
+    print(
+        f"Serving {manifest.nodes:,} nodes / "
+        f"{manifest.relationships:,} relationships on http://{host}:{port} "
+        f"({args.workers} worker processes, backend columnar, "
+        f"segment {manifest.name})"
+    )
+    last_label = snapshot_label
+    try:
+        while True:
+            time_mod.sleep(args.watch if args.watch else 3600.0)
+            if archive is None or not args.watch:
+                continue
+            entry = archive.resolve("latest")
+            if entry.label == last_label:
+                continue
+            print(f"New snapshot {entry.label}; packing and swapping...")
+            new_manifest = pack_store(archive.load(entry))
+            summary = pool.swap(new_manifest, label=entry.label)
+            last_label = entry.label
+            print(
+                f"Swapped {summary['workers']} workers to {entry.label}; "
+                f"unlinked {summary['unlinked_segment']}"
+            )
+    except KeyboardInterrupt:
+        print("\nshutting down worker pool")
+    finally:
+        pool.stop()
+    return 0
+
+
+def cmd_store_info(args: argparse.Namespace) -> int:
+    """Describe a graph store: composition plus the estimated memory
+    footprint of each backend for the same data."""
+    import json
+
+    from repro.columnar import ColumnarGraphStore
+
+    if args.snapshot:
+        print(f"Loading snapshot {args.snapshot}...", file=sys.stderr)
+        store = load_snapshot(args.snapshot)
+    else:
+        world = build_world(_SCALES[args.scale](seed=args.seed))
+        iyp, _report = build_iyp(world)
+        store = iyp.store
+    columnar = ColumnarGraphStore.from_store(store)
+    info = {
+        "nodes": store.node_count,
+        "relationships": store.relationship_count,
+        "labels": dict(sorted(store.label_counts().items())),
+        "relationship_types": dict(
+            sorted(store.relationship_type_counts().items())
+        ),
+        "indexes": [list(pair) for pair in store.indexes()],
+        "constraints": [list(pair) for pair in store.constraints()],
+        "backends": {
+            store.backend_name: store.memory_info(),
+            columnar.backend_name: columnar.memory_info(),
+        },
+    }
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    print(f"nodes:         {info['nodes']:,}")
+    print(f"relationships: {info['relationships']:,}")
+    print("labels:")
+    for label, count in info["labels"].items():
+        print(f"  {label:<24} {count:>10,}")
+    print("relationship types:")
+    for rel_type, count in info["relationship_types"].items():
+        print(f"  {rel_type:<24} {count:>10,}")
+    print(f"indexes:       {', '.join(':'.join(p) for p in info['indexes']) or '-'}")
+    print(
+        "constraints:   "
+        f"{', '.join(':'.join(p) for p in info['constraints']) or '-'}"
+    )
+    print("estimated memory footprint (bytes):")
+    backends = info["backends"]
+    components = sorted(
+        {key for sizes in backends.values() for key in sizes}
+    )
+    header = f"  {'component':<22}" + "".join(
+        f"{name:>14}" for name in sorted(backends)
+    )
+    print(header)
+    for component in components:
+        row = f"  {component:<22}"
+        for name in sorted(backends):
+            row += f"{backends[name].get(component, 0):>14,}"
+        print(row)
     return 0
 
 
@@ -891,7 +1037,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-trace", action="store_true",
         help="disable span tracing and per-query profiling",
     )
+    serve.add_argument(
+        "--backend", choices=("dict", "columnar"), default="dict",
+        help="store backend: the mutable dict-of-objects store, or the "
+             "read-only columnar array store (shareable across processes)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="with --backend columnar: pre-fork N query processes "
+             "attached to one shared-memory graph segment",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    store_info = sub.add_parser(
+        "store-info",
+        help="graph composition and per-backend memory footprint",
+    )
+    store_info.add_argument(
+        "--snapshot", help="snapshot file to inspect (default: build a world)"
+    )
+    store_info.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    store_info.add_argument("--seed", type=int, default=20240501)
+    store_info.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    store_info.set_defaults(func=cmd_store_info)
 
     top = sub.add_parser(
         "top", help="live statement monitor against a running server"

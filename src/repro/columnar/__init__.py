@@ -1,0 +1,35 @@
+"""Columnar GraphStore backend with shared-memory multi-process serving.
+
+This package promotes the IYP2 snapshot's columnar NODES/RELS/SHAPES
+layout (:mod:`repro.archive.format`) from a dump format to a live
+storage engine:
+
+- :mod:`repro.columnar.store` — :class:`ColumnarGraphStore`, a read-only
+  :class:`repro.graphdb.interface.GraphReadStore` backend holding the
+  graph as int-id arrays: an interned string table, per-(node, type,
+  direction) CSR adjacency, and columnar property storage.  Built from
+  the same ``from_records`` stream the dict backend consumes, without
+  materializing per-entity dict objects.
+- :mod:`repro.columnar.shm` — packs those arrays into one
+  ``multiprocessing.shared_memory`` segment described by a small
+  picklable :class:`SegmentManifest`; any process can attach read-only
+  and reconstruct the store without copying the graph.
+- :mod:`repro.columnar.pool` — :class:`WorkerPool`, a pre-forked set of
+  query server processes sharing one listening socket and one segment,
+  with parent-driven hot swap (publish new segment, drain, unlink old).
+
+The Cypher engine, matcher, planner statistics, analytics procedures,
+and archive loader all run unchanged against this backend because they
+only touch the :class:`~repro.graphdb.interface.GraphReadStore`
+contract.
+"""
+
+from repro.columnar.shm import SegmentManifest, attach_manifest, pack_store
+from repro.columnar.store import ColumnarGraphStore
+
+__all__ = [
+    "ColumnarGraphStore",
+    "SegmentManifest",
+    "attach_manifest",
+    "pack_store",
+]

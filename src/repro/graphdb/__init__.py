@@ -4,14 +4,24 @@ This package is the reproduction's substitute for Neo4j (Section 3.1 of
 the paper): a label/property graph with hash indexes, uniqueness
 constraints, adjacency lists, and gzip-JSON snapshots standing in for the
 paper's weekly database dumps.  The Cypher-subset query engine in
-:mod:`repro.cypher` executes against :class:`GraphStore`.
+:mod:`repro.cypher` executes against any backend implementing the
+:class:`GraphReadStore` contract — the dict-of-objects
+:class:`GraphStore` here, or the read-only columnar backend in
+:mod:`repro.columnar`.
 """
 
 from repro.graphdb.errors import (
     ConstraintViolationError,
+    DanglingEndpointError,
     GraphError,
     NoSuchNodeError,
     NoSuchRelationshipError,
+    ReadOnlyStoreError,
+)
+from repro.graphdb.interface import (
+    GraphReadStore,
+    GraphStoreLike,
+    GraphWriteStore,
 )
 from repro.graphdb.model import Direction, Node, Relationship
 from repro.graphdb.rwlock import RWLock
@@ -20,14 +30,19 @@ from repro.graphdb.store import GraphStore, directional_count
 
 __all__ = [
     "ConstraintViolationError",
+    "DanglingEndpointError",
     "Direction",
     "GraphError",
+    "GraphReadStore",
     "GraphStore",
+    "GraphStoreLike",
+    "GraphWriteStore",
     "directional_count",
     "NoSuchNodeError",
     "NoSuchRelationshipError",
     "Node",
     "RWLock",
+    "ReadOnlyStoreError",
     "Relationship",
     "load_snapshot",
     "save_snapshot",

@@ -33,6 +33,7 @@ from typing import Any, Iterable, Iterator, Mapping
 
 from repro.graphdb.errors import (
     ConstraintViolationError,
+    DanglingEndpointError,
     NoSuchNodeError,
     NoSuchRelationshipError,
 )
@@ -115,6 +116,11 @@ class GraphStore:
     # ------------------------------------------------------------------
 
     @property
+    def backend_name(self) -> str:
+        """Short backend identifier for /stats and ``repro store-info``."""
+        return "dict"
+
+    @property
     def version(self) -> int:
         """Monotonic mutation counter; bumps on every write."""
         return self._version
@@ -189,6 +195,141 @@ class GraphStore:
         return directional_count(out, inbound, loops, direction)
 
     # ------------------------------------------------------------------
+    # Bulk accessors (the backend-neutral seam the analytics layer and
+    # planner statistics iterate — see repro.graphdb.interface)
+    # ------------------------------------------------------------------
+
+    def node_ids(self) -> Iterable[int]:
+        """Every node id, without materializing nodes."""
+        return self._nodes.keys()
+
+    def label_ids(self, label: str) -> Iterable[int]:
+        """Ids of the nodes carrying ``label`` (a live set: do not mutate)."""
+        return self._label_index.get(label, ())
+
+    def node_labels(self, node_id: int) -> frozenset[str]:
+        """The label set of one node (shared frozenset, do not mutate)."""
+        return self._require_node(node_id).labels
+
+    def node_property(self, node_id: int, key: str) -> Any:
+        """One property value of one node, or None when absent."""
+        return self._require_node(node_id).properties.get(key)
+
+    def iter_edges(
+        self, rel_type: str | None = None
+    ) -> Iterator[tuple[str, int, int]]:
+        """Yield ``(rel_type, start_id, end_id)`` per relationship.
+
+        The analytics edge-list primitive: component labelling, PageRank
+        and betweenness all consume endpoints only, so no property dicts
+        are touched.
+        """
+        if rel_type is None:
+            for rel in self._relationships.values():
+                yield rel.type, rel.start_id, rel.end_id
+        else:
+            relationships = self._relationships
+            for rel_id in self._rel_type_index.get(rel_type, ()):
+                rel = relationships[rel_id]
+                yield rel.type, rel.start_id, rel.end_id
+
+    def typed_degrees(self, node_id: int) -> dict[str, tuple[int, int, int]]:
+        """``{rel_type: (out, in, loops)}`` for the types a node touches."""
+        out_part = self._outgoing.get(node_id) or {}
+        in_part = self._incoming.get(node_id) or {}
+        loop_part = self._loop_counts.get(node_id) or {}
+        result: dict[str, tuple[int, int, int]] = {}
+        for rel_type in set(out_part) | set(in_part):
+            result[rel_type] = (
+                len(out_part.get(rel_type, ())),
+                len(in_part.get(rel_type, ())),
+                loop_part.get(rel_type, 0),
+            )
+        return result
+
+    def neighbor_ids(
+        self,
+        node_id: int,
+        rel_type: str | None = None,
+        direction: Direction = Direction.BOTH,
+    ) -> Iterator[int]:
+        """Neighbor node ids, one per incident relationship.
+
+        The BFS primitive behind ``k_reach``: no Relationship objects
+        are materialized.  A self-loop under ``Direction.BOTH`` yields
+        the node twice (once per partition), matching the raw adjacency;
+        traversals dedupe through their visited sets.
+        """
+        relationships = self._relationships
+        if direction in (Direction.OUT, Direction.BOTH):
+            partition = self._outgoing.get(node_id)
+            if partition:
+                buckets: Iterable[Iterable[int]] = (
+                    partition.values()
+                    if rel_type is None
+                    else (partition.get(rel_type, ()),)
+                )
+                for rel_ids in buckets:
+                    for rel_id in rel_ids:
+                        yield relationships[rel_id].end_id
+        if direction in (Direction.IN, Direction.BOTH):
+            partition = self._incoming.get(node_id)
+            if partition:
+                buckets = (
+                    partition.values()
+                    if rel_type is None
+                    else (partition.get(rel_type, ()),)
+                )
+                for rel_ids in buckets:
+                    for rel_id in rel_ids:
+                        yield relationships[rel_id].start_id
+
+    def memory_info(self) -> dict[str, int]:
+        """Estimated heap footprint in bytes, by component.
+
+        ``sys.getsizeof`` sums over the object graph: container shells
+        plus per-entity property dicts and their scalar values.  Interned
+        strings shared across entities are counted once per occurrence —
+        this is an estimate for capacity planning, not an audit.
+        """
+        import sys
+
+        def sized(value: Any) -> int:
+            total = sys.getsizeof(value)
+            if isinstance(value, dict):
+                total += sum(sized(k) + sized(v) for k, v in value.items())
+            elif isinstance(value, (list, tuple, set, frozenset)):
+                total += sum(sized(item) for item in value)
+            return total
+
+        nodes = sum(
+            sys.getsizeof(node) + sized(node.properties)
+            for node in self._nodes.values()
+        ) + sys.getsizeof(self._nodes)
+        rels = sum(
+            sys.getsizeof(rel) + sized(rel.properties)
+            for rel in self._relationships.values()
+        ) + sys.getsizeof(self._relationships)
+        adjacency = sum(
+            sized(partition)
+            for mapping in (self._outgoing, self._incoming, self._loop_counts)
+            for partition in mapping.values()
+        ) + sized(self._edge_index)
+        indexes = (
+            sized(self._label_index)
+            + sized(self._property_index)
+            + sized(self._rel_type_index)
+        )
+        total = nodes + rels + adjacency + indexes
+        return {
+            "nodes_bytes": nodes,
+            "relationships_bytes": rels,
+            "adjacency_bytes": adjacency,
+            "indexes_bytes": indexes,
+            "total_bytes": total,
+        }
+
+    # ------------------------------------------------------------------
     # Bulk loading
     # ------------------------------------------------------------------
 
@@ -206,11 +347,14 @@ class GraphStore:
         (:mod:`repro.archive.format`): instead of replaying one locked
         ``create_node``/``create_relationship`` call per entity, the
         internal maps are populated in bulk and the hash indexes built in
-        a single pass afterwards.  Records are trusted to come from a
-        consistent store — ids must be unique and endpoints must exist —
-        but uniqueness constraints are still re-checked against the
-        finished indexes (a cheap scan over distinct values) so a
-        corrupted dump cannot smuggle duplicates past a constraint.
+        a single pass afterwards.  Ids are trusted to be unique, but
+        relationship endpoints are validated against the node records —
+        a dangling endpoint raises :class:`DanglingEndpointError` with
+        the offending record's position instead of surfacing later as a
+        ``KeyError`` mid-query — and uniqueness constraints are
+        re-checked against the finished indexes (a cheap scan over
+        distinct values) so a corrupted dump cannot smuggle duplicates
+        past a constraint.
 
         ``nodes`` yields ``(id, labels, properties)``; ``relationships``
         yields ``(id, type, start_id, end_id, properties)``.  Property
@@ -251,7 +395,16 @@ class GraphStore:
             outgoing, incoming = store._outgoing, store._incoming
             loop_counts = store._loop_counts
             edge_index, type_index = store._edge_index, store._rel_type_index
-            for rel_id, rel_type, start_id, end_id, props in relationships:
+            for position, (rel_id, rel_type, start_id, end_id, props) in enumerate(
+                relationships
+            ):
+                # Endpoint validation: a dangling endpoint admitted here
+                # would otherwise surface later as a KeyError in the
+                # middle of a query expansion.
+                if start_id not in node_map:
+                    raise DanglingEndpointError(position, rel_id, "start", start_id)
+                if end_id not in node_map:
+                    raise DanglingEndpointError(position, rel_id, "end", end_id)
                 rel_map[rel_id] = Relationship(
                     rel_id, rel_type, start_id, end_id, props
                 )

@@ -115,7 +115,7 @@ CONTAINER_METHOD_NAMES = MUTATOR_METHODS | frozenset({
 
 #: Packages whose modules must not hold module-level mutable state
 #: (every request thread shares them); matched on the file path.
-SHARED_STATE_PACKAGES = ("server", "obs")
+SHARED_STATE_PACKAGES = ("server", "obs", "columnar")
 
 _IGNORE_RE = re.compile(r"#\s*concurrency:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 
@@ -1080,7 +1080,14 @@ class ConcurrencyAnalyzer:
 # ---------------------------------------------------------------------------
 
 #: Packages (relative to the ``repro`` package root) analyzed by default.
-DEFAULT_PACKAGES = ("graphdb", "server", "obs", "archive", "concurrency")
+DEFAULT_PACKAGES = (
+    "graphdb",
+    "server",
+    "obs",
+    "archive",
+    "concurrency",
+    "columnar",
+)
 
 #: Individual extra modules analyzed by default.
 DEFAULT_EXTRA_FILES = ("cypher/lru.py",)

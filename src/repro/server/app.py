@@ -850,6 +850,7 @@ class QueryService:
         store = state.store
         with store.read_lock():
             graph = {
+                "backend": store.backend_name,
                 "nodes": store.node_count,
                 "relationships": store.relationship_count,
                 "labels": dict(sorted(store.label_counts().items())),
