@@ -12,6 +12,11 @@ worker pool forks query processes that share the packed graph segment
 and accept from the same listening socket, so throughput scales with
 cores.
 
+The pool is swept across a worker curve (powers of two up to the
+host's schedulable CPUs, always including the gated worker count) so
+``BENCH_multiproc.json`` records the scaling *shape* — where adding
+processes stops paying — alongside the single gated point.
+
 Results go to ``benchmarks/BENCH_multiproc.json``.  The 2.5x speedup
 floor from the committed ``benchmarks/multiproc_baseline.json`` is a
 *parallelism* gate: it is enforced only where parallelism exists (4+
@@ -41,6 +46,9 @@ BASELINE_PATH = Path(__file__).parent / "multiproc_baseline.json"
 
 CPUS = len(os.sched_getaffinity(0))
 POOL_WORKERS = max(2, min(4, CPUS))
+#: Worker counts for the scaling curve: powers of two up to the host's
+#: schedulable CPUs, always including the gated POOL_WORKERS point.
+WORKER_CURVE = sorted({w for w in (1, 2, 4, 8) if w <= CPUS} | {POOL_WORKERS})
 CLIENT_THREADS = 8
 REQUESTS_PER_CLIENT = 40
 
@@ -127,19 +135,34 @@ def test_worker_pool_throughput(bench_iyp):
         server.server_close()
         server_thread.join(10)
 
-    # Contender: the forked columnar pool on the packed segment.
-    manifest = pack_store(bench_iyp.store)
-    pool = WorkerPool(
-        manifest,
-        workers=POOL_WORKERS,
-        service_config={"max_concurrent": CLIENT_THREADS, "cache_size": 1},
-    )
-    try:
-        pool.start()
-        host, port = pool.address
-        pool_qps = _measure_qps(host, port, warm_passes=3 * POOL_WORKERS)
-    finally:
-        pool.stop()
+    # Contender: the forked columnar pool on the packed segment, swept
+    # across the worker curve so the scaling shape is recorded, not
+    # just the single gated point.
+    curve: list[dict] = []
+    for workers in WORKER_CURVE:
+        # Pack anew per sweep point: stop() unlinks the shared segment
+        # (the pool owns its lifecycle), so a manifest cannot be reused.
+        manifest = pack_store(bench_iyp.store)
+        pool = WorkerPool(
+            manifest,
+            workers=workers,
+            service_config={"max_concurrent": CLIENT_THREADS, "cache_size": 1},
+        )
+        try:
+            pool.start()
+            host, port = pool.address
+            qps = _measure_qps(host, port, warm_passes=3 * workers)
+        finally:
+            pool.stop()
+        curve.append(
+            {
+                "workers": workers,
+                "qps": round(qps, 1),
+                "speedup_vs_threaded": round(qps / dict_qps, 2),
+            }
+        )
+    by_workers = {point["workers"]: point for point in curve}
+    pool_qps = by_workers[POOL_WORKERS]["qps"]
 
     speedup = pool_qps / dict_qps
     results = {
@@ -152,18 +175,20 @@ def test_worker_pool_throughput(bench_iyp):
         "dict_threaded_qps": round(dict_qps, 1),
         "columnar_pool_qps": round(pool_qps, 1),
         "speedup": round(speedup, 2),
+        "worker_scaling": curve,
     }
     BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
     record_comparison(
         "Serving throughput (multi-process pool vs threaded)",
         ["configuration", "QPS", "speedup"],
-        [
-            ["dict store, 1 process (threaded)", results["dict_threaded_qps"], "1.0x"],
+        [["dict store, 1 process (threaded)", results["dict_threaded_qps"], "1.0x"]]
+        + [
             [
-                f"columnar pool, {POOL_WORKERS} processes",
-                results["columnar_pool_qps"],
-                f"{results['speedup']}x",
-            ],
+                f"columnar pool, {point['workers']} process(es)",
+                point["qps"],
+                f"{point['speedup_vs_threaded']}x",
+            ]
+            for point in curve
         ],
     )
 

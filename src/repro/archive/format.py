@@ -95,6 +95,18 @@ class SnapshotFormatError(ValueError):
 # ---------------------------------------------------------------------------
 
 
+def pack_header(magic: bytes, version: int) -> bytes:
+    """The fixed file header for a framed file (magic + format version)."""
+    return _HEADER.pack(magic, version)
+
+
+def write_section(
+    handle: BinaryIO, kind: int, payload_obj: Any, compress: bool
+) -> None:
+    """Frame and write one section (public seam for sibling formats)."""
+    _write_section(handle, kind, payload_obj, compress)
+
+
 def _write_section(
     handle: BinaryIO, kind: int, payload_obj: Any, compress: bool
 ) -> None:
@@ -218,30 +230,43 @@ def save_snapshot_v2(
 # ---------------------------------------------------------------------------
 
 
-def _check_header(handle: BinaryIO, path: Path) -> None:
+def _check_header(
+    handle: BinaryIO,
+    path: Path,
+    magic: bytes = MAGIC,
+    version: int = FORMAT_VERSION,
+) -> None:
     header = handle.read(_HEADER.size)
     if len(header) < _HEADER.size:
         raise SnapshotFormatError(f"{path}: truncated before the header")
-    magic, version = _HEADER.unpack(header)
-    if magic != MAGIC:
-        raise SnapshotFormatError(f"{path}: not a v2 snapshot (bad magic)")
-    if version != FORMAT_VERSION:
+    file_magic, file_version = _HEADER.unpack(header)
+    if file_magic != magic:
         raise SnapshotFormatError(
-            f"{path}: unsupported v2 format version {version}"
+            f"{path}: bad magic (expected {magic!r}, got {file_magic!r})"
+        )
+    if file_version != version:
+        raise SnapshotFormatError(
+            f"{path}: unsupported format version {file_version}"
         )
 
 
-def read_sections(path: str | Path) -> Iterator[tuple[int, Any]]:
-    """Stream ``(kind, decoded payload)`` pairs from a v2 snapshot.
+def read_sections(
+    path: str | Path,
+    magic: bytes = MAGIC,
+    version: int = FORMAT_VERSION,
+) -> Iterator[tuple[int, Any]]:
+    """Stream ``(kind, decoded payload)`` pairs from a framed file.
 
     Each section's CRC is verified before its payload is decompressed
     and decoded; a missing END section (a partially written file) raises
     :class:`SnapshotFormatError`.  Unknown section kinds are yielded
-    as-is so callers may skip them.
+    as-is so callers may skip them.  ``magic``/``version`` default to the
+    v2 snapshot header; the delta format (:mod:`repro.delta.format`)
+    reuses the same framing under its own magic.
     """
     path = Path(path)
     with open(path, "rb") as handle:
-        _check_header(handle, path)
+        _check_header(handle, path, magic, version)
         while True:
             frame = handle.read(_FRAME.size)
             if len(frame) < _FRAME.size:

@@ -63,6 +63,13 @@ class ArchiveEntry:
     #: build time — statistics plus precomputed procedure rows.  Older
     #: manifests simply lack the key (loaded as None).
     analytics: dict[str, Any] | None = None
+    #: ``"full"`` for a complete dump, ``"delta"`` for an IYPD delta file
+    #: (format 3) applied on top of ``base``.  Older manifests lack the
+    #: keys and load as full snapshots.
+    kind: str = "full"
+    #: For delta entries: the label of the entry this delta applies to
+    #: (itself possibly a delta — chains resolve back to a full snapshot).
+    base: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -76,6 +83,8 @@ class ArchiveEntry:
             "build": self.build,
             "delta": self.delta,
             "analytics": self.analytics,
+            "kind": self.kind,
+            "base": self.base,
         }
 
     @classmethod
@@ -91,6 +100,8 @@ class ArchiveEntry:
             build=data.get("build"),
             delta=data.get("delta"),
             analytics=data.get("analytics"),
+            kind=data.get("kind", "full"),
+            base=data.get("base", ""),
         )
 
 
@@ -213,6 +224,73 @@ class SnapshotArchive:
             self.prune(self.retention)
         return entry
 
+    def add_delta(
+        self,
+        store: GraphStore,
+        batch: Any,
+        label: str,
+        *,
+        base: str = "latest",
+        build: Mapping[str, Any] | None = None,
+        created_at: str = "",
+        analytics: Mapping[str, Any] | None = None,
+    ) -> ArchiveEntry:
+        """Archive a :class:`~repro.delta.records.DeltaBatch` under ``label``.
+
+        ``store`` is the graph *after* the batch (its counts go in the
+        manifest, like a full entry's); ``base`` selects the entry the
+        batch was extracted against — the written IYPD file embeds that
+        entry's checksum so chain loads and replica appliers can refuse
+        a delta shipped against the wrong base.  Loading a delta entry
+        resolves its base chain back to the nearest full snapshot and
+        replays each batch in order (see :meth:`load`).
+        """
+        from repro.delta.format import save_delta
+
+        if not created_at:
+            created_at = utc_timestamp()
+        entries = self.entries()
+        if any(entry.label == label for entry in entries):
+            raise ValueError(f"archive already has a snapshot labelled {label!r}")
+        base_entry = self.resolve(base)
+        tmp = self.root / f".{label}.iypd.tmp"
+        save_delta(
+            batch,
+            tmp,
+            base_label=base_entry.label,
+            base_checksum=base_entry.checksum,
+            nodes_after=store.node_count,
+            relationships_after=store.relationship_count,
+        )
+        checksum = _sha256(tmp)
+        existing = next((e for e in entries if e.checksum == checksum), None)
+        if existing is not None:
+            tmp.unlink()
+            filename = existing.filename
+        else:
+            filename = f"{label}.iypd"
+            tmp.replace(self.root / filename)
+        entry = ArchiveEntry(
+            label=label,
+            filename=filename,
+            format=3,
+            checksum=checksum,
+            nodes=store.node_count,
+            relationships=store.relationship_count,
+            created_at=created_at,
+            build=dict(build) if build is not None else None,
+            delta={"vs": base_entry.label, "identical": batch.empty,
+                   **batch.counts()},
+            analytics=dict(analytics) if analytics is not None else None,
+            kind="delta",
+            base=base_entry.label,
+        )
+        entries.append(entry)
+        self._write_manifest(entries)
+        if self.retention is not None:
+            self.prune(self.retention)
+        return entry
+
     # -- resolving and loading --------------------------------------------
 
     def resolve(self, selector: str) -> ArchiveEntry:
@@ -242,9 +320,65 @@ class SnapshotArchive:
         return self.root / entry.filename
 
     def load(self, selector: str | ArchiveEntry) -> GraphStore:
-        """Load an archived snapshot into a fresh store."""
+        """Load an archived snapshot into a fresh store.
+
+        Delta entries load their base chain: the nearest full snapshot
+        is loaded and each delta batch replayed in order, verifying at
+        every hop that the batch was extracted against the checksum the
+        chain provides.
+        """
         entry = selector if isinstance(selector, ArchiveEntry) else self.resolve(selector)
-        return load_snapshot(self.path(entry))
+        if entry.kind != "delta":
+            return load_snapshot(self.path(entry))
+        return self._load_chain(entry)
+
+    def delta_chain(
+        self, entry: ArchiveEntry
+    ) -> tuple[ArchiveEntry, list[ArchiveEntry]]:
+        """``(full base entry, delta entries oldest-first)`` for ``entry``.
+
+        For a full entry the delta list is empty.  Raises ``KeyError``
+        when a base has been pruned away and
+        :class:`SnapshotFormatError` on a base-pointer cycle.
+        """
+        by_label = {e.label: e for e in self.entries()}
+        chain: list[ArchiveEntry] = []
+        seen: set[str] = set()
+        current = entry
+        while current.kind == "delta":
+            if current.label in seen:
+                raise SnapshotFormatError(
+                    f"delta base chain cycles at {current.label!r}"
+                )
+            seen.add(current.label)
+            chain.append(current)
+            base = by_label.get(current.base)
+            if base is None:
+                raise KeyError(
+                    f"delta {current.label!r} references missing base "
+                    f"{current.base!r}"
+                )
+            current = base
+        return current, list(reversed(chain))
+
+    def _load_chain(self, entry: ArchiveEntry) -> GraphStore:
+        from repro.delta import apply_delta
+        from repro.delta.format import load_delta
+
+        base, deltas = self.delta_chain(entry)
+        store = load_snapshot(self.path(base))
+        expected_checksum = base.checksum
+        for delta_entry in deltas:
+            batch, meta = load_delta(self.path(delta_entry))
+            if meta.get("base_checksum") != expected_checksum:
+                raise SnapshotFormatError(
+                    f"{delta_entry.label}: built against base checksum "
+                    f"{str(meta.get('base_checksum'))[:12]}…, chain provides "
+                    f"{expected_checksum[:12]}…"
+                )
+            apply_delta(store, batch)
+            expected_checksum = delta_entry.checksum
+        return store
 
     def info(self, selector: str) -> dict[str, Any]:
         """One entry's manifest record plus its on-disk size."""
@@ -265,7 +399,9 @@ class SnapshotArchive:
         graph — catching decode regressions, not just bit rot.
         """
         report = VerificationReport()
-        for entry in self.entries():
+        entries = self.entries()
+        by_label = {entry.label: entry for entry in entries}
+        for entry in entries:
             report.entries_checked += 1
             path = self.path(entry)
             if not path.exists():
@@ -278,6 +414,36 @@ class SnapshotArchive:
                     f"(manifest {entry.checksum[:12]}…, file {checksum[:12]}…)"
                 )
                 continue
+            if entry.format == 3:
+                from repro.delta.format import read_delta_meta
+
+                try:
+                    meta = read_delta_meta(path)
+                except SnapshotFormatError as exc:
+                    report.problems.append(f"{entry.label}: {exc}")
+                    continue
+                if (meta["nodes"], meta["relationships"]) != (
+                    entry.nodes, entry.relationships
+                ):
+                    report.problems.append(
+                        f"{entry.label}: META counts {meta['nodes']}/"
+                        f"{meta['relationships']} disagree with manifest "
+                        f"{entry.nodes}/{entry.relationships}"
+                    )
+                    continue
+                base = by_label.get(entry.base)
+                if base is None:
+                    report.problems.append(
+                        f"{entry.label}: base {entry.base!r} missing from manifest"
+                    )
+                    continue
+                if meta.get("base_checksum") != base.checksum:
+                    report.problems.append(
+                        f"{entry.label}: file says base checksum "
+                        f"{str(meta.get('base_checksum'))[:12]}…, manifest base "
+                        f"{base.label!r} has {base.checksum[:12]}…"
+                    )
+                    continue
             if entry.format == 2:
                 try:
                     meta = read_meta(path)
@@ -316,15 +482,31 @@ class SnapshotArchive:
     def prune(self, keep: int) -> list[ArchiveEntry]:
         """Drop all but the newest ``keep`` entries; returns the removed.
 
-        Snapshot files are deleted only when no surviving entry still
-        references them (entries deduplicated by checksum share files).
+        Two kinds of sharing are respected: snapshot files are deleted
+        only when no surviving entry still references them (checksum
+        dedup), and the transitive base chain of every kept delta entry
+        is retained even when it falls outside the newest ``keep`` — a
+        delta without its base chain would be unloadable.
         """
         if keep < 1:
             raise ValueError("prune keeps at least one snapshot")
         entries = self.entries()
         if len(entries) <= keep:
             return []
-        removed, kept = entries[:-keep], entries[-keep:]
+        by_label = {entry.label: entry for entry in entries}
+        retained_labels = {entry.label for entry in entries[-keep:]}
+        for entry in entries[-keep:]:
+            current = entry
+            while current.kind == "delta":
+                base = by_label.get(current.base)
+                if base is None or base.label in retained_labels:
+                    break
+                retained_labels.add(base.label)
+                current = base
+        kept = [entry for entry in entries if entry.label in retained_labels]
+        removed = [entry for entry in entries if entry.label not in retained_labels]
+        if not removed:
+            return []
         surviving_files = {entry.filename for entry in kept}
         for entry in removed:
             if entry.filename not in surviving_files:

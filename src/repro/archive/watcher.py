@@ -1,12 +1,28 @@
-"""Directory watcher: hot-swap the served graph when the archive grows.
+"""Directory watcher: keep the served graph current as the archive grows.
 
 The paper's weekly cadence means a serving instance goes stale the
 moment a new dump lands.  :class:`ArchiveWatcher` closes that gap with
 zero downtime: a daemon thread polls the archive manifest and, when a
-new latest entry appears, loads it in the background and atomically
-swaps it into the running :class:`~repro.server.app.QueryService` —
-in-flight queries finish against the old store, new queries see the new
-one.
+new latest entry appears, brings the running
+:class:`~repro.server.app.QueryService` up to date — in-flight queries
+finish against the old state, new queries see the new one.
+
+Two mechanisms, chosen per entry:
+
+- **swap** (``repro serve --watch``): load the entry in the background
+  and atomically swap the whole serving state — always correct, O(world)
+  per update;
+- **follow** (``repro serve --follow``): when the new entries form a
+  delta chain on top of the currently served label and the store backend
+  supports in-place application, apply each
+  :class:`~repro.delta.records.DeltaBatch` under the store's write lock
+  instead — O(changes), no reload, no swap.  Anything that breaks the
+  chain (a full snapshot landed, the base checksum disagrees, the apply
+  fails) falls back to a full load-and-swap.
+
+Polling is cheap when nothing happens: the manifest's ``(mtime, size)``
+signature is cached and unchanged manifests are never re-read or
+re-parsed (``skipped_polls`` counts those fast exits).
 """
 
 from __future__ import annotations
@@ -18,13 +34,18 @@ log = logging.getLogger("repro.archive")
 
 
 class ArchiveWatcher:
-    """Polls an archive and swaps the service to each new latest entry."""
+    """Polls an archive and keeps the service on the latest entry."""
 
-    def __init__(self, service, archive, interval: float = 5.0):
+    def __init__(self, service, archive, interval: float = 5.0,
+                 follow: bool = False):
         self.service = service
         self.archive = archive
         self.interval = interval
+        self.follow = follow
         self.swaps = 0
+        self.delta_applies = 0
+        self.skipped_polls = 0
+        self._manifest_signature: tuple[int, int] | None = None
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name="archive-watcher", daemon=True
@@ -38,25 +59,96 @@ class ArchiveWatcher:
         if self._thread.is_alive():
             self._thread.join(timeout)
 
-    def _latest_label(self) -> str | None:
+    def _poll_entries(self):
+        """Manifest entries, or None when unchanged/unreadable.
+
+        The stat signature is recorded only after a successful parse, so
+        a torn write (manifest mid-replace) is retried next poll.
+        """
         try:
-            labels = self.archive.labels()
+            stat = self.archive.manifest_path.stat()
+        except OSError:
+            return None
+        signature = (stat.st_mtime_ns, stat.st_size)
+        if signature == self._manifest_signature:
+            self.skipped_polls += 1
+            return None
+        try:
+            entries = self.archive.entries()
         except Exception:  # noqa: BLE001 - a torn manifest write mid-read
             return None
-        return labels[-1] if labels else None
+        self._manifest_signature = signature
+        return entries
 
     def check_once(self) -> bool:
-        """One poll: swap if the latest entry changed; True when swapped."""
-        latest = self._latest_label()
-        if latest is None or latest == self.service.snapshot_label:
+        """One poll; True when the service moved to a newer entry."""
+        entries = self._poll_entries()
+        if not entries:
             return False
+        latest = entries[-1]
+        current = self.service.snapshot_label
+        if latest.label == current:
+            return False
+        if self.follow and self._apply_pending_deltas(entries, latest, current):
+            return True
         try:
-            self.service.load_and_swap(latest)
+            self.service.load_and_swap(latest.label)
         except Exception as exc:  # noqa: BLE001 - keep serving the old store
-            log.warning("archive watcher: swap to %r failed: %s", latest, exc)
+            log.warning("archive watcher: swap to %r failed: %s",
+                        latest.label, exc)
+            self._manifest_signature = None  # retry even if nothing new lands
             return False
         self.swaps += 1
-        log.info("archive watcher: swapped to %r", latest)
+        log.info("archive watcher: swapped to %r", latest.label)
+        return True
+
+    def _apply_pending_deltas(self, entries, latest, current: str | None) -> bool:
+        """Try to walk from ``current`` to ``latest`` by applying deltas.
+
+        Returns False (caller falls back to load-and-swap) whenever the
+        pending entries are not a clean delta chain rooted at what we
+        serve, the backend cannot apply in place, or an apply fails.
+        """
+        if current is None or not hasattr(self.service, "apply_delta"):
+            return False
+        store = getattr(self.service, "store", None)
+        if not hasattr(store, "apply_delta"):
+            return False
+        by_label = {entry.label: entry for entry in entries}
+        served = by_label.get(current)
+        if served is None:
+            return False
+        chain = []
+        cursor = latest
+        while cursor.label != current:
+            if cursor.kind != "delta" or len(chain) >= len(entries):
+                return False
+            chain.append(cursor)
+            cursor = by_label.get(cursor.base)
+            if cursor is None:
+                return False
+        try:
+            from repro.delta.format import load_delta
+
+            expected_checksum = served.checksum
+            for entry in reversed(chain):
+                batch, meta = load_delta(self.archive.path(entry))
+                if meta.get("base_checksum") != expected_checksum:
+                    raise ValueError(
+                        f"{entry.label}: base checksum mismatch "
+                        f"(chain expects {expected_checksum[:12]}…)"
+                    )
+                self.service.apply_delta(batch, label=entry.label)
+                self.delta_applies += 1
+                expected_checksum = entry.checksum
+        except Exception as exc:  # noqa: BLE001 - fall back to full swap
+            log.warning(
+                "archive watcher: delta follow to %r failed (%s); "
+                "falling back to load-and-swap", latest.label, exc,
+            )
+            return False
+        log.info("archive watcher: applied %d delta(s), now at %r",
+                 len(chain), latest.label)
         return True
 
     def _run(self) -> None:

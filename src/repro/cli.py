@@ -334,13 +334,23 @@ def cmd_diff(args: argparse.Namespace) -> int:
     """Diff two snapshots by entity identity (longitudinal workflow).
 
     With ``--exit-code`` the command exits 1 when the snapshots differ,
-    so CI can use it as a serialization-regression tripwire.
+    so CI can use it as a serialization-regression tripwire.  With
+    ``--format json`` the diff is emitted as an ordered delta batch —
+    the exact record format ``GraphStore.apply_delta`` replays and the
+    archive's binary delta entries carry — so scripts can turn any two
+    snapshots into a shippable delta.
     """
     from repro.core.diff import snapshot_diff
 
     old = load_snapshot(args.old)
     new = load_snapshot(args.new)
     diff = snapshot_diff(old, new)
+    if args.format == "json":
+        from repro.delta import delta_from_diff, delta_to_json
+
+        batch = delta_from_diff(old, new, diff)
+        print(delta_to_json(batch))
+        return 1 if args.exit_code and not batch.empty else 0
     if diff.unchanged:
         print("snapshots are identical (by entity identity)")
         return 0
@@ -452,11 +462,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     (``--snapshot`` is then an archive selector, default ``latest``),
     ``/query`` accepts ``snapshot=`` for time travel, ``POST /admin/swap``
     hot-swaps the live store, and ``--watch`` polls the archive so new
-    builds go live without a restart.
+    builds go live without a restart.  ``--follow`` is the incremental
+    variant of ``--watch``: archived *delta* entries are applied to the
+    live store in place — O(changes), no reload, no swap — falling back
+    to a full load-and-swap whenever the pending entries do not form a
+    clean delta chain on what is being served.
     """
     from repro.server import QueryService, create_server
     from repro.server.metrics import Metrics
 
+    if args.watch is not None and args.follow is not None:
+        print("--watch and --follow are mutually exclusive", file=sys.stderr)
+        return 1
     # One registry across build and serving, so pipeline counters show
     # up on the served /metrics endpoint.
     metrics = Metrics()
@@ -509,15 +526,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         snapshot_label=snapshot_label,
     )
     watcher = None
-    if args.watch is not None:
+    interval = args.watch if args.watch is not None else args.follow
+    if interval is not None:
         if archive is None:
-            print("--watch requires --archive", file=sys.stderr)
+            print("--watch/--follow requires --archive", file=sys.stderr)
             return 1
         from repro.archive import ArchiveWatcher
 
-        watcher = ArchiveWatcher(service, archive, interval=args.watch)
+        follow = args.follow is not None
+        watcher = ArchiveWatcher(service, archive, interval=interval, follow=follow)
         watcher.start()
-        print(f"Watching {args.archive}/ every {args.watch:g}s for new snapshots")
+        mode = "following deltas in" if follow else "watching"
+        print(f"{mode.capitalize()} {args.archive}/ every {interval:g}s")
     server = create_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(
@@ -557,7 +577,10 @@ def _serve_pool(
     whichever worker accepted the connection): with ``--watch`` the
     parent polls the archive, packs new snapshots into fresh segments,
     and broadcasts them to every worker; the old segment is unlinked
-    once all workers acknowledge.
+    once all workers acknowledge.  ``--follow`` keeps those swap
+    semantics on this path (a frozen shared-memory segment cannot be
+    mutated in place) — delta entries still work, because the archive's
+    chain-aware ``load()`` materializes base + deltas before packing.
     """
     import multiprocessing
     import signal
@@ -598,10 +621,11 @@ def _serve_pool(
         f"segment {manifest.name})"
     )
     last_label = snapshot_label
+    interval = args.watch if args.watch is not None else args.follow
     try:
         while True:
-            time_mod.sleep(args.watch if args.watch else 3600.0)
-            if archive is None or not args.watch:
+            time_mod.sleep(interval if interval else 3600.0)
+            if archive is None or not interval:
                 continue
             entry = archive.resolve("latest")
             if entry.label == last_label:
@@ -1009,6 +1033,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll the archive at this interval and hot-swap to new "
              "snapshots as they appear (requires --archive)",
     )
+    serve.add_argument(
+        "--follow", type=float, metavar="SECONDS",
+        help="like --watch, but apply archived delta entries to the "
+             "live store in place (O(changes), no reload); falls back "
+             "to a full swap when the chain breaks (requires --archive)",
+    )
     serve.add_argument("--scale", choices=sorted(_SCALES), default="small")
     serve.add_argument("--seed", type=int, default=20240501)
     serve.add_argument("--host", default="127.0.0.1")
@@ -1161,6 +1191,11 @@ def build_parser() -> argparse.ArgumentParser:
     diff = sub.add_parser("diff", help="diff two snapshots by identity")
     diff.add_argument("old")
     diff.add_argument("new")
+    diff.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="json emits the diff as an ordered delta batch (the "
+             "apply_delta record format)",
+    )
     diff.add_argument(
         "--verbose", action="store_true",
         help="list changed entities, including per-property before/after",

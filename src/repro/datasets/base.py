@@ -9,6 +9,7 @@ Section 2.2 are produced by :meth:`Crawler.reference`.
 from __future__ import annotations
 
 import abc
+import hashlib
 from typing import Callable
 
 from repro.core import IYP, Reference
@@ -55,6 +56,62 @@ class SimulatedFetcher(Fetcher):
                 raise FetchError(f"no simulated source registered for {url!r}")
             self._cache[url] = generator(self.world)
         return self._cache[url]
+
+
+class RecordingFetcher(Fetcher):
+    """Wraps a fetcher and checksums every payload that flows through.
+
+    The incremental build pipeline (``build_iyp(..., incremental=True)``)
+    needs to know, *before* running a crawler, whether its inputs changed
+    since the previous build.  This wrapper is always in the path: it
+    records a SHA-256 per URL, and :meth:`begin`/:meth:`end` bracket one
+    crawler's run so the URLs it touched land in that crawler's
+    :class:`~repro.pipeline.build.CrawlerRun` record.  The next build
+    re-fetches (cheap — rendering, not crawling) and compares
+    :meth:`payload_checksum` per crawler to decide what to skip.
+    """
+
+    def __init__(self, inner: Fetcher):
+        self.inner = inner
+        self.digests: dict[str, str] = {}
+        self._active: list[str] | None = None
+
+    def fetch(self, url: str) -> str:
+        content = self.inner.fetch(url)
+        self.digests[url] = hashlib.sha256(content.encode("utf-8")).hexdigest()
+        if self._active is not None and url not in self._active:
+            self._active.append(url)
+        return content
+
+    def begin(self) -> None:
+        """Start attributing fetched URLs to one crawler's run."""
+        self._active = []
+
+    def end(self) -> list[str]:
+        """Stop attributing; returns the URLs fetched since :meth:`begin`."""
+        urls = self._active or []
+        self._active = None
+        return urls
+
+    def digest(self, url: str) -> str:
+        """SHA-256 of ``url``'s payload, fetching it if not yet seen."""
+        if url not in self.digests:
+            self.fetch(url)
+        return self.digests[url]
+
+    def payload_checksum(self, urls: list[str]) -> str:
+        """One checksum over a crawler's full input set.
+
+        Stable under URL ordering; any byte change in any payload (or a
+        URL appearing/disappearing) changes the checksum.
+        """
+        summary = hashlib.sha256()
+        for url in sorted(set(urls)):
+            summary.update(url.encode("utf-8"))
+            summary.update(b"\n")
+            summary.update(self.digest(url).encode("ascii"))
+            summary.update(b"\n")
+        return summary.hexdigest()
 
 
 class StaticFetcher(Fetcher):

@@ -1,0 +1,144 @@
+"""Binary delta files: the IYP2 framing under an ``IYPD`` header.
+
+A delta file carries one :class:`~repro.delta.records.DeltaBatch` plus
+the provenance needed to apply it safely: the label and content
+checksum of the *base* snapshot generation it was extracted against.
+Appliers (the archive's chain loader, the serving watcher) verify the
+base checksum against the manifest before applying — a delta shipped
+against the wrong base is rejected up front instead of corrupting a
+replica.
+
+Layout reuses :mod:`repro.archive.format`'s framed sections (CRC-32 per
+section, optional zlib, END marker)::
+
+    MAGIC "IYPD"  |  u16 format version (1)
+    META          |  base_label, base_checksum, summary, counts after
+    RECORDS*      |  chunks of delta records (bounded reader memory)
+    END
+
+Files are byte-deterministic for a given batch: records are already in
+canonical order and JSON is dumped with sorted keys.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.archive.format import (
+    SECTION_END,
+    SECTION_META,
+    SnapshotFormatError,
+    pack_header,
+    read_sections,
+    write_section,
+)
+from repro.delta.records import DELTA_RECORD_VERSION, DeltaBatch, DeltaError
+
+DELTA_MAGIC = b"IYPD"
+DELTA_FILE_VERSION = 1
+
+#: Section kind for delta record chunks (META/END reuse the v2 kinds).
+SECTION_RECORDS = 9
+
+#: Records per RECORDS section.
+RECORD_CHUNK = 16384
+
+
+def save_delta(
+    batch: DeltaBatch,
+    path: str | Path,
+    *,
+    base_label: str,
+    base_checksum: str,
+    nodes_after: int,
+    relationships_after: int,
+    compress: bool = True,
+) -> None:
+    """Write ``batch`` as an IYPD file.
+
+    ``nodes_after``/``relationships_after`` are the entity counts of the
+    store the batch produces, recorded for manifest display and shallow
+    verification (the same role META counts play for full snapshots).
+    """
+    meta = {
+        "format_version": DELTA_FILE_VERSION,
+        "record_version": DELTA_RECORD_VERSION,
+        "base_label": base_label,
+        "base_checksum": base_checksum,
+        "nodes": nodes_after,
+        "relationships": relationships_after,
+        "summary": batch.summary(),
+    }
+    with open(Path(path), "wb") as handle:
+        handle.write(pack_header(DELTA_MAGIC, DELTA_FILE_VERSION))
+        write_section(handle, SECTION_META, meta, compress)
+        records = batch.records
+        for start in range(0, len(records), RECORD_CHUNK):
+            write_section(
+                handle, SECTION_RECORDS, records[start : start + RECORD_CHUNK],
+                compress,
+            )
+        write_section(handle, SECTION_END, [], compress)
+
+
+def read_delta_meta(path: str | Path) -> dict[str, Any]:
+    """The META section of a delta file without decoding its records."""
+    for kind, payload in read_sections(
+        path, magic=DELTA_MAGIC, version=DELTA_FILE_VERSION
+    ):
+        if kind == SECTION_META:
+            if not isinstance(payload, dict):
+                raise SnapshotFormatError(f"{path}: malformed delta META")
+            return payload
+    raise SnapshotFormatError(f"{path}: no META section")
+
+
+def load_delta(path: str | Path) -> tuple[DeltaBatch, dict[str, Any]]:
+    """Load ``(batch, meta)`` from an IYPD file, validating the records."""
+    meta: dict[str, Any] = {}
+    records: list[dict[str, Any]] = []
+    for kind, payload in read_sections(
+        path, magic=DELTA_MAGIC, version=DELTA_FILE_VERSION
+    ):
+        if kind == SECTION_META:
+            meta = payload
+        elif kind == SECTION_RECORDS:
+            records.extend(payload)
+    if not meta:
+        raise SnapshotFormatError(f"{path}: no META section")
+    if meta.get("record_version") != DELTA_RECORD_VERSION:
+        raise SnapshotFormatError(
+            f"{path}: unsupported delta record version "
+            f"{meta.get('record_version')!r}"
+        )
+    batch = DeltaBatch(
+        records=records,
+        base_label=str(meta.get("base_label", "")),
+        base_checksum=str(meta.get("base_checksum", "")),
+    )
+    try:
+        batch.validate()
+    except DeltaError as exc:
+        raise SnapshotFormatError(f"{path}: {exc}") from exc
+    expected = meta.get("summary", {}).get("records")
+    if expected is not None and expected != len(records):
+        raise SnapshotFormatError(
+            f"{path}: META promises {expected} records, file holds {len(records)}"
+        )
+    return batch, meta
+
+
+def is_delta_file(path: str | Path) -> bool:
+    """True when the file starts with the IYPD magic bytes."""
+    try:
+        with open(Path(path), "rb") as handle:
+            return handle.read(len(DELTA_MAGIC)) == DELTA_MAGIC
+    except OSError:
+        return False
+
+
+def delta_to_json(batch: DeltaBatch, indent: int | None = 2) -> str:
+    """The CLI-facing JSON rendering of a batch (``repro diff --format json``)."""
+    return json.dumps(batch.to_dict(), indent=indent, sort_keys=True)

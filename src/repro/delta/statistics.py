@@ -1,0 +1,59 @@
+"""Incremental refresh of planner statistics after a delta apply.
+
+A full :func:`repro.analytics.statistics.compute_statistics` pass is
+O(nodes + relationships) — exactly the cost the delta path exists to
+avoid.  :func:`refresh_statistics` instead rebuilds the cheap exact
+figures (node/relationship/label/type counts, O(#labels) reads of the
+store's own indexes) and adjusts the per-(label, type, direction)
+expansion means from the edge-incidence deltas the apply engine
+tallied: each old mean is ``total / population``, and both totals and
+populations are integers, so the old total is recovered exactly by
+rounding ``mean * old_population`` and re-divided by the new
+population.
+
+Degree histograms and component structure are *not* refreshed — both
+need a full pass.  The planner only consults histograms for labels
+absent from ``label_counts`` (see ``GraphStatistics.expansion``), so
+staleness there affects cost estimates for unknown labels only, never
+correctness.  The next full build recomputes everything.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.statistics import GraphStatistics
+from repro.delta.apply import DeltaApplyResult
+from repro.graphdb.store import GraphStore
+
+
+def refresh_statistics(
+    previous: GraphStatistics, store: GraphStore, result: DeltaApplyResult
+) -> GraphStatistics:
+    """Statistics for ``store`` after ``result``, without a full rescan."""
+    label_counts = store.label_counts()
+    old_counts = previous.label_counts
+
+    totals: dict[tuple[str, str, str], int] = {}
+    for (label, rel_key, direction), mean in previous.expansions.items():
+        totals[(label, rel_key, direction)] = round(
+            mean * old_counts.get(label, 0)
+        )
+    for key, delta in result.expansion_deltas.items():
+        totals[key] = totals.get(key, 0) + delta
+
+    expansions: dict[tuple[str, str, str], float] = {}
+    for (label, rel_key, direction), total in totals.items():
+        population = label_counts.get(label, 0)
+        if population and total:
+            expansions[(label, rel_key, direction)] = total / population
+
+    return GraphStatistics(
+        version=store.version,
+        node_count=store.node_count,
+        relationship_count=store.relationship_count,
+        label_counts=label_counts,
+        relationship_type_counts=store.relationship_type_counts(),
+        expansions=expansions,
+        degree_histograms=dict(previous.degree_histograms),
+        component_count=previous.component_count,
+        component_sizes=previous.component_sizes,
+    )

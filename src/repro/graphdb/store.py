@@ -29,7 +29,12 @@ from __future__ import annotations
 import gc
 from collections import defaultdict
 from contextlib import AbstractContextManager, contextmanager
-from typing import Any, Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
+
+if TYPE_CHECKING:
+    from repro.delta.apply import DeltaApplyResult
+    from repro.delta.records import DeltaBatch
 
 from repro.graphdb.errors import (
     ConstraintViolationError,
@@ -67,6 +72,37 @@ def directional_count(out: int, inbound: int, loops: int, direction: Direction) 
     return out + inbound - loops
 
 
+@dataclass(frozen=True, slots=True)
+class ChangeEvent:
+    """One mutation observed while :meth:`GraphStore.track_changes` is active.
+
+    ``kind`` is one of ``node_created`` / ``node_updated`` /
+    ``node_deleted`` / ``label_added`` / ``rel_created`` /
+    ``rel_updated`` / ``rel_deleted`` / ``rel_merged``.  Deletions carry
+    before-images (labels/properties, and for relationships the type and
+    endpoint ids) so a delta extractor can still identify the entity
+    after it is gone; ``rel_merged`` marks a MERGE that matched an
+    existing edge — no state changed, but incremental builds use it to
+    tell "still asserted by this crawler" apart from "gone".
+    """
+
+    kind: str
+    entity_id: int
+    changes: Mapping[str, tuple[Any, Any]] | None = None
+    labels: frozenset[str] | None = None
+    properties: Mapping[str, Any] | None = None
+    rel_type: str | None = None
+    start_id: int | None = None
+    end_id: int | None = None
+    label: str | None = None
+
+
+#: Event kinds that change graph *shape* (as opposed to property values).
+STRUCTURAL_EVENT_KINDS = frozenset(
+    {"node_created", "node_deleted", "label_added", "rel_created", "rel_deleted"}
+)
+
+
 class GraphStore:
     """An embedded label/property graph with hash indexes."""
 
@@ -88,6 +124,8 @@ class GraphStore:
         "_edge_index": "write:_rwlock",
         "_rel_type_index": "write:_rwlock",
         "_version": "write:_rwlock",
+        "_batch_depth": "write:_rwlock",
+        "_changelog": "write:_rwlock",
     }
 
     def __init__(self) -> None:
@@ -110,6 +148,11 @@ class GraphStore:
         self._rel_type_index: dict[str, set[int]] = defaultdict(set)
         self._rwlock = new_rwlock("GraphStore._rwlock")
         self._version = 0
+        # Depth of nested batch_mutation() scopes: while > 0, per-op
+        # version bumps are suppressed and the outermost exit bumps once.
+        self._batch_depth = 0
+        # Change tracking sink, active only inside track_changes().
+        self._changelog: list[ChangeEvent] | None = None
 
     # ------------------------------------------------------------------
     # Concurrency
@@ -138,7 +181,65 @@ class GraphStore:
         """Write lock + version bump around one mutating operation."""
         with self._rwlock.write():
             yield
+            self._bump()
+
+    @guarded_by("_rwlock")
+    def _bump(self) -> None:
+        """Bump the version, unless a batch_mutation() scope is active."""
+        if self._batch_depth == 0:
             self._version += 1
+
+    @contextmanager
+    def batch_mutation(self) -> Iterator[None]:
+        """Write lock + exactly one version bump around many mutations.
+
+        Version-keyed caches (query results, precomputed procedure rows)
+        invalidate per version, so applying a thousand-record delta
+        through individual mutators would thrash them a thousand times.
+        Inside this scope the per-operation bumps are suppressed and the
+        outermost exit bumps once — even when the scope fails midway, so
+        a partially applied batch can never serve stale cache entries.
+        """
+        with self._rwlock.write():
+            self._batch_depth += 1
+            try:
+                yield
+            finally:
+                self._batch_depth -= 1
+                if self._batch_depth == 0:
+                    self._version += 1
+
+    @contextmanager
+    def track_changes(self) -> Iterator[list[ChangeEvent]]:
+        """Record every mutation into the yielded list while active.
+
+        The incremental build path (:mod:`repro.delta.extract`) turns the
+        event stream into a DeltaBatch in O(changes) — without cloning
+        the store or diffing two full snapshots.  Tracking is exclusive:
+        nesting raises ``RuntimeError``.
+        """
+        events: list[ChangeEvent] = []
+        with self._rwlock.write():
+            if self._changelog is not None:
+                raise RuntimeError("change tracking is already active")
+            self._changelog = events
+        try:
+            yield events
+        finally:
+            with self._rwlock.write():
+                self._changelog = None
+
+    @guarded_by("_rwlock")
+    def _log_event(self, event: ChangeEvent) -> None:
+        changelog = self._changelog
+        if changelog is not None:
+            changelog.append(event)
+
+    def apply_delta(self, batch: "DeltaBatch") -> "DeltaApplyResult":
+        """Atomically apply a delta batch; see :func:`repro.delta.apply.apply_delta`."""
+        from repro.delta.apply import apply_delta
+
+        return apply_delta(self, batch)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -438,7 +539,7 @@ class GraphStore:
                 if _indexable(value):
                     index[value].add(node_id)
             self._property_index[key] = index
-            self._version += 1
+            self._bump()
 
     def create_unique_constraint(self, label: str, prop: str) -> None:
         """Create a uniqueness constraint (and backing index)."""
@@ -452,7 +553,7 @@ class GraphStore:
                     )
             if (label, prop) not in self._unique_constraints:
                 self._unique_constraints.add((label, prop))
-                self._version += 1
+                self._bump()
 
     def has_index(self, label: str, prop: str) -> bool:
         """Return True when an index exists on (label, property)."""
@@ -485,6 +586,8 @@ class GraphStore:
             for label in label_set:
                 self._label_index[label].add(node.id)
                 self._index_node_property_updates(label, node.id, props)
+            if self._changelog is not None:
+                self._log_event(ChangeEvent("node_created", node.id))
             return node
 
     def merge_node(
@@ -577,7 +680,9 @@ class GraphStore:
             node.labels = node.labels | {label}
             self._label_index[label].add(node_id)
             self._index_node_property_updates(label, node_id, node.properties)
-            self._version += 1
+            if self._changelog is not None:
+                self._log_event(ChangeEvent("label_added", node_id, label=label))
+            self._bump()
 
     def update_node(self, node_id: int, properties: Mapping[str, Any]) -> None:
         """Merge properties into a node (None values delete the key)."""
@@ -588,12 +693,14 @@ class GraphStore:
     def _update_node_locked(self, node_id: int, properties: Mapping[str, Any]) -> None:
         self._rwlock.check_write_held()
         node = self._require_node(node_id)
+        changed: dict[str, tuple[Any, Any]] = {}
         for key, value in properties.items():
             old = node.properties.get(key)
             if value is None:
                 if key in node.properties:
                     del node.properties[key]
                     self._deindex_value(node, key, old)
+                    changed[key] = (old, None)
                 continue
             check_property_value(value)
             if isinstance(value, tuple):
@@ -603,8 +710,11 @@ class GraphStore:
             self._check_unique(node.labels, {key: value}, exclude_id=node_id)
             self._deindex_value(node, key, old)
             node.properties[key] = value
+            changed[key] = (old, value)
             for label in node.labels:
                 self._index_node_property_updates(label, node_id, {key: value})
+        if changed and self._changelog is not None:
+            self._log_event(ChangeEvent("node_updated", node_id, changes=changed))
 
     def delete_node(self, node_id: int, detach: bool = False) -> None:
         """Delete a node; with ``detach`` also delete incident edges."""
@@ -635,6 +745,18 @@ class GraphStore:
             self._incoming.pop(node_id, None)
             self._loop_counts.pop(node_id, None)
             del self._nodes[node_id]
+            if self._changelog is not None:
+                # Logged after the incident-edge deletions so the event
+                # stream replays in a valid order, with before-images for
+                # identity resolution after the node is gone.
+                self._log_event(
+                    ChangeEvent(
+                        "node_deleted",
+                        node_id,
+                        labels=node.labels,
+                        properties=dict(node.properties),
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Relationship operations
@@ -665,6 +787,8 @@ class GraphStore:
                 loops[rel_type] = loops.get(rel_type, 0) + 1
             self._edge_index[(start_id, rel_type, end_id)].append(rel.id)
             self._rel_type_index[rel_type].add(rel.id)
+            if self._changelog is not None:
+                self._log_event(ChangeEvent("rel_created", rel.id))
             return rel
 
     def merge_relationship(
@@ -703,6 +827,8 @@ class GraphStore:
             ):
                 continue
             record_access("rel_merged")
+            if self._changelog is not None:
+                self._log_event(ChangeEvent("rel_merged", rel_id))
             if properties:
                 self.update_relationship(rel_id, properties)
             return rel
@@ -789,17 +915,31 @@ class GraphStore:
         ]
 
     def update_relationship(self, rel_id: int, properties: Mapping[str, Any]) -> None:
-        """Merge properties into a relationship (None deletes the key)."""
+        """Merge properties into a relationship (None deletes the key).
+
+        Writes that leave a value unchanged (same value, same type) are
+        skipped, mirroring node updates — a re-run crawler MERGE-ing the
+        same provenance properties produces no change events.
+        """
         with self._mutation():
             rel = self.get_relationship(rel_id)
+            changed: dict[str, tuple[Any, Any]] = {}
             for key, value in properties.items():
+                old = rel.properties.get(key)
                 if value is None:
-                    rel.properties.pop(key, None)
+                    if key in rel.properties:
+                        del rel.properties[key]
+                        changed[key] = (old, None)
                     continue
                 check_property_value(value)
-                rel.properties[key] = (
-                    list(value) if isinstance(value, tuple) else value
-                )
+                if isinstance(value, tuple):
+                    value = list(value)
+                if old == value and type(old) is type(value):
+                    continue
+                rel.properties[key] = value
+                changed[key] = (old, value)
+            if changed and self._changelog is not None:
+                self._log_event(ChangeEvent("rel_updated", rel_id, changes=changed))
 
     def delete_relationship(self, rel_id: int) -> None:
         """Delete a relationship."""
@@ -823,6 +963,17 @@ class GraphStore:
             self._edge_index[(rel.start_id, rel.type, rel.end_id)].remove(rel_id)
             self._rel_type_index[rel.type].discard(rel_id)
             del self._relationships[rel_id]
+            if self._changelog is not None:
+                self._log_event(
+                    ChangeEvent(
+                        "rel_deleted",
+                        rel_id,
+                        properties=dict(rel.properties),
+                        rel_type=rel.type,
+                        start_id=rel.start_id,
+                        end_id=rel.end_id,
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Internals

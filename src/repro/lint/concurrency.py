@@ -1087,6 +1087,7 @@ DEFAULT_PACKAGES = (
     "archive",
     "concurrency",
     "columnar",
+    "delta",
 )
 
 #: Individual extra modules analyzed by default.

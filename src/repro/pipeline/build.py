@@ -11,6 +11,19 @@ store mutations it caused (nodes/relationships created vs merged), a
 structured JSON log line on ``repro.pipeline``, and — when a metrics
 registry is passed — Prometheus counters.  The per-crawler numbers land
 in :class:`BuildReport.crawler_runs`.
+
+Incremental builds (``build_iyp(..., incremental=True)``) reuse the
+previous build's store and :class:`BuildReport` instead of starting
+over: every fetched payload is checksummed (the
+:class:`~repro.datasets.base.RecordingFetcher` is always in the path,
+so any build can seed the next incremental one), crawlers whose inputs
+did not change are skipped entirely, changed crawlers re-run against
+the live store with change tracking on, links they no longer assert are
+retired, and the refinement pass re-runs only when the churn touched
+structure it actually reads.  The net effect of the whole build lands
+in ``report.delta`` as an ordered
+:class:`~repro.delta.records.DeltaBatch` ready for
+:meth:`~repro.graphdb.store.GraphStore.apply_delta` on a replica.
 """
 
 from __future__ import annotations
@@ -22,7 +35,10 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core import IYP
+from repro.datasets.base import FetchError, RecordingFetcher
 from repro.datasets.registry import crawlers_for, make_fetcher
+from repro.graphdb.errors import GraphError
+from repro.graphdb.store import GraphStore
 from repro.lint import GraphValidationReport, GraphValidator
 from repro.obs import NULL_TRACER, AccessCollector, Tracer, collecting
 from repro.pipeline.postprocess import run_postprocessing
@@ -30,6 +46,24 @@ from repro.server.metrics import Metrics
 from repro.simnet.world import World
 
 log = logging.getLogger("repro.pipeline")
+
+#: Node labels whose structure the refinement pass reads.  Structural
+#: churn confined to other labels (AS renames, peering changes, ...)
+#: cannot change any refinement output, so incremental builds skip the
+#: pass entirely in that case.
+_POSTPROCESS_LABELS = frozenset(
+    {"IP", "Prefix", "URL", "HostName", "DomainName", "Country"}
+)
+
+#: Properties the refinement pass reads (on the labels above).
+_POSTPROCESS_PROPS = frozenset(
+    {"ip", "prefix", "url", "name", "country_code", "af", "alpha3"}
+)
+
+#: Kinds of changelog events that mark a relationship as still asserted
+#: by the crawler that just re-ran (anything else it contributed before
+#: is stale and gets retired).
+_TOUCH_KINDS = frozenset({"rel_created", "rel_merged", "rel_updated"})
 
 
 @dataclass
@@ -43,6 +77,18 @@ class CrawlerRun:
     relationships_created: int = 0
     relationships_merged: int = 0
     error: str | None = None
+    #: One checksum over every payload the crawler fetched; the next
+    #: incremental build compares it to decide whether to re-run.
+    payload_checksum: str = ""
+    #: The URLs behind that checksum, in fetch order.
+    urls: list[str] = field(default_factory=list)
+    #: True when an incremental build proved the inputs unchanged and
+    #: did not run the crawler at all.
+    skipped: bool = False
+    #: Stale links retired after an incremental re-run (links the
+    #: previous build attributed to this crawler that the re-run no
+    #: longer asserted).
+    relationships_deleted: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -52,8 +98,29 @@ class CrawlerRun:
             "nodes_merged": self.nodes_merged,
             "relationships_created": self.relationships_created,
             "relationships_merged": self.relationships_merged,
+            "relationships_deleted": self.relationships_deleted,
             "error": self.error,
+            "payload_checksum": self.payload_checksum,
+            "urls": list(self.urls),
+            "skipped": self.skipped,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CrawlerRun":
+        """Rebuild a run record from manifest build metadata."""
+        return cls(
+            name=data["name"],
+            seconds=data.get("seconds", 0.0),
+            nodes_created=data.get("nodes_created", 0),
+            nodes_merged=data.get("nodes_merged", 0),
+            relationships_created=data.get("relationships_created", 0),
+            relationships_merged=data.get("relationships_merged", 0),
+            relationships_deleted=data.get("relationships_deleted", 0),
+            error=data.get("error"),
+            payload_checksum=data.get("payload_checksum", ""),
+            urls=list(data.get("urls", ())),
+            skipped=data.get("skipped", False),
+        )
 
 
 @dataclass
@@ -75,6 +142,16 @@ class BuildReport:
     #: the cached rows of every precompute procedure.  None when the
     #: build ran with ``analytics=False``.
     analytics: Any | None = None
+    #: True when this report came from an incremental build.
+    incremental: bool = False
+    #: True when an incremental build proved the refinement pass could
+    #: not observe any of the churn and skipped it.
+    postprocess_skipped: bool = False
+    #: The build's net effect as an ordered
+    #: :class:`~repro.delta.records.DeltaBatch` (incremental builds
+    #: only): apply it to a copy of the previous store and you get this
+    #: build's result.
+    delta: Any | None = None
 
     @property
     def ok(self) -> bool:
@@ -88,7 +165,9 @@ class BuildReport:
         The per-crawler runs ride along so data-quality telemetry
         (:mod:`repro.obs.quality`) can derive coverage and fusion
         agreement per source from the manifest alone, without re-running
-        the build.
+        the build — and so the *next* build can go incremental straight
+        from the manifest (:meth:`from_build_metadata`): the per-crawler
+        payload checksums are all it needs to decide what to skip.
         """
         return {
             "total_seconds": round(self.total_seconds, 3),
@@ -99,7 +178,29 @@ class BuildReport:
             "crawler_runs": [run.to_dict() for run in self.crawler_runs],
             "schema_ok": self.schema_report is None or self.schema_report.ok,
             "trace_id": self.trace_id,
+            "incremental": self.incremental,
+            "refinement_counts": dict(self.refinement_counts),
         }
+
+    @classmethod
+    def from_build_metadata(cls, data: dict[str, Any]) -> "BuildReport":
+        """A report good enough to seed an incremental build, rebuilt
+        from an archive manifest entry's ``build`` metadata."""
+        report = cls(
+            total_seconds=data.get("total_seconds", 0.0),
+            nodes=data.get("nodes", 0),
+            relationships=data.get("relationships", 0),
+            crawler_errors=dict(data.get("crawler_errors", {})),
+            refinement_counts=dict(data.get("refinement_counts", {})),
+            incremental=data.get("incremental", False),
+        )
+        report.crawler_runs = [
+            CrawlerRun.from_dict(entry) for entry in data.get("crawler_runs", ())
+        ]
+        report.crawler_seconds = {
+            run.name: run.seconds for run in report.crawler_runs
+        }
+        return report
 
 
 def _record_crawler_metrics(metrics: Metrics, run: CrawlerRun) -> None:
@@ -110,6 +211,163 @@ def _record_crawler_metrics(metrics: Metrics, run: CrawlerRun) -> None:
     metrics.inc("crawler_nodes_merged_total", run.nodes_merged)
     metrics.inc("crawler_relationships_created_total", run.relationships_created)
     metrics.inc("crawler_relationships_merged_total", run.relationships_merged)
+
+
+def _execute_crawler(
+    crawler: Any,
+    fetcher: RecordingFetcher,
+    report: BuildReport,
+    metrics: Metrics | None,
+    tracer: Tracer,
+    raise_on_error: bool,
+) -> CrawlerRun:
+    """Run one crawler with full telemetry; always appends its run."""
+    run = CrawlerRun(name=crawler.name)
+    collector = AccessCollector()
+    crawl_start = time.perf_counter()
+    fetcher.begin()
+    try:
+        with tracer.span("crawler", crawler=crawler.name):
+            with collecting(collector):
+                crawler.run()
+    except Exception as exc:  # noqa: BLE001 - report which dataset failed
+        run.error = f"{type(exc).__name__}: {exc}"
+        if raise_on_error:
+            raise
+        report.crawler_errors[crawler.name] = run.error
+    finally:
+        run.urls = fetcher.end()
+        run.payload_checksum = fetcher.payload_checksum(run.urls)
+        run.seconds = time.perf_counter() - crawl_start
+        hits = collector.hits
+        run.nodes_created = hits.get("node_created", 0)
+        run.nodes_merged = hits.get("node_merged", 0)
+        run.relationships_created = hits.get("rel_created", 0)
+        run.relationships_merged = hits.get("rel_merged", 0)
+        report.crawler_runs.append(run)
+        report.crawler_seconds[crawler.name] = run.seconds
+        if metrics is not None:
+            _record_crawler_metrics(metrics, run)
+        log.info("crawler %s", json.dumps(run.to_dict(), sort_keys=True))
+    return run
+
+
+def _changed_crawlers(
+    crawlers: list[Any],
+    previous: BuildReport,
+    fetcher: RecordingFetcher,
+) -> dict[str, bool]:
+    """Which crawlers must re-run, by re-checksumming their inputs.
+
+    Unknown crawlers, previously failed ones, and any whose payload
+    cannot be re-fetched are conservatively treated as changed.
+    """
+    prev_runs = {run.name: run for run in previous.crawler_runs}
+    changed: dict[str, bool] = {}
+    for crawler in crawlers:
+        prev = prev_runs.get(crawler.name)
+        if prev is None or prev.error or not prev.payload_checksum:
+            changed[crawler.name] = True
+            continue
+        try:
+            current = fetcher.payload_checksum(list(prev.urls))
+        except FetchError:
+            changed[crawler.name] = True
+            continue
+        changed[crawler.name] = current != prev.payload_checksum
+    return changed
+
+
+def _rels_by_source(store: GraphStore, sources: set[str]) -> dict[str, set[int]]:
+    """One scan: relationship ids per watched ``reference_name``."""
+    before: dict[str, set[int]] = {name: set() for name in sources}
+    for rel in store.iter_relationships():
+        name = rel.properties.get("reference_name")
+        if isinstance(name, str) and name in before:
+            before[name].add(rel.id)
+    return before
+
+
+def _retire_stale(
+    store: GraphStore, stale: set[int], dangling: set[int]
+) -> int:
+    """Delete relationships a re-run no longer asserted; collect their
+    endpoints so orphaned value nodes can be dropped afterwards."""
+    for rel_id in sorted(stale):
+        rel = store.get_relationship(rel_id)
+        dangling.add(rel.start_id)
+        dangling.add(rel.end_id)
+        store.delete_relationship(rel_id)
+    return len(stale)
+
+
+def _drop_orphans(store: GraphStore, candidates: set[int]) -> int:
+    """Delete nodes left with no relationships at all.
+
+    Every IYP node exists because some link references it (crawlers and
+    refinement only create nodes to connect them), so a node orphaned by
+    stale-link retirement would not exist in a from-scratch rebuild
+    either.
+    """
+    count = 0
+    for node_id in sorted(candidates):
+        if store.has_node(node_id) and store.degree(node_id) == 0:
+            store.delete_node(node_id)
+            count += 1
+    return count
+
+
+def _postprocess_affected(store: GraphStore, events: list[Any]) -> bool:
+    """Could the refinement pass observe any of this build's churn?
+
+    True when a structural event (or a property change it reads) touches
+    one of :data:`_POSTPROCESS_LABELS`.  Endpoint labels of deleted
+    relationships are resolved through the changelog's before-images
+    when the node itself is gone.
+    """
+    deleted_labels: dict[int, frozenset[str]] = {}
+    deleted_endpoints: dict[int, tuple[int, int]] = {}
+    for event in events:
+        if event.kind == "node_deleted":
+            deleted_labels[event.entity_id] = event.labels or frozenset()
+        elif event.kind == "rel_deleted":
+            assert event.start_id is not None and event.end_id is not None
+            deleted_endpoints[event.entity_id] = (event.start_id, event.end_id)
+
+    def labels_of(node_id: int) -> frozenset[str]:
+        if store.has_node(node_id):
+            return frozenset(store.get_node(node_id).labels)
+        return deleted_labels.get(node_id, frozenset())
+
+    for event in events:
+        kind = event.kind
+        if kind in ("node_created", "node_deleted"):
+            if labels_of(event.entity_id) & _POSTPROCESS_LABELS:
+                return True
+        elif kind == "label_added":
+            if event.label in _POSTPROCESS_LABELS:
+                return True
+        elif kind == "node_updated":
+            if (
+                event.changes
+                and set(event.changes) & _POSTPROCESS_PROPS
+                and labels_of(event.entity_id) & _POSTPROCESS_LABELS
+            ):
+                return True
+        elif kind in ("rel_created", "rel_deleted"):
+            endpoints = deleted_endpoints.get(event.entity_id)
+            if endpoints is None:
+                try:
+                    rel = store.get_relationship(event.entity_id)
+                except GraphError:
+                    continue
+                endpoints = (rel.start_id, rel.end_id)
+            if (
+                labels_of(endpoints[0]) & _POSTPROCESS_LABELS
+                or labels_of(endpoints[1]) & _POSTPROCESS_LABELS
+            ):
+                return True
+    return False
 
 
 def build_iyp(
@@ -124,6 +382,9 @@ def build_iyp(
     analytics: bool = True,
     archive: Any | None = None,
     archive_label: str | None = None,
+    incremental: bool = False,
+    previous: BuildReport | None = None,
+    archive_base: str = "latest",
 ) -> tuple[IYP, BuildReport]:
     """Build the knowledge graph from a synthetic world.
 
@@ -150,43 +411,51 @@ def build_iyp(
     archive the finished graph in one step: the snapshot lands in the
     archive under ``archive_label`` with this report's build metadata on
     its manifest entry, and ``report.archived_as`` records the label.
+
+    With ``incremental`` the build is O(changes) instead of O(world):
+    pass the previous build's ``iyp`` (mutated in place) and its
+    ``previous`` report (or one rebuilt from the archive manifest via
+    :meth:`BuildReport.from_build_metadata`).  Crawlers whose payload
+    checksums match the previous build are skipped; changed ones re-run
+    under change tracking, after which links they stopped asserting are
+    retired (and value nodes orphaned by that, dropped).  The refinement
+    pass re-runs only when the churn touched structure it reads.  The
+    whole build's net effect lands in ``report.delta``; when archiving,
+    the entry is a binary delta against ``archive_base`` instead of a
+    full snapshot.
     """
     started = time.perf_counter()
+    if incremental:
+        if previous is None:
+            raise ValueError("incremental build requires the previous BuildReport")
+        if iyp is None:
+            raise ValueError(
+                "incremental build mutates the previous build's IYP in place"
+            )
     iyp = iyp or IYP()
-    fetcher = make_fetcher(world)
+    fetcher = RecordingFetcher(make_fetcher(world))
     tracer = tracer or NULL_TRACER
-    report = BuildReport()
+    report = BuildReport(incremental=incremental)
     with tracer.trace("build") as build_span:
         if build_span is not None:
             report.trace_id = build_span.trace_id
-        for crawler in crawlers_for(iyp, fetcher, dataset_names):
-            run = CrawlerRun(name=crawler.name)
-            collector = AccessCollector()
-            crawl_start = time.perf_counter()
-            try:
-                with tracer.span("crawler", crawler=crawler.name):
-                    with collecting(collector):
-                        crawler.run()
-            except Exception as exc:  # noqa: BLE001 - report which dataset failed
-                run.error = f"{type(exc).__name__}: {exc}"
-                if raise_on_error:
-                    raise
-                report.crawler_errors[crawler.name] = run.error
-            finally:
-                run.seconds = time.perf_counter() - crawl_start
-                hits = collector.hits
-                run.nodes_created = hits.get("node_created", 0)
-                run.nodes_merged = hits.get("node_merged", 0)
-                run.relationships_created = hits.get("rel_created", 0)
-                run.relationships_merged = hits.get("rel_merged", 0)
-                report.crawler_runs.append(run)
-                report.crawler_seconds[crawler.name] = run.seconds
-                if metrics is not None:
-                    _record_crawler_metrics(metrics, run)
-                log.info("crawler %s", json.dumps(run.to_dict(), sort_keys=True))
-        if postprocess:
-            with tracer.span("postprocess"):
-                report.refinement_counts = run_postprocessing(iyp)
+        crawlers = list(crawlers_for(iyp, fetcher, dataset_names))
+        if incremental:
+            assert previous is not None
+            _build_incremental(
+                iyp, crawlers, previous, fetcher, report,
+                postprocess=postprocess, metrics=metrics, tracer=tracer,
+                raise_on_error=raise_on_error,
+                all_sources=dataset_names is None,
+            )
+        else:
+            for crawler in crawlers:
+                _execute_crawler(
+                    crawler, fetcher, report, metrics, tracer, raise_on_error
+                )
+            if postprocess:
+                with tracer.span("postprocess"):
+                    report.refinement_counts = run_postprocessing(iyp)
         if validate:
             with tracer.span("validate_schema"):
                 report.schema_report = GraphValidator().validate(iyp.store)
@@ -218,20 +487,132 @@ def build_iyp(
     report.relationships = iyp.store.relationship_count
     if archive is not None:
         label = archive_label or f"build-{len(archive.entries()) + 1:04d}"
+        analytics_payload = (
+            report.analytics.to_dict() if report.analytics is not None else None
+        )
         with tracer.span("archive", label=label):
-            entry = archive.add(
-                iyp.store,
-                label,
-                build=report.build_metadata(),
-                analytics=(
-                    report.analytics.to_dict()
-                    if report.analytics is not None
-                    else None
-                ),
-            )
+            if incremental and report.delta is not None:
+                entry = archive.add_delta(
+                    iyp.store,
+                    report.delta,
+                    label,
+                    base=archive_base,
+                    build=report.build_metadata(),
+                    analytics=analytics_payload,
+                )
+            else:
+                entry = archive.add(
+                    iyp.store,
+                    label,
+                    build=report.build_metadata(),
+                    analytics=analytics_payload,
+                )
         report.archived_as = entry.label
         log.info(
-            "archived snapshot %s (%s, checksum %s)",
-            entry.label, entry.filename, entry.checksum[:12],
+            "archived %s %s (%s, checksum %s)",
+            entry.kind, entry.label, entry.filename, entry.checksum[:12],
         )
     return iyp, report
+
+
+def _build_incremental(
+    iyp: IYP,
+    crawlers: list[Any],
+    previous: BuildReport,
+    fetcher: RecordingFetcher,
+    report: BuildReport,
+    *,
+    postprocess: bool,
+    metrics: Metrics | None,
+    tracer: Tracer,
+    raise_on_error: bool,
+    all_sources: bool,
+) -> None:
+    """The incremental crawl + refine phases, mutating ``iyp`` in place.
+
+    Leaves the whole build's net effect in ``report.delta``.
+    """
+    from repro.delta import delta_from_changelog
+
+    store = iyp.store
+    prev_runs = {run.name: run for run in previous.crawler_runs}
+    with tracer.span("checksum"):
+        changed = _changed_crawlers(crawlers, previous, fetcher)
+    # Sources present last build but gone from the registry now: all
+    # their links are stale.  Only meaningful when building the full
+    # registry — a dataset_names subset says nothing about the rest.
+    current_names = {crawler.name for crawler in crawlers}
+    removed = (
+        {name for name in prev_runs if name not in current_names}
+        if all_sources
+        else set()
+    )
+    watch = {name for name, dirty in changed.items() if dirty} | removed
+    with tracer.span("prescan", sources=len(watch)):
+        before = _rels_by_source(store, watch) if watch else {}
+    dangling: set[int] = set()
+    with store.track_changes() as events:
+        for crawler in crawlers:
+            if not changed[crawler.name]:
+                prev = prev_runs[crawler.name]
+                run = CrawlerRun(
+                    name=crawler.name,
+                    skipped=True,
+                    payload_checksum=prev.payload_checksum,
+                    urls=list(prev.urls),
+                )
+                report.crawler_runs.append(run)
+                report.crawler_seconds[crawler.name] = 0.0
+                if metrics is not None:
+                    metrics.inc(
+                        "crawler_skips_total", labels={"crawler": crawler.name}
+                    )
+                continue
+            mark = len(events)
+            run = _execute_crawler(
+                crawler, fetcher, report, metrics, tracer, raise_on_error
+            )
+            if run.error is None:
+                # Everything the re-run created, merged, or updated is
+                # still asserted; the rest of its previous contribution
+                # is stale.  A failed run retires nothing — its old
+                # links outlive the failure, exactly like a failed full
+                # rebuild would keep serving the old snapshot.
+                touched = {
+                    event.entity_id
+                    for event in events[mark:]
+                    if event.kind in _TOUCH_KINDS
+                }
+                stale = before.get(crawler.name, set()) - touched
+                run.relationships_deleted = _retire_stale(store, stale, dangling)
+        for name in sorted(removed):
+            _retire_stale(store, before.get(name, set()), dangling)
+        orphans_dropped = _drop_orphans(store, dangling)
+        if postprocess:
+            if _postprocess_affected(store, events):
+                refinement_before = _rels_by_source(store, {"iyp.refinement"})
+                mark = len(events)
+                with tracer.span("postprocess"):
+                    report.refinement_counts = run_postprocessing(iyp)
+                touched = {
+                    event.entity_id
+                    for event in events[mark:]
+                    if event.kind in _TOUCH_KINDS
+                }
+                stale = refinement_before["iyp.refinement"] - touched
+                refinement_dangling: set[int] = set()
+                _retire_stale(store, stale, refinement_dangling)
+                _drop_orphans(store, refinement_dangling)
+            else:
+                report.postprocess_skipped = True
+                report.refinement_counts = dict(previous.refinement_counts)
+    with tracer.span("extract_delta"):
+        report.delta = delta_from_changelog(store, events)
+    skipped = sum(1 for run in report.crawler_runs if run.skipped)
+    log.info(
+        "incremental build: %d/%d crawler(s) skipped, %d source(s) removed, "
+        "%d orphan node(s) dropped, postprocess %s, delta %s",
+        skipped, len(crawlers), len(removed), orphans_dropped,
+        "skipped" if report.postprocess_skipped else "ran",
+        json.dumps(report.delta.summary(), sort_keys=True),
+    )

@@ -372,6 +372,52 @@ class QueryService:
             "relationships": store.relationship_count,
         }
 
+    def apply_delta(self, batch: Any, label: str | None = None) -> dict[str, Any]:
+        """Advance the served store in place by applying a delta batch.
+
+        The in-place counterpart to :meth:`swap_store` for ``repro serve
+        --follow``: instead of building a whole new serving state around
+        a reloaded store, the batch is replayed into the *live* store
+        under its write lock (one atomic scope, one version bump), the
+        planner's statistics are refreshed incrementally from the apply
+        result, and a new :class:`ServingState` sharing the same store /
+        engine / linter is installed carrying the new snapshot label.
+
+        The generation is deliberately *not* bumped and the result cache
+        is *not* cleared: the store's version bump already retires every
+        cached entry (version participates in each cache key), and the
+        lint cache only depends on indexes, which deltas never change.
+        Raises :class:`~repro.delta.apply.DeltaApplyError` with the store
+        untouched when the batch does not fit the served graph.
+        """
+        from repro.delta import refresh_statistics
+
+        with self.tracer.trace("delta_apply", label=label or ""):
+            with self._swap_lock:
+                old = self._state
+                result = old.store.apply_delta(batch)
+                previous = old.engine.statistics
+                if previous is not None:
+                    # Atomic attribute store: a racing reader plans with
+                    # either the old or the new statistics — both safe.
+                    old.engine.statistics = refresh_statistics(
+                        previous, old.store, result
+                    )
+                state = ServingState(
+                    old.store, old.engine, old.linter, old.generation, label
+                )
+                with old.store.write_lock():
+                    self._state = state
+        self.metrics.inc("delta_applies_total")
+        return {
+            "generation": state.generation,
+            "snapshot": label,
+            "applied": result.counts(),
+            "store_version": result.version,
+            "nodes": state.store.node_count,
+            "relationships": state.store.relationship_count,
+        }
+
     def load_and_swap(self, selector: str = "latest") -> dict[str, Any]:
         """``POST /admin/swap``: load an archived snapshot, then swap.
 
